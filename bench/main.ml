@@ -1,0 +1,196 @@
+(* Benchmark harness: one Bechamel test per Table I part, plus ablation
+   benches for the design decisions called out in DESIGN.md §6
+   (ILP vs min-cost-flow augmentation, structural engine vs BMC,
+   per-fault analysis cost, retargeting and simulation primitives).
+
+   Run with: dune exec bench/main.exe
+   The wall-clock estimate (OLS on the monotonic clock) is printed per
+   bench in nanoseconds per run. *)
+
+open Bechamel
+
+module Itc02 = Ftrsn_itc02.Itc02
+module Netlist = Ftrsn_rsn.Netlist
+module Sib = Ftrsn_rsn.Sib
+module Fault = Ftrsn_fault.Fault
+module Engine = Ftrsn_access.Engine
+module Retarget = Ftrsn_access.Retarget
+module Bmc = Ftrsn_bmc.Bmc
+module Augment = Ftrsn_core.Augment
+module Synthesis = Ftrsn_core.Synthesis
+module Metric = Ftrsn_core.Metric
+module Pipeline = Ftrsn_core.Pipeline
+
+(* Shared inputs, built once. *)
+let u226 = Itc02.rsn (Option.get (Itc02.find "u226"))
+let d695 = Itc02.rsn (Option.get (Itc02.find "d695"))
+let p93791 = Itc02.rsn (Option.get (Itc02.find "p93791"))
+
+let small =
+  Sib.build ~name:"small"
+    [
+      Sib
+        {
+          name = "mod1";
+          inner = [ Sib.leaf ~name:"c1" ~len:3; Sib.leaf ~name:"c2" ~len:2 ];
+        };
+      Sib { name = "mod2"; inner = [ Sib.leaf ~name:"c3" ~len:4 ] };
+    ]
+
+let u226_result = Pipeline.synthesize u226
+let u226_ft = u226_result.Pipeline.ft
+let u226_ctx = Engine.make_ctx u226
+let u226_ft_ctx = Engine.make_ctx u226_ft
+let u226_fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false }
+let small_bmc = Bmc.create small
+
+(* Table I parts (E1-E5 of DESIGN.md §4). *)
+let table1 =
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"characteristics_u226"
+        (Staged.stage (fun () ->
+             ignore (Itc02.rsn (Option.get (Itc02.find "u226")))));
+      Test.make ~name:"sib_access_u226"
+        (Staged.stage (fun () -> ignore (Metric.evaluate ~sample:16 u226)));
+      Test.make ~name:"ft_access_u226"
+        (Staged.stage (fun () -> ignore (Metric.evaluate ~sample:16 u226_ft)));
+      Test.make ~name:"area_u226"
+        (Staged.stage (fun () -> ignore (Pipeline.synthesize u226)));
+      Test.make ~name:"augmentation_u226"
+        (Staged.stage (fun () ->
+             ignore (Augment.solve (Augment.of_netlist u226))));
+      Test.make ~name:"augmentation_d695"
+        (Staged.stage (fun () ->
+             ignore (Augment.solve (Augment.of_netlist d695))));
+      Test.make ~name:"augmentation_p93791"
+        (Staged.stage (fun () ->
+             ignore (Augment.solve (Augment.of_netlist p93791))));
+    ]
+
+(* Ablation: exact ILP vs min-cost flow on the same instance. *)
+let p_small = Augment.of_netlist small
+
+let ablation_solvers =
+  Test.make_grouped ~name:"augment_solver"
+    [
+      Test.make ~name:"ilp_small"
+        (Staged.stage (fun () -> ignore (Augment.solve_ilp p_small)));
+      Test.make ~name:"flow_small"
+        (Staged.stage (fun () ->
+             ignore (Augment.solve_flow ~window:64 p_small)));
+      Test.make ~name:"flow_u226"
+        (Staged.stage (fun () ->
+             ignore (Augment.solve_flow (Augment.of_netlist u226))));
+    ]
+
+(* Ablation: structural engine vs BMC on one fault. *)
+let small_fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false }
+let small_ctx = Engine.make_ctx small
+
+let ablation_engines =
+  Test.make_grouped ~name:"access_engine"
+    [
+      Test.make ~name:"structural_per_fault_small"
+        (Staged.stage (fun () ->
+             ignore (Engine.analyze small_ctx (Some small_fault))));
+      Test.make ~name:"bmc_per_fault_small"
+        (Staged.stage (fun () ->
+             ignore (Bmc.check_access small_bmc ~fault:small_fault ~target:2 ())));
+      Test.make ~name:"structural_per_fault_u226"
+        (Staged.stage (fun () ->
+             ignore (Engine.analyze u226_ctx (Some u226_fault))));
+      Test.make ~name:"structural_per_fault_u226_ft"
+        (Staged.stage (fun () ->
+             ignore (Engine.analyze u226_ft_ctx (Some u226_fault))));
+    ]
+
+(* Primitives: retargeting plans, synthesis and graph extraction. *)
+let u226_plan = Option.get (Retarget.plan_write u226_ctx ~target:5 ())
+
+let primitives =
+  Test.make_grouped ~name:"primitives"
+    [
+      Test.make ~name:"make_ctx_u226"
+        (Staged.stage (fun () -> ignore (Engine.make_ctx u226)));
+      Test.make ~name:"plan_write_u226"
+        (Staged.stage (fun () ->
+             ignore (Retarget.plan_write u226_ctx ~target:5 ())));
+      Test.make ~name:"plan_execute_u226"
+        (Staged.stage (fun () ->
+             ignore (Retarget.execute u226 u226_plan ~pattern:[ true ])));
+      Test.make ~name:"synthesis_u226"
+        (Staged.stage (fun () ->
+             ignore
+               (Synthesis.run u226
+                  ~new_edges:u226_result.Pipeline.augmentation.Augment.new_edges)));
+      Test.make ~name:"dataflow_graph_p93791"
+        (Staged.stage (fun () -> ignore (Netlist.dataflow_graph p93791)));
+    ]
+
+(* Extensions: diagnosis, merged retargeting, area-profile sensitivity. *)
+let extensions =
+  let small_stim = Ftrsn_access.Diagnose.stimulus small in
+  let small_fault2 = { Fault.site = Fault.Seg_scan_in 2; stuck = true } in
+  let merged_targets = [ 2; 4; 7 ] in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"diagnose_apply_small"
+        (Staged.stage (fun () ->
+             ignore
+               (Ftrsn_access.Diagnose.apply small ~fault:small_fault2
+                  small_stim)));
+      Test.make ~name:"merged_plan_small"
+        (Staged.stage (fun () ->
+             ignore
+               (Retarget.plan_write_merged small_ctx ~targets:merged_targets
+                  ())));
+      Test.make ~name:"double_fault_analysis_small"
+        (Staged.stage (fun () ->
+             ignore
+               (Engine.analyze_multi small_ctx
+                  [ small_fault; small_fault2 ])));
+      Test.make ~name:"area_default_u226_ft"
+        (Staged.stage (fun () ->
+             ignore (Ftrsn_core.Area.of_netlist u226_ft)));
+      Test.make ~name:"area_compact_u226_ft"
+        (Staged.stage (fun () ->
+             ignore
+               (Ftrsn_core.Area.of_netlist
+                  ~technology:Ftrsn_core.Area.compact_technology u226_ft)));
+    ]
+
+let all_tests =
+  Test.make_grouped ~name:"ftrsn"
+    [ table1; ablation_solvers; ablation_engines; primitives; extensions ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.8) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  Analyze.all ols (List.hd instances) raw
+
+let () =
+  let results = benchmark () in
+  Printf.printf "%-50s %15s %8s\n" "benchmark" "ns/run" "r^2";
+  let rows = ref [] in
+  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%15.0f" e
+        | _ -> Printf.sprintf "%15s" "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%8.4f" r
+        | None -> "     n/a"
+      in
+      Printf.printf "%-50s %s %s\n" name estimate r2)
+    (List.sort compare !rows)

@@ -1,0 +1,230 @@
+(* ftrsn-tool: command-line utilities over RSN netlists.
+
+   Subcommands:
+     stats      — parse a netlist (text or ICL) and print its statistics
+     dot        — emit the dataflow graph as Graphviz DOT (optionally with
+                  the augmenting edge set highlighted)
+     harden     — run the fault-tolerant synthesis and write the result in
+                  the flat text format
+     metric     — evaluate the fault-tolerance metric
+     access     — plan an access to a segment (optionally under a fault)
+                  and print the CSU schedule or SVF vectors
+     diagnose   — read an observed signature (bit lines) and list candidate
+                  faults
+
+   Input format is chosen by extension: .icl is parsed by the ICL
+   front-end, anything else by the flat text format. *)
+
+module Netlist = Ftrsn_rsn.Netlist
+module Text = Ftrsn_rsn.Text
+module Icl = Ftrsn_rsn.Icl
+module Stats = Ftrsn_rsn.Stats
+module Dot = Ftrsn_topo.Dot
+module Fault = Ftrsn_fault.Fault
+module Engine = Ftrsn_access.Engine
+module Retarget = Ftrsn_access.Retarget
+module Vectors = Ftrsn_access.Vectors
+module Diagnose = Ftrsn_access.Diagnose
+module Augment = Ftrsn_core.Augment
+module Pipeline = Ftrsn_core.Pipeline
+module Metric = Ftrsn_core.Metric
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let text = read_file path in
+  let result =
+    if Filename.check_suffix path ".icl" then Icl.parse text
+    else Text.parse text
+  in
+  match result with
+  | Ok net -> net
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+
+let seg_by_name net name =
+  let found = ref None in
+  for i = 0 to Netlist.num_segments net - 1 do
+    if Netlist.segment_name net i = name then found := Some i
+  done;
+  match !found with
+  | Some i -> i
+  | None ->
+      Printf.eprintf "no segment named %s\n" name;
+      exit 1
+
+let cmd_stats path =
+  let net = load path in
+  Format.printf "%a@.%a@." Netlist.pp_summary net Stats.pp (Stats.compute net)
+
+let cmd_dot path augmented =
+  let net = load path in
+  let g, _ = Netlist.dataflow_graph net in
+  let label v =
+    if v = 0 then "scan-in"
+    else if v = 1 then "scan-out"
+    else Netlist.segment_name net (v - 2)
+  in
+  let highlight =
+    if not augmented then []
+    else begin
+      let p = Augment.of_netlist net in
+      (Augment.solve p).Augment.new_edges
+    end
+  in
+  print_string
+    (Dot.to_dot ~name:net.Netlist.net_name ~vertex_label:label
+       ~highlight_edges:highlight g)
+
+let cmd_harden path =
+  let net = load path in
+  let r = Pipeline.synthesize net in
+  print_string (Text.to_string r.Pipeline.ft);
+  Printf.eprintf "added %d muxes, %d control bits; area x%.2f\n"
+    r.Pipeline.syn_stats.Ftrsn_core.Synthesis.added_muxes
+    r.Pipeline.syn_stats.Ftrsn_core.Synthesis.added_ctrl_bits
+    r.Pipeline.area_ratios.Ftrsn_core.Area.r_area
+
+let cmd_metric path sample =
+  let net = load path in
+  Format.printf "%a@." Metric.pp (Metric.evaluate ?sample net)
+
+let parse_fault net spec =
+  (* "<segment or mux name>.<site>/sa<0|1>", matching Fault.to_string. *)
+  match
+    List.find_opt
+      (fun f -> Fault.to_string net f = spec)
+      (Fault.universe net)
+  with
+  | Some f -> f
+  | None ->
+      Printf.eprintf
+        "unknown fault %s (use names as printed by the universe, e.g. \
+         mysib.shadow[0]/sa0)\n"
+        spec;
+      exit 1
+
+let cmd_access path target fault svf =
+  let net = load path in
+  let ctx = Engine.make_ctx net in
+  let target = seg_by_name net target in
+  let fault = Option.map (parse_fault net) fault in
+  match Retarget.plan_write ctx ?fault ~target () with
+  | None ->
+      Printf.eprintf "target not writable under this fault\n";
+      exit 2
+  | Some plan ->
+      if svf then begin
+        match fault with
+        | Some _ ->
+            Printf.eprintf "vector export is for fault-free plans\n";
+            exit 1
+        | None -> (
+            let pattern =
+              List.init (Netlist.seg_len net target) (fun i -> i mod 2 = 0)
+            in
+            match Vectors.of_plan net plan ~pattern with
+            | Ok svf -> print_string svf
+            | Error e ->
+                Printf.eprintf "%s\n" e;
+                exit 1)
+      end
+      else begin
+        List.iter
+          (fun (p, v) ->
+            Printf.printf "assert primary %s := %b\n" p v)
+          plan.Retarget.primaries;
+        List.iteri
+          (fun i step ->
+            Printf.printf "CSU %d: path [%s] writes [%s]\n" i
+              (String.concat "; "
+                 (List.map (Netlist.segment_name net) step.Retarget.path))
+              (String.concat "; "
+                 (List.map
+                    (fun (s, b, v) ->
+                      Printf.sprintf "%s[%d]:=%b"
+                        (Netlist.segment_name net s) b v)
+                    step.Retarget.writes)))
+          plan.Retarget.steps;
+        Printf.printf "CSU %d: access via [%s], %d cycles total\n"
+          (List.length plan.Retarget.steps)
+          (String.concat "; "
+             (List.map (Netlist.segment_name net) plan.Retarget.access_path))
+          plan.Retarget.cycles
+      end
+
+let cmd_diagnose path sig_file =
+  let net = load path in
+  let observed =
+    read_file sig_file |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           List.init (String.length (String.trim line)) (fun i ->
+               (String.trim line).[i] = '1'))
+  in
+  let candidates = Diagnose.diagnose net ~observed in
+  if candidates = [] then print_endline "no single stuck-at fault matches"
+  else
+    List.iter
+      (fun f -> print_endline (Fault.to_string net f))
+      candidates
+
+let () =
+  let open Cmdliner in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  in
+  let stats_cmd =
+    Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
+      Term.(const cmd_stats $ path)
+  in
+  let dot_cmd =
+    let augmented =
+      Arg.(value & flag & info [ "augmented" ] ~doc:"Highlight the augmenting edge set.")
+    in
+    Cmd.v (Cmd.info "dot" ~doc:"Dataflow graph as Graphviz DOT")
+      Term.(const cmd_dot $ path $ augmented)
+  in
+  let harden_cmd =
+    Cmd.v (Cmd.info "harden" ~doc:"Fault-tolerant synthesis; prints the hardened netlist")
+      Term.(const cmd_harden $ path)
+  in
+  let metric_cmd =
+    let sample =
+      Arg.(value & opt (some int) None & info [ "sample" ] ~doc:"Every k-th fault only.")
+    in
+    Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
+      Term.(const cmd_metric $ path $ sample)
+  in
+  let access_cmd =
+    let target =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"SEGMENT")
+    in
+    let fault =
+      Arg.(value & opt (some string) None & info [ "fault" ] ~doc:"Plan around this fault (e.g. 'core.sib.shadow[0]/sa0').")
+    in
+    let svf = Arg.(value & flag & info [ "svf" ] ~doc:"Emit SVF vectors instead of a schedule.") in
+    Cmd.v (Cmd.info "access" ~doc:"Plan a write access to a segment")
+      Term.(const cmd_access $ path $ target $ fault $ svf)
+  in
+  let diagnose_cmd =
+    let sig_file =
+      Arg.(required & pos 1 (some file) None & info [] ~docv:"SIGNATURE")
+    in
+    Cmd.v
+      (Cmd.info "diagnose"
+         ~doc:"List faults matching an observed signature (one 0/1 line per diagnostic CSU)")
+      Term.(const cmd_diagnose $ path $ sig_file)
+  in
+  let group =
+    Cmd.group
+      (Cmd.info "ftrsn-tool" ~doc:"RSN netlist utilities")
+      [ stats_cmd; dot_cmd; harden_cmd; metric_cmd; access_cmd; diagnose_cmd ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,331 @@
+(* Regenerates the paper's Table I and the textual claims of §IV:
+   per ITC'02 SoC, the RSN characteristics, the accessibility of the
+   SIB-based and fault-tolerant RSNs under all single stuck-at faults, the
+   area overhead ratios, and the augmentation solver statistics.
+
+   See EXPERIMENTS.md for the recorded paper-vs-measured comparison. *)
+
+module Itc02 = Ftrsn_itc02.Itc02
+module Netlist = Ftrsn_rsn.Netlist
+module Pipeline = Ftrsn_core.Pipeline
+module Metric = Ftrsn_core.Metric
+module Area = Ftrsn_core.Area
+module Augment = Ftrsn_core.Augment
+module Engine = Ftrsn_access.Engine
+module Retarget = Ftrsn_access.Retarget
+
+type part =
+  | Characteristics
+  | Sib_access
+  | Ft_access
+  | Area_overhead
+  | Ilp_stats
+  | Latency
+  | Ablation
+  | Double_faults
+  | Coverage
+  | Csv
+  | All
+
+let part_of_string = function
+  | "characteristics" -> Ok Characteristics
+  | "sib-access" -> Ok Sib_access
+  | "ft-access" -> Ok Ft_access
+  | "area" -> Ok Area_overhead
+  | "ilp-stats" -> Ok Ilp_stats
+  | "latency" -> Ok Latency
+  | "ablation" -> Ok Ablation
+  | "double-faults" -> Ok Double_faults
+  | "coverage" -> Ok Coverage
+  | "csv" -> Ok Csv
+  | "all" -> Ok All
+  | s -> Error (`Msg ("unknown part: " ^ s))
+
+let soc_list socs =
+  match socs with
+  | [] -> Itc02.all
+  | names ->
+      List.map
+        (fun n ->
+          match Itc02.find n with
+          | Some s -> s
+          | None -> failwith ("unknown SoC: " ^ n))
+        names
+
+let characteristics socs =
+  Printf.printf "%-9s %8s %7s %6s %9s %7s\n" "SoC" "modules" "levels" "mux"
+    "segments" "bits";
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      Printf.printf "%-9s %8d %7d %6d %9d %7d\n" soc.Itc02.soc_name
+        soc.Itc02.soc_modules
+        (Netlist.max_hier net)
+        (Netlist.num_muxes net)
+        (Netlist.num_segments net)
+        (Netlist.total_bits net))
+    socs
+
+let metric_row name m =
+  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults)\n" name
+    m.Metric.worst_bits m.Metric.avg_bits m.Metric.worst_segments
+    m.Metric.avg_segments m.Metric.faults
+
+let access_header () =
+  Printf.printf "%-9s %10s %9s %12s %11s\n" "SoC" "bits-worst" "bits-avg"
+    "segs-worst" "segs-avg"
+
+let sib_access ?sample socs =
+  access_header ();
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      metric_row soc.Itc02.soc_name (Metric.evaluate ?sample net))
+    socs
+
+let ft_access ?sample socs =
+  access_header ();
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      let r = Pipeline.synthesize net in
+      metric_row soc.Itc02.soc_name (Metric.evaluate ?sample r.Pipeline.ft))
+    socs
+
+let area socs =
+  Printf.printf "%-9s %6s %6s %6s %6s\n" "SoC" "mux" "bits" "nets" "area";
+  let weighted = ref 0.0 and weight = ref 0.0 in
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      let r = Pipeline.synthesize net in
+      let rt = r.Pipeline.area_ratios in
+      weighted :=
+        !weighted +. (float_of_int soc.Itc02.soc_bits *. (rt.Area.r_area -. 1.));
+      weight := !weight +. float_of_int soc.Itc02.soc_bits;
+      Printf.printf "%-9s %6.2f %6.2f %6.2f %6.2f\n" soc.Itc02.soc_name
+        rt.Area.r_mux rt.Area.r_bits rt.Area.r_nets rt.Area.r_area)
+    socs;
+  Printf.printf
+    "weighted average area increase (by scan bits): %.1f%% (paper: 8.2%%)\n"
+    (100.0 *. !weighted /. !weight)
+
+let ilp_stats socs =
+  Printf.printf "%-9s %7s %9s %7s %7s %7s %9s\n" "SoC" "solver" "new-edges"
+    "cost" "nodes" "cuts" "time(s)";
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      let p = Augment.of_netlist net in
+      let t0 = Unix.gettimeofday () in
+      let sol = Augment.solve p in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match Augment.verify p sol.Augment.new_edges with
+      | Ok () -> ()
+      | Error e -> failwith ("augmentation verification failed: " ^ e));
+      Printf.printf "%-9s %7s %9d %7d %7d %7d %9.2f\n" soc.Itc02.soc_name
+        (match sol.Augment.solver with `Ilp -> "ilp" | `Flow -> "flow")
+        (List.length sol.Augment.new_edges)
+        sol.Augment.cost sol.Augment.ilp_nodes sol.Augment.ilp_cuts dt)
+    socs
+
+let latency socs =
+  (* §IV intro: the number of cycles to access a segment on an active path
+     is not increased by the synthesis — fault-free retargeting uses the
+     same paths (same segments, same CSU count) in both RSNs. *)
+  Printf.printf "%-9s %9s %12s %12s %9s\n" "SoC" "segments" "same-path"
+    "same-csus" "checked";
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      let r = Pipeline.synthesize net in
+      let ctx_o = Engine.make_ctx net in
+      let ctx_f = Engine.make_ctx r.Pipeline.ft in
+      let same_path = ref 0 and same_csus = ref 0 and checked = ref 0 in
+      let step = max 1 (Netlist.num_segments net / 40) in
+      let s = ref 0 in
+      while !s < Netlist.num_segments net do
+        (match
+           ( Retarget.plan_write ctx_o ~target:!s (),
+             Retarget.plan_write ctx_f ~target:!s () )
+         with
+        | Some po, Some pf ->
+            incr checked;
+            if po.Retarget.access_path = pf.Retarget.access_path then
+              incr same_path;
+            if List.length po.Retarget.steps = List.length pf.Retarget.steps
+            then incr same_csus
+        | _ -> failwith "fault-free plan missing");
+        s := !s + step
+      done;
+      Printf.printf "%-9s %9d %12d %12d %9d\n" soc.Itc02.soc_name
+        (Netlist.num_segments net)
+        !same_path !same_csus !checked)
+    socs
+
+module Synthesis = Ftrsn_core.Synthesis
+
+(* Contribution of each hardening mechanism (DESIGN.md §6): re-synthesize
+   with one mechanism disabled and compare the metric and area. *)
+let ablation ?sample socs =
+  let variants =
+    let d = Synthesis.default_options in
+    [
+      ("full", d);
+      ("no-tmr", { d with Synthesis.opt_tmr = false });
+      ("no-dual-ports", { d with Synthesis.opt_dual_ports = false });
+      ("no-select-hardening", { d with Synthesis.opt_select_hardening = false });
+      ("no-rescue-lines", { d with Synthesis.opt_rescue_lines = false });
+      ("no-dual-host", { d with Synthesis.opt_dual_host = false });
+      ( "graph-only",
+        {
+          Synthesis.opt_tmr = false;
+          opt_dual_ports = false;
+          opt_select_hardening = false;
+          opt_rescue_lines = false;
+          opt_dual_host = false;
+        } );
+    ]
+  in
+  List.iter
+    (fun soc ->
+      Printf.printf "%s:
+" soc.Itc02.soc_name;
+      Printf.printf "  %-22s %10s %9s %7s
+" "variant" "segs-worst" "segs-avg"
+        "area";
+      let net = Itc02.rsn soc in
+      List.iter
+        (fun (name, options) ->
+          let r = Pipeline.synthesize ~options net in
+          let m = Metric.evaluate ?sample r.Pipeline.ft in
+          Printf.printf "  %-22s %10.3f %9.4f %7.2f
+%!" name
+            m.Metric.worst_segments m.Metric.avg_segments
+            r.Pipeline.area_ratios.Area.r_area)
+        variants)
+    socs
+
+(* Double simultaneous faults: how gracefully does the single-fault
+   design degrade?  (Extension beyond the paper's scope.) *)
+let double_faults ?sample socs =
+  Printf.printf "%-9s %9s %12s %11s %12s %11s\n" "SoC" "network"
+    "segs-worst" "segs-avg" "bits-worst" "bits-avg";
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      let pair_sample =
+        (* keep roughly 10k pairs *)
+        let n = List.length (Ftrsn_fault.Fault.universe net) in
+        Option.value sample ~default:(max 37 (n * n / 2 / 10_000))
+      in
+      let mo = Metric.evaluate_pairs ~sample:pair_sample net in
+      Printf.printf "%-9s %9s %12.3f %11.4f %12.3f %11.4f\n%!"
+        soc.Itc02.soc_name "original" mo.Metric.worst_segments
+        mo.Metric.avg_segments mo.Metric.worst_bits mo.Metric.avg_bits;
+      let r = Pipeline.synthesize net in
+      let mf = Metric.evaluate_pairs ~sample:pair_sample r.Pipeline.ft in
+      Printf.printf "%-9s %9s %12.3f %11.4f %12.3f %11.4f\n%!"
+        soc.Itc02.soc_name "ft" mf.Metric.worst_segments
+        mf.Metric.avg_segments mf.Metric.worst_bits mf.Metric.avg_bits)
+    socs
+
+module Report = Ftrsn_core.Report
+
+let csv ?sample socs =
+  print_endline Report.csv_header;
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      print_endline
+        (Report.to_csv (Report.row ?sample ~name:soc.Itc02.soc_name net));
+      flush stdout)
+    socs
+
+(* Fault coverage / diagnostic resolution of the built-in stimulus. *)
+let coverage socs =
+  Printf.printf "%-9s %9s %10s %9s %9s\n" "SoC" "network" "coverage"
+    "classes" "faults";
+  List.iter
+    (fun soc ->
+      let net = Itc02.rsn soc in
+      let n = List.length (Ftrsn_fault.Fault.universe net) in
+      Printf.printf "%-9s %9s %10.3f %9d %9d\n%!" soc.Itc02.soc_name
+        "original"
+        (Ftrsn_access.Diagnose.coverage net)
+        (Ftrsn_access.Diagnose.distinguishable_classes net)
+        n)
+    socs
+
+let run part socs sample =
+  let socs = soc_list socs in
+  let banner title =
+    Printf.printf "\n== %s ==\n" title
+  in
+  (match part with
+  | Characteristics | All ->
+      banner "Table I: RSN characteristics";
+      characteristics socs
+  | _ -> ());
+  (match part with
+  | Sib_access | All ->
+      banner "Table I: accessibility in SIB-based RSNs";
+      sib_access ?sample socs
+  | _ -> ());
+  (match part with
+  | Ft_access | All ->
+      banner "Table I: accessibility in fault-tolerant RSNs";
+      ft_access ?sample socs
+  | _ -> ());
+  (match part with
+  | Area_overhead | All ->
+      banner "Table I: RSN area overhead (fault-tolerant / original)";
+      area socs
+  | _ -> ());
+  (match part with
+  | Ilp_stats | All ->
+      banner "Augmentation solver statistics (paper <8 min for p93791)";
+      ilp_stats socs
+  | _ -> ());
+  (match part with
+  | Latency | All ->
+      banner "Access latency preservation (paper SIV intro)";
+      latency socs
+  | _ -> ());
+  (match part with
+  | Ablation ->
+      banner "Hardening ablation (DESIGN.md par. 6)";
+      ablation ?sample socs
+  | _ -> ());
+  (match part with
+  | Double_faults ->
+      banner "Double simultaneous faults (extension beyond the paper)";
+      double_faults ?sample socs
+  | _ -> ());
+  (match part with
+  | Coverage ->
+      banner "Diagnostic stimulus fault coverage (extension)";
+      coverage socs
+  | _ -> ());
+  match part with Csv -> csv ?sample socs | _ -> ()
+
+let () =
+  let open Cmdliner in
+  let part_conv =
+    Arg.conv ~docv:"PART" (part_of_string, fun fmt _ -> Fmt.string fmt "part")
+  in
+  let part =
+    Arg.(value & opt part_conv All & info [ "part" ] ~doc:"Which experiment part to run: characteristics, sib-access, ft-access, area, ilp-stats, latency, ablation, double-faults, coverage, csv or all.")
+  in
+  let socs =
+    Arg.(value & opt_all string [] & info [ "soc" ] ~doc:"Restrict to a SoC (repeatable), e.g. --soc u226 --soc p93791.")
+  in
+  let sample =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~doc:"Evaluate every k-th fault only (primary port faults always kept).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "reproduce" ~doc:"Regenerate Table I of 'Synthesis of Fault-Tolerant Reconfigurable Scan Networks' (DATE'20)")
+      Term.(const run $ part $ socs $ sample)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,60 @@
+(* Which hardening mechanism buys what?  (DESIGN.md §6 ablations)
+
+   Re-synthesizes an ITC'02 SoC with each mechanism of the final synthesis
+   (§III-E) disabled in turn and reports the fault-tolerance metric and
+   area ratio.  Asserting the headline: dual scan ports and the rescue
+   lines are what eliminate total-loss faults; TMR narrows the worst case
+   to a single segment; graph augmentation alone already lifts the average.
+
+   Run with: dune exec examples/hardening_ablation.exe [-- SoC] *)
+
+module Itc02 = Ftrsn_itc02.Itc02
+module Synthesis = Ftrsn_core.Synthesis
+module Pipeline = Ftrsn_core.Pipeline
+module Metric = Ftrsn_core.Metric
+module Area = Ftrsn_core.Area
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "q12710" in
+  let soc =
+    match Itc02.find name with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "unknown SoC %s\n" name;
+        exit 1
+  in
+  let net = Itc02.rsn soc in
+  let d = Synthesis.default_options in
+  let variants =
+    [
+      ("full synthesis", d);
+      ("without TMR addresses", { d with Synthesis.opt_tmr = false });
+      ("without dual scan ports", { d with Synthesis.opt_dual_ports = false });
+      ( "without select hardening",
+        { d with Synthesis.opt_select_hardening = false } );
+      ( "without rescue lines",
+        { d with Synthesis.opt_rescue_lines = false } );
+      ("without dual hosting", { d with Synthesis.opt_dual_host = false });
+      ( "graph augmentation only",
+        {
+          Synthesis.opt_tmr = false;
+          opt_dual_ports = false;
+          opt_select_hardening = false;
+          opt_rescue_lines = false;
+          opt_dual_host = false;
+        } );
+    ]
+  in
+  let baseline = Metric.evaluate net in
+  Printf.printf "%s (%d segments)\n" soc.Itc02.soc_name soc.Itc02.soc_segments;
+  Printf.printf "%-26s %10s %9s %6s\n" "variant" "segs-worst" "segs-avg" "area";
+  Printf.printf "%-26s %10.3f %9.4f %6s\n" "original SIB RSN"
+    baseline.Metric.worst_segments baseline.Metric.avg_segments "1.00";
+  List.iter
+    (fun (label, options) ->
+      let r = Pipeline.synthesize ~options net in
+      let m = Metric.evaluate r.Pipeline.ft in
+      Printf.printf "%-26s %10.3f %9.4f %6.2f\n%!" label
+        m.Metric.worst_segments m.Metric.avg_segments
+        r.Pipeline.area_ratios.Area.r_area)
+    variants

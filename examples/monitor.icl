@@ -1,0 +1,26 @@
+// Example ICL description: a small health-monitor network.
+// Try:  dune exec bin/ftrsn_tool.exe -- stats examples/monitor.icl
+//       dune exec bin/ftrsn_tool.exe -- harden examples/monitor.icl
+Module SIB {
+  ScanInPort si;
+  ScanInPort host;
+  ScanOutPort so { Source m; }
+  ScanRegister r { ScanInSource si; ResetValue 1'b0; Update; }
+  ScanMux m SelectedBy r { 1'b0 : r; 1'b1 : host; }
+}
+Module sensor_bank {
+  ScanInPort si;
+  ScanOutPort so { Source s1.so; }
+  ScanRegister temp[11:0]  { ScanInSource s0.r; }
+  Instance s0 Of SIB { InputPort si = si;    InputPort host = temp; }
+  ScanRegister volt[9:0]   { ScanInSource s1.r; }
+  Instance s1 Of SIB { InputPort si = s0.so; InputPort host = volt; }
+}
+Module monitor {
+  ScanInPort si;
+  ScanOutPort so { Source g1.so; }
+  Instance bank Of sensor_bank { InputPort si = g0.r; }
+  Instance g0 Of SIB { InputPort si = si;    InputPort host = bank.so; }
+  ScanRegister status[7:0] { ScanInSource g1.r; }
+  Instance g1 Of SIB { InputPort si = g0.so; InputPort host = status; }
+}

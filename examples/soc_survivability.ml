@@ -1,0 +1,81 @@
+(* Survivability survey of an ITC'02 SoC: which single stuck-at faults
+   hurt the most, before and after the fault-tolerant synthesis?
+
+   For the chosen SoC (default u226) the example ranks the worst faults of
+   the original SIB-based RSN, shows how many instruments each one
+   disconnects, and then demonstrates that the fault-tolerant RSN confines
+   every single fault to at most one segment.
+
+   Run with: dune exec examples/soc_survivability.exe [-- SoC] *)
+
+module Itc02 = Ftrsn_itc02.Itc02
+module Netlist = Ftrsn_rsn.Netlist
+module Fault = Ftrsn_fault.Fault
+module Engine = Ftrsn_access.Engine
+module Pipeline = Ftrsn_core.Pipeline
+module Metric = Ftrsn_core.Metric
+
+let rank_faults net limit =
+  let ctx = Engine.make_ctx net in
+  let total = Netlist.num_segments net in
+  let scored =
+    List.map
+      (fun f ->
+        let v = Engine.analyze ctx (Some f) in
+        (f, total - Engine.accessible_count v))
+      (Fault.universe net)
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) scored in
+  (List.filteri (fun i _ -> i < limit) sorted, scored)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "u226" in
+  let soc =
+    match Itc02.find name with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "unknown SoC %s\n" name;
+        exit 1
+  in
+  let net = Itc02.rsn soc in
+  Format.printf "%a@.@." Netlist.pp_summary net;
+
+  Printf.printf "worst single stuck-at faults in the original SIB-based RSN:\n";
+  let worst, scored = rank_faults net 8 in
+  List.iter
+    (fun (f, lost) ->
+      Printf.printf "  %-28s disconnects %4d / %d segments\n"
+        (Fault.to_string net f) lost (Netlist.num_segments net))
+    worst;
+  let catastrophic =
+    List.length (List.filter (fun (_, l) -> l = Netlist.num_segments net) scored)
+  in
+  Printf.printf
+    "  (%d of %d faults disconnect the complete network)\n\n"
+    catastrophic (List.length scored);
+
+  Printf.printf "synthesizing the fault-tolerant RSN...\n%!";
+  let r = Pipeline.synthesize net in
+  let ft = r.Pipeline.ft in
+  let worst_ft, scored_ft = rank_faults ft 5 in
+  Printf.printf "worst single stuck-at faults in the fault-tolerant RSN:\n";
+  List.iter
+    (fun (f, lost) ->
+      Printf.printf "  %-28s disconnects %4d / %d segments\n"
+        (Fault.to_string ft f) lost (Netlist.num_segments ft))
+    worst_ft;
+  let multi =
+    List.length (List.filter (fun (_, l) -> l > 1) scored_ft)
+  in
+  Printf.printf "  (%d faults disconnect more than one segment)\n\n" multi;
+
+  let mo = Metric.evaluate net and mf = Metric.evaluate ft in
+  Printf.printf "metric summary (worst / average accessible segments):\n";
+  Printf.printf "  original:       %.3f / %.4f\n" mo.Metric.worst_segments
+    mo.Metric.avg_segments;
+  Printf.printf "  fault-tolerant: %.3f / %.4f\n" mf.Metric.worst_segments
+    mf.Metric.avg_segments;
+  Printf.printf "  area ratio:     %.2fx (mux %.2fx, bits %.2fx)\n"
+    r.Pipeline.area_ratios.Ftrsn_core.Area.r_area
+    r.Pipeline.area_ratios.Ftrsn_core.Area.r_mux
+    r.Pipeline.area_ratios.Ftrsn_core.Area.r_bits

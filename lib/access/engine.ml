@@ -1,0 +1,618 @@
+module Netlist = Ftrsn_rsn.Netlist
+module Fault = Ftrsn_fault.Fault
+
+(* Dataflow vertex ids follow Netlist.dataflow_graph: 0 = scan-in,
+   1 = scan-out, 2 + i = segment i. *)
+let v_pi = 0
+let v_po = 1
+let v_of_seg i = 2 + i
+let seg_of_v v = v - 2
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_route : (int * int) list;  (* (mux, input index) pairs, consumer first *)
+  (* Compiled steering requirements (performance: the metric evaluates the
+     whole fault universe, so the per-edge checks must be flat arrays). *)
+  e_dead : bool;  (* a constant address bit contradicts the requirement *)
+  e_shadow_reqs : ((int * int) * int * int * bool * bool) array;
+      (* ((mux, addr bit), seg, bit, required, reset_matches) for
+         shadow-driven addresses *)
+  e_addr_ports : (int * int * bool) array;
+      (* (mux, addr bit, required) for lock checks, incl. primary/const *)
+  e_muxes : (int * int) array;  (* (mux, input) for data-corruption checks *)
+  e_detour : bool;
+      (* the route steers an augmentation mux away from its default input:
+         a redundant detour, only taken when the default routes fail *)
+}
+
+type ctx = {
+  net : Netlist.t;
+  nsegs : int;
+  nv : int;
+  edges : edge array;
+  out_edges : int list array;  (* edge indices by source vertex *)
+  in_edges : int list array;   (* edge indices by destination vertex *)
+  mux_consumer : int array;    (* dataflow vertex fed by each mux *)
+  pi_successor : bool array;   (* vertex has a direct edge from scan-in *)
+}
+
+let netlist ctx = ctx.net
+
+let compile_edge (net : Netlist.t) src dst route =
+  let dead = ref false in
+  let detour = ref false in
+  let shadow_reqs = ref [] in
+  let addr_ports = ref [] in
+  List.iter
+    (fun (m, k) ->
+      let mx = net.Netlist.muxes.(m) in
+      if k >= mx.Netlist.mux_rescue_from then detour := true;
+      Array.iteri
+        (fun b ctrl ->
+          let required = k land (1 lsl b) <> 0 in
+          addr_ports := (m, b, required) :: !addr_ports;
+          match ctrl with
+          | Netlist.Ctrl_const c -> if c <> required then dead := true
+          | Netlist.Ctrl_primary _ -> ()
+          | Netlist.Ctrl_shadow { cseg; cbit } ->
+              let reset_matches =
+                net.Netlist.segs.(cseg).Netlist.seg_reset.(cbit) = required
+              in
+              shadow_reqs :=
+                ((m, b), cseg, cbit, required, reset_matches) :: !shadow_reqs)
+        mx.mux_addr)
+    route;
+  {
+    e_src = src;
+    e_dst = dst;
+    e_route = route;
+    e_dead = !dead;
+    e_shadow_reqs = Array.of_list !shadow_reqs;
+    e_addr_ports = Array.of_list !addr_ports;
+    (* Canonical input indices: duplicated data ports are one fault site. *)
+    e_muxes =
+      Array.of_list
+        (List.map (fun (m, k) -> (m, Netlist.mux_input_class net m k)) route);
+    e_detour = !detour;
+  }
+
+let make_ctx (net : Netlist.t) =
+  let nsegs = Netlist.num_segments net in
+  let nv = 2 + nsegs in
+  let routes = Netlist.edge_routes net in
+  let edges =
+    Hashtbl.fold
+      (fun (src, dst) rs acc ->
+        List.rev_append (List.map (compile_edge net src dst) rs) acc)
+      routes []
+    |> Array.of_list
+  in
+  let out_edges = Array.make nv [] in
+  let in_edges = Array.make nv [] in
+  let mux_consumer = Array.make (Netlist.num_muxes net) (-1) in
+  let pi_successor = Array.make nv false in
+  Array.iteri
+    (fun i e ->
+      out_edges.(e.e_src) <- i :: out_edges.(e.e_src);
+      in_edges.(e.e_dst) <- i :: in_edges.(e.e_dst);
+      if e.e_src = 0 then pi_successor.(e.e_dst) <- true;
+      Array.iter (fun (m, _) -> mux_consumer.(m) <- e.e_dst) e.e_muxes)
+    edges;
+  { net; nsegs; nv; edges; out_edges; in_edges; mux_consumer; pi_successor }
+
+type verdict = {
+  writable : bool array;
+  readable : bool array;
+  accessible : bool array;
+}
+
+(* Static per-fault effects, independent of the writability fixpoint. *)
+type effects = {
+  hard_block : bool array;      (* segment cannot shift at all *)
+  corrupt_vertex : bool array;  (* data through the segment is corrupted *)
+  corrupt_in : bool array;      (* data entering the segment is corrupted *)
+  corrupt_out : bool array;     (* data leaving the segment is corrupted *)
+  kill_write : bool array;      (* local write capability lost *)
+  kill_read : bool array;       (* local read capability lost *)
+  mux_out_bad : bool array;     (* per mux: output corrupts data *)
+  mutable mux_in_bad : (int * int) list;  (* (mux, input) data faults *)
+  mutable locked_addr : (int * int * bool) list; (* mux addr bits forced *)
+  mutable stuck_shadow : (int * int * bool) list; (* shadow bits pinned *)
+  mutable pi_dead : bool;
+  mutable po_dead : bool;
+}
+
+let no_effects ctx =
+  {
+    hard_block = Array.make ctx.nsegs false;
+    corrupt_vertex = Array.make ctx.nsegs false;
+    corrupt_in = Array.make ctx.nsegs false;
+    corrupt_out = Array.make ctx.nsegs false;
+    kill_write = Array.make ctx.nsegs false;
+    kill_read = Array.make ctx.nsegs false;
+    mux_out_bad = Array.make (Netlist.num_muxes ctx.net) false;
+    mux_in_bad = [];
+    locked_addr = [];
+    stuck_shadow = [];
+    pi_dead = false;
+    po_dead = false;
+  }
+
+(* Muxes whose address is driven by the given shadow bit, with the bit
+   position within each mux's address. *)
+let driven_muxes (net : Netlist.t) seg bit =
+  let result = ref [] in
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      Array.iteri
+        (fun b ctrl ->
+          match ctrl with
+          | Netlist.Ctrl_shadow { cseg; cbit } when cseg = seg && cbit = bit ->
+              result := (m, b) :: !result
+          | _ -> ())
+        mx.mux_addr)
+    net.muxes;
+  !result
+
+(* With duplicated scan ports (§III-E-4), the secondary scan-in is wired to
+   the input of every successor of the primary scan-in, and every
+   predecessor of the primary scan-out is wired to the secondary scan-out.
+   A fault in a mux feeding such a vertex (or feeding the scan-out) is
+   therefore bypassed by the port switch: data can enter the vertex from
+   the secondary scan-in, or be observed at the secondary scan-out,
+   without traversing the faulty mux. *)
+let port_mux_masked ctx m =
+  ctx.net.Netlist.dual_ports
+  &&
+  let c = ctx.mux_consumer.(m) in
+  c = v_po || (c >= 0 && ctx.pi_successor.(c))
+
+let port_masked = port_mux_masked
+
+(* Accumulates one fault's contribution into [e]; composable, so the same
+   machinery analyzes multi-fault scenarios (beyond the paper's single
+   stuck-at scope). *)
+let add_fault_effects ctx e (f : Fault.t) =
+  match f with
+  | f when Fault.is_masked ctx.net f -> e
+  | { site; stuck } -> (
+      let net = ctx.net in
+      match site with
+      | Fault.Seg_scan_in i ->
+          e.corrupt_in.(i) <- true;
+          (* The corrupted stream also fills the segment itself. *)
+          e.kill_write.(i) <- true;
+          e
+      | Fault.Seg_scan_out i ->
+          e.corrupt_out.(i) <- true;
+          e.kill_read.(i) <- true;
+          e
+      | Fault.Seg_shift_reg i ->
+          e.corrupt_vertex.(i) <- true;
+          e.kill_write.(i) <- true;
+          e.kill_read.(i) <- true;
+          e
+      | Fault.Seg_shadow_reg (i, b) ->
+          (* The pinned bit breaks the segment's own write interface and
+             freezes every address line it drives. *)
+          e.kill_write.(i) <- true;
+          let driven = driven_muxes net i b in
+          let tmr_protected =
+            driven <> []
+            && List.for_all (fun (m, _) -> net.muxes.(m).Netlist.mux_tmr) driven
+          in
+          if tmr_protected then begin
+            (* Register replica outvoted: only the segment's write interface
+               of that bit is affected. *)
+            e
+          end
+          else begin
+            e.stuck_shadow <- (i, b, stuck) :: e.stuck_shadow;
+            e
+          end
+      | Fault.Seg_select i ->
+          (* Stuck-at-0 prevents shifting; stuck-at-1 is recoverable by
+             keeping the segment on every active path. *)
+          if not stuck then e.hard_block.(i) <- true;
+          e
+      | Fault.Seg_capture_en i ->
+          (* Never-capture kills read; always-capture is the normal
+             behaviour of a selected segment. *)
+          if not stuck then e.kill_read.(i) <- true;
+          e
+      | Fault.Seg_update_en i ->
+          if not stuck then begin
+            e.kill_write.(i) <- true;
+            (* Shadow frozen at reset: address lines driven by this segment
+               can never change.  Modelled by treating the segment as an
+               unwritable steering driver (the fixpoint already consults
+               writability), which kill_write achieves. *)
+            ()
+          end;
+          e
+      | Fault.Mux_addr (m, b) ->
+          if not (port_mux_masked ctx m) then
+            e.locked_addr <- (m, b, stuck) :: e.locked_addr;
+          e
+      | Fault.Mux_addr_replica _ -> e
+      | Fault.Mux_data_in (m, k) ->
+          if not (port_mux_masked ctx m) then
+            e.mux_in_bad <- (m, Netlist.mux_input_class net m k) :: e.mux_in_bad;
+          e
+      | Fault.Mux_out m ->
+          if not (port_mux_masked ctx m) then e.mux_out_bad.(m) <- true;
+          e
+      | Fault.Primary_in ->
+          if not net.Netlist.dual_ports then e.pi_dead <- true;
+          e
+      | Fault.Primary_out ->
+          if not net.Netlist.dual_ports then e.po_dead <- true;
+          e)
+
+let effects_of_faults ctx faults =
+  List.fold_left (add_fault_effects ctx) (no_effects ctx) faults
+
+let effects_of_fault ctx (f : Fault.t option) =
+  effects_of_faults ctx (Option.to_list f)
+
+(* Is an edge's data corrupted by the fault (mux data faults and the
+   endpoint port faults)? *)
+let edge_corrupt eff edge =
+  (let bad = ref false in
+   Array.iter
+     (fun (m, k) ->
+       if eff.mux_out_bad.(m) then bad := true
+       else if List.mem (m, k) eff.mux_in_bad then bad := true)
+     edge.e_muxes;
+   !bad)
+  || (edge.e_src >= 2 && eff.corrupt_out.(seg_of_v edge.e_src))
+  || (edge.e_dst >= 2 && eff.corrupt_in.(seg_of_v edge.e_dst))
+
+(* Can the muxes along an edge's route be steered to sensitize it, given
+   the current set of writable segments?  A driver not (yet) writable must
+   already hold the required value in its reset state (or be pinned to it
+   by the fault). *)
+let edge_steerable _ctx eff writable edge =
+  (not edge.e_dead)
+  && (eff.locked_addr = []
+     ||
+     let ok = ref true in
+     Array.iter
+       (fun (m', b', required) ->
+         List.iter
+           (fun (m, b, v) -> if m = m' && b = b' && v <> required then ok := false)
+           eff.locked_addr)
+       edge.e_addr_ports;
+     !ok)
+  &&
+  let ok = ref true in
+  Array.iter
+    (fun (port, cseg, cbit, required, reset_matches) ->
+      (* A port locked to the required value overrides its driver. *)
+      let locked_right =
+        List.exists (fun (m, b, v) -> (m, b) = port && v = required)
+          eff.locked_addr
+      in
+      if not locked_right then
+        match
+          List.find_opt (fun (s', b', _) -> s' = cseg && b' = cbit)
+            eff.stuck_shadow
+        with
+        | Some (_, _, v) -> if v <> required then ok := false
+        | None -> if (not writable.(cseg)) && not reset_matches then ok := false)
+    edge.e_shadow_reqs;
+  !ok
+
+(* Vertex can shift data through (ports always; segments unless hard
+   blocked). *)
+let shiftable eff v = v < 2 || not eff.hard_block.(seg_of_v v)
+
+(* Vertex passes data through uncorrupted. *)
+let clean_through eff v = v < 2 || not (eff.corrupt_vertex.(seg_of_v v))
+
+(* Forward reachability from scan-in over steerable edges.  [clean] selects
+   whether data integrity is required along the way. *)
+let reach_from_pi ctx eff writable ~clean =
+  let ok = Array.make ctx.nv false in
+  if not (clean && eff.pi_dead) then begin
+    ok.(v_pi) <- true;
+    let q = Queue.create () in
+    Queue.add v_pi q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun ei ->
+          let e = ctx.edges.(ei) in
+          let v = e.e_dst in
+          if
+            (not ok.(v))
+            && v <> v_po
+            (* Data integrity (and the ability to shift) matter only in
+               clean mode: the non-clean prefix/suffix of an access just
+               has to exist topologically — segments behind the target
+               may hold frozen or corrupted data without affecting it.
+               Membership only needs clean data INTO v; v's own through-
+               corruption is checked when extending beyond v. *)
+            && ((not clean) || shiftable eff v)
+            && (not clean || not (edge_corrupt eff e))
+            && edge_steerable ctx eff writable e
+          then begin
+            (* In clean mode the source must also pass data through
+               uncorrupted (except the scan-in port itself). *)
+            if (not clean) || u = v_pi || clean_through eff u then begin
+              ok.(v) <- true;
+              Queue.add v q
+            end
+          end)
+        ctx.out_edges.(u)
+    done
+  end;
+  ok
+
+(* Backward reachability to scan-out over steerable edges. *)
+let coreach_to_po ctx eff writable ~clean =
+  let ok = Array.make ctx.nv false in
+  if not (clean && eff.po_dead) then begin
+    ok.(v_po) <- true;
+    let q = Queue.create () in
+    Queue.add v_po q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun ei ->
+          let e = ctx.edges.(ei) in
+          let u = e.e_src in
+          if
+            (not ok.(u))
+            && u <> v_pi
+            && ((not clean) || shiftable eff u)
+            && (not clean
+               || ((not (edge_corrupt eff e)) && clean_through eff u))
+            && edge_steerable ctx eff writable e
+          then begin
+            ok.(u) <- true;
+            Queue.add u q
+          end)
+        ctx.in_edges.(v)
+    done
+  end;
+  ok
+
+(* Direct scan-in -> scan-out edges don't matter for segment access, and
+   [reach_from_pi] never enters v_po; symmetric for the co-reach. *)
+
+let fixpoint_writable ctx eff =
+  let writable = Array.make ctx.nsegs false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rw = reach_from_pi ctx eff writable ~clean:true in
+    let s_any = coreach_to_po ctx eff writable ~clean:false in
+    for i = 0 to ctx.nsegs - 1 do
+      if
+        (not writable.(i))
+        && rw.(v_of_seg i)
+        && s_any.(v_of_seg i)
+        && (not eff.kill_write.(i))
+        && (not eff.pi_dead)
+      then begin
+        writable.(i) <- true;
+        changed := true
+      end
+    done
+  done;
+  writable
+
+let analyze_multi ctx faults =
+  let eff = effects_of_faults ctx faults in
+  let writable = fixpoint_writable ctx eff in
+  let r_any = reach_from_pi ctx eff writable ~clean:false in
+  let s_clean = coreach_to_po ctx eff writable ~clean:true in
+  let readable = Array.make ctx.nsegs false in
+  for i = 0 to ctx.nsegs - 1 do
+    readable.(i) <-
+      r_any.(v_of_seg i)
+      && s_clean.(v_of_seg i)
+      && (not eff.kill_read.(i))
+      && (not eff.corrupt_vertex.(i))
+      && (not eff.po_dead)
+  done;
+  let accessible = Array.init ctx.nsegs (fun i -> writable.(i) && readable.(i)) in
+  { writable; readable; accessible }
+
+let analyze ctx fault = analyze_multi ctx (Option.to_list fault)
+
+let accessible_count v =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v.accessible
+
+let accessible_bits ctx v =
+  let total = ref 0 in
+  Array.iteri
+    (fun i b -> if b then total := !total + Netlist.seg_len ctx.net i)
+    v.accessible;
+  !total
+
+(* Dijkstra over dataflow vertices minimizing the scan-bit length of the
+   path (the per-CSU shift-cycle count).  [edge_ok] filters usable edges.
+   Returns the predecessor array, or distances of unreached vertices as
+   max_int. *)
+let shortest_paths ctx ~src ~edge_ok ~vertex_ok =
+  let n = ctx.nv in
+  (* Detour edges carry a dominating penalty so that witnesses use the
+     original routes whenever possible — this keeps fault-free retargeting
+     plans (and access latency) identical to the original RSN's, as §IV of
+     the paper requires. *)
+  let detour_penalty = (4 * Netlist.total_bits ctx.net) + 16 in
+  let weight v =
+    if v < 2 then 0 else Netlist.seg_len ctx.net (seg_of_v v)
+  in
+  let dist = Array.make n max_int in
+  let prev = Array.make n (-1) in
+  (* prev_edge.(v) is the edge index used to reach v *)
+  let prev_edge = Array.make n (-1) in
+  let done_ = Array.make n false in
+  dist.(src) <- 0;
+  let continue = ref true in
+  while !continue do
+    (* O(V^2) selection: dataflow graphs here have a few thousand
+       vertices at most. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not done_.(v)) && dist.(v) < max_int
+         && (!best < 0 || dist.(v) < dist.(!best))
+      then best := v
+    done;
+    if !best < 0 then continue := false
+    else begin
+      let u = !best in
+      done_.(u) <- true;
+      List.iter
+        (fun ei ->
+          let e = ctx.edges.(ei) in
+          let v = e.e_dst in
+          if (not done_.(v)) && vertex_ok v && edge_ok e then begin
+            let d =
+              dist.(u) + weight v
+              + if e.e_detour then detour_penalty else 0
+            in
+            if d < dist.(v) then begin
+              dist.(v) <- d;
+              prev.(v) <- u;
+              prev_edge.(v) <- ei
+            end
+          end)
+        ctx.out_edges.(u)
+    end
+  done;
+  (dist, prev, prev_edge)
+
+type witness = {
+  w_vertices : int list;             (** scan-in .. scan-out *)
+  w_routes : (int * int) list list;  (** steering route per edge, in order *)
+}
+
+let access_witness ctx fault s =
+  let eff = effects_of_fault ctx fault in
+  let writable = fixpoint_writable ctx eff in
+  let target = v_of_seg s in
+  let feasible =
+    let rw = reach_from_pi ctx eff writable ~clean:true in
+    let s_any = coreach_to_po ctx eff writable ~clean:false in
+    rw.(target) && s_any.(target) && not eff.kill_write.(s)
+  in
+  if not feasible then None
+  else begin
+    (* The witness must be realizable BEFORE the target has ever been
+       written, so its routes may not be steered by bits hosted in the
+       target itself.  The fixpoint guarantees such a path exists: the
+       target entered the writable set using only previously-writable
+       hosts. *)
+    let writable = Array.copy writable in
+    writable.(s) <- false;
+    let rw = reach_from_pi ctx eff writable ~clean:true in
+    let s_any = coreach_to_po ctx eff writable ~clean:false in
+    (* Minimum-bit prefix over clean steerable edges, then minimum-bit
+       suffix over shiftable steerable edges. *)
+    let prefix_edge_ok e =
+      (not (edge_corrupt eff e))
+      && edge_steerable ctx eff writable e
+      && (e.e_src = v_pi || (rw.(e.e_src) && clean_through eff e.e_src))
+    in
+    let prefix_vertex_ok v = v = target || (v <> v_po && rw.(v)) in
+    let _, pre_prev, pre_edge =
+      shortest_paths ctx ~src:v_pi ~edge_ok:prefix_edge_ok
+        ~vertex_ok:prefix_vertex_ok
+    in
+    let suffix_edge_ok e =
+      edge_steerable ctx eff writable e
+      && (e.e_src = target || s_any.(e.e_src))
+    in
+    let suffix_vertex_ok v = v = v_po || s_any.(v) in
+    let _, suf_prev, suf_edge =
+      shortest_paths ctx ~src:target ~edge_ok:suffix_edge_ok
+        ~vertex_ok:suffix_vertex_ok
+    in
+    let rec unwind prev prev_e v acc_v acc_e =
+      if prev.(v) < 0 then
+        if v = v_pi || v = target then Some (v :: acc_v, acc_e) else None
+      else
+        unwind prev prev_e prev.(v) (v :: acc_v)
+          (ctx.edges.(prev_e.(v)).e_route :: acc_e)
+    in
+    match
+      (unwind pre_prev pre_edge target [] [],
+       unwind suf_prev suf_edge v_po [] [])
+    with
+    | Some (pre_v, pre_r), Some (_ :: suf_v, suf_r) ->
+        Some { w_vertices = pre_v @ suf_v; w_routes = pre_r @ suf_r }
+    | _ -> None
+  end
+
+let access_path ctx fault s =
+  Option.map (fun w -> w.w_vertices) (access_witness ctx fault s)
+
+(* Read counterpart: a path through the target whose SUFFIX (target to
+   scan-out) is corruption-free and shiftable, while the prefix only needs
+   to exist topologically.  Same self-steering exclusion as the write
+   witness. *)
+let read_witness ctx fault s =
+  let eff = effects_of_fault ctx fault in
+  let writable = fixpoint_writable ctx eff in
+  let target = v_of_seg s in
+  let feasible =
+    let r_any = reach_from_pi ctx eff writable ~clean:false in
+    let s_clean = coreach_to_po ctx eff writable ~clean:true in
+    r_any.(target) && s_clean.(target)
+    && (not eff.kill_read.(s))
+    && (not eff.corrupt_vertex.(s))
+    && not eff.po_dead
+  in
+  if not feasible then None
+  else begin
+    (* Unlike the write witness, steering by the target's own bits is
+       allowed here whenever the target is writable: the bit can be
+       pre-written (a write needs no clean suffix), then the read follows.
+       An unwritable target is already excluded by the fixpoint. *)
+    let r_any = reach_from_pi ctx eff writable ~clean:false in
+    let s_clean = coreach_to_po ctx eff writable ~clean:true in
+    if not (r_any.(target) && s_clean.(target)) then None
+    else begin
+      let prefix_edge_ok e =
+        edge_steerable ctx eff writable e
+        && (e.e_src = v_pi || r_any.(e.e_src))
+      in
+      let prefix_vertex_ok v = v = target || (v <> v_po && r_any.(v)) in
+      let _, pre_prev, pre_edge =
+        shortest_paths ctx ~src:v_pi ~edge_ok:prefix_edge_ok
+          ~vertex_ok:prefix_vertex_ok
+      in
+      let suffix_edge_ok e =
+        (not (edge_corrupt eff e))
+        && edge_steerable ctx eff writable e
+        && (e.e_src = target || (s_clean.(e.e_src) && clean_through eff e.e_src))
+        && shiftable eff e.e_src
+      in
+      let suffix_vertex_ok v =
+        v = v_po || (s_clean.(v) && shiftable eff v)
+      in
+      let _, suf_prev, suf_edge =
+        shortest_paths ctx ~src:target ~edge_ok:suffix_edge_ok
+          ~vertex_ok:suffix_vertex_ok
+      in
+      let rec unwind prev prev_e v acc_v acc_e =
+        if prev.(v) < 0 then
+          if v = v_pi || v = target then Some (v :: acc_v, acc_e) else None
+        else
+          unwind prev prev_e prev.(v) (v :: acc_v)
+            (ctx.edges.(prev_e.(v)).e_route :: acc_e)
+      in
+      match
+        (unwind pre_prev pre_edge target [] [],
+         unwind suf_prev suf_edge v_po [] [])
+      with
+      | Some (pre_v, pre_r), Some (_ :: suf_v, suf_r) ->
+          Some { w_vertices = pre_v @ suf_v; w_routes = pre_r @ suf_r }
+      | _ -> None
+    end
+  end

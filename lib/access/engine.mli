@@ -1,0 +1,75 @@
+(** Scan-segment accessibility in fault-free and faulty RSNs (paper
+    contribution 1: "a model and an algorithm to compute scan paths in
+    faulty RSNs").
+
+    The engine decides, for every scan segment [s] and a given stuck-at
+    fault, whether [s] is still {e writable} (a pattern can be shifted into
+    [s] and latched) and {e readable} (the captured contents of [s] can be
+    shifted out unscathed), using only reachable configurations:
+
+    - a configuration change can only be performed through segments that
+      are themselves writable, so multiplexer steering is computed as a
+      least fixpoint starting from the reset configuration;
+    - data faults partition the path condition: writing [s] needs a
+      corruption-free prefix (scan-in up to and including [s]) and a
+      shiftable suffix, reading [s] the converse;
+    - a select line stuck at 0 makes a segment non-shifting, which blocks
+      any path through it; stuck-at-1 select faults are recoverable (the
+      segment can always be kept on the active path) and treated as
+      benign;
+    - TMR-protected address replicas are masked; primary scan-port faults
+      are masked iff the netlist has duplicated ports.
+
+    [accessible s = writable s && readable s]. *)
+
+type ctx
+(** Preprocessed netlist information shared across fault analyses. *)
+
+val make_ctx : Ftrsn_rsn.Netlist.t -> ctx
+
+val netlist : ctx -> Ftrsn_rsn.Netlist.t
+
+type verdict = {
+  writable : bool array;    (** per segment *)
+  readable : bool array;    (** per segment *)
+  accessible : bool array;  (** per segment: writable && readable *)
+}
+
+val port_masked : ctx -> int -> bool
+(** Whether faults in the given mux are bypassed by the duplicated scan
+    ports (§III-E-4): the mux feeds the scan-out or a direct successor of
+    the scan-in, and the netlist has [dual_ports].  Exposed so that the
+    BMC engine applies the identical masking rule. *)
+
+val analyze : ctx -> Ftrsn_fault.Fault.t option -> verdict
+(** [analyze ctx fault] computes the per-segment verdicts under the given
+    fault ([None] = fault-free). *)
+
+val analyze_multi : ctx -> Ftrsn_fault.Fault.t list -> verdict
+(** Accessibility under a SET of simultaneous stuck-at faults — beyond the
+    paper's single-fault scope; used for the double-fault experiments. *)
+
+val accessible_count : verdict -> int
+val accessible_bits : ctx -> verdict -> int
+
+type witness = {
+  w_vertices : int list;
+      (** dataflow vertices from scan-in to scan-out, through the target *)
+  w_routes : (int * int) list list;
+      (** per edge of the path, the chosen steering route: (mux, input)
+          pairs that must be configured to sensitize the interconnect *)
+}
+
+val access_witness : ctx -> Ftrsn_fault.Fault.t option -> int -> witness option
+(** [access_witness ctx fault s] is, if [s] is writable under the fault, a
+    minimum-shift-length scan path through [s] with a corruption-free
+    prefix and steerable muxes, together with the mux route chosen for each
+    hop — the witness used for pattern retargeting in the faulty RSN. *)
+
+val access_path : ctx -> Ftrsn_fault.Fault.t option -> int -> int list option
+(** The vertices of {!access_witness}. *)
+
+val read_witness : ctx -> Ftrsn_fault.Fault.t option -> int -> witness option
+(** The read counterpart of {!access_witness}: a scan path through the
+    target whose suffix (target to scan-out) is corruption-free and
+    shiftable, so that captured contents can be observed unscathed. *)

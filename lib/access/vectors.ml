@@ -1,0 +1,64 @@
+module Netlist = Ftrsn_rsn.Netlist
+
+(* SVF hex: the LAST bit shifted is the most significant.  Bits arrive
+   first-shifted-first, so reverse, pad to a nibble boundary, group. *)
+let hex_of_bits bits =
+  let bits = List.rev bits in
+  let n = List.length bits in
+  let pad = (4 - (n mod 4)) mod 4 in
+  let padded = List.init pad (fun _ -> false) @ bits in
+  let buf = Buffer.create 16 in
+  let rec go = function
+    | b3 :: b2 :: b1 :: b0 :: tl ->
+        let v =
+          (if b3 then 8 else 0) lor (if b2 then 4 else 0)
+          lor (if b1 then 2 else 0)
+          lor if b0 then 1 else 0
+        in
+        Buffer.add_char buf "0123456789ABCDEF".[v];
+        go tl
+    | [] -> ()
+    | _ -> assert false
+  in
+  go padded;
+  if Buffer.length buf = 0 then "0" else Buffer.contents buf
+
+let of_plan (net : Netlist.t) (plan : Retarget.plan) ~pattern =
+  match Retarget.trace_execution net plan ~pattern with
+  | Error e -> Error e
+  | Ok vectors ->
+      let buf = Buffer.create 1024 in
+      let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+      p "! %s: write access to segment %s\n" net.Netlist.net_name
+        (Netlist.segment_name net plan.Retarget.target);
+      p "! %d configuration CSU(s) + 1 access CSU, %d clock cycles total\n"
+        (List.length plan.Retarget.steps)
+        plan.Retarget.cycles;
+      p "TRST OFF;\nENDDR DRPAUSE;\nSTATE RESET;\n";
+      List.iter
+        (fun (name, v) ->
+          p "! primary control %s := %d\nPIO (%s=%d);\n" name
+            (if v then 1 else 0) name
+            (if v then 1 else 0))
+        plan.Retarget.primaries;
+      List.iteri
+        (fun i (tdi, tdo) ->
+          let len = List.length tdi in
+          (match List.nth_opt plan.Retarget.steps i with
+          | Some step ->
+              p "! CSU %d: configure %s\n" i
+                (String.concat ", "
+                   (List.map
+                      (fun (s, b, v) ->
+                        Printf.sprintf "%s[%d]=%d"
+                          (Netlist.segment_name net s)
+                          b
+                          (if v then 1 else 0))
+                      step.Retarget.writes))
+          | None -> p "! CSU %d: access (pattern into target)\n" i);
+          p "SDR %d TDI (%s) TDO (%s) MASK (%s);\n" len (hex_of_bits tdi)
+            (hex_of_bits tdo)
+            (hex_of_bits (List.map (fun _ -> true) tdo)))
+        vectors;
+      p "STATE IDLE;\n";
+      Ok (Buffer.contents buf)

@@ -1,0 +1,21 @@
+(** Test-vector export: turn retargeting plans into SVF-flavoured vector
+    programs for a scan tester.
+
+    Each CSU of a plan becomes one [SDR] statement with the scan-in data
+    ([TDI]), the expected scan-out data ([TDO], obtained by fault-free
+    simulation) and an all-care [MASK]; primary control line changes
+    become comment-annotated [PIO]-style statements.  The dialect is a
+    documented subset of SVF (Serial Vector Format): hex strings are
+    written most-significant-first, where bit 0 is the first bit shifted. *)
+
+val of_plan :
+  Ftrsn_rsn.Netlist.t ->
+  Retarget.plan ->
+  pattern:bool list ->
+  (string, string) result
+(** [of_plan net plan ~pattern] renders the write-access plan as a vector
+    program.  Fails if the plan does not replay cleanly on the fault-free
+    simulator. *)
+
+val hex_of_bits : bool list -> string
+(** Little helper: bits (first-shifted first) to an SVF hex literal. *)

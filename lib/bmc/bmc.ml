@@ -1,0 +1,434 @@
+module Netlist = Ftrsn_rsn.Netlist
+module Fault = Ftrsn_fault.Fault
+module Engine = Ftrsn_access.Engine
+module Expr = Ftrsn_boolexpr.Expr
+module Solver = Ftrsn_sat.Solver
+module Order = Ftrsn_topo.Order
+
+(* Condition under which an interconnect from an element to its consumer is
+   sensitized. *)
+type cond = C_true | C_sel of int * int  (* mux, input index *)
+
+type t = {
+  net : Netlist.t;
+  ectx : Engine.ctx;                      (* for the port-masking rule *)
+  order : int array;                      (* element topological order *)
+  consumers : (int * cond) list array;    (* per element id *)
+  drivers : int array;                    (* per segment: driver element *)
+  max_hier : int;
+}
+
+let create (net : Netlist.t) =
+  let n = Netlist.Elt.count net in
+  let consumers = Array.make n [] in
+  let drivers = Array.make (Netlist.num_segments net) 0 in
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      let d = Netlist.Elt.of_node net s.seg_input in
+      drivers.(i) <- d;
+      consumers.(d) <- (Netlist.Elt.of_seg i, C_true) :: consumers.(d))
+    net.segs;
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      Array.iteri
+        (fun k inp ->
+          let d = Netlist.Elt.of_node net inp in
+          consumers.(d) <- (Netlist.Elt.of_mux net m, C_sel (m, k)) :: consumers.(d))
+        mx.mux_inputs)
+    net.muxes;
+  let po_driver = Netlist.Elt.of_node net net.out_src in
+  consumers.(po_driver) <- (Netlist.Elt.scan_out, C_true) :: consumers.(po_driver);
+  let g = Netlist.element_graph net in
+  let order =
+    match Order.sort g with
+    | Some o -> o
+    | None -> invalid_arg "Bmc.create: cyclic netlist"
+  in
+  { net; ectx = Engine.make_ctx net; order; consumers; drivers;
+    max_hier = Netlist.max_hier net }
+
+type verdict = Accessible of int | Inaccessible
+
+(* ---- static fault predicates, aligned with Engine.effects_of_fault ---- *)
+
+type fsum = {
+  pi_dead : bool;
+  po_dead : bool;
+  seg_scan_in : int -> bool;
+  seg_scan_out : int -> bool;
+  seg_shift : int -> bool;
+  seg_sel0 : int -> bool;
+  mux_out : int -> bool;
+  mux_in : int -> int -> bool;  (* mux, input (classes applied) *)
+  locked : int -> int -> bool option;  (* mux, addr bit *)
+  pinned : int -> int -> bool option;  (* seg, shadow bit *)
+  kill_write : int -> bool;
+  kill_read : int -> bool;
+}
+
+let no_fault =
+  {
+    pi_dead = false;
+    po_dead = false;
+    seg_scan_in = (fun _ -> false);
+    seg_scan_out = (fun _ -> false);
+    seg_shift = (fun _ -> false);
+    seg_sel0 = (fun _ -> false);
+    mux_out = (fun _ -> false);
+    mux_in = (fun _ _ -> false);
+    locked = (fun _ _ -> None);
+    pinned = (fun _ _ -> None);
+    kill_write = (fun _ -> false);
+    kill_read = (fun _ -> false);
+  }
+
+let driven_all_tmr (net : Netlist.t) seg bit =
+  let driven = ref [] in
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      Array.iter
+        (function
+          | Netlist.Ctrl_shadow { cseg; cbit } when cseg = seg && cbit = bit ->
+              driven := m :: !driven
+          | _ -> ())
+        mx.mux_addr)
+    net.muxes;
+  !driven <> []
+  && List.for_all (fun m -> net.Netlist.muxes.(m).Netlist.mux_tmr) !driven
+
+let summarize t = function
+  | None -> no_fault
+  | Some f when Fault.is_masked t.net f -> no_fault
+  | Some { Fault.site; stuck } -> (
+      let eq2 a b (x, y) = a = x && b = y in
+      match site with
+      | Fault.Primary_in ->
+          if t.net.Netlist.dual_ports then no_fault
+          else { no_fault with pi_dead = true }
+      | Fault.Primary_out ->
+          if t.net.Netlist.dual_ports then no_fault
+          else { no_fault with po_dead = true }
+      | Fault.Seg_scan_in i ->
+          {
+            no_fault with
+            seg_scan_in = ( = ) i;
+            kill_write = ( = ) i;
+          }
+      | Fault.Seg_scan_out i ->
+          { no_fault with seg_scan_out = ( = ) i; kill_read = ( = ) i }
+      | Fault.Seg_shift_reg i ->
+          {
+            no_fault with
+            seg_shift = ( = ) i;
+            kill_write = ( = ) i;
+            kill_read = ( = ) i;
+          }
+      | Fault.Seg_select i ->
+          if stuck then no_fault (* recoverable, as in the engine *)
+          else
+            (* The segment cannot shift: it is lost itself, and any data
+               passing through it freezes. *)
+            {
+              no_fault with
+              seg_sel0 = ( = ) i;
+              kill_write = ( = ) i;
+              kill_read = ( = ) i;
+            }
+      | Fault.Seg_capture_en i ->
+          if stuck then no_fault else { no_fault with kill_read = ( = ) i }
+      | Fault.Seg_update_en i ->
+          if stuck then no_fault else { no_fault with kill_write = ( = ) i }
+      | Fault.Seg_shadow_reg (i, b) ->
+          if driven_all_tmr t.net i b then
+            { no_fault with kill_write = ( = ) i }
+          else
+            {
+              no_fault with
+              kill_write = ( = ) i;
+              pinned = (fun s b' -> if s = i && b' = b then Some stuck else None);
+            }
+      | Fault.Mux_addr (m, b) ->
+          if Engine.port_masked t.ectx m then no_fault
+          else
+            {
+              no_fault with
+              locked =
+                (fun m' b' -> if eq2 m b (m', b') then Some stuck else None);
+            }
+      | Fault.Mux_addr_replica _ -> no_fault
+      | Fault.Mux_data_in (m, k) ->
+          if Engine.port_masked t.ectx m then no_fault
+          else
+            let k = Netlist.mux_input_class t.net m k in
+            {
+              no_fault with
+              mux_in =
+                (fun m' k' ->
+                  m = m' && k = Netlist.mux_input_class t.net m' k');
+            }
+      | Fault.Mux_out m ->
+          if Engine.port_masked t.ectx m then no_fault
+          else { no_fault with mux_out = ( = ) m })
+
+(* ---- per-step circuit construction ---- *)
+
+type step_exprs = {
+  on : Expr.t array;        (* per element: lies on the active path *)
+  dirty_in : Expr.t array;  (* per segment: write data corrupted *)
+  after : Expr.t array;     (* per element: corruption between its output
+                               and the scan-out *)
+}
+
+(* Build the circuits of one unrolling step.  [shadow] gives the boolean
+   expression of each shadow bit at this step, [primary] of each primary
+   control input. *)
+let step_circuits t ctx fs ~shadow ~primary =
+  let net = t.net in
+  let n = Netlist.Elt.count net in
+  let bit_expr m b =
+    match fs.locked m b with
+    | Some v -> Expr.const ctx v
+    | None -> (
+        match net.Netlist.muxes.(m).Netlist.mux_addr.(b) with
+        | Netlist.Ctrl_const c -> Expr.const ctx c
+        | Netlist.Ctrl_primary p -> primary p
+        | Netlist.Ctrl_shadow { cseg; cbit } -> (
+            match fs.pinned cseg cbit with
+            | Some v -> Expr.const ctx v
+            | None -> shadow cseg cbit))
+  in
+  let sel_expr m k =
+    let width = Array.length net.Netlist.muxes.(m).Netlist.mux_addr in
+    let bits =
+      List.init width (fun b ->
+          let e = bit_expr m b in
+          if k land (1 lsl b) <> 0 then e else Expr.not_ ctx e)
+    in
+    Expr.and_list ctx bits
+  in
+  let cond_expr = function
+    | C_true -> Expr.etrue ctx
+    | C_sel (m, k) -> sel_expr m k
+  in
+  (* on: reverse topological order. *)
+  let on = Array.make n (Expr.efalse ctx) in
+  on.(Netlist.Elt.scan_out) <- Expr.etrue ctx;
+  for idx = Array.length t.order - 1 downto 0 do
+    let e = t.order.(idx) in
+    if e <> Netlist.Elt.scan_out then
+      on.(e) <-
+        Expr.or_list ctx
+          (List.map
+             (fun (c, cond) -> Expr.and_ ctx on.(c) (cond_expr cond))
+             t.consumers.(e))
+  done;
+  (* dirty (write-side), topological order. *)
+  let dirty_out = Array.make n (Expr.efalse ctx) in
+  let dirty_in = Array.make (Netlist.num_segments net) (Expr.efalse ctx) in
+  Array.iter
+    (fun e ->
+      match Netlist.Elt.to_node net e with
+      | Netlist.Scan_in ->
+          dirty_out.(e) <- Expr.const ctx fs.pi_dead
+      | Netlist.Scan_out -> ()
+      | Netlist.Seg i ->
+          let din =
+            Expr.or_ ctx
+              dirty_out.(t.drivers.(i))
+              (Expr.const ctx (fs.seg_scan_in i))
+          in
+          dirty_in.(i) <- din;
+          dirty_out.(e) <-
+            Expr.or_list ctx
+              [
+                din;
+                Expr.const ctx (fs.seg_shift i);
+                Expr.const ctx (fs.seg_scan_out i);
+                Expr.const ctx (fs.seg_sel0 i);
+              ]
+      | Netlist.Mux m ->
+          let mx = net.Netlist.muxes.(m) in
+          let choices =
+            List.init (Array.length mx.mux_inputs) (fun k ->
+                let src = Netlist.Elt.of_node net mx.mux_inputs.(k) in
+                Expr.and_ ctx (sel_expr m k)
+                  (Expr.or_ ctx dirty_out.(src)
+                     (Expr.const ctx (fs.mux_in m k))))
+          in
+          dirty_out.(e) <-
+            Expr.or_ ctx (Expr.or_list ctx choices)
+              (Expr.const ctx (fs.mux_out m)))
+    t.order;
+  (* after (read-side), reverse topological order. *)
+  let after = Array.make n (Expr.efalse ctx) in
+  for idx = Array.length t.order - 1 downto 0 do
+    let e = t.order.(idx) in
+    if e <> Netlist.Elt.scan_out then
+      after.(e) <-
+        Expr.or_list ctx
+          (List.map
+             (fun (c, cond) ->
+               let local =
+                 match Netlist.Elt.to_node net c with
+                 | Netlist.Scan_out -> Expr.const ctx fs.po_dead
+                 | Netlist.Seg i ->
+                     Expr.const ctx
+                       (fs.seg_scan_in i || fs.seg_shift i
+                      || fs.seg_scan_out i || fs.seg_sel0 i)
+                 | Netlist.Mux m ->
+                     let k = match cond with C_sel (_, k) -> k | C_true -> 0 in
+                     Expr.const ctx (fs.mux_in m k || fs.mux_out m)
+                 | Netlist.Scan_in -> Expr.efalse ctx
+               in
+               (* Damage counts only along the branch the active path
+                  actually takes: the consumer must be on the path and the
+                  interconnect sensitized. *)
+               Expr.and_list ctx
+                 [ on.(c); cond_expr cond; Expr.or_ ctx local after.(c) ])
+             t.consumers.(e))
+  done;
+  { on; dirty_in; after }
+
+(* ---- unrolled check ---- *)
+
+type goal = G_write | G_read
+
+let check_goal ?(want_witness = false) t fault goal ~max_steps ~target =
+  ignore want_witness;
+  let net = t.net in
+  let fs = summarize t fault in
+  let statically_dead =
+    match goal with
+    | G_write -> fs.kill_write target || fs.pi_dead
+    | G_read -> fs.kill_read target || fs.po_dead
+  in
+  if statically_dead then (Inaccessible, [])
+  else begin
+    let result = ref None in
+    let n = ref 0 in
+    while !result = None && !n <= max_steps do
+      let steps = !n in
+      let ctx = Expr.create () in
+      (* Shadow variables per step; step 0 is the reset constants. *)
+      let nsegs = Netlist.num_segments net in
+      let shadow_vars =
+        Array.init (steps + 1) (fun tstep ->
+            Array.init nsegs (fun s ->
+                Array.init net.Netlist.segs.(s).Netlist.seg_shadow (fun b ->
+                    if tstep = 0 then
+                      Expr.const ctx net.Netlist.segs.(s).Netlist.seg_reset.(b)
+                    else Expr.fresh_var ctx)))
+      in
+      let primaries = Hashtbl.create 8 in
+      let primary_var tstep p =
+        match Hashtbl.find_opt primaries (tstep, p) with
+        | Some v -> v
+        | None ->
+            let v = Expr.fresh_var ctx in
+            Hashtbl.add primaries (tstep, p) v;
+            v
+      in
+      let circuits =
+        Array.init (steps + 1) (fun tstep ->
+            step_circuits t ctx fs
+              ~shadow:(fun s b -> shadow_vars.(tstep).(s).(b))
+              ~primary:(primary_var tstep))
+      in
+      (* Transition relation between consecutive steps (eq. 1 extended):
+         a shadow bit changes only when its segment is on the active path
+         with clean write data; corrupted writes are not relied upon. *)
+      let assertions = ref [] in
+      for tstep = 0 to steps - 1 do
+        let c = circuits.(tstep) in
+        for s = 0 to nsegs - 1 do
+          for b = 0 to net.Netlist.segs.(s).Netlist.seg_shadow - 1 do
+            let cur = shadow_vars.(tstep).(s).(b) in
+            let next = shadow_vars.(tstep + 1).(s).(b) in
+            let keep = Expr.iff_ ctx next cur in
+            let writable =
+              if fs.kill_write s then Expr.efalse ctx
+              else
+                Expr.and_ ctx
+                  c.on.(Netlist.Elt.of_seg s)
+                  (Expr.not_ ctx c.dirty_in.(s))
+            in
+            assertions := Expr.or_ ctx writable keep :: !assertions
+          done
+        done
+      done;
+      (* Goal at the final step. *)
+      let cfin = circuits.(steps) in
+      let goal_expr =
+        match goal with
+        | G_write ->
+            Expr.and_ ctx
+              cfin.on.(Netlist.Elt.of_seg target)
+              (Expr.not_ ctx cfin.dirty_in.(target))
+        | G_read ->
+            Expr.and_ ctx
+              cfin.on.(Netlist.Elt.of_seg target)
+              (Expr.not_ ctx cfin.after.(Netlist.Elt.of_seg target))
+      in
+      assertions := goal_expr :: !assertions;
+      let cnf = Expr.Cnf.of_exprs ctx !assertions in
+      let solver = Solver.create () in
+      Solver.ensure_vars solver cnf.Expr.Cnf.num_sat_vars;
+      List.iter (Solver.add_clause solver) cnf.Expr.Cnf.clauses;
+      (match Solver.solve solver with
+      | Solver.Sat ->
+          let witness =
+            if not want_witness then []
+            else
+              List.init (steps + 1) (fun tstep ->
+                  let shadows =
+                    Array.init nsegs (fun s ->
+                        Array.init
+                          net.Netlist.segs.(s).Netlist.seg_shadow
+                          (fun bq ->
+                            let e = shadow_vars.(tstep).(s).(bq) in
+                            match Ftrsn_boolexpr.Expr.var_index e with
+                            | Some i -> Solver.value solver (i + 1)
+                            | None -> Ftrsn_boolexpr.Expr.is_true e))
+                  in
+                  let primaries =
+                    Hashtbl.fold
+                      (fun (ts, p) e acc ->
+                        if ts <> tstep then acc
+                        else
+                          match Ftrsn_boolexpr.Expr.var_index e with
+                          | Some i -> (p, Solver.value solver (i + 1)) :: acc
+                          | None -> acc)
+                      primaries []
+                  in
+                  { Ftrsn_rsn.Config.shadows; primaries })
+          in
+          result := Some (Accessible steps, witness)
+      | Solver.Unsat -> ());
+      incr n
+    done;
+    match !result with Some r -> r | None -> (Inaccessible, [])
+  end
+
+let default_steps t = t.max_hier + 2
+
+let check_write t ?fault ?max_steps ~target () =
+  let max_steps = Option.value ~default:(default_steps t) max_steps in
+  fst (check_goal t fault G_write ~max_steps ~target)
+
+let check_read t ?fault ?max_steps ~target () =
+  let max_steps = Option.value ~default:(default_steps t) max_steps in
+  fst (check_goal t fault G_read ~max_steps ~target)
+
+let write_witness t ?fault ?max_steps ~target () =
+  let max_steps = Option.value ~default:(default_steps t) max_steps in
+  match check_goal ~want_witness:true t fault G_write ~max_steps ~target with
+  | Accessible n, configs -> Some (n, configs)
+  | Inaccessible, _ -> None
+
+let check_access t ?fault ?max_steps ~target () =
+  match check_write t ?fault ?max_steps ~target () with
+  | Inaccessible -> Inaccessible
+  | Accessible w -> (
+      match check_read t ?fault ?max_steps ~target () with
+      | Inaccessible -> Inaccessible
+      | Accessible r -> Accessible (max w r))

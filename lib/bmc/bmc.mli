@@ -1,0 +1,57 @@
+(** Bounded model checking of scan-segment accessibility — the paper's
+    formal model (§II-B) with the stuck-at extensions (§III-A), decided by
+    SAT.
+
+    The model M = {S, H, I, V, C, c0, Select, Updis, Capdis, Active} is
+    encoded over boolean variables: one per shadow-register bit and primary
+    control input and unrolling step.  The transition relation (eq. 1)
+    constrains a shadow bit to keep its value unless its segment lies on
+    the active scan path of the current configuration; the active path and
+    the propagation of a stuck-at fault along it are compiled to boolean
+    circuits over the configuration variables, and the n-step unrolling is
+    handed to the CDCL solver.
+
+    Semantics are aligned with {!Ftrsn_access.Engine} (which computes the
+    same verdicts by graph fixpoints): writes through corrupted data are
+    never relied upon (the transition keeps the old value), select
+    stuck-at-1 faults are recoverable and hence benign, TMR replicas and
+    duplicated-port-adjacent mux faults are masked.  The test suite checks
+    the two engines agree on entire fault universes of small networks. *)
+
+type t
+
+val create : Ftrsn_rsn.Netlist.t -> t
+(** Builds the static model data (consumer maps, topological orders). *)
+
+type verdict =
+  | Accessible of int
+      (** accessible; payload = number of CSU operations needed (the
+          unrolling depth at which the check succeeded) *)
+  | Inaccessible
+
+val check_write :
+  t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int -> unit ->
+  verdict
+(** Can a pattern be shifted into the target segment through an
+    uncorrupted prefix, using only reachable configurations?
+    [max_steps] defaults to the netlist hierarchy depth + 2. *)
+
+val check_read :
+  t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int -> unit ->
+  verdict
+(** Can the target's captured contents be shifted out unscathed? *)
+
+val write_witness :
+  t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int -> unit ->
+  (int * Ftrsn_rsn.Config.t list) option
+(** Like {!check_write}, but also decodes the SAT model into the witness
+    configuration sequence [c_0 .. c_n] (reset first): each consecutive
+    pair satisfies the transition relation and the final configuration
+    puts the target on the active path with clean write data.  [None] if
+    inaccessible. *)
+
+val check_access :
+  t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int -> unit ->
+  verdict
+(** Both {!check_write} and {!check_read}; the payload is the larger of
+    the two unrolling depths. *)

@@ -1,0 +1,211 @@
+(* Nodes are hash-consed: a table keyed by (constructor, child ids) maps to
+   the unique node, so structural equality is id equality and the Tseitin
+   pass can memoize on ids.  Negation is kept as an explicit node but
+   collapses double negations; And/Or normalize argument order by id to
+   improve sharing. *)
+
+type t = { id : int; node : node }
+
+and node =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+type key = K_true | K_false | K_var of int | K_not of int | K_and of int * int | K_or of int * int
+
+type ctx = {
+  tbl : (key, t) Hashtbl.t;
+  mutable next_id : int;
+  mutable nvars : int;
+}
+
+let mk ctx key node =
+  match Hashtbl.find_opt ctx.tbl key with
+  | Some e -> e
+  | None ->
+      let e = { id = ctx.next_id; node } in
+      ctx.next_id <- ctx.next_id + 1;
+      Hashtbl.add ctx.tbl key e;
+      e
+
+let create () = { tbl = Hashtbl.create 1024; next_id = 0; nvars = 0 }
+
+let etrue ctx = mk ctx K_true True
+let efalse ctx = mk ctx K_false False
+let const ctx b = if b then etrue ctx else efalse ctx
+
+let var ctx i =
+  if i < 0 then invalid_arg "Expr.var: negative index";
+  if i >= ctx.nvars then ctx.nvars <- i + 1;
+  mk ctx (K_var i) (Var i)
+
+let fresh_var ctx = var ctx ctx.nvars
+let num_vars ctx = ctx.nvars
+let var_index e = match e.node with Var i -> Some i | _ -> None
+let equal a b = a.id = b.id
+let is_true e = match e.node with True -> true | _ -> false
+let is_false e = match e.node with False -> true | _ -> false
+
+let not_ ctx e =
+  match e.node with
+  | True -> efalse ctx
+  | False -> etrue ctx
+  | Not x -> x
+  | Var _ | And _ | Or _ -> mk ctx (K_not e.id) (Not e)
+
+let and_ ctx a b =
+  match (a.node, b.node) with
+  | False, _ | _, False -> efalse ctx
+  | True, _ -> b
+  | _, True -> a
+  | _ ->
+      if a.id = b.id then a
+      else begin
+        (* x AND NOT x = false *)
+        let contradictory =
+          match (a.node, b.node) with
+          | Not x, _ when x.id = b.id -> true
+          | _, Not y when y.id = a.id -> true
+          | _ -> false
+        in
+        if contradictory then efalse ctx
+        else
+          let x, y = if a.id <= b.id then (a, b) else (b, a) in
+          mk ctx (K_and (x.id, y.id)) (And (x, y))
+      end
+
+let or_ ctx a b =
+  match (a.node, b.node) with
+  | True, _ | _, True -> etrue ctx
+  | False, _ -> b
+  | _, False -> a
+  | _ ->
+      if a.id = b.id then a
+      else begin
+        let tautological =
+          match (a.node, b.node) with
+          | Not x, _ when x.id = b.id -> true
+          | _, Not y when y.id = a.id -> true
+          | _ -> false
+        in
+        if tautological then etrue ctx
+        else
+          let x, y = if a.id <= b.id then (a, b) else (b, a) in
+          mk ctx (K_or (x.id, y.id)) (Or (x, y))
+      end
+
+let xor_ ctx a b = or_ ctx (and_ ctx a (not_ ctx b)) (and_ ctx (not_ ctx a) b)
+let iff_ ctx a b = not_ ctx (xor_ ctx a b)
+let implies ctx a b = or_ ctx (not_ ctx a) b
+let ite ctx c t e = or_ ctx (and_ ctx c t) (and_ ctx (not_ ctx c) e)
+let and_list ctx es = List.fold_left (and_ ctx) (etrue ctx) es
+let or_list ctx es = List.fold_left (or_ ctx) (efalse ctx) es
+
+let eval env e =
+  (* Memoized on node ids to stay linear in DAG size. *)
+  let memo = Hashtbl.create 64 in
+  let rec go e =
+    match Hashtbl.find_opt memo e.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match e.node with
+          | True -> true
+          | False -> false
+          | Var i -> env i
+          | Not x -> not (go x)
+          | And (x, y) -> go x && go y
+          | Or (x, y) -> go x || go y
+        in
+        Hashtbl.add memo e.id v;
+        v
+  in
+  go e
+
+let size e =
+  let seen = Hashtbl.create 64 in
+  let rec go e =
+    if not (Hashtbl.mem seen e.id) then begin
+      Hashtbl.add seen e.id ();
+      match e.node with
+      | True | False | Var _ -> ()
+      | Not x -> go x
+      | And (x, y) | Or (x, y) ->
+          go x;
+          go y
+    end
+  in
+  go e;
+  Hashtbl.length seen
+
+let rec pp fmt e =
+  match e.node with
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Var i -> Format.fprintf fmt "v%d" i
+  | Not x -> Format.fprintf fmt "!%a" pp_atom x
+  | And (x, y) -> Format.fprintf fmt "(%a & %a)" pp x pp y
+  | Or (x, y) -> Format.fprintf fmt "(%a | %a)" pp x pp y
+
+and pp_atom fmt e =
+  match e.node with
+  | True | False | Var _ | Not _ -> pp fmt e
+  | And _ | Or _ -> Format.fprintf fmt "(%a)" pp e
+
+module Cnf = struct
+  type clause = int list
+  type result = { clauses : clause list; num_sat_vars : int }
+
+  (* Tseitin encoding.  Every And/Or node gets an auxiliary SAT variable;
+     Not maps to literal negation; Var i maps to SAT variable i + 1.
+     Polarity optimization is skipped: full bi-implications keep the
+     encoding straightforwardly invertible, which the tests rely on. *)
+  let of_exprs ctx es =
+    let next = ref (ctx.nvars + 1) in
+    let clauses = ref [] in
+    let memo = Hashtbl.create 256 in
+    let emit c = clauses := c :: !clauses in
+    let rec lit_of e =
+      match Hashtbl.find_opt memo e.id with
+      | Some l -> l
+      | None ->
+          let l =
+            match e.node with
+            | True ->
+                let v = !next in
+                incr next;
+                emit [ v ];
+                v
+            | False ->
+                let v = !next in
+                incr next;
+                emit [ v ];
+                -v
+            | Var i -> i + 1
+            | Not x -> -(lit_of x)
+            | And (x, y) ->
+                let a = lit_of x and b = lit_of y in
+                let v = !next in
+                incr next;
+                emit [ -v; a ];
+                emit [ -v; b ];
+                emit [ v; -a; -b ];
+                v
+            | Or (x, y) ->
+                let a = lit_of x and b = lit_of y in
+                let v = !next in
+                incr next;
+                emit [ -v; a; b ];
+                emit [ v; -a ];
+                emit [ v; -b ];
+                v
+          in
+          Hashtbl.add memo e.id l;
+          l
+    in
+    List.iter (fun e -> emit [ lit_of e ]) es;
+    { clauses = List.rev !clauses; num_sat_vars = !next - 1 }
+end

@@ -1,0 +1,70 @@
+(** Hash-consed boolean expressions with constant folding, plus the Tseitin
+    transformation to CNF used by the BMC engine.
+
+    All expressions live in a {!ctx}; combining expressions from different
+    contexts is a programming error (unchecked, but ids will collide). *)
+
+type t
+(** An immutable boolean expression. *)
+
+type ctx
+(** An expression context: hash-consing table and variable allocator. *)
+
+val create : unit -> ctx
+
+val etrue : ctx -> t
+val efalse : ctx -> t
+val const : ctx -> bool -> t
+
+val fresh_var : ctx -> t
+(** A fresh boolean variable. *)
+
+val var : ctx -> int -> t
+(** [var ctx i] is variable number [i]; allocates up to [i] if needed. *)
+
+val var_index : t -> int option
+(** [Some i] if the expression is exactly variable [i]. *)
+
+val num_vars : ctx -> int
+
+val not_ : ctx -> t -> t
+val and_ : ctx -> t -> t -> t
+val or_ : ctx -> t -> t -> t
+val xor_ : ctx -> t -> t -> t
+val iff_ : ctx -> t -> t -> t
+val implies : ctx -> t -> t -> t
+val ite : ctx -> t -> t -> t -> t
+val and_list : ctx -> t list -> t
+val or_list : ctx -> t list -> t
+
+val equal : t -> t -> bool
+(** Structural equality (constant time thanks to hash-consing). *)
+
+val is_true : t -> bool
+val is_false : t -> bool
+
+val eval : (int -> bool) -> t -> bool
+(** [eval env e] evaluates [e] under the variable assignment [env]. *)
+
+val size : t -> int
+(** Number of distinct subexpressions. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Conjunctive normal form in DIMACS literal convention: variable [i]
+    (0-based expression variable) appears as literal [i + 1], negated as
+    [-(i + 1)].  Auxiliary Tseitin variables are numbered after the
+    expression variables. *)
+module Cnf : sig
+  type clause = int list
+
+  type result = {
+    clauses : clause list;  (** the CNF, one clause per element *)
+    num_sat_vars : int;     (** total SAT variables incl. auxiliaries *)
+  }
+
+  val of_exprs : ctx -> t list -> result
+  (** [of_exprs ctx es] is an equisatisfiable CNF asserting every
+      expression in [es].  Expression variable [i] is SAT variable
+      [i + 1] in every call, so models translate back directly. *)
+end

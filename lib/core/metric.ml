@@ -1,0 +1,156 @@
+module Netlist = Ftrsn_rsn.Netlist
+module Fault = Ftrsn_fault.Fault
+module Engine = Ftrsn_access.Engine
+
+type result = {
+  worst_segments : float;
+  avg_segments : float;
+  worst_bits : float;
+  avg_bits : float;
+  faults : int;
+  total_weight : int;
+}
+
+(* Merge two partial results (weighted sums are kept internally as
+   averages times weight, so recombine carefully). *)
+let merge a b =
+  {
+    worst_segments = min a.worst_segments b.worst_segments;
+    avg_segments =
+      ((a.avg_segments *. float_of_int a.total_weight)
+      +. (b.avg_segments *. float_of_int b.total_weight))
+      /. float_of_int (a.total_weight + b.total_weight);
+    worst_bits = min a.worst_bits b.worst_bits;
+    avg_bits =
+      ((a.avg_bits *. float_of_int a.total_weight)
+      +. (b.avg_bits *. float_of_int b.total_weight))
+      /. float_of_int (a.total_weight + b.total_weight);
+    faults = a.faults + b.faults;
+    total_weight = a.total_weight + b.total_weight;
+  }
+
+let evaluate_faults ctx faults =
+  let net = Engine.netlist ctx in
+  let nsegs = Netlist.num_segments net in
+  let nbits = Netlist.total_bits net in
+  let worst_segments = ref 1.0 and worst_bits = ref 1.0 in
+  let sum_segments = ref 0.0 and sum_bits = ref 0.0 in
+  let total_weight = ref 0 in
+  let count = ref 0 in
+  List.iter
+    (fun f ->
+      let v = Engine.analyze ctx (Some f) in
+      let w = Fault.weight net f in
+      let fs = float_of_int (Engine.accessible_count v) /. float_of_int nsegs in
+      let fb = float_of_int (Engine.accessible_bits ctx v) /. float_of_int nbits in
+      if fs < !worst_segments then worst_segments := fs;
+      if fb < !worst_bits then worst_bits := fb;
+      sum_segments := !sum_segments +. (float_of_int w *. fs);
+      sum_bits := !sum_bits +. (float_of_int w *. fb);
+      total_weight := !total_weight + w;
+      incr count)
+    faults;
+  if !count = 0 then invalid_arg "Metric.evaluate_faults: empty fault list";
+  {
+    worst_segments = !worst_segments;
+    avg_segments = !sum_segments /. float_of_int !total_weight;
+    worst_bits = !worst_bits;
+    avg_bits = !sum_bits /. float_of_int !total_weight;
+    faults = !count;
+    total_weight = !total_weight;
+  }
+
+let evaluate ?sample ?(domains = 1) net =
+  let ctx = Engine.make_ctx net in
+  let faults = Fault.universe net in
+  let faults =
+    match sample with
+    | None -> faults
+    | Some k when k <= 1 -> faults
+    | Some k ->
+        List.filteri
+          (fun i f ->
+            i mod k = 0
+            ||
+            match f.Fault.site with
+            | Fault.Primary_in | Fault.Primary_out -> true
+            | _ -> false)
+          faults
+  in
+  if domains <= 1 then evaluate_faults ctx faults
+  else begin
+    (* The engine context is read-only during analysis, so the fault list
+       can be chunked across domains; each domain evaluates its share and
+       the partial results merge exactly (min for worst, weighted mean for
+       averages). *)
+    let n = List.length faults in
+    let chunk = max 1 ((n + domains - 1) / domains) in
+    let rec split i = function
+      | [] -> []
+      | l when i + chunk >= n -> [ l ]
+      | l ->
+          let rec take k acc rest =
+            if k = 0 then (List.rev acc, rest)
+            else
+              match rest with
+              | [] -> (List.rev acc, [])
+              | x :: tl -> take (k - 1) (x :: acc) tl
+          in
+          let head, tail = take chunk [] l in
+          head :: split (i + chunk) tail
+    in
+    let chunks = split 0 faults in
+    let workers =
+      List.map
+        (fun fs -> Domain.spawn (fun () -> evaluate_faults ctx fs))
+        chunks
+    in
+    match List.map Domain.join workers with
+    | [] -> invalid_arg "Metric.evaluate: empty universe"
+    | first :: rest -> List.fold_left merge first rest
+  end
+
+let evaluate_pairs ?(sample = 37) net =
+  let ctx = Engine.make_ctx net in
+  let faults = Array.of_list (Fault.universe net) in
+  let n = Array.length faults in
+  let nsegs = Netlist.num_segments net in
+  let nbits = Netlist.total_bits net in
+  let worst_segments = ref 1.0 and worst_bits = ref 1.0 in
+  let sum_segments = ref 0.0 and sum_bits = ref 0.0 in
+  let count = ref 0 in
+  let idx = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !idx mod sample = 0 then begin
+        let v = Engine.analyze_multi ctx [ faults.(i); faults.(j) ] in
+        let fs =
+          float_of_int (Engine.accessible_count v) /. float_of_int nsegs
+        in
+        let fb =
+          float_of_int (Engine.accessible_bits ctx v) /. float_of_int nbits
+        in
+        if fs < !worst_segments then worst_segments := fs;
+        if fb < !worst_bits then worst_bits := fb;
+        sum_segments := !sum_segments +. fs;
+        sum_bits := !sum_bits +. fb;
+        incr count
+      end;
+      incr idx
+    done
+  done;
+  if !count = 0 then invalid_arg "Metric.evaluate_pairs: empty";
+  {
+    worst_segments = !worst_segments;
+    avg_segments = !sum_segments /. float_of_int !count;
+    worst_bits = !worst_bits;
+    avg_bits = !sum_bits /. float_of_int !count;
+    faults = !count;
+    total_weight = !count;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>segments: worst %.3f avg %.4f@,bits: worst %.3f avg %.4f@,(%d faults, weight %d)@]"
+    r.worst_segments r.avg_segments r.worst_bits r.avg_bits r.faults
+    r.total_weight

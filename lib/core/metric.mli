@@ -1,0 +1,43 @@
+(** The fault-tolerance metric (paper §III-A, evaluated in §IV-B).
+
+    For every single stuck-at-0/1 fault in the netlist's fault universe the
+    metric computes the fraction of scan segments, and of scan bits, that
+    remain accessible (writable and readable), then reports the worst case
+    and the fault-weighted average — the eight accessibility columns of
+    Table I. *)
+
+type result = {
+  worst_segments : float;  (** min over faults of accessible-segment fraction *)
+  avg_segments : float;    (** weighted average of accessible-segment fraction *)
+  worst_bits : float;
+  avg_bits : float;
+  faults : int;            (** faults evaluated *)
+  total_weight : int;
+}
+
+val evaluate :
+  ?sample:int ->
+  ?domains:int ->
+  Ftrsn_rsn.Netlist.t ->
+  result
+(** [evaluate net] runs the accessibility engine over the full single
+    stuck-at fault universe.  [sample:k] keeps every [k]-th fault site
+    (deterministically) to bound runtime on very large networks; the
+    primary scan-port faults are always retained, so the worst case of
+    port-dominated networks is exact.  [domains:n] spreads the per-fault
+    analyses over [n] OCaml 5 domains (worst cases merge exactly;
+    averages agree with the sequential result up to floating-point
+    summation order). *)
+
+val evaluate_faults :
+  Ftrsn_access.Engine.ctx -> Ftrsn_fault.Fault.t list -> result
+(** The metric restricted to a given fault list (shared context). *)
+
+val evaluate_pairs :
+  ?sample:int -> Ftrsn_rsn.Netlist.t -> result
+(** Double-fault study (beyond the paper's single-fault scope): evaluates
+    accessibility under PAIRS of simultaneous stuck-at faults.  The pair
+    universe is quadratic, so [sample] (default 37) keeps every k-th pair
+    of a deterministic enumeration. *)
+
+val pp : Format.formatter -> result -> unit

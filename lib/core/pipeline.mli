@@ -1,0 +1,32 @@
+(** End-to-end fault-tolerant synthesis (fig. 1 of the paper): dataflow
+    graph extraction, connectivity augmentation, final synthesis, and the
+    evaluation artefacts of Table I. *)
+
+type result = {
+  original : Ftrsn_rsn.Netlist.t;
+  ft : Ftrsn_rsn.Netlist.t;            (** the fault-tolerant RSN *)
+  augmentation : Augment.solution;
+  syn_stats : Synthesis.stats;
+  orig_area : Area.report;
+  ft_area : Area.report;
+  area_ratios : Area.ratios;
+}
+
+val synthesize :
+  ?options:Synthesis.options -> Ftrsn_rsn.Netlist.t -> result
+(** Runs augmentation (exact ILP for small graphs, min-cost flow
+    otherwise) and the final synthesis, verifying on the way that the
+    augmented graph meets the connectivity requirements and that the
+    fault-tolerant netlist still validates and preserves the reset path.
+    @raise Failure on infeasibility (does not happen for well-formed
+    SIB-based RSNs). *)
+
+type evaluation = {
+  orig_metric : Metric.result;
+  ft_metric : Metric.result;
+}
+
+val evaluate : ?sample:int -> result -> evaluation
+(** The accessibility halves of a Table I row (original vs fault-tolerant
+    metric over the respective full fault universes; [sample] as in
+    {!Metric.evaluate}). *)

@@ -1,0 +1,59 @@
+module Netlist = Ftrsn_rsn.Netlist
+
+type row = {
+  name : string;
+  segments : int;
+  muxes : int;
+  bits : int;
+  levels : int;
+  orig_metric : Metric.result;
+  ft_metric : Metric.result;
+  ratios : Area.ratios;
+  new_edges : int;
+  augment_cost : int;
+  augment_seconds : float;
+}
+
+let row ?sample ~name net =
+  let t0 = Unix.gettimeofday () in
+  let r = Pipeline.synthesize net in
+  let augment_seconds = Unix.gettimeofday () -. t0 in
+  {
+    name;
+    segments = Netlist.num_segments net;
+    muxes = Netlist.num_muxes net;
+    bits = Netlist.total_bits net;
+    levels = Netlist.max_hier net;
+    orig_metric = Metric.evaluate ?sample net;
+    ft_metric = Metric.evaluate ?sample r.Pipeline.ft;
+    ratios = r.Pipeline.area_ratios;
+    new_edges = List.length r.Pipeline.augmentation.Augment.new_edges;
+    augment_cost = r.Pipeline.augmentation.Augment.cost;
+    augment_seconds;
+  }
+
+let csv_header =
+  "name,segments,muxes,bits,levels,\
+   sib_bits_worst,sib_bits_avg,sib_segs_worst,sib_segs_avg,\
+   ft_bits_worst,ft_bits_avg,ft_segs_worst,ft_segs_avg,\
+   r_mux,r_bits,r_nets,r_area,new_edges,augment_cost,augment_seconds"
+
+let to_csv r =
+  Printf.sprintf "%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.3f,%.3f,%.3f,%.3f,%d,%d,%.2f"
+    r.name r.segments r.muxes r.bits r.levels
+    r.orig_metric.Metric.worst_bits r.orig_metric.Metric.avg_bits
+    r.orig_metric.Metric.worst_segments r.orig_metric.Metric.avg_segments
+    r.ft_metric.Metric.worst_bits r.ft_metric.Metric.avg_bits
+    r.ft_metric.Metric.worst_segments r.ft_metric.Metric.avg_segments
+    r.ratios.Area.r_mux r.ratios.Area.r_bits r.ratios.Area.r_nets
+    r.ratios.Area.r_area r.new_edges r.augment_cost r.augment_seconds
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>%s: %d segments / %d muxes / %d bits / %d levels@,\
+     original:       %a@,\
+     fault-tolerant: %a@,\
+     area ratios: %a; %d new edges (cost %d, %.2fs)@]"
+    r.name r.segments r.muxes r.bits r.levels Metric.pp r.orig_metric
+    Metric.pp r.ft_metric Area.pp_ratios r.ratios r.new_edges r.augment_cost
+    r.augment_seconds

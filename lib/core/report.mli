@@ -1,0 +1,29 @@
+(** One Table I row as a structured value: characteristics, both
+    accessibility metrics, area ratios and augmentation statistics for a
+    named RSN — shared by the reproduction CLI, the benches and any
+    downstream tooling; serializable as CSV. *)
+
+type row = {
+  name : string;
+  segments : int;
+  muxes : int;
+  bits : int;
+  levels : int;
+  orig_metric : Metric.result;
+  ft_metric : Metric.result;
+  ratios : Area.ratios;
+  new_edges : int;
+  augment_cost : int;
+  augment_seconds : float;
+}
+
+val row : ?sample:int -> name:string -> Ftrsn_rsn.Netlist.t -> row
+(** Runs the complete pipeline (augmentation, synthesis, both metrics,
+    area) on the netlist. *)
+
+val csv_header : string
+(** Column names, comma-separated (matches {!to_csv}). *)
+
+val to_csv : row -> string
+
+val pp : Format.formatter -> row -> unit

@@ -1,0 +1,56 @@
+(** Final synthesis of fault-tolerant RSNs (paper §III-E).
+
+    Starting from the original netlist and the augmenting edge set, the
+    synthesis:
+
+    + inserts one scan multiplexer per augmenting edge in front of the
+      target element, cascading when a target has several new in-edges;
+      every inserted mux defaults (reset = 0) to the original route, so all
+      scan paths configurable in the original RSN remain configurable and
+      access latency is preserved (§IV);
+    + steers each inserted mux from BOTH endpoints of its edge (a 4:1
+      one-hot realization with two address bits): one bit is appended as a
+      tail control bit of the {e source} segment, one of the {e target}
+      (primary control inputs when the endpoint is a scan port) — opening
+      the edge from either side breaks the circular dependency "opening
+      the edge requires a bit only reachable through the edge";
+    + adds a TMR'd primary-controlled rescue address bit to every original
+      2:1 scan mux, forcing its hosted route open regardless of scan state
+      (a hosted subtree's drain is otherwise controlled from inside);
+    + hardens all multiplexer address signals with TMR (replica flip-flops
+      plus voters, accounted by {!Area});
+    + re-derives select signals with two independent assertion stems per
+      segment ([select_hardened]);
+    + duplicates the primary scan ports ([dual_ports]); the port switch
+      multiplexers are counted in {!stats}.
+
+    Every mechanism can be disabled individually through {!options} for
+    ablation studies (see `bin/reproduce.ml --part ablation`). *)
+
+type options = {
+  opt_tmr : bool;           (** TMR hardening of mux addresses (§III-E-3) *)
+  opt_dual_ports : bool;    (** duplicated scan ports (§III-E-4) *)
+  opt_select_hardening : bool;  (** dual select stems (§III-E-2) *)
+  opt_rescue_lines : bool;  (** primary rescue bits on original muxes *)
+  opt_dual_host : bool;     (** target-side hosts on inserted muxes *)
+}
+
+val default_options : options
+(** Everything enabled — the paper's full synthesis. *)
+
+type stats = {
+  added_muxes : int;        (** augmenting-edge muxes inserted *)
+  port_muxes : int;         (** duplicated-port switch muxes *)
+  added_ctrl_bits : int;    (** appended scan control bits (pre-TMR) *)
+  added_primary_ctrls : int;(** primary control inputs added *)
+}
+
+val run :
+  ?options:options ->
+  Ftrsn_rsn.Netlist.t ->
+  new_edges:(int * int) list ->
+  Ftrsn_rsn.Netlist.t * stats
+(** [run net ~new_edges] builds the fault-tolerant netlist.  [new_edges]
+    are dataflow-vertex pairs as produced by {!Augment.solve}.
+    @raise Invalid_argument if an edge references the root as target or
+    the sink as source, or if the resulting netlist fails validation. *)

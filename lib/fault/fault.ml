@@ -1,0 +1,173 @@
+module Netlist = Ftrsn_rsn.Netlist
+module Sim = Ftrsn_rsn.Sim
+
+type site =
+  | Seg_scan_in of int
+  | Seg_scan_out of int
+  | Seg_shift_reg of int
+  | Seg_shadow_reg of int * int
+  | Seg_select of int
+  | Seg_capture_en of int
+  | Seg_update_en of int
+  | Mux_addr of int * int
+  | Mux_addr_replica of int * int * int
+  | Mux_data_in of int * int
+  | Mux_out of int
+  | Primary_in
+  | Primary_out
+
+type t = { site : site; stuck : bool }
+
+let universe (net : Netlist.t) =
+  let sites = ref [] in
+  let push s = sites := s :: !sites in
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      push (Seg_scan_in i);
+      push (Seg_scan_out i);
+      (* Internal scan cells of instrument segments are outside the paper's
+         fault universe ("all actual scan cells in the scan segments ...
+         beyond the scope of this paper", §IV-B); register faults are
+         enumerated only for pure control registers (SIBs and
+         configuration segments, whose whole shift register is mirrored by
+         the shadow).  Instrument segments still contribute their port
+         sites, and any hosted control bits contribute shadow sites. *)
+      if s.seg_shadow = s.seg_len then push (Seg_shift_reg i);
+      push (Seg_select i);
+      push (Seg_capture_en i);
+      if s.seg_shadow > 0 then begin
+        push (Seg_update_en i);
+        for b = 0 to s.seg_shadow - 1 do
+          push (Seg_shadow_reg (i, b))
+        done
+      end)
+    net.segs;
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      push (Mux_out m);
+      (* Inputs sharing a driver are one physical port. *)
+      Array.iteri
+        (fun k _ ->
+          if Netlist.mux_input_class net m k = k then
+            push (Mux_data_in (m, k)))
+        mx.mux_inputs;
+      Array.iteri
+        (fun b ctrl ->
+          match ctrl with
+          | Netlist.Ctrl_const _ -> ()
+          | Netlist.Ctrl_shadow _ | Netlist.Ctrl_primary _ ->
+              push (Mux_addr (m, b));
+              if mx.mux_tmr then
+                for r = 0 to 2 do
+                  push (Mux_addr_replica (m, b, r))
+                done)
+        mx.mux_addr)
+    net.muxes;
+  push Primary_in;
+  push Primary_out;
+  List.concat_map
+    (fun site -> [ { site; stuck = false }; { site; stuck = true } ])
+    (List.rev !sites)
+
+let is_masked (_net : Netlist.t) f =
+  match f.site with Mux_addr_replica _ -> true | _ -> false
+
+(* Muxes addressed by the given shadow bit. *)
+let driven_muxes (net : Netlist.t) seg bit =
+  let result = ref [] in
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      Array.iter
+        (function
+          | Netlist.Ctrl_shadow { cseg; cbit } when cseg = seg && cbit = bit ->
+              result := m :: !result
+          | _ -> ())
+        mx.mux_addr)
+    net.muxes;
+  !result
+
+let tmr_protected_shadow (net : Netlist.t) seg bit =
+  let driven = driven_muxes net seg bit in
+  driven <> []
+  && List.for_all (fun m -> net.Netlist.muxes.(m).Netlist.mux_tmr) driven
+
+(* Consumer dataflow vertex of each mux and the set of scan-in successor
+   vertices, from the collapsed dataflow view.  Mirrors the engine's
+   cached computation; netlists here are small enough to recompute. *)
+let port_masked_mux (net : Netlist.t) m =
+  net.Netlist.dual_ports
+  &&
+  let routes = Netlist.edge_routes net in
+  let consumer = ref (-1) in
+  let pi_succ = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (src, dst) rs ->
+      if src = 0 then Hashtbl.replace pi_succ dst ();
+      List.iter
+        (List.iter (fun (m', _) -> if m' = m then consumer := dst))
+        rs)
+    routes;
+  !consumer = 1 || Hashtbl.mem pi_succ !consumer
+
+let to_injection (net : Netlist.t) f =
+  let v = f.stuck in
+  let base = Sim.no_injection in
+  match f.site with
+  | Seg_scan_in i -> { base with stuck_seg_in = [ (i, v) ] }
+  | Seg_scan_out i -> { base with stuck_seg_out = [ (i, v) ] }
+  | Seg_shift_reg i ->
+      (* A representative stage in the middle of the register. *)
+      { base with stuck_shift = [ (i, net.segs.(i).seg_len / 2, v) ] }
+  | Seg_shadow_reg (i, b) ->
+      (* A TMR-protected bit (it drives only hardened addresses) is a
+         single replica: the voted address value stays fault-free, so the
+         configuration seen by the routing logic is unaffected. *)
+      if tmr_protected_shadow net i b then base
+      else { base with stuck_shadow = [ (i, b, v) ] }
+  | Seg_select i -> { base with stuck_select = [ (i, v) ] }
+  | Seg_capture_en i -> { base with stuck_capture = [ (i, v) ] }
+  | Seg_update_en i -> { base with stuck_update = [ (i, v) ] }
+  (* Faults bypassed by the duplicated scan ports: with the port switched,
+     the faulty element is not on the used route.  The netlist does not
+     model the port muxes structurally, so the faithful simulation of the
+     switched configuration is the fault-free routing. *)
+  | Mux_addr (m, b) ->
+      if port_masked_mux net m then base
+      else { base with stuck_mux_addr = [ (m, b, v) ] }
+  | Mux_addr_replica _ -> base
+  | Mux_data_in (m, k) ->
+      if port_masked_mux net m then base
+      else { base with stuck_mux_in = [ (m, k, v) ] }
+  | Mux_out m ->
+      if port_masked_mux net m then base
+      else { base with stuck_mux_out = [ (m, v) ] }
+  | Primary_in ->
+      if net.Netlist.dual_ports then base else { base with stuck_pi = Some v }
+  | Primary_out ->
+      if net.Netlist.dual_ports then base else { base with stuck_po = Some v }
+
+let weight (_net : Netlist.t) (_f : t) = 1
+
+let pp net fmt f =
+  let seg i = Netlist.segment_name net i in
+  let mux m = net.Netlist.muxes.(m).mux_name in
+  let s =
+    match f.site with
+    | Seg_scan_in i -> Printf.sprintf "%s.scan-in" (seg i)
+    | Seg_scan_out i -> Printf.sprintf "%s.scan-out" (seg i)
+    | Seg_shift_reg i -> Printf.sprintf "%s.shift-reg" (seg i)
+    | Seg_shadow_reg (i, b) -> Printf.sprintf "%s.shadow[%d]" (seg i) b
+    | Seg_select i -> Printf.sprintf "%s.select" (seg i)
+    | Seg_capture_en i -> Printf.sprintf "%s.capture-en" (seg i)
+    | Seg_update_en i -> Printf.sprintf "%s.update-en" (seg i)
+    | Mux_addr (m, b) -> Printf.sprintf "%s.addr[%d]" (mux m) b
+    | Mux_addr_replica (m, b, r) ->
+        Printf.sprintf "%s.addr[%d].tmr%d" (mux m) b r
+    | Mux_data_in (m, k) -> Printf.sprintf "%s.in[%d]" (mux m) k
+    | Mux_out m -> Printf.sprintf "%s.out" (mux m)
+    | Primary_in -> "primary.scan-in"
+    | Primary_out -> "primary.scan-out"
+  in
+  Format.fprintf fmt "%s/sa%d" s (if f.stuck then 1 else 0)
+
+let to_string net f = Format.asprintf "%a" (pp net) f

@@ -1,0 +1,60 @@
+(** Stuck-at fault model for RSNs (paper §III-A).
+
+    Fault sites are the ports of scan segments, registers and multiplexers,
+    plus the primary scan ports — the universe over which the paper's
+    fault-tolerance metric aggregates.  Faults in global control (clock,
+    reset) are excluded, as in the paper.
+
+    For TMR-hardened multiplexer addresses the three replica sites are
+    enumerated but masked (a single stuck-at is outvoted); the voter output
+    remains an unmasked site that locks the selection. *)
+
+type site =
+  | Seg_scan_in of int        (** data corrupted entering the segment *)
+  | Seg_scan_out of int       (** data corrupted leaving the segment *)
+  | Seg_shift_reg of int      (** a shift-register stage stuck *)
+  | Seg_shadow_reg of int * int  (** shadow bit stuck *)
+  | Seg_select of int         (** select port *)
+  | Seg_capture_en of int     (** capture enable *)
+  | Seg_update_en of int      (** update enable *)
+  | Mux_addr of int * int     (** address port (voter output if TMR) *)
+  | Mux_addr_replica of int * int * int
+      (** TMR replica [r] of an address bit; masked *)
+  | Mux_data_in of int * int  (** one data input port *)
+  | Mux_out of int            (** output port *)
+  | Primary_in                (** primary scan-in port *)
+  | Primary_out               (** primary scan-out port *)
+
+type t = { site : site; stuck : bool }
+
+val universe : Ftrsn_rsn.Netlist.t -> t list
+(** All single stuck-at-0/1 faults of the netlist. *)
+
+val is_masked : Ftrsn_rsn.Netlist.t -> t -> bool
+(** Whether the fault is structurally masked by hardening: TMR address
+    replicas, and single select-stem stuck-at-0 when the select network is
+    hardened are handled by the accessibility engines; [is_masked] covers
+    only the TMR replicas, which have no observable effect at all. *)
+
+val tmr_protected_shadow : Ftrsn_rsn.Netlist.t -> int -> int -> bool
+(** Whether shadow bit [(seg, bit)] drives only TMR-hardened multiplexer
+    addresses: a single stuck replica is outvoted, so the routing never
+    sees the stuck value (the bit's own write interface is still
+    considered broken). *)
+
+val port_masked_mux : Ftrsn_rsn.Netlist.t -> int -> bool
+(** Whether faults in the given mux are bypassed by the duplicated scan
+    ports (paper SIII-E-4): the netlist has [dual_ports] and the mux feeds
+    the primary scan-out or a direct successor of the primary scan-in —
+    the secondary port reaches around it. *)
+
+val to_injection : Ftrsn_rsn.Netlist.t -> t -> Ftrsn_rsn.Sim.injection
+(** Simulator overrides realizing the fault (the identity injection for a
+    masked fault). *)
+
+val weight : Ftrsn_rsn.Netlist.t -> t -> int
+(** Physical multiplicity of the site, used to weight the average of the
+    fault-tolerance metric.  Port and register sites currently weigh 1. *)
+
+val pp : Ftrsn_rsn.Netlist.t -> Format.formatter -> t -> unit
+val to_string : Ftrsn_rsn.Netlist.t -> t -> string

@@ -1,0 +1,128 @@
+module Simplex = Ftrsn_lp.Simplex
+
+type t = {
+  nv : int;
+  obj : float array;
+  mutable cons : ((int * float) list * Simplex.relop * float) list;
+}
+
+let make ~num_vars ~objective =
+  if Array.length objective <> num_vars then
+    invalid_arg "Bnb.make: objective length mismatch";
+  { nv = num_vars; obj = Array.copy objective; cons = [] }
+
+let add_constraint t ~coeffs ~op ~rhs = t.cons <- (coeffs, op, rhs) :: t.cons
+let num_vars t = t.nv
+
+type solution = { obj : float; x : bool array }
+
+type report = {
+  best : solution option;
+  optimal : bool;
+  nodes : int;
+  cuts : int;
+}
+
+(* A node is the list of fixed (variable, value) pairs along its branch. *)
+type node = (int * bool) list
+
+let eval_obj (t : t) x =
+  let v = ref 0.0 in
+  Array.iteri (fun i xi -> if xi then v := !v +. t.obj.(i)) x;
+  !v
+
+let solve ?(lazy_cuts = fun _ -> []) ?initial ?(max_nodes = 200_000)
+    ?(integral_objective = false) t =
+  let lp = Simplex.make ~num_vars:t.nv ~objective:t.obj in
+  List.iter
+    (fun (coeffs, op, rhs) -> Simplex.add_constraint lp ~coeffs ~op ~rhs)
+    t.cons;
+  for i = 0 to t.nv - 1 do
+    Simplex.set_bounds lp i ~lo:0.0 ~hi:1.0
+  done;
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  (match initial with
+  | Some x0 when Array.length x0 = t.nv ->
+      incumbent := Some { obj = eval_obj t x0; x = Array.copy x0 };
+      incumbent_obj := eval_obj t x0
+  | Some _ -> invalid_arg "Bnb.solve: initial length mismatch"
+  | None -> ());
+  let nodes = ref 0 in
+  let cuts = ref 0 in
+  let hit_limit = ref false in
+  let stack : node Stack.t = Stack.create () in
+  Stack.push [] stack;
+  let apply_fixings fixings =
+    List.iter
+      (fun (i, v) ->
+        if v then Simplex.set_bounds lp i ~lo:1.0 ~hi:1.0
+        else Simplex.set_bounds lp i ~lo:0.0 ~hi:0.0)
+      fixings
+  in
+  let clear_fixings fixings =
+    List.iter (fun (i, _) -> Simplex.set_bounds lp i ~lo:0.0 ~hi:1.0) fixings
+  in
+  let prune_bound () =
+    if integral_objective then !incumbent_obj -. 0.5
+    else !incumbent_obj -. 1e-7
+  in
+  while not (Stack.is_empty stack) do
+    let fixings = Stack.pop stack in
+    incr nodes;
+    if !nodes > max_nodes then begin
+      hit_limit := true;
+      Stack.clear stack
+    end
+    else begin
+      apply_fixings fixings;
+      let outcome = Simplex.solve lp in
+      clear_fixings fixings;
+      match outcome with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded ->
+          (* Impossible with 0/1 bounds; defensive. *)
+          ()
+      | Simplex.Optimal { obj; x } ->
+          if obj <= prune_bound () then begin
+            (* Find the most fractional variable. *)
+            let frac_var = ref (-1) in
+            let frac_dist = ref 0.0 in
+            Array.iteri
+              (fun i xi ->
+                let d = abs_float (xi -. Float.round xi) in
+                if d > !frac_dist +. 1e-9 then begin
+                  frac_dist := d;
+                  frac_var := i
+                end)
+              x;
+            if !frac_var < 0 then begin
+              (* Integral candidate: check lazy cuts. *)
+              let xi = Array.map (fun v -> v > 0.5) x in
+              match lazy_cuts xi with
+              | [] ->
+                  if obj < !incumbent_obj then begin
+                    incumbent := Some { obj; x = xi };
+                    incumbent_obj := obj
+                  end
+              | violated ->
+                  List.iter
+                    (fun (coeffs, op, rhs) ->
+                      Simplex.add_constraint lp ~coeffs ~op ~rhs;
+                      t.cons <- (coeffs, op, rhs) :: t.cons;
+                      incr cuts)
+                    violated;
+                  (* Re-explore this node with the cuts in place. *)
+                  Stack.push fixings stack
+            end
+            else begin
+              let v = !frac_var in
+              (* Explore the rounded-up branch first: augmentation
+                 solutions tend to include candidate edges. *)
+              Stack.push ((v, false) :: fixings) stack;
+              Stack.push ((v, true) :: fixings) stack
+            end
+          end
+    end
+  done;
+  { best = !incumbent; optimal = not !hit_limit; nodes = !nodes; cuts = !cuts }

@@ -1,0 +1,172 @@
+module Sib = Ftrsn_rsn.Sib
+module Netlist = Ftrsn_rsn.Netlist
+
+type soc = {
+  soc_name : string;
+  soc_modules : int;
+  soc_levels : int;
+  soc_mux : int;
+  soc_segments : int;
+  soc_bits : int;
+}
+
+(* Number of module SIBs placed below the top level (depth >= 2), from the
+   hierarchy shapes of the original ITC'02 descriptions: p93791 nests most
+   of its cores under a few parents, p22081 is almost flat, p34392 and
+   a586710 are in between, x1331 is a deep but narrow hierarchy.  This
+   only shapes the generated hierarchy; the Table I totals are exact. *)
+let nested_groups = function
+  | "p93791" -> 26
+  | "p22081" -> 4
+  | "p34392" -> 9
+  | "a586710" -> 3
+  | "x1331" -> 3
+  | _ -> 0
+
+let mk name modules levels mux segments bits =
+  {
+    soc_name = name;
+    soc_modules = modules;
+    soc_levels = levels;
+    soc_mux = mux;
+    soc_segments = segments;
+    soc_bits = bits;
+  }
+
+(* Table I, "RSN characteristics" columns. *)
+let all =
+  [
+    mk "u226" 10 2 49 89 1465;
+    mk "d281" 9 2 58 108 3871;
+    mk "d695" 11 2 167 324 8396;
+    mk "h953" 9 2 54 100 5640;
+    mk "g1023" 15 2 79 144 5385;
+    mk "x1331" 7 4 31 56 4023;
+    mk "f2126" 5 2 40 76 15829;
+    mk "q12710" 5 2 25 46 26183;
+    mk "t512505" 31 2 159 287 77005;
+    mk "a586710" 8 3 39 71 41674;
+    mk "p22081" 29 3 282 536 30110;
+    mk "p34392" 20 3 122 225 23241;
+    mk "p93791" 33 3 620 1208 98604;
+  ]
+
+let find name = List.find_opt (fun s -> s.soc_name = name) all
+
+(* Small deterministic PRNG so that the generated hierarchy only depends on
+   the SoC name. *)
+let lcg_of_string s =
+  let seed = ref 0 in
+  String.iter (fun c -> seed := (!seed * 131) + Char.code c) s;
+  let state = ref ((!seed land 0x3FFFFFFF) lor 1) in
+  fun bound ->
+    state := ((1103515245 * !state) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+(* Split [total] into [parts] summands (each >= min_each), with
+   deterministic pseudo-random weights. *)
+let split lcg ~parts ~total ~min_each =
+  if parts = 0 then [||]
+  else begin
+    if total < parts * min_each then invalid_arg "Itc02.split: total too small";
+    let weights = Array.init parts (fun _ -> 1 + lcg 7) in
+    let wsum = Array.fold_left ( + ) 0 weights in
+    let spare = total - (parts * min_each) in
+    let out = Array.make parts min_each in
+    let assigned = ref 0 in
+    for i = 0 to parts - 1 do
+      let extra = spare * weights.(i) / wsum in
+      out.(i) <- out.(i) + extra;
+      assigned := !assigned + extra
+    done;
+    let rest = ref (spare - !assigned) in
+    let i = ref 0 in
+    while !rest > 0 do
+      out.(!i mod parts) <- out.(!i mod parts) + 1;
+      decr rest;
+      incr i
+    done;
+    out
+  end
+
+let generate soc =
+  let leaves = soc.soc_segments - soc.soc_mux in
+  let groups = soc.soc_mux - leaves in
+  if leaves <= 0 || groups <= 0 then
+    invalid_arg (soc.soc_name ^ ": inconsistent descriptor");
+  let lcg = lcg_of_string soc.soc_name in
+  let instrument_bits = soc.soc_bits - soc.soc_mux in
+  let nested = min (nested_groups soc.soc_name) (groups - 1) in
+  let top_count = groups - nested in
+  (* The top module hosts leaves directly iff it has no group of its own
+     (groups = modules - 1, the common case). *)
+  let root_hosts_leaves = groups = soc.soc_modules - 1 in
+  let root_leaves =
+    if root_hosts_leaves then
+      max 0 (min (leaves - groups) (leaves / soc.soc_modules))
+    else 0
+  in
+  let group_leaf_counts =
+    split lcg ~parts:groups ~total:(leaves - root_leaves) ~min_each:1
+  in
+  let leaf_lens = split lcg ~parts:leaves ~total:instrument_bits ~min_each:1 in
+  let next_leaf = ref 0 in
+  let take_leaf prefix =
+    let len = leaf_lens.(!next_leaf) in
+    let name = Printf.sprintf "%s_c%d" prefix !next_leaf in
+    incr next_leaf;
+    Sib.leaf ~name ~len
+  in
+  (* Group indices: 0 .. top_count-1 are top level, the rest nested.  Each
+     nested group is assigned a top-level parent; for a 4-level SoC, one
+     nested group is re-parented under another nested group to realize the
+     extra depth. *)
+  let parent = Array.make groups (-1) in
+  for g = top_count to groups - 1 do
+    parent.(g) <- lcg top_count
+  done;
+  if soc.soc_levels >= 4 && nested >= 2 then begin
+    (* chain: last nested group under the one before it, recursively for
+       deeper targets *)
+    for d = 0 to soc.soc_levels - 4 do
+      let child = groups - 1 - d and new_parent = groups - 2 - d in
+      if child > top_count then parent.(child) <- new_parent
+    done
+  end;
+  (* Build bottom-up: children lists. *)
+  let children = Array.make groups [] in
+  for g = groups - 1 downto top_count do
+    children.(parent.(g)) <- g :: children.(parent.(g))
+  done;
+  let rec group_spec idx =
+    let own_leaves =
+      List.init group_leaf_counts.(idx) (fun _ ->
+          take_leaf (Printf.sprintf "%s_m%d" soc.soc_name idx))
+    in
+    let nested_specs = List.map group_spec children.(idx) in
+    Sib.Sib
+      {
+        name = Printf.sprintf "%s_m%d" soc.soc_name idx;
+        inner = nested_specs @ own_leaves;
+      }
+  in
+  let top_groups = List.init top_count group_spec in
+  let root =
+    List.init root_leaves (fun _ -> take_leaf (soc.soc_name ^ "_top"))
+  in
+  top_groups @ root
+
+let rsn soc =
+  let specs = generate soc in
+  let net = Sib.build ~name:soc.soc_name specs in
+  let check what got want =
+    if got <> want then
+      failwith
+        (Printf.sprintf "Itc02.rsn %s: %s = %d, expected %d" soc.soc_name
+           what got want)
+  in
+  check "mux" (Netlist.num_muxes net) soc.soc_mux;
+  check "segments" (Netlist.num_segments net) soc.soc_segments;
+  check "bits" (Netlist.total_bits net) soc.soc_bits;
+  check "levels" (Netlist.max_hier net) soc.soc_levels;
+  net

@@ -1,0 +1,38 @@
+(** The ITC'02 system-on-chip benchmarks as SIB-based RSNs (paper §IV-A).
+
+    The original ITC'02 benchmark files describe SoCs as module hierarchies
+    with scan chains.  The paper generates SIB-based RSNs from them
+    (Zadegan et al., DATE'11) and reports the resulting RSN characteristics
+    in Table I.  This module embeds, for each of the 13 evaluated SoCs, a
+    descriptor whose module count, hierarchy depth, multiplexer, segment
+    and scan-bit totals match Table I exactly; the per-module distribution
+    of scan chains and chain lengths — which the synthesis and the metric
+    are insensitive to beyond these totals — is generated deterministically
+    from the SoC name (see DESIGN.md §2 for the substitution argument).
+
+    Structural identities of the generated networks:
+    [segments = leaf segments + leaf SIBs + group SIBs],
+    [mux = leaf SIBs + group SIBs], [bits = mux + instrument bits]. *)
+
+type soc = {
+  soc_name : string;
+  soc_modules : int;  (** "modules" column: cores incl. the top module *)
+  soc_levels : int;   (** "levels" column: hierarchical depth *)
+  soc_mux : int;      (** "mux" column *)
+  soc_segments : int; (** "segments" column *)
+  soc_bits : int;     (** "bits" column *)
+}
+
+val all : soc list
+(** The 13 SoCs of Table I, in table order. *)
+
+val find : string -> soc option
+(** Lookup by name (e.g. ["d695"]). *)
+
+val generate : soc -> Ftrsn_rsn.Sib.spec list
+(** Deterministic SIB hierarchy matching the descriptor's totals. *)
+
+val rsn : soc -> Ftrsn_rsn.Netlist.t
+(** [rsn soc] builds the SIB-based RSN and checks that its characteristics
+    (mux, segments, bits, levels) equal the descriptor's.
+    @raise Failure if the generated network does not match. *)

@@ -1,0 +1,592 @@
+(* Tokenizer, recursive-descent parser and hierarchical elaborator for the
+   ICL subset documented in the interface.  Elaboration works in two
+   passes: pass 1 walks the instance tree and creates every flattened
+   register and mux (allocating netlist ids), pass 2 resolves all driver
+   and select paths against the scope tree (local names, bound input
+   ports, instance internals). *)
+
+exception Err of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Err s)) fmt
+
+(* ---------- tokens ---------- *)
+
+type token =
+  | Tid of string
+  | Tint of int
+  | Tbits of string   (* the bit string of n'b0101 *)
+  | Tpunct of char    (* { } [ ] : ; = . *)
+  | Teof
+
+let tokenize text =
+  let n = String.length text in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    then begin
+      let j = ref !i in
+      while
+        !j < n
+        &&
+        let d = text.[!j] in
+        (d >= 'a' && d <= 'z')
+        || (d >= 'A' && d <= 'Z')
+        || (d >= '0' && d <= '9')
+        || d = '_'
+      do
+        incr j
+      done;
+      push (Tid (String.sub text !i (!j - !i)));
+      i := !j
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && text.[!j] >= '0' && text.[!j] <= '9' do
+        incr j
+      done;
+      let value = int_of_string (String.sub text !i (!j - !i)) in
+      (* Verilog-style sized binary constant? *)
+      if !j + 1 < n && text.[!j] = '\'' && (text.[!j + 1] = 'b' || text.[!j + 1] = 'B')
+      then begin
+        let k = ref (!j + 2) in
+        while !k < n && (text.[!k] = '0' || text.[!k] = '1') do
+          incr k
+        done;
+        let bits = String.sub text (!j + 2) (!k - !j - 2) in
+        if String.length bits <> value then
+          err "line %d: %d'b constant with %d bits" !line value
+            (String.length bits);
+        push (Tbits bits);
+        i := !k
+      end
+      else begin
+        push (Tint value);
+        i := !j
+      end
+    end
+    else if String.contains "{}[]:;=." c then begin
+      push (Tpunct c);
+      incr i
+    end
+    else err "line %d: unexpected character %c" !line c
+  done;
+  push Teof;
+  List.rev !toks
+
+(* ---------- AST ---------- *)
+
+type path = { steps : string list; range : (int * int) option }
+(* range (msb, lsb); a single index i is (i, i) *)
+
+type reg_decl = {
+  r_name : string;
+  r_width : int;
+  r_scan_in : path;
+  r_reset : string option;  (* bit string, msb first *)
+  r_update : bool;
+}
+
+type mux_decl = {
+  m_name : string;
+  m_sel : path;
+  m_cases : (string * path) list;  (* bit pattern (msb first) -> source *)
+}
+
+type inst_decl = {
+  i_name : string;
+  i_module : string;
+  i_bindings : (string * path) list;  (* input port -> parent path *)
+}
+
+type item =
+  | I_scan_in of string
+  | I_scan_out of string * path
+  | I_select of string
+  | I_reg of reg_decl
+  | I_mux of mux_decl
+  | I_inst of inst_decl
+
+type module_decl = { mod_name : string; items : item list }
+
+(* ---------- parser ---------- *)
+
+type parser_state = { mutable toks : (token * int) list }
+
+let peek ps = fst (List.hd ps.toks)
+let line_of ps = snd (List.hd ps.toks)
+let advance ps = ps.toks <- List.tl ps.toks
+
+let expect_id ps =
+  match peek ps with
+  | Tid s ->
+      advance ps;
+      s
+  | _ -> err "line %d: identifier expected" (line_of ps)
+
+let expect_punct ps c =
+  match peek ps with
+  | Tpunct c' when c' = c -> advance ps
+  | _ -> err "line %d: '%c' expected" (line_of ps) c
+
+let expect_kw ps kw =
+  match peek ps with
+  | Tid s when s = kw -> advance ps
+  | _ -> err "line %d: keyword '%s' expected" (line_of ps) kw
+
+let expect_int ps =
+  match peek ps with
+  | Tint v ->
+      advance ps;
+      v
+  | _ -> err "line %d: integer expected" (line_of ps)
+
+let parse_range_opt ps =
+  match peek ps with
+  | Tpunct '[' ->
+      advance ps;
+      let msb = expect_int ps in
+      let lsb =
+        match peek ps with
+        | Tpunct ':' ->
+            advance ps;
+            expect_int ps
+        | _ -> msb
+      in
+      expect_punct ps ']';
+      Some (msb, lsb)
+  | _ -> None
+
+let parse_path ps =
+  let first = expect_id ps in
+  let steps = ref [ first ] in
+  let continue = ref true in
+  while !continue do
+    match peek ps with
+    | Tpunct '.' ->
+        advance ps;
+        steps := expect_id ps :: !steps
+    | _ -> continue := false
+  done;
+  let range = parse_range_opt ps in
+  { steps = List.rev !steps; range }
+
+let parse_reg ps name =
+  let width =
+    match parse_range_opt ps with
+    | Some (msb, lsb) ->
+        if lsb <> 0 then err "line %d: register ranges must end at 0" (line_of ps);
+        msb + 1
+    | None -> 1
+  in
+  expect_punct ps '{';
+  let scan_in = ref None in
+  let reset = ref None in
+  let update = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek ps with
+    | Tpunct '}' ->
+        advance ps;
+        continue := false
+    | Tid "ScanInSource" ->
+        advance ps;
+        scan_in := Some (parse_path ps);
+        expect_punct ps ';'
+    | Tid "ResetValue" -> (
+        advance ps;
+        match peek ps with
+        | Tbits b ->
+            advance ps;
+            if String.length b <> width then
+              err "line %d: reset width mismatch" (line_of ps);
+            reset := Some b;
+            expect_punct ps ';'
+        | _ -> err "line %d: sized binary constant expected" (line_of ps))
+    | Tid "Update" ->
+        advance ps;
+        update := true;
+        expect_punct ps ';'
+    | _ -> err "line %d: unknown register attribute" (line_of ps)
+  done;
+  match !scan_in with
+  | None -> err "register %s: missing ScanInSource" name
+  | Some scan_in ->
+      {
+        r_name = name;
+        r_width = width;
+        r_scan_in = scan_in;
+        r_reset = !reset;
+        r_update = !update;
+      }
+
+let parse_mux ps name =
+  expect_kw ps "SelectedBy";
+  let sel = parse_path ps in
+  expect_punct ps '{';
+  let cases = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek ps with
+    | Tpunct '}' ->
+        advance ps;
+        continue := false
+    | Tbits pattern ->
+        advance ps;
+        expect_punct ps ':';
+        let src = parse_path ps in
+        expect_punct ps ';';
+        cases := (pattern, src) :: !cases
+    | _ -> err "line %d: mux case or '}' expected" (line_of ps)
+  done;
+  { m_name = name; m_sel = sel; m_cases = List.rev !cases }
+
+let parse_instance ps name =
+  expect_kw ps "Of";
+  let m = expect_id ps in
+  let bindings = ref [] in
+  (match peek ps with
+  | Tpunct '{' ->
+      advance ps;
+      let continue = ref true in
+      while !continue do
+        match peek ps with
+        | Tpunct '}' ->
+            advance ps;
+            continue := false
+        | Tid "InputPort" ->
+            advance ps;
+            let port = expect_id ps in
+            expect_punct ps '=';
+            let src = parse_path ps in
+            expect_punct ps ';';
+            bindings := (port, src) :: !bindings
+        | _ -> err "line %d: InputPort binding or '}' expected" (line_of ps)
+      done
+  | Tpunct ';' -> advance ps
+  | _ -> err "line %d: instance body or ';' expected" (line_of ps));
+  { i_name = name; i_module = m; i_bindings = List.rev !bindings }
+
+let parse_module ps =
+  expect_kw ps "Module";
+  let name = expect_id ps in
+  expect_punct ps '{';
+  let items = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek ps with
+    | Tpunct '}' ->
+        advance ps;
+        continue := false
+    | Tid "ScanInPort" ->
+        advance ps;
+        let n = expect_id ps in
+        expect_punct ps ';';
+        items := I_scan_in n :: !items
+    | Tid "SelectPort" ->
+        advance ps;
+        let n = expect_id ps in
+        expect_punct ps ';';
+        items := I_select n :: !items
+    | Tid "ScanOutPort" ->
+        advance ps;
+        let n = expect_id ps in
+        expect_punct ps '{';
+        expect_kw ps "Source";
+        let src = parse_path ps in
+        expect_punct ps ';';
+        expect_punct ps '}';
+        items := I_scan_out (n, src) :: !items
+    | Tid "ScanRegister" ->
+        advance ps;
+        let n = expect_id ps in
+        items := I_reg (parse_reg ps n) :: !items
+    | Tid "ScanMux" ->
+        advance ps;
+        let n = expect_id ps in
+        items := I_mux (parse_mux ps n) :: !items
+    | Tid "Instance" ->
+        advance ps;
+        let n = expect_id ps in
+        items := I_inst (parse_instance ps n) :: !items
+    | _ -> err "line %d: module item expected" (line_of ps)
+  done;
+  { mod_name = name; items = List.rev !items }
+
+let parse_modules text =
+  let ps = { toks = tokenize text } in
+  let mods = ref [] in
+  while peek ps <> Teof do
+    mods := parse_module ps :: !mods
+  done;
+  List.rev !mods
+
+(* ---------- elaboration ---------- *)
+
+type scope = {
+  prefix : string;  (* "" for top, "core1." for instances *)
+  ast : module_decl;
+  bindings : (string * (path * scope)) list;
+      (* input port -> (path, scope to resolve it in) *)
+  top : bool;
+}
+
+let find_module mods name =
+  match List.find_opt (fun m -> m.mod_name = name) mods with
+  | Some m -> m
+  | None -> err "unknown module %s" name
+
+let find_item scope name =
+  List.find_opt
+    (fun item ->
+      match item with
+      | I_reg r -> r.r_name = name
+      | I_mux m -> m.m_name = name
+      | I_inst i -> i.i_name = name
+      | I_scan_in p | I_select p -> p = name
+      | I_scan_out (p, _) -> p = name)
+    scope.ast.items
+
+let elaborate mods top_name =
+  let top_ast = find_module mods top_name in
+  (* Pass 1: flatten registers and muxes, assign ids. *)
+  let regs : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let muxes : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let reg_list = ref [] (* (flat name, decl, scope) in creation order *) in
+  let mux_list = ref [] in
+  let nregs = ref 0 and nmuxes = ref 0 in
+  let rec flatten scope depth =
+    if depth > 64 then err "instance nesting too deep (recursive modules?)";
+    List.iter
+      (fun item ->
+        match item with
+        | I_reg r ->
+            Hashtbl.replace regs (scope.prefix ^ r.r_name) !nregs;
+            reg_list := (scope.prefix ^ r.r_name, r, scope, depth) :: !reg_list;
+            incr nregs
+        | I_mux m ->
+            Hashtbl.replace muxes (scope.prefix ^ m.m_name) !nmuxes;
+            mux_list := (scope.prefix ^ m.m_name, m, scope) :: !mux_list;
+            incr nmuxes
+        | I_inst inst ->
+            let child_ast = find_module mods inst.i_module in
+            let child =
+              {
+                prefix = scope.prefix ^ inst.i_name ^ ".";
+                ast = child_ast;
+                bindings =
+                  List.map (fun (p, src) -> (p, (src, scope))) inst.i_bindings;
+                top = false;
+              }
+            in
+            flatten child (depth + 1)
+        | I_scan_in _ | I_scan_out _ | I_select _ -> ())
+      scope.ast.items
+  in
+  let top_scope = { prefix = ""; ast = top_ast; bindings = []; top = true } in
+  flatten top_scope 0;
+  let reg_list = List.rev !reg_list and mux_list = List.rev !mux_list in
+  (* Pass 2: resolve paths to netlist nodes. *)
+  let rec resolve scope (p : path) : Netlist.node =
+    match p.steps with
+    | [] -> err "empty path"
+    | head :: rest -> (
+        match find_item scope head with
+        | Some (I_reg _) when rest = [] ->
+            Netlist.Seg (Hashtbl.find regs (scope.prefix ^ head))
+        | Some (I_mux _) when rest = [] ->
+            Netlist.Mux (Hashtbl.find muxes (scope.prefix ^ head))
+        | Some (I_scan_in _) when rest = [] ->
+            if scope.top then Netlist.Scan_in
+            else begin
+              match List.assoc_opt head scope.bindings with
+              | Some (src, parent) -> resolve parent src
+              | None ->
+                  err "unbound scan-in port %s%s" scope.prefix head
+            end
+        | Some (I_inst inst) -> (
+            let child_ast = find_module mods inst.i_module in
+            let child =
+              {
+                prefix = scope.prefix ^ inst.i_name ^ ".";
+                ast = child_ast;
+                bindings =
+                  List.map (fun (q, src) -> (q, (src, scope))) inst.i_bindings;
+                top = false;
+              }
+            in
+            match rest with
+            | [] -> err "instance %s used as a scan source without port" head
+            | _ -> resolve child { p with steps = rest })
+        | Some (I_scan_out (_, src)) when rest = [] -> resolve scope src
+        | Some (I_select _) -> err "select port %s used as data" head
+        | Some _ -> err "path %s: trailing components" (String.concat "." p.steps)
+        | None ->
+            err "unresolved path %s in %s" (String.concat "." p.steps)
+              (if scope.prefix = "" then "top" else scope.prefix))
+  in
+  (* Select sources: a path must denote shadow bits or a select port. *)
+  let rec resolve_select scope (p : path) : Netlist.control list =
+    match p.steps with
+    | [ one ] -> (
+        match find_item scope one with
+        | Some (I_select _) ->
+            if scope.top then [ Netlist.Ctrl_primary one ]
+            else begin
+              (* Select ports of instances may be bound like inputs. *)
+              match List.assoc_opt one scope.bindings with
+              | Some (src, parent) -> resolve_select parent src
+              | None -> [ Netlist.Ctrl_primary (scope.prefix ^ one) ]
+            end
+        | Some (I_reg r) ->
+            if not r.r_update then
+              err "mux select from register %s without Update" one;
+            let id = Hashtbl.find regs (scope.prefix ^ one) in
+            let msb, lsb =
+              match p.range with Some (m, l) -> (m, l) | None -> (0, 0)
+            in
+            if msb < lsb then err "select range must be [msb:lsb]";
+            List.init (msb - lsb + 1) (fun k ->
+                Netlist.Ctrl_shadow { cseg = id; cbit = lsb + k })
+        | _ -> err "bad select source %s" one)
+    | head :: rest -> (
+        match find_item scope head with
+        | Some (I_inst inst) ->
+            let child_ast = find_module mods inst.i_module in
+            let child =
+              {
+                prefix = scope.prefix ^ inst.i_name ^ ".";
+                ast = child_ast;
+                bindings =
+                  List.map (fun (q, src) -> (q, (src, scope))) inst.i_bindings;
+                top = false;
+              }
+            in
+            resolve_select child { p with steps = rest }
+        | _ -> err "bad select path %s" (String.concat "." p.steps))
+    | [] -> err "empty select path"
+  in
+  (* Build the netlist arrays. *)
+  let segments =
+    List.map
+      (fun (flat, r, scope, depth) ->
+        let reset =
+          match r.r_reset with
+          | None -> Array.make (if r.r_update then r.r_width else 0) false
+          | Some bits ->
+              if not r.r_update then [||]
+              else
+                (* bits are msb-first; shadow bit 0 = lsb. *)
+                Array.init r.r_width (fun k ->
+                    bits.[r.r_width - 1 - k] = '1')
+        in
+        {
+          Netlist.seg_name = flat;
+          seg_len = r.r_width;
+          seg_shadow = (if r.r_update then r.r_width else 0);
+          seg_input = resolve scope r.r_scan_in;
+          seg_reset = reset;
+          seg_hier = depth + 1;
+        })
+      reg_list
+  in
+  let mux_array =
+    List.map
+      (fun (flat, m, scope) ->
+        let addr = resolve_select scope m.m_sel in
+        let width = List.length addr in
+        let n_inputs = 1 lsl width in
+        let cases =
+          List.map
+            (fun (pattern, src) ->
+              if String.length pattern <> width then
+                err "mux %s: case width mismatch" flat;
+              let v = ref 0 in
+              String.iteri
+                (fun i c ->
+                  if c = '1' then v := !v lor (1 lsl (width - 1 - i)))
+                pattern;
+              (!v, resolve scope src))
+            m.m_cases
+        in
+        (match cases with [] -> err "mux %s: no cases" flat | _ -> ());
+        let default = snd (List.hd cases) in
+        let inputs =
+          Array.init n_inputs (fun k ->
+              match List.assoc_opt k cases with
+              | Some src -> src
+              | None -> default)
+        in
+        {
+          Netlist.mux_name = flat;
+          mux_inputs = inputs;
+          mux_addr = Array.of_list addr;
+          mux_tmr = false;
+          mux_rescue_from = n_inputs;
+        })
+      mux_list
+  in
+  (* Top scan-out. *)
+  let out_src =
+    match
+      List.find_map
+        (function I_scan_out (_, src) -> Some src | _ -> None)
+        top_ast.items
+    with
+    | Some src -> resolve top_scope src
+    | None -> err "top module %s has no ScanOutPort" top_name
+  in
+  let net =
+    {
+      Netlist.net_name = top_name;
+      segs = Array.of_list segments;
+      muxes = Array.of_list mux_array;
+      out_src;
+      select_hardened = false;
+      dual_ports = false;
+    }
+  in
+  match Netlist.validate net with
+  | Ok () -> net
+  | Error e -> err "elaborated netlist invalid: %s" e
+
+let parse ?top text =
+  try
+    let mods = parse_modules text in
+    if mods = [] then Error "no modules"
+    else begin
+      let top_name =
+        match top with
+        | Some t -> t
+        | None -> (List.nth mods (List.length mods - 1)).mod_name
+      in
+      Ok (elaborate mods top_name)
+    end
+  with
+  | Err e -> Error e
+  | Failure e -> Error e
+
+let sib_module_library =
+  {|
+Module SIB {
+  ScanInPort si;
+  ScanInPort host;
+  ScanOutPort so { Source m; }
+  ScanRegister r { ScanInSource si; ResetValue 1'b0; Update; }
+  ScanMux m SelectedBy r { 1'b0 : r; 1'b1 : host; }
+}
+|}

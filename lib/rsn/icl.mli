@@ -1,0 +1,45 @@
+(** A front-end for a practical subset of IEEE Std 1687 ICL (Instrument
+    Connectivity Language), elaborating hierarchical module descriptions
+    into flat {!Netlist.t} values.
+
+    Supported subset:
+    {v
+    Module <name> {
+      ScanInPort  <name> ;
+      ScanOutPort <name> { Source <path> ; }
+      SelectPort  <name> ;                      // primary control input
+      ScanRegister <name> [msb:lsb]? {
+        ScanInSource <path> ;
+        ResetValue  <n>'b<bits> ;               // optional, default 0s
+        Update ;                                // optional: shadow register
+      }
+      ScanMux <name> SelectedBy <path> {        // path: reg[i], reg[hi:lo],
+        <n>'b<bits> : <path> ;                  //   or a SelectPort
+        ...
+      }
+      Instance <name> Of <module> {
+        InputPort <port> = <path> ;
+      }
+    }
+    v}
+
+    Paths are dot-separated ([inst.so], [reg], [mux1]) and resolve to: a
+    local scan register or mux output, the module's scan-in port, a bound
+    input port, or an instance's scan-out port.  The LAST module in the
+    file is the top module unless [top] names another.  Registers with
+    [Update] get a full shadow (their whole shift register is mirrored);
+    mux select sources must be shadow bits of such registers or
+    SelectPorts.
+
+    Elaboration flattens instances with dot-separated name prefixes, so
+    the segment names of the resulting netlist are hierarchical
+    ([core1.sib], [core1.chain0], ...). *)
+
+val parse : ?top:string -> string -> (Netlist.t, string) result
+(** Parses and elaborates ICL text.  Errors carry a line number and a
+    description. *)
+
+val sib_module_library : string
+(** A reusable ICL library defining a [SIB] module (1-bit segment
+    insertion bit with host port) — prepend it to descriptions that
+    instantiate [Sib]-style bypasses. *)

@@ -1,0 +1,210 @@
+type node = Scan_in | Scan_out | Seg of int | Mux of int
+
+type control =
+  | Ctrl_const of bool
+  | Ctrl_shadow of { cseg : int; cbit : int }
+  | Ctrl_primary of string
+
+type segment = {
+  seg_name : string;
+  seg_len : int;
+  seg_shadow : int;
+  seg_input : node;
+  seg_reset : bool array;
+  seg_hier : int;
+}
+
+type mux = {
+  mux_name : string;
+  mux_inputs : node array;
+  mux_addr : control array;
+  mux_tmr : bool;
+  mux_rescue_from : int;
+}
+
+type t = {
+  net_name : string;
+  segs : segment array;
+  muxes : mux array;
+  out_src : node;
+  select_hardened : bool;
+  dual_ports : bool;
+}
+
+let num_segments net = Array.length net.segs
+let num_muxes net = Array.length net.muxes
+
+let total_bits net =
+  Array.fold_left (fun acc s -> acc + s.seg_len) 0 net.segs
+
+let seg_len net i = net.segs.(i).seg_len
+let segment_name net i = net.segs.(i).seg_name
+
+let max_hier net =
+  Array.fold_left (fun acc s -> max acc s.seg_hier) 0 net.segs
+
+module Elt = struct
+  let scan_in = 0
+  let scan_out = 1
+  let of_seg i = 2 + i
+  let of_mux net i = 2 + Array.length net.segs + i
+
+  let of_node net = function
+    | Scan_in -> scan_in
+    | Scan_out -> scan_out
+    | Seg i -> of_seg i
+    | Mux i -> of_mux net i
+
+  let count net = 2 + Array.length net.segs + Array.length net.muxes
+
+  let to_node net e =
+    if e = scan_in then Scan_in
+    else if e = scan_out then Scan_out
+    else if e < 2 + Array.length net.segs then Seg (e - 2)
+    else Mux (e - 2 - Array.length net.segs)
+
+  let name net e =
+    match to_node net e with
+    | Scan_in -> "scan-in"
+    | Scan_out -> "scan-out"
+    | Seg i -> net.segs.(i).seg_name
+    | Mux i -> net.muxes.(i).mux_name
+end
+
+let element_graph net =
+  let g = Ftrsn_topo.Digraph.create ~size_hint:(Elt.count net) () in
+  Ftrsn_topo.Digraph.add_vertices g (Elt.count net);
+  Array.iteri
+    (fun i s ->
+      Ftrsn_topo.Digraph.add_edge g (Elt.of_node net s.seg_input)
+        (Elt.of_seg i))
+    net.segs;
+  Array.iteri
+    (fun i m ->
+      Array.iter
+        (fun inp ->
+          Ftrsn_topo.Digraph.add_edge g (Elt.of_node net inp)
+            (Elt.of_mux net i))
+        m.mux_inputs)
+    net.muxes;
+  Ftrsn_topo.Digraph.add_edge g (Elt.of_node net net.out_src) Elt.scan_out;
+  g
+
+(* Resolve a driver node through any chain of muxes down to segment/port
+   sources.  Each source comes with its steering route: the (mux, input
+   index) pairs encountered from the consumer towards the source. *)
+let rec resolve_sources net route = function
+  | Scan_in -> [ (Elt.scan_in, List.rev route) ]
+  | Scan_out -> invalid_arg "Netlist: scan-out used as a driver"
+  | Seg i -> [ (Elt.of_seg i, List.rev route) ]
+  | Mux m ->
+      let inputs = net.muxes.(m).mux_inputs in
+      List.concat
+        (List.init (Array.length inputs) (fun k ->
+             resolve_sources net ((m, k) :: route) inputs.(k)))
+
+let dataflow_edges net =
+  (* (src dataflow vertex, dst dataflow vertex, steering route) *)
+  let consumer_edges dst_v driver =
+    List.map (fun (src, route) -> (src, dst_v, route)) (resolve_sources net [] driver)
+  in
+  let seg_edges =
+    Array.to_list
+      (Array.mapi (fun i s -> consumer_edges (Elt.of_seg i) s.seg_input) net.segs)
+  in
+  List.concat (consumer_edges Elt.scan_out net.out_src :: seg_edges)
+
+let dataflow_graph net =
+  let n = 2 + Array.length net.segs in
+  let g = Ftrsn_topo.Digraph.create ~size_hint:n () in
+  Ftrsn_topo.Digraph.add_vertices g n;
+  List.iter (fun (u, v, _) -> Ftrsn_topo.Digraph.add_edge g u v)
+    (dataflow_edges net);
+  let lv = Ftrsn_topo.Order.levels g in
+  (g, lv)
+
+let edge_routes net =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, route) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl (u, v)) in
+      Hashtbl.replace tbl (u, v) (prev @ [ route ]))
+    (dataflow_edges net);
+  tbl
+
+let mux_input_class net m k =
+  let inputs = net.muxes.(m).mux_inputs in
+  let rec first i = if inputs.(i) = inputs.(k) then i else first (i + 1) in
+  first 0
+
+let mux_on_edge net ~src ~dst =
+  let tbl = edge_routes net in
+  match Hashtbl.find_opt tbl (src, dst) with
+  | Some (((m, _) :: _) :: _) -> Some m
+  | _ -> None
+
+let validate net =
+  let ok = ref (Ok ()) in
+  let fail fmt = Format.kasprintf (fun s -> if !ok = Ok () then ok := Error s) fmt in
+  let nsegs = Array.length net.segs and nmux = Array.length net.muxes in
+  let check_node ctx = function
+    | Scan_in -> ()
+    | Scan_out -> fail "%s: scan-out used as a driver" ctx
+    | Seg i -> if i < 0 || i >= nsegs then fail "%s: bad segment ref %d" ctx i
+    | Mux i -> if i < 0 || i >= nmux then fail "%s: bad mux ref %d" ctx i
+  in
+  Array.iteri
+    (fun i s ->
+      if s.seg_len < 1 then fail "segment %d: empty shift register" i;
+      if s.seg_shadow < 0 then fail "segment %d: negative shadow length" i;
+      if s.seg_shadow > s.seg_len then
+        fail "segment %d: shadow longer than shift register" i;
+      if Array.length s.seg_reset <> s.seg_shadow then
+        fail "segment %d: reset vector length mismatch" i;
+      check_node (Printf.sprintf "segment %d input" i) s.seg_input)
+    net.segs;
+  Array.iteri
+    (fun i m ->
+      if Array.length m.mux_inputs < 2 then fail "mux %d: fewer than 2 inputs" i;
+      let width = Array.length m.mux_addr in
+      if 1 lsl width < Array.length m.mux_inputs then
+        fail "mux %d: address too narrow for %d inputs" i
+          (Array.length m.mux_inputs);
+      Array.iter (check_node (Printf.sprintf "mux %d input" i)) m.mux_inputs;
+      Array.iter
+        (function
+          | Ctrl_const _ | Ctrl_primary _ -> ()
+          | Ctrl_shadow { cseg; cbit } ->
+              if cseg < 0 || cseg >= nsegs then
+                fail "mux %d: address from bad segment %d" i cseg
+              else if cbit < 0 || cbit >= net.segs.(cseg).seg_shadow then
+                fail "mux %d: address bit %d outside shadow of segment %d" i
+                  cbit cseg)
+        m.mux_addr)
+    net.muxes;
+  check_node "primary scan-out" net.out_src;
+  (match !ok with
+  | Error _ -> ()
+  | Ok () ->
+      let g = element_graph net in
+      if not (Ftrsn_topo.Order.is_acyclic g) then
+        fail "element graph contains a structural cycle"
+      else begin
+        let reach = Ftrsn_topo.Order.reachable g ~from:Elt.scan_in in
+        let coreach = Ftrsn_topo.Order.co_reachable g ~to_:Elt.scan_out in
+        for e = 0 to Elt.count net - 1 do
+          if not (Ftrsn_topo.Bitset.mem reach e) then
+            fail "element %s unreachable from scan-in" (Elt.name net e);
+          if not (Ftrsn_topo.Bitset.mem coreach e) then
+            fail "element %s cannot reach scan-out" (Elt.name net e)
+        done
+      end);
+  !ok
+
+let pp_summary fmt net =
+  Format.fprintf fmt
+    "@[<v>RSN %s: %d segments, %d muxes, %d bits, %d levels%s%s@]"
+    net.net_name (num_segments net) (num_muxes net) (total_bits net)
+    (max_hier net)
+    (if net.select_hardened then ", hardened select" else "")
+    (if net.dual_ports then ", dual ports" else "")

@@ -1,0 +1,130 @@
+(** Structural netlists of reconfigurable scan networks (RSNs).
+
+    An RSN (IEEE Std 1687 / iJTAG style, paper §II-A) consists of scan
+    segments, scan multiplexers and control logic between a primary scan-in
+    and a primary scan-out port.  A {e scan segment} has a shift register of
+    [seg_len] flip-flops and an optional shadow register whose bits may
+    drive multiplexer address inputs.  A {e scan multiplexer} routes one of
+    its data inputs to its output according to address bits read from
+    shadow registers (or primary control inputs).
+
+    The netlist is purely structural; configuration state lives in
+    {!Config.t} and operational semantics in {!Sim}. *)
+
+(** A driver/consumer endpoint in the scan dataflow. *)
+type node =
+  | Scan_in        (** primary scan-in port *)
+  | Scan_out       (** primary scan-out port (only as a consumer) *)
+  | Seg of int     (** output of segment [i] *)
+  | Mux of int     (** output of multiplexer [i] *)
+
+(** Source of a 1-bit control signal (multiplexer address). *)
+type control =
+  | Ctrl_const of bool
+      (** tied off *)
+  | Ctrl_shadow of { cseg : int; cbit : int }
+      (** bit [cbit] of segment [cseg]'s shadow register *)
+  | Ctrl_primary of string
+      (** a primary control input, settable without scan access (used for
+          the duplicated scan ports of the fault-tolerant synthesis) *)
+
+type segment = {
+  seg_name : string;
+  seg_len : int;          (** shift register length, >= 1 *)
+  seg_shadow : int;
+      (** shadow register length, [0 <= seg_shadow <= seg_len]; 0 = no
+          shadow.  Shadow bit [j] mirrors shift stage
+          [seg_len - seg_shadow + j] on update, i.e. the shadow covers the
+          {e tail} of the shift register — so control bits appended by the
+          fault-tolerant synthesis never collide with instrument data. *)
+  seg_input : node;       (** driver of the segment's scan-in port *)
+  seg_reset : bool array; (** reset state of the shadow bits *)
+  seg_hier : int;         (** hierarchy depth, for reporting only *)
+}
+
+type mux = {
+  mux_name : string;
+  mux_inputs : node array;   (** data inputs, >= 2 *)
+  mux_addr : control array;  (** address bits, LSB first *)
+  mux_tmr : bool;            (** address signals hardened by TMR *)
+  mux_rescue_from : int;
+      (** selections [>= mux_rescue_from] are redundant rescue routes
+          added by the fault-tolerant synthesis (an extra address bit ORed
+          into the decode): retargeting only takes them when the normal
+          selections fail.  [>= Array.length mux_inputs] means none. *)
+}
+
+type t = {
+  net_name : string;
+  segs : segment array;
+  muxes : mux array;
+  out_src : node;            (** driver of the primary scan-out port *)
+  select_hardened : bool;    (** select network with two assertion stems *)
+  dual_ports : bool;         (** duplicated primary scan-in/scan-out *)
+}
+
+val validate : t -> (unit, string) result
+(** Checks structural sanity: node references in range, mux arities and
+    address widths consistent, shadow references within shadow lengths,
+    reset vectors of the right length, element graph acyclic, and every
+    element both reachable from scan-in and co-reachable from scan-out. *)
+
+val num_segments : t -> int
+val num_muxes : t -> int
+
+val total_bits : t -> int
+(** Total scan bits: sum of all shift register lengths. *)
+
+val seg_len : t -> int -> int
+val segment_name : t -> int -> string
+
+val max_hier : t -> int
+(** Deepest [seg_hier] value (the "levels" RSN characteristic). *)
+
+(** Dense integer ids for scan elements, used by the graph views and the
+    fault universe.  Layout: scan-in, scan-out, all segments, all muxes. *)
+module Elt : sig
+  val scan_in : int
+  val scan_out : int
+  val of_seg : int -> int
+  val of_mux : t -> int -> int
+  val of_node : t -> node -> int
+  val count : t -> int
+  val to_node : t -> int -> node
+  val name : t -> int -> string
+end
+
+val element_graph : t -> Ftrsn_topo.Digraph.t
+(** The directed graph over element ids ({!Elt}) with an edge per
+    interconnect (mux inputs/outputs, segment inputs, port connections). *)
+
+val dataflow_graph : t -> Ftrsn_topo.Digraph.t * int array
+(** The paper's dataflow graph (§III-B): vertices are scan segments plus
+    the two ports ([Elt.scan_in] = 0 is the root, [Elt.scan_out] = 1 the
+    sink, segment [i] is vertex [2 + i]); multiplexers are collapsed so
+    each mux input contributes an edge from its driving segment/port to the
+    elements fed by the mux.  Control logic is excluded.  The second
+    component maps each dataflow vertex to its topological level. *)
+
+val edge_routes : t -> (int * int, (int * int) list list) Hashtbl.t
+(** For every dataflow edge [(src, dst)] (dataflow vertex ids), its steering
+    routes: each route is the list of [(mux, input index)] pairs that must
+    be configured, listed from the consumer towards the source, to
+    sensitize that interconnect.  An empty route is a direct connection.
+    Several routes arise when multiple mux input combinations resolve to
+    the same source (e.g. the redundantly-steered augmentation muxes of the
+    fault-tolerant synthesis). *)
+
+val mux_input_class : t -> int -> int -> int
+(** [mux_input_class net m k] is the canonical index of mux [m]'s input
+    [k]: the first input index driven by the same node.  Inputs sharing a
+    driver (the one-hot 4:1 realization of dual-steered muxes duplicates
+    its second data port) are physically one port, so stuck-at faults on
+    them are identified. *)
+
+val mux_on_edge : t -> src:int -> dst:int -> int option
+(** [mux_on_edge net ~src ~dst] is the mux (if any) through which dataflow
+    edge [src -> dst] (dataflow vertex ids) is routed in the netlist.
+    [None] means a direct interconnect. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+let generate ~seed ?(segments = 8) () =
+  let st = Random.State.make [| seed |] in
+  let b = Builder.create (Printf.sprintf "rand%d" seed) in
+  (* Backbone segments; some carry spare shadow bits usable as dedicated
+     mux addresses.  [spare.(i)] counts the unclaimed control bits of
+     segment i. *)
+  let ids = ref [] in
+  let spare = Hashtbl.create 16 in
+  let claim_ctrl () =
+    (* Find an already-built segment with a spare control bit. *)
+    let candidates =
+      List.filter (fun s -> Hashtbl.find spare s > 0) !ids
+    in
+    match candidates with
+    | [] -> None
+    | _ ->
+        let s = List.nth candidates (Random.State.int st (List.length candidates)) in
+        let used = Hashtbl.find spare s in
+        Hashtbl.replace spare s (used - 1);
+        (* Bits are claimed from the top: shadow index = remaining - 1. *)
+        Some (s, used - 1)
+  in
+  let tail = ref Netlist.Scan_in in
+  let n = max 3 segments in
+  for i = 0 to n - 1 do
+    let len = 1 + Random.State.int st 4 in
+    let shadow = if Random.State.bool st then min len 2 else 0 in
+    let seg =
+      Builder.add_segment b ~shadow
+        ~name:(Printf.sprintf "s%d" i)
+        ~len ~input:!tail ()
+    in
+    Hashtbl.replace spare seg shadow;
+    ids := seg :: !ids;
+    tail := Netlist.Seg seg;
+    (* Occasionally make the NEXT hop a mux that can bypass back to an
+       older segment (a reconfigurable branch), steered by a dedicated
+       control bit.  Input 0 keeps the backbone, so reset stays valid. *)
+    if i >= 2 && Random.State.int st 100 < 45 then begin
+      match claim_ctrl () with
+      | None -> ()
+      | Some (cseg, cbit) ->
+          let older =
+            List.nth !ids (Random.State.int st (List.length !ids))
+          in
+          if Netlist.Seg older <> !tail then begin
+            let m =
+              Builder.add_mux b
+                ~name:(Printf.sprintf "m%d" i)
+                ~inputs:[ !tail; Netlist.Seg older ]
+                ~addr:[ Netlist.Ctrl_shadow { cseg; cbit } ]
+                ()
+            in
+            tail := Netlist.Mux m
+          end
+    end
+  done;
+  Builder.finish b ~out:!tail ()

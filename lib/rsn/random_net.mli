@@ -1,0 +1,15 @@
+(** Random RSN generation beyond the SIB idiom, for property-based testing.
+
+    The generated networks are branchy mux networks in the style of the
+    paper's fig. 2: a backbone chain of segments with randomly inserted
+    bypassable branches, steered by dedicated shadow bits of
+    configuration segments placed earlier on the backbone.  Invariants by
+    construction (checked by {!Netlist.validate}):
+    - acyclic, all elements reachable and co-reachable;
+    - the reset configuration selects the backbone;
+    - every mux address bit has a dedicated driver bit (no shared-driver
+      conflicts), so the structural engine's steering model is exact. *)
+
+val generate : seed:int -> ?segments:int -> unit -> Netlist.t
+(** [generate ~seed ()] builds a deterministic pseudo-random netlist with
+    roughly [segments] (default 8) scan segments. *)

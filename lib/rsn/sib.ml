@@ -1,0 +1,92 @@
+type spec =
+  | Segment of { name : string; len : int; shadow : int }
+  | Sib of { name : string; inner : spec list }
+
+let leaf ~name ~len =
+  Sib { name = name ^ ".sib"; inner = [ Segment { name; len; shadow = 0 } ] }
+
+let rec count_muxes specs =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Segment _ -> acc
+      | Sib { inner; _ } -> acc + 1 + count_muxes inner)
+    0 specs
+
+let rec count_segments specs =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Segment _ -> acc + 1
+      | Sib { inner; _ } -> acc + 1 + count_segments inner)
+    0 specs
+
+let rec count_bits specs =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Segment { len; _ } -> acc + len
+      | Sib { inner; _ } -> acc + 1 + count_bits inner)
+    0 specs
+
+let rec depth specs =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Segment _ -> acc
+      | Sib { inner; _ } -> max acc (1 + depth inner))
+    0 specs
+
+type flavor = [ `Post | `Pre ]
+
+let build ?(flavor = `Post) ~name specs =
+  let b = Builder.create name in
+  (* [chain] threads the scan path through a spec list, returning the node
+     that drives whatever follows the list. *)
+  let rec chain input hier specs =
+    List.fold_left
+      (fun cur spec ->
+        match spec with
+        | Segment { name; len; shadow } ->
+            (* An instrument segment lives at its host SIB's level. *)
+            let s =
+              Builder.add_segment b ~shadow ~hier:(max 1 (hier - 1)) ~name
+                ~len ~input:cur ()
+            in
+            Netlist.Seg s
+        | Sib { name; inner } -> (
+            match flavor with
+            | `Post ->
+                (* register first, hosted chain off its output, mux after *)
+                let sib =
+                  Builder.add_segment b ~shadow:1 ~hier ~name ~len:1
+                    ~input:cur ()
+                in
+                let sub_out = chain (Netlist.Seg sib) (hier + 1) inner in
+                let m =
+                  Builder.add_mux b ~name:(name ^ ".mux")
+                    ~inputs:[ Netlist.Seg sib; sub_out ]
+                    ~addr:[ Netlist.Ctrl_shadow { cseg = sib; cbit = 0 } ]
+                    ()
+                in
+                Netlist.Mux m
+            | `Pre ->
+                (* hosted chain off the scan-in, mux before the register *)
+                let sub_out = chain cur (hier + 1) inner in
+                let sib_id = Builder.seg_count b in
+                let m =
+                  Builder.add_mux b ~name:(name ^ ".mux")
+                    ~inputs:[ cur; sub_out ]
+                    ~addr:[ Netlist.Ctrl_shadow { cseg = sib_id; cbit = 0 } ]
+                    ()
+                in
+                let sib =
+                  Builder.add_segment b ~shadow:1 ~hier ~name ~len:1
+                    ~input:(Netlist.Mux m) ()
+                in
+                assert (sib = sib_id);
+                Netlist.Seg sib))
+      input specs
+  in
+  let out = chain Netlist.Scan_in 1 specs in
+  Builder.finish b ~out ()

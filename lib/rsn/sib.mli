@@ -1,0 +1,38 @@
+(** Construction of SIB-based RSNs (paper §IV-A).
+
+    A segment insertion bit (SIB) is a 1-bit scan segment plus a 2:1 scan
+    multiplexer: when the SIB register holds 0 the mux bypasses the hosted
+    sub-network, when it holds 1 the sub-network is spliced into the scan
+    path after the SIB bit.  Hierarchies of SIBs yield the SIB-based RSNs
+    generated from the ITC'02 SoC benchmarks in the paper's evaluation. *)
+
+type spec =
+  | Segment of { name : string; len : int; shadow : int }
+      (** a plain scan segment spliced directly into the current chain *)
+  | Sib of { name : string; inner : spec list }
+      (** a SIB hosting the chain [inner] *)
+
+val leaf : name:string -> len:int -> spec
+(** [leaf ~name ~len] is a SIB gating one instrument segment of [len] bits
+    — the common leaf pattern of ITC'02-derived networks. *)
+
+(** The two SIB realizations found in the IEEE 1687 literature:
+    - [`Post] (default): the SIB register sits BEFORE its mux on the scan
+      path; the hosted network branches off the register's output
+      (Zadegan et al., DATE'11 style);
+    - [`Pre]: the mux sits before the register; the hosted network
+      branches off the SIB's scan-in, and rejoins through the mux into the
+      register.  Dataflow degrees differ slightly, which makes [`Pre] a
+      useful generality check for the synthesis. *)
+type flavor = [ `Post | `Pre ]
+
+val build : ?flavor:flavor -> name:string -> spec list -> Netlist.t
+(** [build ~name specs] assembles the top-level chain [specs] between the
+    primary scan ports.  SIB registers reset to 0 (sub-network bypassed). *)
+
+val count_muxes : spec list -> int
+val count_segments : spec list -> int
+val count_bits : spec list -> int
+val depth : spec list -> int
+(** Static characteristics of a spec forest, matching what {!build}
+    produces ({!depth} is the max SIB nesting, the "levels" column). *)

@@ -1,0 +1,222 @@
+type injection = {
+  stuck_shift : (int * int * bool) list;
+  stuck_shadow : (int * int * bool) list;
+  stuck_seg_in : (int * bool) list;
+  stuck_seg_out : (int * bool) list;
+  stuck_mux_addr : (int * int * bool) list;
+  stuck_mux_in : (int * int * bool) list;
+  stuck_mux_out : (int * bool) list;
+  stuck_select : (int * bool) list;
+  stuck_capture : (int * bool) list;
+  stuck_update : (int * bool) list;
+  stuck_pi : bool option;
+  stuck_po : bool option;
+}
+
+let no_injection =
+  {
+    stuck_shift = [];
+    stuck_shadow = [];
+    stuck_seg_in = [];
+    stuck_seg_out = [];
+    stuck_mux_addr = [];
+    stuck_mux_in = [];
+    stuck_mux_out = [];
+    stuck_select = [];
+    stuck_capture = [];
+    stuck_update = [];
+    stuck_pi = None;
+    stuck_po = None;
+  }
+
+type state = {
+  shift : bool array array;
+  config : Config.t;
+  instrument : bool array array;
+}
+
+let initial (net : Netlist.t) =
+  {
+    shift = Array.map (fun s -> Array.make s.Netlist.seg_len false) net.segs;
+    config = Config.reset net;
+    instrument =
+      Array.map (fun s -> Array.make s.Netlist.seg_len false) net.segs;
+  }
+
+let assoc2 l a b = List.find_map (fun (x, y, v) -> if x = a && y = b then Some v else None) l
+
+let pin_stuck_shadows inj (c : Config.t) =
+  List.iter (fun (s, b, v) -> c.Config.shadows.(s).(b) <- v) inj.stuck_shadow
+
+let effective_config (_net : Netlist.t) inj (c : Config.t) =
+  let c' = Config.copy c in
+  pin_stuck_shadows inj c';
+  c'
+
+let effective_selection (net : Netlist.t) inj c m =
+  let mux = net.muxes.(m) in
+  let v = ref 0 in
+  Array.iteri
+    (fun i a ->
+      let bit =
+        match assoc2 inj.stuck_mux_addr m i with
+        | Some forced -> forced
+        | None -> Config.control_value net c a
+      in
+      if bit then v := !v lor (1 lsl i))
+    mux.mux_addr;
+  if !v < Array.length mux.mux_inputs then Some !v else None
+
+type trace_item = T_seg of int | T_mux of int * int
+
+let active_trace (net : Netlist.t) inj c =
+  let c = effective_config net inj c in
+  let bound = 2 * (Netlist.Elt.count net + 1) in
+  let rec walk node acc steps =
+    if steps > bound then None
+    else
+      match node with
+      | Netlist.Scan_in -> Some acc
+      | Netlist.Scan_out -> None
+      | Netlist.Seg i ->
+          walk net.segs.(i).seg_input (T_seg i :: acc) (steps + 1)
+      | Netlist.Mux m -> (
+          match effective_selection net inj c m with
+          | None -> None
+          | Some k ->
+              walk net.muxes.(m).mux_inputs.(k) (T_mux (m, k) :: acc)
+                (steps + 1))
+  in
+  walk net.out_src [] 0
+
+let active_path net inj c =
+  match active_trace net inj c with
+  | None -> None
+  | Some items ->
+      Some
+        (List.filter_map
+           (function T_seg i -> Some i | T_mux _ -> None)
+           items)
+
+(* Which segments shift this CSU: active path membership adjusted by
+   select-line stucks. *)
+let selected_set (net : Netlist.t) inj c =
+  let n = Netlist.num_segments net in
+  let sel = Array.make n false in
+  (match active_path net inj c with
+  | Some path -> List.iter (fun i -> sel.(i) <- true) path
+  | None -> ());
+  List.iter (fun (i, v) -> sel.(i) <- v) inj.stuck_select;
+  sel
+
+(* Combinational value at a node given the current register state.  [memo]
+   caches per-cycle evaluations (the netlist is a DAG). *)
+let value_of_node (net : Netlist.t) inj c state pi_bit =
+  let memo = Hashtbl.create 32 in
+  let rec value node =
+    match node with
+    | Netlist.Scan_in -> (
+        match inj.stuck_pi with Some v -> v | None -> pi_bit)
+    | Netlist.Scan_out -> invalid_arg "Sim: scan-out has no value"
+    | Netlist.Seg i -> (
+        match List.assoc_opt i inj.stuck_seg_out with
+        | Some v -> v
+        | None -> state.shift.(i).(net.segs.(i).seg_len - 1))
+    | Netlist.Mux m -> (
+        match Hashtbl.find_opt memo m with
+        | Some v -> v
+        | None ->
+            let v =
+              match List.assoc_opt m inj.stuck_mux_out with
+              | Some forced -> forced
+              | None -> (
+                  match effective_selection net inj c m with
+                  | None -> false
+                  | Some k -> (
+                      match assoc2 inj.stuck_mux_in m k with
+                      | Some forced -> forced
+                      | None -> value net.muxes.(m).mux_inputs.(k)))
+            in
+            Hashtbl.add memo m v;
+            v)
+  in
+  value
+
+let shift_cycle (net : Netlist.t) inj state sel pi_bit =
+  let c = effective_config net inj state.config in
+  let value = value_of_node net inj c state pi_bit in
+  let po =
+    match inj.stuck_po with Some v -> v | None -> value net.out_src
+  in
+  (* Evaluate every selected segment's next first bit before clocking. *)
+  let first = Array.make (Netlist.num_segments net) false in
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      if sel.(i) then
+        first.(i) <-
+          (match List.assoc_opt i inj.stuck_seg_in with
+          | Some v -> v
+          | None -> value s.seg_input))
+    net.segs;
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      if sel.(i) then begin
+        let r = state.shift.(i) in
+        for j = s.seg_len - 1 downto 1 do
+          r.(j) <- r.(j - 1)
+        done;
+        r.(0) <- first.(i)
+      end)
+    net.segs;
+  List.iter (fun (i, j, v) -> state.shift.(i).(j) <- v) inj.stuck_shift;
+  po
+
+let capture_op (net : Netlist.t) inj state sel =
+  Array.iteri
+    (fun i (_ : Netlist.segment) ->
+      let enabled =
+        match List.assoc_opt i inj.stuck_capture with
+        | Some v -> v
+        | None -> sel.(i)
+      in
+      if enabled then
+        Array.blit state.instrument.(i) 0 state.shift.(i) 0
+          (Array.length state.shift.(i)))
+    net.segs;
+  List.iter (fun (i, j, v) -> state.shift.(i).(j) <- v) inj.stuck_shift
+
+let update_op (net : Netlist.t) inj state sel updis =
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      let enabled =
+        match List.assoc_opt i inj.stuck_update with
+        | Some v -> v
+        | None -> sel.(i) && not (List.mem i updis)
+      in
+      if enabled && s.seg_shadow > 0 then begin
+        (* The shadow register mirrors the LAST [seg_shadow] stages of the
+           shift register, so control bits appended by the fault-tolerant
+           synthesis never collide with instrument data at the head. *)
+        let off = s.seg_len - s.seg_shadow in
+        for j = 0 to s.seg_shadow - 1 do
+          state.config.Config.shadows.(i).(j) <- state.shift.(i).(off + j)
+        done
+      end)
+    net.segs;
+  pin_stuck_shadows inj state.config
+
+let run_shifts net inj state ~scan_in =
+  let sel = selected_set net inj state.config in
+  List.map (fun bit -> shift_cycle net inj state sel bit) scan_in
+
+let csu net ?(inj = no_injection) ?(updis = []) state ~scan_in =
+  let sel = selected_set net inj state.config in
+  capture_op net inj state sel;
+  let out = run_shifts net inj state ~scan_in in
+  (* Selection is re-derived for update: shifting cannot have changed it
+     (shadows only change at update), but select stucks must stay pinned. *)
+  update_op net inj state sel updis;
+  out
+
+let shift_only net ?(inj = no_injection) state ~scan_in =
+  run_shifts net inj state ~scan_in

@@ -1,0 +1,76 @@
+(** Cycle-accurate CSU-level simulation of RSN netlists, with optional
+    stuck-at fault injection.
+
+    A read/write access to an RSN is a CSU operation (paper §II-A): one
+    capture cycle, a number of shift cycles, one update cycle.  The
+    simulator executes CSU operations against the structural netlist: each
+    shift cycle evaluates the combinational scan routing (multiplexers,
+    ports) and clocks every selected segment.  This is the ground truth the
+    access-computation engines are validated against. *)
+
+(** Stuck-at overrides applied during simulation.  All lists are
+    association-style; absent entries mean fault-free behaviour. *)
+type injection = {
+  stuck_shift : (int * int * bool) list;     (** (segment, flop, value) *)
+  stuck_shadow : (int * int * bool) list;    (** (segment, bit, value) *)
+  stuck_seg_in : (int * bool) list;          (** segment scan-in port *)
+  stuck_seg_out : (int * bool) list;         (** segment scan-out port *)
+  stuck_mux_addr : (int * int * bool) list;  (** (mux, addr bit, value) *)
+  stuck_mux_in : (int * int * bool) list;    (** (mux, input port, value) *)
+  stuck_mux_out : (int * bool) list;         (** mux output port *)
+  stuck_select : (int * bool) list;          (** segment select line *)
+  stuck_capture : (int * bool) list;         (** capture enable line *)
+  stuck_update : (int * bool) list;          (** update enable line *)
+  stuck_pi : bool option;                    (** primary scan-in port *)
+  stuck_po : bool option;                    (** primary scan-out port *)
+}
+
+val no_injection : injection
+
+type state = {
+  shift : bool array array;       (** shift register contents, per segment *)
+  config : Config.t;              (** shadow registers *)
+  instrument : bool array array;  (** data-input values captured by segments *)
+}
+
+val initial : Netlist.t -> state
+(** Reset state: shift registers all-zero, shadows at reset. *)
+
+val effective_config : Netlist.t -> injection -> Config.t -> Config.t
+(** The configuration as seen by the control logic: shadow values with the
+    stuck-shadow overrides applied. *)
+
+val effective_selection : Netlist.t -> injection -> Config.t -> int -> int option
+(** Mux selection under a configuration with address-line stucks applied. *)
+
+(** One element on the traced scan route: a segment, or a mux with the
+    input it currently selects. *)
+type trace_item = T_seg of int | T_mux of int * int
+
+val active_trace : Netlist.t -> injection -> Config.t -> trace_item list option
+(** Full element-level scan route from scan-in to scan-out under a
+    configuration with injection applied, or [None] if the configuration
+    is invalid. *)
+
+val active_path : Netlist.t -> injection -> Config.t -> int list option
+(** Active scan path (segments only) under injection (address and shadow
+    stucks change the routing; data stucks do not). *)
+
+val csu :
+  Netlist.t ->
+  ?inj:injection ->
+  ?updis:int list ->
+  state ->
+  scan_in:bool list ->
+  bool list
+(** [csu net state ~scan_in] performs one CSU operation, shifting the
+    [scan_in] stream in (one shift cycle per element) and returning the
+    stream observed at the primary scan-out port (same length).  [state] is
+    updated in place (capture at the start, update at the end).  [updis]
+    lists segments whose update is disabled for this operation (the Updis
+    control of the paper's formal model) — used by retargeting to keep
+    corrupted data out of shadow registers. *)
+
+val shift_only :
+  Netlist.t -> ?inj:injection -> state -> scan_in:bool list -> bool list
+(** Shift cycles without capture and update (for chain diagnosis tests). *)

@@ -1,0 +1,246 @@
+let node_to_string (net : Netlist.t) = function
+  | Netlist.Scan_in -> "pi"
+  | Netlist.Scan_out -> "po"
+  | Netlist.Seg i -> "seg:" ^ net.segs.(i).seg_name
+  | Netlist.Mux i -> "mux:" ^ net.muxes.(i).mux_name
+
+let ctrl_to_string (net : Netlist.t) = function
+  | Netlist.Ctrl_const b -> if b then "const:1" else "const:0"
+  | Netlist.Ctrl_shadow { cseg; cbit } ->
+      Printf.sprintf "shadow:%s.%d" net.segs.(cseg).seg_name cbit
+  | Netlist.Ctrl_primary p -> "primary:" ^ p
+
+let to_string (net : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("rsn " ^ net.net_name);
+  if net.select_hardened then Buffer.add_string buf " select_hardened";
+  if net.dual_ports then Buffer.add_string buf " dual_ports";
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun (s : Netlist.segment) ->
+      let reset =
+        String.concat ""
+          (List.map (fun b -> if b then "1" else "0")
+             (Array.to_list s.seg_reset))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "seg %s len=%d shadow=%d reset=%s hier=%d input=%s\n"
+           s.seg_name s.seg_len s.seg_shadow
+           (if reset = "" then "-" else reset)
+           s.seg_hier
+           (node_to_string net s.seg_input)))
+    net.segs;
+  Array.iter
+    (fun (m : Netlist.mux) ->
+      Buffer.add_string buf
+        (Printf.sprintf "mux %s%s%s inputs=%s addr=%s\n" m.mux_name
+           (if m.mux_tmr then " tmr" else "")
+           (if m.mux_rescue_from < Array.length m.mux_inputs then
+              Printf.sprintf " rescue=%d" m.mux_rescue_from
+            else "")
+           (String.concat ","
+              (List.map (node_to_string net) (Array.to_list m.mux_inputs)))
+           (String.concat ","
+              (List.map (ctrl_to_string net) (Array.to_list m.mux_addr)))))
+    net.muxes;
+  Buffer.add_string buf ("out " ^ node_to_string net net.out_src ^ "\n");
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let split_ws line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let kv_field fields key =
+  List.find_map
+    (fun f ->
+      let prefix = key ^ "=" in
+      if String.length f > String.length prefix
+         && String.sub f 0 (String.length prefix) = prefix
+      then Some (String.sub f (String.length prefix)
+                   (String.length f - String.length prefix))
+      else if f = prefix then Some ""
+      else None)
+    fields
+
+let required fields key =
+  match kv_field fields key with
+  | Some v -> v
+  | None -> fail "missing field %s" key
+
+(* Intermediate declarations collected in a first pass, so that node
+   references can point at not-yet-declared elements. *)
+type decl =
+  | D_seg of { name : string; len : int; shadow : int; reset : string;
+               hier : int; input : string }
+  | D_mux of { name : string; tmr : bool; rescue : int option;
+               inputs : string list; addr : string list }
+
+let parse text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    let name = ref "" in
+    let select_hardened = ref false in
+    let dual_ports = ref false in
+    let out = ref None in
+    let decls = ref [] in
+    List.iter
+      (fun line ->
+        match split_ws line with
+        | "rsn" :: n :: opts ->
+            name := n;
+            List.iter
+              (function
+                | "select_hardened" -> select_hardened := true
+                | "dual_ports" -> dual_ports := true
+                | o -> fail "unknown rsn option %s" o)
+              opts
+        | "seg" :: n :: fields ->
+            decls :=
+              D_seg
+                {
+                  name = n;
+                  len = int_of_string (required fields "len");
+                  shadow = int_of_string (required fields "shadow");
+                  reset = required fields "reset";
+                  hier = int_of_string (required fields "hier");
+                  input = required fields "input";
+                }
+              :: !decls
+        | "mux" :: n :: fields ->
+            let tmr = List.mem "tmr" fields in
+            let rescue = Option.map int_of_string (kv_field fields "rescue") in
+            decls :=
+              D_mux
+                {
+                  name = n;
+                  tmr;
+                  rescue;
+                  inputs =
+                    String.split_on_char ',' (required fields "inputs");
+                  addr = String.split_on_char ',' (required fields "addr");
+                }
+              :: !decls
+        | [ "out"; n ] -> out := Some n
+        | w :: _ -> fail "unknown declaration %s" w
+        | [] -> ())
+      lines;
+    let decls = List.rev !decls in
+    let seg_ids = Hashtbl.create 16 and mux_ids = Hashtbl.create 16 in
+    let nsegs = ref 0 and nmuxes = ref 0 in
+    List.iter
+      (function
+        | D_seg { name; _ } ->
+            if Hashtbl.mem seg_ids name then fail "duplicate segment %s" name;
+            Hashtbl.add seg_ids name !nsegs;
+            incr nsegs
+        | D_mux { name; _ } ->
+            if Hashtbl.mem mux_ids name then fail "duplicate mux %s" name;
+            Hashtbl.add mux_ids name !nmuxes;
+            incr nmuxes)
+      decls;
+    let node_of_string s =
+      if s = "pi" then Netlist.Scan_in
+      else if s = "po" then Netlist.Scan_out
+      else
+        match String.index_opt s ':' with
+        | Some i -> (
+            let kind = String.sub s 0 i in
+            let n = String.sub s (i + 1) (String.length s - i - 1) in
+            match kind with
+            | "seg" -> (
+                match Hashtbl.find_opt seg_ids n with
+                | Some id -> Netlist.Seg id
+                | None -> fail "unknown segment %s" n)
+            | "mux" -> (
+                match Hashtbl.find_opt mux_ids n with
+                | Some id -> Netlist.Mux id
+                | None -> fail "unknown mux %s" n)
+            | _ -> fail "bad node %s" s)
+        | None -> fail "bad node %s" s
+    in
+    let ctrl_of_string s =
+      match String.index_opt s ':' with
+      | None -> fail "bad control %s" s
+      | Some i -> (
+          let kind = String.sub s 0 i in
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          match kind with
+          | "const" -> Netlist.Ctrl_const (rest = "1")
+          | "primary" -> Netlist.Ctrl_primary rest
+          | "shadow" -> (
+              match String.rindex_opt rest '.' with
+              | None -> fail "bad shadow control %s" s
+              | Some j ->
+                  let sname = String.sub rest 0 j in
+                  let bit =
+                    int_of_string
+                      (String.sub rest (j + 1) (String.length rest - j - 1))
+                  in
+                  let cseg =
+                    match Hashtbl.find_opt seg_ids sname with
+                    | Some id -> id
+                    | None -> fail "unknown segment %s in control" sname
+                  in
+                  Netlist.Ctrl_shadow { cseg; cbit = bit })
+          | _ -> fail "bad control %s" s)
+    in
+    let segs = ref [] and muxes = ref [] in
+    List.iter
+      (function
+        | D_seg { name; len; shadow; reset; hier; input } ->
+            let reset_bits =
+              if reset = "-" then Array.make shadow false
+              else
+                Array.init (String.length reset) (fun i -> reset.[i] = '1')
+            in
+            segs :=
+              {
+                Netlist.seg_name = name;
+                seg_len = len;
+                seg_shadow = shadow;
+                seg_input = node_of_string input;
+                seg_reset = reset_bits;
+                seg_hier = hier;
+              }
+              :: !segs
+        | D_mux { name; tmr; rescue; inputs; addr } ->
+            muxes :=
+              {
+                Netlist.mux_name = name;
+                mux_inputs =
+                  Array.of_list (List.map node_of_string inputs);
+                mux_addr = Array.of_list (List.map ctrl_of_string addr);
+                mux_tmr = tmr;
+                mux_rescue_from =
+                  Option.value ~default:(List.length inputs) rescue;
+              }
+              :: !muxes)
+      decls;
+    let out_src =
+      match !out with
+      | Some n -> node_of_string n
+      | None -> fail "missing out declaration"
+    in
+    let net =
+      {
+        Netlist.net_name = !name;
+        segs = Array.of_list (List.rev !segs);
+        muxes = Array.of_list (List.rev !muxes);
+        out_src;
+        select_hardened = !select_hardened;
+        dual_ports = !dual_ports;
+      }
+    in
+    match Netlist.validate net with
+    | Ok () -> Ok net
+    | Error e -> Error ("invalid netlist: " ^ e)
+  with
+  | Parse_error e -> Error e
+  | Failure e -> Error e

@@ -1,0 +1,18 @@
+(** A flat text format for RSN netlists, round-trippable with {!parse}.
+
+    Grammar (one declaration per line, [#] starts a comment):
+    {v
+    rsn <name> [select_hardened] [dual_ports]
+    seg <name> len=<n> shadow=<n> reset=<bits> hier=<n> input=<node>
+    mux <name> [tmr] inputs=<node>,<node>,... addr=<ctrl>,...
+    out <node>
+    v}
+    where [<node>] is [pi], [seg:<name>] or [mux:<name>], and [<ctrl>] is
+    [const:0], [const:1], [shadow:<seg name>.<bit>] or [primary:<name>].
+    Element names must not contain whitespace, [,] or [.]. *)
+
+val to_string : Netlist.t -> string
+
+val parse : string -> (Netlist.t, string) result
+(** Parses the format produced by {!to_string}.  The result is validated
+    with {!Netlist.validate}. *)

@@ -1,0 +1,69 @@
+type cnf = {
+  num_vars : int;
+  clauses : int list list;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref (-1) in
+  let num_clauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some v, Some c ->
+                num_vars := v;
+                num_clauses := c
+            | _ -> fail "malformed p-line")
+        | _ -> fail "malformed p-line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> fail ("bad literal: " ^ tok)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some l ->
+                   if !num_vars >= 0 && abs l > !num_vars then
+                     fail ("literal out of range: " ^ tok)
+                   else current := l :: !current))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !num_vars < 0 then Error "missing p-line"
+      else if !current <> [] then Error "unterminated clause"
+      else begin
+        let clauses = List.rev !clauses in
+        if !num_clauses >= 0 && List.length clauses <> !num_clauses then
+          Error "clause count mismatch"
+        else Ok { num_vars = !num_vars; clauses }
+      end
+
+let print cnf =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" cnf.num_vars (List.length cnf.clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    cnf.clauses;
+  Buffer.contents buf
+
+let solve cnf =
+  let s = Solver.create () in
+  Solver.ensure_vars s cnf.num_vars;
+  List.iter (Solver.add_clause s) cnf.clauses;
+  Solver.solve s

@@ -1,0 +1,18 @@
+(** DIMACS CNF reading and writing, for interoperability with external SAT
+    tooling and for snapshotting BMC instances. *)
+
+type cnf = {
+  num_vars : int;
+  clauses : int list list;  (** DIMACS literals, no terminating 0 *)
+}
+
+val parse : string -> (cnf, string) result
+(** Parses DIMACS CNF text ([c] comments, [p cnf V C] header, clauses
+    terminated by 0; clauses may span lines).  Literals outside the
+    declared variable range are an error. *)
+
+val print : cnf -> string
+(** Renders the standard DIMACS form, one clause per line. *)
+
+val solve : cnf -> Solver.result
+(** Convenience: loads the CNF into a fresh {!Solver} and decides it. *)

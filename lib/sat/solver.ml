@@ -1,0 +1,533 @@
+(* Minisat-style CDCL.  Internals use 0-based variables and literals packed
+   as [2*var + sign] (sign 1 = negated); the external API speaks DIMACS.
+   Invariants:
+   - watches.(l) holds the clauses currently watching literal l, and every
+     live clause of length >= 2 watches exactly its first two literals;
+   - the trail is a stack of assigned literals; qhead marks the propagation
+     frontier;
+   - level.(v) / reason.(v) are meaningful only while v is assigned;
+   - deleted clauses are dropped lazily from watch lists during
+     propagation. *)
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable act : float;
+  mutable deleted : bool;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable assign : int array;        (* -1 undef / 0 false / 1 true, per var *)
+  mutable level : int array;         (* decision level, per var *)
+  mutable reason : clause option array;
+  mutable watches : clause list array; (* per literal *)
+  mutable activity : float array;    (* per var *)
+  mutable polarity : bool array;     (* saved phase, per var *)
+  mutable heap : int array;          (* binary max-heap of vars *)
+  mutable heap_pos : int array;      (* position in heap, -1 if absent *)
+  mutable heap_len : int;
+  mutable trail : int array;         (* literals *)
+  mutable trail_len : int;
+  mutable qhead : int;
+  mutable trail_lim : int array;     (* trail length at each decision *)
+  mutable n_levels : int;
+  mutable learnt_clauses : clause list;
+  mutable n_problem : int;
+  mutable n_learnt : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable unsat_at_root : bool;
+  mutable model : bool array;        (* valid after a Sat answer *)
+  mutable have_model : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable seen : bool array;         (* scratch for conflict analysis *)
+}
+
+let create () =
+  {
+    nvars = 0;
+    assign = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 None;
+    watches = Array.make 32 [];
+    activity = Array.make 16 0.0;
+    polarity = Array.make 16 false;
+    heap = Array.make 16 0;
+    heap_pos = Array.make 16 (-1);
+    heap_len = 0;
+    trail = Array.make 16 0;
+    trail_len = 0;
+    qhead = 0;
+    trail_lim = Array.make 16 0;
+    n_levels = 0;
+    learnt_clauses = [];
+    n_problem = 0;
+    n_learnt = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    unsat_at_root = false;
+    model = [||];
+    have_model = false;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    seen = Array.make 16 false;
+  }
+
+let num_vars s = s.nvars
+let num_clauses s = s.n_problem
+let stats s = (s.conflicts, s.decisions, s.propagations)
+
+(* ---- variable order heap (max-heap on activity) ---- *)
+
+let heap_less s a b = s.activity.(a) > s.activity.(b)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less s s.heap.(i) s.heap.(p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < s.heap_len && heap_less s s.heap.(l) s.heap.(!m) then m := l;
+  if r < s.heap_len && heap_less s s.heap.(r) s.heap.(!m) then m := r;
+  if !m <> i then begin
+    heap_swap s i !m;
+    heap_down s !m
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    if s.heap_len = Array.length s.heap then
+      s.heap <- Array.append s.heap (Array.make (max 16 s.heap_len) 0);
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_len > 0 then begin
+    let w = s.heap.(s.heap_len) in
+    s.heap.(0) <- w;
+    s.heap_pos.(w) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let heap_update s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* ---- variable allocation ---- *)
+
+let grow_to s n =
+  let old = Array.length s.assign in
+  if n > old then begin
+    let cap = max n (2 * old) in
+    let extend a fill = Array.append a (Array.make (cap - old) fill) in
+    s.assign <- extend s.assign (-1);
+    s.level <- extend s.level 0;
+    s.reason <- extend s.reason None;
+    s.activity <- extend s.activity 0.0;
+    s.polarity <- extend s.polarity false;
+    s.seen <- extend s.seen false;
+    s.heap_pos <- extend s.heap_pos (-1);
+    s.trail <- extend s.trail 0;
+    s.trail_lim <- extend s.trail_lim 0;
+    let oldw = Array.length s.watches in
+    s.watches <- Array.append s.watches (Array.make ((2 * cap) - oldw) [])
+  end
+
+let new_var s =
+  grow_to s (s.nvars + 1);
+  let v = s.nvars in
+  s.nvars <- s.nvars + 1;
+  heap_insert s v;
+  v + 1
+
+let ensure_vars s n =
+  while s.nvars < n do
+    ignore (new_var s)
+  done
+
+(* ---- literal helpers ---- *)
+
+let lit_of_dimacs s d =
+  if d = 0 then invalid_arg "Sat.Solver: zero literal";
+  let v = abs d in
+  ensure_vars s v;
+  if d > 0 then 2 * (v - 1) else (2 * (v - 1)) + 1
+
+let lit_var l = l lsr 1
+let lit_neg l = l lxor 1
+
+(* value of a literal: -1 undef, 0 false, 1 true *)
+let lit_val s l =
+  let a = s.assign.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = s.n_levels
+
+(* ---- assignment ---- *)
+
+let enqueue s l reason =
+  s.assign.(lit_var l) <- 1 lxor (l land 1);
+  s.level.(lit_var l) <- s.n_levels;
+  s.reason.(lit_var l) <- reason;
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1
+
+let push_level s =
+  s.trail_lim.(s.n_levels) <- s.trail_len;
+  s.n_levels <- s.n_levels + 1
+
+let cancel_until s lvl =
+  if s.n_levels > lvl then begin
+    let target = s.trail_lim.(lvl) in
+    for i = s.trail_len - 1 downto target do
+      let v = lit_var s.trail.(i) in
+      s.polarity.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    s.trail_len <- target;
+    s.qhead <- target;
+    s.n_levels <- lvl
+  end
+
+(* ---- activity ---- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_update s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    List.iter (fun c -> c.act <- c.act *. 1e-20) s.learnt_clauses;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* ---- clause attachment ---- *)
+
+let watch s l c = s.watches.(l) <- c :: s.watches.(l)
+
+let attach s c =
+  watch s (lit_neg c.lits.(0)) c;
+  watch s (lit_neg c.lits.(1)) c
+
+(* ---- propagation ---- *)
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < s.trail_len do
+      let l = s.trail.(s.qhead) in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      (* Clauses watching ~l must find a new watch or propagate/conflict. *)
+      let ws = s.watches.(l) in
+      s.watches.(l) <- [];
+      let rec go = function
+        | [] -> ()
+        | c :: rest when c.deleted -> go rest
+        | c :: rest -> begin
+            (* Ensure the false literal is at position 1. *)
+            if c.lits.(0) = lit_neg l then begin
+              c.lits.(0) <- c.lits.(1);
+              c.lits.(1) <- lit_neg l
+            end;
+            if lit_val s c.lits.(0) = 1 then begin
+              (* Clause already satisfied: keep watching l. *)
+              s.watches.(l) <- c :: s.watches.(l);
+              go rest
+            end
+            else begin
+              (* Look for a new watch among lits.(2..). *)
+              let n = Array.length c.lits in
+              let rec find i =
+                if i >= n then -1
+                else if lit_val s c.lits.(i) <> 0 then i
+                else find (i + 1)
+              in
+              let i = find 2 in
+              if i >= 0 then begin
+                let w = c.lits.(i) in
+                c.lits.(i) <- c.lits.(1);
+                c.lits.(1) <- w;
+                watch s (lit_neg w) c;
+                go rest
+              end
+              else begin
+                (* Unit or conflicting. *)
+                s.watches.(l) <- c :: s.watches.(l);
+                if lit_val s c.lits.(0) = 0 then begin
+                  (* Conflict: restore remaining watchers before raising. *)
+                  s.watches.(l) <- List.rev_append rest s.watches.(l);
+                  raise (Conflict c)
+                end
+                else begin
+                  enqueue s c.lits.(0) (Some c);
+                  go rest
+                end
+              end
+            end
+          end
+      in
+      go ws
+    done;
+    None
+  with Conflict c -> Some c
+
+(* ---- conflict analysis (first UIP) ---- *)
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (s.trail_len - 1) in
+  let btlevel = ref 0 in
+  let c = ref confl in
+  let continue = ref true in
+  while !continue do
+    cla_bump s !c;
+    Array.iter
+      (fun q ->
+        let v = lit_var q in
+        if (!p < 0 || q <> !p) && (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          var_bump s v;
+          if s.level.(v) >= decision_level s then incr path
+          else begin
+            learnt := q :: !learnt;
+            if s.level.(v) > !btlevel then btlevel := s.level.(v)
+          end
+        end)
+      (!c).lits;
+    (* Next literal to resolve on: last assigned marked literal. *)
+    while not s.seen.(lit_var s.trail.(!idx)) do
+      decr idx
+    done;
+    let q = s.trail.(!idx) in
+    decr idx;
+    s.seen.(lit_var q) <- false;
+    decr path;
+    if !path = 0 then begin
+      learnt := lit_neg q :: !learnt;
+      continue := false
+    end
+    else begin
+      (match s.reason.(lit_var q) with
+      | Some r -> c := r
+      | None -> assert false);
+      p := q
+    end
+  done;
+  let lits = Array.of_list !learnt in
+  List.iter (fun q -> s.seen.(lit_var q) <- false) (List.tl !learnt);
+  (lits, !btlevel)
+
+(* ---- learnt clause database reduction ---- *)
+
+let locked s c =
+  match s.reason.(lit_var c.lits.(0)) with
+  | Some r -> r == c && lit_val s c.lits.(0) = 1
+  | None -> false
+
+let reduce_db s =
+  let sorted =
+    List.sort (fun a b -> compare a.act b.act) s.learnt_clauses
+  in
+  let n = List.length sorted in
+  List.iteri
+    (fun i c ->
+      if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then
+        c.deleted <- true)
+    sorted;
+  s.learnt_clauses <- List.filter (fun c -> not c.deleted) s.learnt_clauses;
+  s.n_learnt <- List.length s.learnt_clauses
+
+(* ---- adding clauses ---- *)
+
+let add_clause_internal s lits =
+  if not s.unsat_at_root then begin
+    let lits = List.sort_uniq compare lits in
+    let tautology = List.exists (fun l -> List.mem (lit_neg l) lits) lits in
+    let satisfied =
+      List.exists (fun l -> lit_val s l = 1 && s.level.(lit_var l) = 0) lits
+    in
+    if not (tautology || satisfied) then begin
+      let lits =
+        List.filter
+          (fun l -> not (lit_val s l = 0 && s.level.(lit_var l) = 0))
+          lits
+      in
+      match lits with
+      | [] -> s.unsat_at_root <- true
+      | [ l ] ->
+          if lit_val s l = 0 then s.unsat_at_root <- true
+          else if lit_val s l = -1 then begin
+            enqueue s l None;
+            if propagate s <> None then s.unsat_at_root <- true
+          end
+      | _ ->
+          let c =
+            { lits = Array.of_list lits; learnt = false; act = 0.0;
+              deleted = false }
+          in
+          s.n_problem <- s.n_problem + 1;
+          attach s c
+    end
+  end
+
+let add_clause s dimacs_lits =
+  cancel_until s 0;
+  s.have_model <- false;
+  let lits = List.map (lit_of_dimacs s) dimacs_lits in
+  add_clause_internal s lits
+
+(* ---- search ---- *)
+
+type result = Sat | Unsat
+
+(* luby i (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
+  else luby (i - (1 lsl (!k - 1)) + 1)
+
+let pick_branch s =
+  let rec go () =
+    if s.heap_len = 0 then -1
+    else begin
+      let v = heap_pop s in
+      if s.assign.(v) < 0 then v else go ()
+    end
+  in
+  go ()
+
+let record_learnt s lits btlevel =
+  cancel_until s btlevel;
+  match Array.length lits with
+  | 1 -> enqueue s lits.(0) None
+  | _ ->
+      (* Watch the asserting literal and a literal of the backjump level. *)
+      let best = ref 1 in
+      for i = 2 to Array.length lits - 1 do
+        if s.level.(lit_var lits.(i)) > s.level.(lit_var lits.(!best)) then
+          best := i
+      done;
+      let t = lits.(1) in
+      lits.(1) <- lits.(!best);
+      lits.(!best) <- t;
+      let c = { lits; learnt = true; act = 0.0; deleted = false } in
+      cla_bump s c;
+      s.learnt_clauses <- c :: s.learnt_clauses;
+      s.n_learnt <- s.n_learnt + 1;
+      attach s c;
+      enqueue s lits.(0) (Some c)
+
+let solve ?(assumptions = []) s =
+  s.have_model <- false;
+  if s.unsat_at_root then Unsat
+  else begin
+    let assumps = Array.of_list (List.map (lit_of_dimacs s) assumptions) in
+    let n_assumed = Array.length assumps in
+    cancel_until s 0;
+    let restart = ref 1 in
+    let answer = ref None in
+    while !answer = None do
+      let budget = 100 * luby !restart in
+      incr restart;
+      let conflicts_here = ref 0 in
+      cancel_until s 0;
+      let running = ref true in
+      while !running && !answer = None do
+        match propagate s with
+        | Some confl ->
+            s.conflicts <- s.conflicts + 1;
+            incr conflicts_here;
+            if decision_level s = 0 then begin
+              s.unsat_at_root <- true;
+              answer := Some Unsat
+            end
+            else begin
+              let lits, bt = analyze s confl in
+              record_learnt s lits bt;
+              var_decay s;
+              cla_decay s
+            end
+        | None ->
+            if !conflicts_here >= budget then running := false
+            else begin
+              let dl = decision_level s in
+              if dl = 0 && s.n_learnt > (2 * s.n_problem) + 1000 then
+                reduce_db s;
+              if dl < n_assumed then begin
+                let l = assumps.(dl) in
+                match lit_val s l with
+                | 1 ->
+                    (* Already implied: open an empty level to keep the
+                       level <-> assumption alignment. *)
+                    push_level s
+                | 0 -> answer := Some Unsat
+                | _ ->
+                    push_level s;
+                    enqueue s l None
+              end
+              else begin
+                let v = pick_branch s in
+                if v < 0 then begin
+                  s.model <- Array.init s.nvars (fun i -> s.assign.(i) = 1);
+                  s.have_model <- true;
+                  answer := Some Sat
+                end
+                else begin
+                  s.decisions <- s.decisions + 1;
+                  push_level s;
+                  enqueue s ((2 * v) + if s.polarity.(v) then 0 else 1) None
+                end
+              end
+            end
+      done
+    done;
+    cancel_until s 0;
+    match !answer with Some r -> r | None -> assert false
+  end
+
+let value s v =
+  if not s.have_model then invalid_arg "Sat.Solver.value: no model";
+  if v <= 0 || v > s.nvars then invalid_arg "Sat.Solver.value: bad variable";
+  s.model.(v - 1)

@@ -1,0 +1,44 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+    analysis with non-chronological backjumping, VSIDS-style variable
+    activities, phase saving and Luby restarts.
+
+    The external literal convention is DIMACS: variables are positive
+    integers [1, 2, ...]; literal [v] is the positive phase, [-v] the
+    negative phase.  This is the back end of the BMC accessibility checks
+    (paper §II-B / §III-A). *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates the next variable and returns its (positive) index. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars s n] makes sure variables [1 .. n] exist. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+(** Number of problem (non-learnt) clauses added. *)
+
+val add_clause : t -> int list -> unit
+(** Adds a clause of DIMACS literals.  Adding the empty clause (or a clause
+    that is falsified at level 0) makes the instance permanently
+    unsatisfiable.  Variables are allocated on demand.
+    @raise Invalid_argument on a zero literal. *)
+
+type result = Sat | Unsat
+
+val solve : ?assumptions:int list -> t -> result
+(** [solve s] decides satisfiability of the added clauses, under the given
+    assumption literals if any.  The solver is incremental: more clauses
+    may be added after a call and [solve] called again. *)
+
+val value : t -> int -> bool
+(** [value s v] is the phase of variable [v] in the model found by the last
+    [solve] call that returned [Sat].
+    @raise Invalid_argument if the last call did not return [Sat] or [v] is
+    out of range. *)
+
+val stats : t -> int * int * int
+(** [(conflicts, decisions, propagations)] since creation. *)

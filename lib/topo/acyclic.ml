@@ -1,0 +1,77 @@
+(* Iterative DFS with tri-colour marking.  Back edges (to a grey vertex)
+   are the removed set: dropping all of them leaves a DAG. *)
+
+type colour = White | Grey | Black
+
+let dfs_back_edges g =
+  let n = Digraph.vertex_count g in
+  let colour = Array.make n White in
+  let back = ref [] in
+  let call = Stack.create () in
+  for root = 0 to n - 1 do
+    if colour.(root) = White then begin
+      colour.(root) <- Grey;
+      Stack.push (root, Digraph.succ g root) call;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.pop call in
+        match rest with
+        | w :: rest' ->
+            Stack.push (v, rest') call;
+            (match colour.(w) with
+            | White ->
+                colour.(w) <- Grey;
+                Stack.push (w, Digraph.succ g w) call
+            | Grey -> back := (v, w) :: !back
+            | Black -> ())
+        | [] -> colour.(v) <- Black
+      done
+    end
+  done;
+  !back
+
+let break_cycles g =
+  let back = dfs_back_edges g in
+  if back = [] then (Digraph.copy g, [])
+  else begin
+    let dag = Digraph.copy g in
+    List.iter (fun (u, v) -> Digraph.remove_edge dag u v) back;
+    (* A single DFS pass removes all back edges w.r.t. that DFS forest,
+       which is sufficient: the remaining graph admits a DFS with no back
+       edge, hence is acyclic. *)
+    (dag, back)
+  end
+
+let find_cycle g =
+  let comps = Scc.components g in
+  let non_trivial =
+    Array.to_list comps
+    |> List.find_opt (fun c ->
+           match c with
+           | [ v ] -> Digraph.has_edge g v v
+           | _ :: _ :: _ -> true
+           | _ -> false)
+  in
+  match non_trivial with
+  | None -> None
+  | Some [ v ] -> Some [ v ]
+  | Some (start :: _ as members) ->
+      (* Walk inside the component until the start vertex is revisited. *)
+      let in_comp = Bitset.of_list (Digraph.vertex_count g) members in
+      let rec walk v acc visited =
+        let next =
+          List.find
+            (fun w -> Bitset.mem in_comp w)
+            (Digraph.succ g v)
+        in
+        if next = start then List.rev (v :: acc)
+        else if List.mem next visited then
+          (* Closed a cycle not through [start]: cut the prefix. *)
+          let rec cut = function
+            | w :: tl when w <> next -> cut tl
+            | l -> l
+          in
+          cut (List.rev (v :: acc))
+        else walk next (v :: acc) (next :: visited)
+      in
+      Some (walk start [] [ start ])
+  | Some [] -> None

@@ -1,0 +1,22 @@
+(** Dominator trees of rooted directed graphs (iterative
+    Cooper–Harvey–Kennedy algorithm).
+
+    Vertex [d] dominates [v] iff every path from the root to [v] passes
+    through [d].  In an RSN dataflow graph the proper dominators of a
+    segment are exactly the scan elements whose failure cuts it off from
+    the scan-in — the single points of failure of §III-C (the test suite
+    cross-checks this against the Menger-based computation). *)
+
+val idoms : Digraph.t -> root:int -> int array
+(** [idoms g ~root] is the immediate-dominator array: [idoms.(v)] is the
+    immediate dominator of [v], [root] for the root itself, and [-1] for
+    vertices unreachable from [root]. *)
+
+val dominators : Digraph.t -> root:int -> int -> int list
+(** [dominators g ~root v] lists all proper dominators of [v] (excluding
+    [v] itself, including the root), innermost first.  Empty for the root
+    or unreachable vertices. *)
+
+val dominates : int array -> int -> int -> bool
+(** [dominates idoms d v] using a precomputed {!idoms} array ([d = v]
+    counts as true for reachable [v]). *)

@@ -1,0 +1,33 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(name = "g") ?(vertex_label = string_of_int)
+    ?(highlight_edges = []) g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box];\n";
+  for v = 0 to Digraph.vertex_count g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape (vertex_label v)))
+  done;
+  Digraph.iter_edges
+    (fun u v ->
+      let attrs =
+        if List.mem (u, v) highlight_edges then
+          " [style=dashed, color=\"#2b6cb0\"]"
+        else ""
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" u v attrs))
+    g;
+  List.iter
+    (fun (u, v) ->
+      if not (Digraph.has_edge g u v) then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [style=dashed, color=\"#2b6cb0\"];\n"
+             u v))
+    highlight_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

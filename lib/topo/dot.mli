@@ -1,0 +1,12 @@
+(** Graphviz DOT export of directed graphs, for inspecting dataflow graphs
+    and augmentation results. *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_label:(int -> string) ->
+  ?highlight_edges:(int * int) list ->
+  Digraph.t ->
+  string
+(** [to_dot g] renders [g] as a DOT digraph.  [vertex_label] defaults to
+    the vertex number; edges in [highlight_edges] (e.g. the augmenting
+    edge set) are drawn dashed and colored. *)

@@ -1,0 +1,75 @@
+(* Vertex splitting: every vertex v becomes v_in = 2v and v_out = 2v + 1
+   joined by a unit arc; an edge (u, v) becomes u_out -> v_in with "infinite"
+   capacity.  The terminals' internal arcs get infinite capacity so that
+   only interior vertices constrain the flow, matching the definition of
+   vertex-independent paths. *)
+
+let big = 1 lsl 28
+
+let build_split g ~src ~dst =
+  let n = Digraph.vertex_count g in
+  let f = Ftrsn_flow.Maxflow.create ~n:(2 * n) in
+  for v = 0 to n - 1 do
+    let cap = if v = src || v = dst then big else 1 in
+    ignore (Ftrsn_flow.Maxflow.add_edge f ~src:(2 * v) ~dst:((2 * v) + 1) ~cap)
+  done;
+  Digraph.iter_edges
+    (fun u v ->
+      ignore (Ftrsn_flow.Maxflow.add_edge f ~src:((2 * u) + 1) ~dst:(2 * v) ~cap:1))
+    g;
+  f
+
+let vertex_disjoint_paths g ~src ~dst =
+  if src = dst then invalid_arg "Menger.vertex_disjoint_paths: src = dst";
+  let f = build_split g ~src ~dst in
+  Ftrsn_flow.Maxflow.max_flow f ~s:((2 * src) + 1) ~t:(2 * dst)
+
+let two_connected_through g ~root ~sink v =
+  let from_root = v = root || vertex_disjoint_paths g ~src:root ~dst:v >= 2 in
+  let to_sink = v = sink || vertex_disjoint_paths g ~src:v ~dst:sink >= 2 in
+  from_root && to_sink
+
+let cut_vertices g ~src ~dst =
+  (* Interior vertices lying on every src-dst path: v is one iff removing v
+     disconnects dst from src.  The number of candidate vertices in RSN
+     dataflow graphs is small enough for the direct removal test, and the
+     result is exact. *)
+  let n = Digraph.vertex_count g in
+  let on_path =
+    let fwd = Order.reachable g ~from:src
+    and bwd = Order.co_reachable g ~to_:dst in
+    let s = Bitset.copy fwd in
+    Bitset.inter_into s bwd;
+    s
+  in
+  if not (Bitset.mem on_path dst) then []
+  else begin
+    let result = ref [] in
+    Bitset.iter
+      (fun v ->
+        if v <> src && v <> dst then begin
+          (* BFS from src avoiding v. *)
+          let seen = Bitset.create n in
+          let q = Queue.create () in
+          Bitset.add seen src;
+          Queue.add src q;
+          while not (Queue.is_empty q) do
+            let u = Queue.pop q in
+            List.iter
+              (fun w ->
+                if w <> v && not (Bitset.mem seen w) then begin
+                  Bitset.add seen w;
+                  Queue.add w q
+                end)
+              (Digraph.succ g u)
+          done;
+          if not (Bitset.mem seen dst) then result := v :: !result
+        end)
+      on_path;
+    List.rev !result
+  end
+
+let single_points_of_failure g ~root ~sink v =
+  let upstream = if v = root then [] else cut_vertices g ~src:root ~dst:v in
+  let downstream = if v = sink then [] else cut_vertices g ~src:v ~dst:sink in
+  List.sort_uniq compare (upstream @ downstream)

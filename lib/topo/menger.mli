@@ -1,0 +1,28 @@
+(** Vertex-independent path counting (Menger's theorem via vertex-split
+    maximum flow).
+
+    Two paths are vertex-independent iff they share no vertex except
+    possibly their endpoints — the connectivity notion of §III-C of the
+    paper.  The fault-tolerance requirement on a dataflow graph is
+    [vertex_disjoint_paths ~src:root ~dst:s >= 2] and likewise from [s] to
+    the sink, for every segment vertex [s]. *)
+
+val vertex_disjoint_paths : Digraph.t -> src:int -> dst:int -> int
+(** Maximum number of pairwise vertex-independent [src]-[dst] paths
+    (interior vertices distinct; endpoints excluded from the splitting).
+    Returns 0 if [dst] is unreachable from [src].  A direct edge
+    [src -> dst] contributes one path.
+    @raise Invalid_argument if [src = dst]. *)
+
+val two_connected_through : Digraph.t -> root:int -> sink:int -> int -> bool
+(** [two_connected_through g ~root ~sink v] holds iff there are at least two
+    vertex-independent [root]-[v] paths and at least two vertex-independent
+    [v]-[sink] paths — i.e. vertex [v] satisfies the paper's connectivity
+    requirement.  For [v = root] or [v = sink] only the applicable half is
+    checked. *)
+
+val single_points_of_failure : Digraph.t -> root:int -> sink:int -> int -> int list
+(** [single_points_of_failure g ~root ~sink v] lists the interior vertices
+    whose removal disconnects [v] from [root] or from [sink] — the scan
+    elements that are single points of failure for accessing [v].  Empty
+    iff {!two_connected_through} holds and redundant paths exist. *)

@@ -1,0 +1,66 @@
+(* Iterative Tarjan: an explicit stack of (vertex, remaining successors)
+   frames avoids stack overflow on long chains (p93791-sized RSNs produce
+   thousands of vertices). *)
+
+let compute g =
+  let n = Digraph.vertex_count g in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let comp = Array.make n (-1) in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let call = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      Stack.push (root, Digraph.succ g root) call;
+      index.(root) <- !next_index;
+      low.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty call) do
+        let v, rest = Stack.pop call in
+        match rest with
+        | w :: rest' ->
+            Stack.push (v, rest') call;
+            if index.(w) < 0 then begin
+              index.(w) <- !next_index;
+              low.(w) <- !next_index;
+              incr next_index;
+              stack := w :: !stack;
+              on_stack.(w) <- true;
+              Stack.push (w, Digraph.succ g w) call
+            end
+            else if on_stack.(w) && index.(w) < low.(v) then
+              low.(v) <- index.(w)
+        | [] ->
+            if low.(v) = index.(v) then begin
+              let continue = ref true in
+              while !continue do
+                match !stack with
+                | w :: tl ->
+                    stack := tl;
+                    on_stack.(w) <- false;
+                    comp.(w) <- !next_comp;
+                    if w = v then continue := false
+                | [] -> assert false
+              done;
+              incr next_comp
+            end;
+            (match Stack.top_opt call with
+            | Some (p, _) -> if low.(v) < low.(p) then low.(p) <- low.(v)
+            | None -> ())
+      done
+    end
+  done;
+  (comp, !next_comp)
+
+let components g =
+  let comp, k = compute g in
+  let out = Array.make k [] in
+  for v = Digraph.vertex_count g - 1 downto 0 do
+    out.(comp.(v)) <- v :: out.(comp.(v))
+  done;
+  out

@@ -1,0 +1,10 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+val compute : Digraph.t -> int array * int
+(** [compute g] is [(comp, k)] where [comp.(v)] is the component index of
+    vertex [v] and [k] the number of components.  Component indices are in
+    reverse topological order of the condensation (a component only has
+    edges into components with smaller indices). *)
+
+val components : Digraph.t -> int list array
+(** The members of each component, indexed as in {!compute}. *)

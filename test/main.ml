@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "ftrsn"
+    [
+      ("topo", Test_topo.suite);
+      ("flow", Test_flow.suite);
+      ("sat", Test_sat.suite);
+      ("lp-ilp", Test_lp.suite);
+      ("rsn", Test_rsn.suite);
+      ("icl", Test_icl.suite);
+      ("access", Test_access.suite);
+      ("core", Test_core.suite);
+      ("bmc", Test_bmc.suite);
+      ("itc02", Test_itc02.suite);
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the BMC accessibility engine (the paper's formal model), and
+   its agreement with the structural graph engine across entire fault
+   universes of small networks — the two compute the same verdicts by
+   completely different means. *)
+
+module Netlist = Ftrsn_rsn.Netlist
+module Builder = Ftrsn_rsn.Builder
+module Sib = Ftrsn_rsn.Sib
+module Fault = Ftrsn_fault.Fault
+module Engine = Ftrsn_access.Engine
+module Bmc = Ftrsn_bmc.Bmc
+module Pipeline = Ftrsn_core.Pipeline
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let small_sib () =
+  Sib.build ~name:"small"
+    [
+      Sib
+        {
+          name = "mod1";
+          inner = [ Sib.leaf ~name:"c1" ~len:3; Sib.leaf ~name:"c2" ~len:2 ];
+        };
+      Sib { name = "mod2"; inner = [ Sib.leaf ~name:"c3" ~len:4 ] };
+    ]
+
+let fig2 () =
+  let b = Builder.create "fig2" in
+  let a = Builder.add_segment b ~shadow:2 ~name:"A" ~len:2 ~input:Netlist.Scan_in () in
+  let s = Builder.add_segment b ~name:"B" ~len:3 ~input:(Netlist.Seg a) () in
+  let c = Builder.add_segment b ~name:"C" ~len:4 ~input:(Netlist.Seg s) () in
+  let m1 =
+    Builder.add_mux b ~name:"m1"
+      ~inputs:[ Netlist.Seg s; Netlist.Seg c ]
+      ~addr:[ Netlist.Ctrl_shadow { cseg = a; cbit = 0 } ]
+      ()
+  in
+  let d = Builder.add_segment b ~name:"D" ~len:2 ~input:(Netlist.Mux m1) () in
+  Builder.finish b ~out:(Netlist.Seg d) ()
+
+(* A network with a genuine 4:1 mux (four distinct inputs, 2 address
+   bits hosted in a configuration segment) — exercises multi-bit address
+   decoding in the simulator, the structural engine and the BMC model. *)
+let wide_mux () =
+  let b = Builder.create "wide" in
+  let cfgseg =
+    Builder.add_segment b ~shadow:2 ~name:"cfg" ~len:2 ~input:Netlist.Scan_in ()
+  in
+  let w = Builder.add_segment b ~name:"w" ~len:2 ~input:(Netlist.Seg cfgseg) () in
+  let x = Builder.add_segment b ~name:"x" ~len:3 ~input:(Netlist.Seg w) () in
+  let y = Builder.add_segment b ~name:"y" ~len:4 ~input:(Netlist.Seg x) () in
+  let m =
+    Builder.add_mux b ~name:"sel4"
+      ~inputs:[ Netlist.Seg w; Netlist.Seg x; Netlist.Seg y; Netlist.Seg cfgseg ]
+      ~addr:
+        [
+          Netlist.Ctrl_shadow { cseg = cfgseg; cbit = 0 };
+          Netlist.Ctrl_shadow { cseg = cfgseg; cbit = 1 };
+        ]
+      ()
+  in
+  let z = Builder.add_segment b ~name:"z" ~len:2 ~input:(Netlist.Mux m) () in
+  Builder.finish b ~out:(Netlist.Seg z) ()
+
+let accessible = function Bmc.Accessible _ -> true | Bmc.Inaccessible -> false
+
+let test_fault_free_depths () =
+  let net = small_sib () in
+  let t = Bmc.create net in
+  (* Module SIBs are on the reset path: 0 configuration CSUs. *)
+  let mod1 = 0 in
+  (match Bmc.check_write t ~target:mod1 () with
+  | Bmc.Accessible n -> check int_t "mod1 at depth 0" 0 n
+  | Bmc.Inaccessible -> Alcotest.fail "mod1 accessible");
+  (* Leaf instruments need two configuration steps (module + leaf SIB). *)
+  let c1 = 2 in
+  (match Bmc.check_write t ~target:c1 () with
+  | Bmc.Accessible n -> check int_t "c1 at depth 2" 2 n
+  | Bmc.Inaccessible -> Alcotest.fail "c1 accessible");
+  check bool_t "read too" true (accessible (Bmc.check_read t ~target:c1 ()))
+
+let test_fault_free_all_accessible () =
+  List.iter
+    (fun net ->
+      let t = Bmc.create net in
+      for s = 0 to Netlist.num_segments net - 1 do
+        check bool_t
+          (net.Netlist.net_name ^ ": " ^ Netlist.segment_name net s)
+          true
+          (accessible (Bmc.check_access t ~target:s ()))
+      done)
+    [ small_sib (); fig2 () ]
+
+let test_pi_stuck () =
+  let net = small_sib () in
+  let t = Bmc.create net in
+  let fault = { Fault.site = Fault.Primary_in; stuck = true } in
+  for s = 0 to Netlist.num_segments net - 1 do
+    check bool_t "nothing writable" false
+      (accessible (Bmc.check_write t ~fault ~target:s ()))
+  done
+
+let test_sib_stuck_closed () =
+  let net = small_sib () in
+  let t = Bmc.create net in
+  (* mod1's SIB bit stuck at 0: its subtree is sealed. *)
+  let fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false } in
+  check bool_t "c1 sealed" false
+    (accessible (Bmc.check_access t ~fault ~target:2 ()));
+  check bool_t "c3 fine" true
+    (accessible (Bmc.check_access t ~fault ~target:7 ()))
+
+let test_more_steps_needed_under_fault () =
+  (* With mod1's mux address stuck open, access to c1 still works (the
+     subtree is always spliced in). *)
+  let net = small_sib () in
+  let t = Bmc.create net in
+  let the_mux =
+    match Netlist.mux_on_edge net ~src:2 ~dst:(2 + 5) with
+    | Some m -> m
+    | None -> Alcotest.fail "bypass mux expected"
+  in
+  let fault = { Fault.site = Fault.Mux_addr (the_mux, 0); stuck = true } in
+  check bool_t "c1 accessible with forced-open module" true
+    (accessible (Bmc.check_access t ~fault ~target:2 ()))
+
+(* The headline validation: the BMC model and the structural engine agree
+   on every fault of the universe, for every segment, on both the original
+   and the fault-tolerant network. *)
+let agree_on net =
+  let t = Bmc.create net in
+  let ctx = Engine.make_ctx net in
+  let faults = Fault.universe net in
+  List.iter
+    (fun fault ->
+      let v = Engine.analyze ctx (Some fault) in
+      for s = 0 to Netlist.num_segments net - 1 do
+        let bw = accessible (Bmc.check_write t ~fault ~target:s ()) in
+        if bw <> v.Engine.writable.(s) then
+          Alcotest.fail
+            (Printf.sprintf "%s: writable(%s) engine=%b bmc=%b under %s"
+               net.Netlist.net_name
+               (Netlist.segment_name net s)
+               v.Engine.writable.(s) bw
+               (Fault.to_string net fault));
+        let br = accessible (Bmc.check_read t ~fault ~target:s ()) in
+        if br <> v.Engine.readable.(s) then
+          Alcotest.fail
+            (Printf.sprintf "%s: readable(%s) engine=%b bmc=%b under %s"
+               net.Netlist.net_name
+               (Netlist.segment_name net s)
+               v.Engine.readable.(s) br
+               (Fault.to_string net fault))
+      done)
+    faults
+
+let test_agree_small_sib () = agree_on (small_sib ())
+let test_agree_fig2 () = agree_on (fig2 ())
+
+let test_agree_small_sib_ft () =
+  let r = Pipeline.synthesize (small_sib ()) in
+  agree_on r.Pipeline.ft
+
+let test_agree_fig2_ft () =
+  let r = Pipeline.synthesize (fig2 ()) in
+  agree_on r.Pipeline.ft
+
+let test_agree_wide_mux () = agree_on (wide_mux ())
+
+let test_agree_wide_mux_ft () =
+  let r = Pipeline.synthesize (wide_mux ()) in
+  agree_on r.Pipeline.ft
+
+module Config = Ftrsn_rsn.Config
+module Sim = Ftrsn_rsn.Sim
+
+let test_write_witness () =
+  (* The decoded SAT witness is a valid configuration sequence: it starts
+     at reset, each step only changes shadow bits of segments that were on
+     the previous active path, and the final configuration exposes the
+     target. *)
+  let net = small_sib () in
+  let t = Bmc.create net in
+  let target = 2 (* c1 *) in
+  match Bmc.write_witness t ~target () with
+  | None -> Alcotest.fail "c1 accessible"
+  | Some (steps, configs) ->
+      check int_t "two configuration steps" 2 steps;
+      check int_t "steps + 1 configurations" (steps + 1) (List.length configs);
+      let reset = Config.reset net in
+      check bool_t "starts at reset" true (Config.equal (List.hd configs) reset);
+      let rec walk = function
+        | c1 :: (c2 :: _ as tl) ->
+            (match Sim.active_path net Sim.no_injection c1 with
+            | None -> Alcotest.fail "intermediate config invalid"
+            | Some path ->
+                for s = 0 to Netlist.num_segments net - 1 do
+                  if c1.Config.shadows.(s) <> c2.Config.shadows.(s) then
+                    check bool_t "changed segment was on the path" true
+                      (List.mem s path)
+                done);
+            walk tl
+        | _ -> ()
+      in
+      walk configs;
+      let final = List.nth configs steps in
+      (match Sim.active_path net Sim.no_injection final with
+      | Some path -> check bool_t "target exposed" true (List.mem target path)
+      | None -> Alcotest.fail "final config invalid")
+
+let test_write_witness_under_fault () =
+  (* Under a fault sealing mod1, the witness for c3 avoids it. *)
+  let net = small_sib () in
+  let t = Bmc.create net in
+  let fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false } in
+  match Bmc.write_witness t ~fault ~target:7 (* c3 *) () with
+  | None -> Alcotest.fail "c3 accessible under mod1 seal"
+  | Some (_, configs) ->
+      let final = List.nth configs (List.length configs - 1) in
+      (* mod1 stays closed (pinned at 0) in the final configuration. *)
+      check bool_t "mod1 bit stays 0" false final.Config.shadows.(0).(0)
+
+(* Adversarial cross-validation on random non-SIB branchy networks: the
+   generator guarantees dedicated address drivers, so both engines must
+   agree exactly. *)
+let agree_sampled net max_steps =
+  let t = Bmc.create net in
+  let ctx = Engine.make_ctx net in
+  let faults =
+    List.filteri (fun i _ -> i mod 3 = 0) (Fault.universe net)
+  in
+  List.iter
+    (fun fault ->
+      let v = Engine.analyze ctx (Some fault) in
+      for s = 0 to Netlist.num_segments net - 1 do
+        let bw =
+          accessible (Bmc.check_write t ~fault ~max_steps ~target:s ())
+        in
+        if bw <> v.Engine.writable.(s) then
+          Alcotest.fail
+            (Printf.sprintf "%s: writable(%s) engine=%b bmc=%b under %s"
+               net.Netlist.net_name
+               (Netlist.segment_name net s)
+               v.Engine.writable.(s) bw
+               (Ftrsn_fault.Fault.to_string net fault));
+        let br =
+          accessible (Bmc.check_read t ~fault ~max_steps ~target:s ())
+        in
+        if br <> v.Engine.readable.(s) then
+          Alcotest.fail
+            (Printf.sprintf "%s: readable(%s) engine=%b bmc=%b under %s"
+               net.Netlist.net_name
+               (Netlist.segment_name net s)
+               v.Engine.readable.(s) br
+               (Ftrsn_fault.Fault.to_string net fault))
+      done)
+    faults
+
+let test_agree_random_nets () =
+  for seed = 0 to 7 do
+    let net = Ftrsn_rsn.Random_net.generate ~seed ~segments:8 () in
+    agree_sampled net 8
+  done
+
+let test_agree_random_nets_ft () =
+  for seed = 0 to 3 do
+    let net = Ftrsn_rsn.Random_net.generate ~seed ~segments:6 () in
+    let r = Pipeline.synthesize net in
+    agree_sampled r.Pipeline.ft 8
+  done
+
+let test_bmc_depth_equals_plan_steps () =
+  (* Two independent notions of configuration effort coincide fault-free:
+     the BMC unrolling depth and the retargeting plan's CSU-step count. *)
+  let net = small_sib () in
+  let t = Bmc.create net in
+  let ctx = Engine.make_ctx net in
+  for s = 0 to Netlist.num_segments net - 1 do
+    match
+      (Bmc.check_write t ~target:s (), Ftrsn_access.Retarget.plan_write ctx ~target:s ())
+    with
+    | Bmc.Accessible depth, Some plan ->
+        check int_t
+          (Printf.sprintf "depth = steps for %s" (Netlist.segment_name net s))
+          depth
+          (List.length plan.Ftrsn_access.Retarget.steps)
+    | _ -> Alcotest.fail "both must succeed fault-free"
+  done
+
+let test_depth_grows_with_nesting () =
+  (* A k-level SIB nesting needs exactly k configuration CSUs to reach the
+     innermost instrument: the unrolling depth reported by the BMC. *)
+  for k = 1 to 4 do
+    let rec nest d =
+      if d = 0 then Sib.leaf ~name:(Printf.sprintf "leaf%d" k) ~len:2
+      else Sib.Sib { name = Printf.sprintf "g%d_%d" k d; inner = [ nest (d - 1) ] }
+    in
+    let net = Sib.build ~name:"deep" [ nest (k - 1) ] in
+    let t = Bmc.create net in
+    (* innermost instrument = last segment *)
+    let target = Netlist.num_segments net - 1 in
+    match Bmc.check_write t ~max_steps:(k + 2) ~target () with
+    | Bmc.Accessible n ->
+        check int_t (Printf.sprintf "depth for %d levels" k) k n
+    | Bmc.Inaccessible -> Alcotest.fail "accessible"
+  done
+
+let suite =
+  [
+    Alcotest.test_case "fault-free depths" `Quick test_fault_free_depths;
+    Alcotest.test_case "fault-free: all accessible" `Quick
+      test_fault_free_all_accessible;
+    Alcotest.test_case "PI stuck" `Quick test_pi_stuck;
+    Alcotest.test_case "SIB stuck closed" `Quick test_sib_stuck_closed;
+    Alcotest.test_case "forced-open module" `Quick
+      test_more_steps_needed_under_fault;
+    Alcotest.test_case "BMC = engine (small SIB)" `Slow test_agree_small_sib;
+    Alcotest.test_case "BMC = engine (fig2)" `Slow test_agree_fig2;
+    Alcotest.test_case "BMC = engine (small SIB, FT)" `Slow
+      test_agree_small_sib_ft;
+    Alcotest.test_case "BMC = engine (fig2, FT)" `Slow test_agree_fig2_ft;
+    Alcotest.test_case "BMC = engine (4:1 mux)" `Slow test_agree_wide_mux;
+    Alcotest.test_case "BMC = engine (4:1 mux, FT)" `Slow
+      test_agree_wide_mux_ft;
+    Alcotest.test_case "BMC = engine (random branchy nets)" `Slow
+      test_agree_random_nets;
+    Alcotest.test_case "BMC = engine (random branchy nets, FT)" `Slow
+      test_agree_random_nets_ft;
+    Alcotest.test_case "BMC write witness" `Quick test_write_witness;
+    Alcotest.test_case "BMC write witness under fault" `Quick
+      test_write_witness_under_fault;
+    Alcotest.test_case "BMC depth = nesting" `Quick
+      test_depth_grows_with_nesting;
+    Alcotest.test_case "BMC depth = plan steps" `Quick
+      test_bmc_depth_equals_plan_steps;
+  ]

@@ -1,0 +1,441 @@
+(* Tests for the synthesis core: augmentation (ILP and flow solvers),
+   final synthesis, fault-tolerance metric and area model — the paper's
+   pipeline end to end on small networks. *)
+
+module Netlist = Ftrsn_rsn.Netlist
+module Config = Ftrsn_rsn.Config
+module Sib = Ftrsn_rsn.Sib
+module Digraph = Ftrsn_topo.Digraph
+module Augment = Ftrsn_core.Augment
+module Synthesis = Ftrsn_core.Synthesis
+module Metric = Ftrsn_core.Metric
+module Area = Ftrsn_core.Area
+module Pipeline = Ftrsn_core.Pipeline
+module Engine = Ftrsn_access.Engine
+module Retarget = Ftrsn_access.Retarget
+module Fault = Ftrsn_fault.Fault
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let small_sib () =
+  Sib.build ~name:"small"
+    [
+      Sib
+        {
+          name = "mod1";
+          inner = [ Sib.leaf ~name:"c1" ~len:3; Sib.leaf ~name:"c2" ~len:2 ];
+        };
+      Sib { name = "mod2"; inner = [ Sib.leaf ~name:"c3" ~len:4 ] };
+    ]
+
+let tiny_sib () =
+  Sib.build ~name:"tiny"
+    [ Sib.leaf ~name:"a" ~len:2; Sib.leaf ~name:"b" ~len:3 ]
+
+let test_demands () =
+  let net = small_sib () in
+  let p = Augment.of_netlist net in
+  let d_in, d_out = Augment.demands p in
+  (* Root never demands in-edges; every other vertex demands one new
+     physically distinct input. *)
+  check int_t "root in-demand" 0 d_in.(p.Augment.root);
+  check int_t "sink out-demand" 0 d_out.(p.Augment.sink);
+  let total_in = Array.fold_left ( + ) 0 d_in in
+  check bool_t "every non-root vertex needs a new input" true
+    (total_in >= Netlist.num_segments net)
+
+let test_ilp_flow_agree () =
+  List.iter
+    (fun net ->
+      let p = Augment.of_netlist net in
+      match (Augment.solve_ilp p, Augment.solve_flow ~window:64 p) with
+      | Some ilp, Some flow ->
+          check int_t
+            ("solver costs agree on " ^ net.Netlist.net_name)
+            ilp.Augment.cost flow.Augment.cost
+      | _ -> Alcotest.fail "both solvers must find a solution")
+    [ tiny_sib (); small_sib () ]
+
+let test_augmentation_verified () =
+  List.iter
+    (fun net ->
+      let p = Augment.of_netlist net in
+      let sol = Augment.solve p in
+      match Augment.verify p sol.Augment.new_edges with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ tiny_sib (); small_sib () ]
+
+let test_augmented_two_connected () =
+  let net = small_sib () in
+  let p = Augment.of_netlist net in
+  let sol = Augment.solve p in
+  let g = Digraph.copy p.Augment.graph in
+  List.iter (fun (i, j) -> Digraph.add_edge g i j) sol.Augment.new_edges;
+  (* Every segment vertex now lies on two vertex-independent paths both
+     ways (§III-C), except where structurally impossible. *)
+  for s = 0 to Netlist.num_segments net - 1 do
+    let v = 2 + s in
+    if Digraph.in_degree g v >= 2 && Digraph.out_degree g v >= 2 then
+      check bool_t
+        (Printf.sprintf "segment %s two-connected" (Netlist.segment_name net s))
+        true
+        (Ftrsn_topo.Menger.two_connected_through g ~root:0 ~sink:1 v)
+  done
+
+let test_synthesis_valid_and_reset_preserved () =
+  let net = small_sib () in
+  let r = Pipeline.synthesize net in
+  check bool_t "ft validates" true (Netlist.validate r.Pipeline.ft = Ok ());
+  check bool_t "select hardened" true r.Pipeline.ft.Netlist.select_hardened;
+  check bool_t "dual ports" true r.Pipeline.ft.Netlist.dual_ports;
+  (* Same number of segments; more muxes. *)
+  check int_t "segments preserved" (Netlist.num_segments net)
+    (Netlist.num_segments r.Pipeline.ft);
+  check bool_t "muxes added" true
+    (Netlist.num_muxes r.Pipeline.ft > Netlist.num_muxes net);
+  check bool_t "all ft muxes TMR" true
+    (Array.for_all (fun m -> m.Netlist.mux_tmr) r.Pipeline.ft.Netlist.muxes)
+
+let test_ft_all_accessible_fault_free () =
+  let net = small_sib () in
+  let r = Pipeline.synthesize net in
+  let ctx = Engine.make_ctx r.Pipeline.ft in
+  let v = Engine.analyze ctx None in
+  check int_t "fault-free ft fully accessible" (Netlist.num_segments net)
+    (Engine.accessible_count v)
+
+let test_ft_original_paths_still_configurable () =
+  (* Every scan path configurable in the original RSN stays configurable
+     in the fault-tolerant one, and fault-free retargeting uses exactly
+     the original routes: same CSU count, same segments on every active
+     path (paper §IV intro).  Absolute cycle counts grow only by the
+     hosted control bits appended to on-path segments. *)
+  let net = small_sib () in
+  let r = Pipeline.synthesize net in
+  let ctx_o = Engine.make_ctx net in
+  let ctx_f = Engine.make_ctx r.Pipeline.ft in
+  for s = 0 to Netlist.num_segments net - 1 do
+    match
+      ( Retarget.plan_write ctx_o ~target:s (),
+        Retarget.plan_write ctx_f ~target:s () )
+    with
+    | Some po, Some pf ->
+        check (Alcotest.list int_t)
+          (Printf.sprintf "same access path for %s" (Netlist.segment_name net s))
+          po.Retarget.access_path pf.Retarget.access_path;
+        check int_t
+          (Printf.sprintf "same CSU count for %s" (Netlist.segment_name net s))
+          (List.length po.Retarget.steps)
+          (List.length pf.Retarget.steps);
+        (* Cycle growth bounded by the total appended control bits. *)
+        let growth = Netlist.total_bits r.Pipeline.ft - Netlist.total_bits net in
+        let csus = 1 + List.length po.Retarget.steps in
+        check bool_t
+          (Printf.sprintf "latency growth bounded for %s"
+             (Netlist.segment_name net s))
+          true
+          (pf.Retarget.cycles <= po.Retarget.cycles + (csus * growth))
+    | _ -> Alcotest.fail "plans must exist"
+  done
+
+let test_metric_original_sib () =
+  let net = small_sib () in
+  let m = Metric.evaluate net in
+  check (Alcotest.float 1e-9) "worst case is total loss" 0.0
+    m.Metric.worst_segments;
+  check bool_t "average strictly between 0 and 1" true
+    (m.Metric.avg_segments > 0.3 && m.Metric.avg_segments < 1.0)
+
+let test_metric_ft () =
+  let net = small_sib () in
+  let r = Pipeline.synthesize net in
+  let m = Metric.evaluate r.Pipeline.ft in
+  let n = float_of_int (Netlist.num_segments net) in
+  (* Worst case: all but one segment accessible (paper §IV-B). *)
+  check bool_t
+    (Printf.sprintf "ft worst >= (n-1)/n (got %.3f)" m.Metric.worst_segments)
+    true
+    (m.Metric.worst_segments >= (n -. 1.) /. n -. 1e-9);
+  check bool_t "ft avg > 0.9" true (m.Metric.avg_segments > 0.9);
+  let mo = Metric.evaluate net in
+  check bool_t "ft strictly better on average" true
+    (m.Metric.avg_segments > mo.Metric.avg_segments)
+
+let test_area_ratios_shape () =
+  let net = small_sib () in
+  let r = Pipeline.synthesize net in
+  let rt = r.Pipeline.area_ratios in
+  (* On a toy 8-segment network every per-mux overhead (TMR replicas in
+     particular) is large relative to the 14 instrument bits, so the
+     Table I magnitudes do not apply; the scale-dependent shape checks
+     live in the ITC'02 reproduction harness.  Here: everything grows, and
+     the area ratio cannot exceed the worst component ratio. *)
+  check bool_t "mux ratio > 2" true (rt.Area.r_mux > 2.0);
+  check bool_t "bits grow" true (rt.Area.r_bits > 1.0);
+  check bool_t "nets grow" true (rt.Area.r_nets > 1.0);
+  check bool_t "area bounded by max component" true
+    (rt.Area.r_area <= 1.05 *. Float.max rt.Area.r_mux rt.Area.r_bits)
+
+let test_fig2_style_pipeline () =
+  (* A non-SIB network with an explicit branch also synthesizes. *)
+  let b = Ftrsn_rsn.Builder.create "fig2" in
+  let a =
+    Ftrsn_rsn.Builder.add_segment b ~shadow:2 ~name:"A" ~len:2
+      ~input:Netlist.Scan_in ()
+  in
+  let s =
+    Ftrsn_rsn.Builder.add_segment b ~name:"B" ~len:3 ~input:(Netlist.Seg a) ()
+  in
+  let c =
+    Ftrsn_rsn.Builder.add_segment b ~name:"C" ~len:4 ~input:(Netlist.Seg s) ()
+  in
+  let m1 =
+    Ftrsn_rsn.Builder.add_mux b ~name:"m1"
+      ~inputs:[ Netlist.Seg s; Netlist.Seg c ]
+      ~addr:[ Netlist.Ctrl_shadow { cseg = a; cbit = 0 } ]
+      ()
+  in
+  let d =
+    Ftrsn_rsn.Builder.add_segment b ~name:"D" ~len:2 ~input:(Netlist.Mux m1) ()
+  in
+  let net = Ftrsn_rsn.Builder.finish b ~out:(Netlist.Seg d) () in
+  let r = Pipeline.synthesize net in
+  let m = Metric.evaluate r.Pipeline.ft in
+  check bool_t "fig2 ft worst: all but one" true
+    (m.Metric.worst_segments >= 0.75 -. 1e-9)
+
+(* Property: the pipeline on random SIB hierarchies always yields a valid
+   FT netlist whose worst-case accessibility is all-but-one segment and
+   whose reset path equals the original's. *)
+let random_spec st =
+  let rec gen depth budget =
+    if budget <= 0 then []
+    else
+      let n = 1 + Random.State.int st 3 in
+      List.init n (fun i ->
+          if depth >= 2 || Random.State.bool st then
+            Sib.leaf
+              ~name:(Printf.sprintf "l%d_%d_%d" depth i (Random.State.int st 1000))
+              ~len:(1 + Random.State.int st 4)
+          else
+            Sib.Sib
+              {
+                name = Printf.sprintf "g%d_%d_%d" depth i (Random.State.int st 1000);
+                inner = gen (depth + 1) (budget / 2);
+              })
+  in
+  let rec fix = function
+    | Sib.Segment _ as s -> s
+    | Sib.Sib { name; inner } ->
+        let inner = List.map fix inner in
+        let inner =
+          if inner = [] then
+            [ Sib.Segment { name = name ^ ".pad"; len = 1; shadow = 0 } ]
+          else inner
+        in
+        Sib.Sib { name; inner }
+  in
+  List.map fix (gen 0 5)
+
+let prop_pipeline_random_sibs =
+  QCheck.Test.make ~name:"pipeline sound on random SIB hierarchies" ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let specs = random_spec st in
+      if specs = [] then true
+      else begin
+        let net = Sib.build ~name:"rand" specs in
+        let r = Pipeline.synthesize net in
+        let ok_valid = Netlist.validate r.Pipeline.ft = Ok () in
+        let n = float_of_int (Netlist.num_segments net) in
+        let m = Metric.evaluate r.Pipeline.ft in
+        let ok_worst = m.Metric.worst_segments >= ((n -. 1.) /. n) -. 1e-9 in
+        let ok_reset =
+          Config.active_path net (Config.reset net)
+          = Config.active_path r.Pipeline.ft (Config.reset r.Pipeline.ft)
+        in
+        ok_valid && ok_worst && ok_reset
+      end)
+
+let test_parallel_metric_exact () =
+  (* Multi-domain evaluation merges to the sequential result: integer
+     fields exactly, averages up to floating-point summation order. *)
+  let net = small_sib () in
+  let seq = Metric.evaluate net in
+  let par = Metric.evaluate ~domains:3 net in
+  check int_t "fault count" seq.Metric.faults par.Metric.faults;
+  check int_t "weight" seq.Metric.total_weight par.Metric.total_weight;
+  check (Alcotest.float 1e-12) "worst segments" seq.Metric.worst_segments
+    par.Metric.worst_segments;
+  check (Alcotest.float 1e-9) "avg segments" seq.Metric.avg_segments
+    par.Metric.avg_segments;
+  check (Alcotest.float 1e-9) "avg bits" seq.Metric.avg_bits
+    par.Metric.avg_bits
+
+let test_report_row_and_csv () =
+  let net = small_sib () in
+  let row = Ftrsn_core.Report.row ~name:"small" net in
+  check int_t "segments" 8 row.Ftrsn_core.Report.segments;
+  check bool_t "ft better" true
+    (row.Ftrsn_core.Report.ft_metric.Metric.avg_segments
+     > row.Ftrsn_core.Report.orig_metric.Metric.avg_segments);
+  let csv = Ftrsn_core.Report.to_csv row in
+  let fields = String.split_on_char ',' csv in
+  let headers = String.split_on_char ',' Ftrsn_core.Report.csv_header in
+  check int_t "csv arity matches header" (List.length headers)
+    (List.length fields);
+  check bool_t "csv row names the soc" true (List.hd fields = "small")
+
+let test_area_profile_sensitivity () =
+  (* A different technology mapping changes the area ratio but not the
+     structural columns, and both mappings agree on the ordering. *)
+  let net = small_sib () in
+  let r = Pipeline.synthesize net in
+  let port_muxes = r.Pipeline.syn_stats.Synthesis.port_muxes in
+  let with_tech t =
+    Area.ratios
+      ~orig:(Area.of_netlist ~technology:t net)
+      ~ft:(Area.of_netlist ~technology:t ~port_muxes r.Pipeline.ft)
+  in
+  let d = with_tech Area.default_technology in
+  let c = with_tech Area.compact_technology in
+  check bool_t "mux ratio identical (structural)" true
+    (abs_float (d.Area.r_mux -. c.Area.r_mux) < 1e-9);
+  check bool_t "bits ratio identical (structural)" true
+    (abs_float (d.Area.r_bits -. c.Area.r_bits) < 1e-9);
+  check bool_t "area ratios differ but stay > 1" true
+    (d.Area.r_area > 1.0 && c.Area.r_area > 1.0
+    && abs_float (d.Area.r_area -. c.Area.r_area) > 1e-6)
+
+let test_pre_flavor_pipeline () =
+  (* The SIB-pre realization (mux before the register) goes through the
+     whole pipeline with the same guarantees. *)
+  let specs =
+    [
+      Sib.Sib
+        {
+          name = "mod1";
+          inner = [ Sib.leaf ~name:"c1" ~len:3; Sib.leaf ~name:"c2" ~len:2 ];
+        };
+      Sib.Sib { name = "mod2"; inner = [ Sib.leaf ~name:"c3" ~len:4 ] };
+    ]
+  in
+  let net = Sib.build ~flavor:`Pre ~name:"pre" specs in
+  check bool_t "validates" true (Netlist.validate net = Ok ());
+  check int_t "same counts as post" (Sib.count_segments specs)
+    (Netlist.num_segments net);
+  (match Config.active_path net (Config.reset net) with
+  | Some path -> check int_t "reset path = module SIBs" 2 (List.length path)
+  | None -> Alcotest.fail "valid reset");
+  let r = Pipeline.synthesize net in
+  let m = Metric.evaluate r.Pipeline.ft in
+  let n = float_of_int (Netlist.num_segments net) in
+  check bool_t "pre-flavor ft worst: all but one" true
+    (m.Metric.worst_segments >= ((n -. 1.) /. n) -. 1e-9);
+  (* Fault-free plans execute on the simulator. *)
+  let ctx = Engine.make_ctx net in
+  for s = 0 to Netlist.num_segments net - 1 do
+    match Retarget.plan_write ctx ~target:s () with
+    | None -> Alcotest.fail "plan must exist"
+    | Some plan -> (
+        let pattern = List.init (Netlist.seg_len net s) (fun i -> i mod 2 = 1) in
+        match Retarget.execute net plan ~pattern with
+        | Error e -> Alcotest.fail e
+        | Ok state ->
+            List.iteri
+              (fun j v ->
+                if state.Ftrsn_rsn.Sim.shift.(s).(j) <> v then
+                  Alcotest.fail "pre-flavor write mismatch")
+              pattern)
+  done
+
+let test_ablation_mechanisms_load_bearing () =
+  (* Each hardening mechanism earns its keep on the small network:
+     disabling dual ports or rescue lines reintroduces a total-loss fault;
+     the full synthesis never loses more than one segment. *)
+  let net = small_sib () in
+  let worst options =
+    let r = Pipeline.synthesize ~options net in
+    (Metric.evaluate r.Pipeline.ft).Metric.worst_segments
+  in
+  let d = Synthesis.default_options in
+  let n = float_of_int (Netlist.num_segments net) in
+  check bool_t "full synthesis: all but one" true
+    (worst d >= ((n -. 1.) /. n) -. 1e-9);
+  check (Alcotest.float 1e-9) "no dual ports: total loss possible" 0.0
+    (worst { d with Synthesis.opt_dual_ports = false });
+  check bool_t "no rescue lines: strictly worse" true
+    (worst { d with Synthesis.opt_rescue_lines = false } < worst d -. 1e-9);
+  check bool_t "no TMR: strictly worse" true
+    (worst { d with Synthesis.opt_tmr = false } < worst d -. 1e-9);
+  (* Select hardening affects area only under the port-level select fault
+     model (one site per segment). *)
+  let area options =
+    (Pipeline.synthesize ~options net).Pipeline.area_ratios.Area.r_area
+  in
+  check bool_t "select hardening costs area" true
+    (area { d with Synthesis.opt_select_hardening = false } < area d)
+
+(* Property: the exact ILP and the min-cost-flow solver agree on the
+   augmentation cost for random small SIB hierarchies (the flow relaxation
+   is integral and the window hides no cheaper edge). *)
+let prop_ilp_flow_cost_equal =
+  QCheck.Test.make ~name:"ILP cost = flow cost on random SIB nets" ~count:12
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let specs =
+        List.init
+          (1 + Random.State.int st 2)
+          (fun i ->
+            Sib.Sib
+              {
+                name = Printf.sprintf "g%d" i;
+                inner =
+                  List.init
+                    (1 + Random.State.int st 2)
+                    (fun j ->
+                      Sib.leaf
+                        ~name:(Printf.sprintf "l%d_%d" i j)
+                        ~len:(1 + Random.State.int st 3));
+              })
+      in
+      let net = Sib.build ~name:"rnd" specs in
+      let p = Augment.of_netlist net in
+      match (Augment.solve_ilp p, Augment.solve_flow ~window:64 p) with
+      | Some ilp, Some flow -> ilp.Augment.cost = flow.Augment.cost
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "augmentation demands" `Quick test_demands;
+    Alcotest.test_case "ilp and flow solvers agree" `Quick test_ilp_flow_agree;
+    Alcotest.test_case "augmentation verifies" `Quick test_augmentation_verified;
+    Alcotest.test_case "augmented graph two-connected" `Quick
+      test_augmented_two_connected;
+    Alcotest.test_case "synthesis valid, reset preserved" `Quick
+      test_synthesis_valid_and_reset_preserved;
+    Alcotest.test_case "ft fully accessible fault-free" `Quick
+      test_ft_all_accessible_fault_free;
+    Alcotest.test_case "latency preserved" `Quick
+      test_ft_original_paths_still_configurable;
+    Alcotest.test_case "metric: original SIB RSN" `Quick test_metric_original_sib;
+    Alcotest.test_case "metric: fault-tolerant RSN" `Quick test_metric_ft;
+    Alcotest.test_case "area ratio shape" `Quick test_area_ratios_shape;
+    Alcotest.test_case "fig2-style pipeline" `Quick test_fig2_style_pipeline;
+    Alcotest.test_case "parallel metric exact" `Quick
+      test_parallel_metric_exact;
+    Alcotest.test_case "report row and CSV" `Quick test_report_row_and_csv;
+    Alcotest.test_case "area profile sensitivity" `Quick
+      test_area_profile_sensitivity;
+    Alcotest.test_case "SIB-pre flavor pipeline" `Quick
+      test_pre_flavor_pipeline;
+    Alcotest.test_case "ablation: mechanisms load-bearing" `Slow
+      test_ablation_mechanisms_load_bearing;
+    QCheck_alcotest.to_alcotest prop_pipeline_random_sibs;
+    QCheck_alcotest.to_alcotest prop_ilp_flow_cost_equal;
+  ]

@@ -1,0 +1,266 @@
+(* Tests for max-flow and min-cost flow, including the lower-bound solver
+   that backs the scalable augmentation path. *)
+
+module Maxflow = Ftrsn_flow.Maxflow
+module Mincost = Ftrsn_flow.Mincost
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let test_maxflow_single_edge () =
+  let g = Maxflow.create ~n:2 in
+  let e = Maxflow.add_edge g ~src:0 ~dst:1 ~cap:7 in
+  check int_t "flow" 7 (Maxflow.max_flow g ~s:0 ~t:1);
+  check int_t "edge flow" 7 (Maxflow.flow_on g e)
+
+let test_maxflow_series () =
+  let g = Maxflow.create ~n:3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:3);
+  check int_t "series bottleneck" 3 (Maxflow.max_flow g ~s:0 ~t:2)
+
+let test_maxflow_parallel () =
+  let g = Maxflow.create ~n:2 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:2);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3);
+  check int_t "parallel adds" 5 (Maxflow.max_flow g ~s:0 ~t:1)
+
+(* The classic 4-node example that needs an augmenting path through a
+   residual (backward) arc. *)
+let test_maxflow_residual () =
+  let g = Maxflow.create ~n:4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:3 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:1);
+  check int_t "residual routing" 2 (Maxflow.max_flow g ~s:0 ~t:3)
+
+let test_maxflow_disconnected () =
+  let g = Maxflow.create ~n:4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5);
+  check int_t "no path" 0 (Maxflow.max_flow g ~s:0 ~t:3)
+
+let test_maxflow_rerun () =
+  let g = Maxflow.create ~n:3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:4);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:4);
+  check int_t "first run" 4 (Maxflow.max_flow g ~s:0 ~t:2);
+  check int_t "re-run from scratch" 4 (Maxflow.max_flow g ~s:0 ~t:2);
+  check int_t "different terminals" 4 (Maxflow.max_flow g ~s:0 ~t:1)
+
+let test_min_cut () =
+  let g = Maxflow.create ~n:4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:10);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:10);
+  ignore (Maxflow.max_flow g ~s:0 ~t:3);
+  let side = Maxflow.min_cut_side g ~s:0 in
+  check bool_t "source side" true side.(0);
+  check bool_t "1 on source side" true side.(1);
+  check bool_t "2 on sink side" false side.(2);
+  check bool_t "sink side" false side.(3)
+
+let test_maxflow_invalid () =
+  let g = Maxflow.create ~n:2 in
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Maxflow.add_edge: negative capacity") (fun () ->
+      ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:(-1)));
+  Alcotest.check_raises "s = t" (Invalid_argument "Maxflow.max_flow: s = t")
+    (fun () -> ignore (Maxflow.max_flow g ~s:0 ~t:0))
+
+let test_mincost_prefers_cheap () =
+  let g = Mincost.create ~n:3 in
+  let cheap = Mincost.add_edge g ~src:0 ~dst:2 ~cap:1 ~cost:1 in
+  ignore (Mincost.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:0);
+  ignore (Mincost.add_edge g ~src:1 ~dst:2 ~cap:1 ~cost:5);
+  (match Mincost.min_cost_flow g ~s:0 ~t:2 ~amount:1 with
+  | Some c -> check int_t "cheapest path" 1 c
+  | None -> Alcotest.fail "feasible");
+  check int_t "flow on cheap edge" 1 (Mincost.flow_on g cheap)
+
+let test_mincost_max_flow () =
+  let g = Mincost.create ~n:4 in
+  ignore (Mincost.add_edge g ~src:0 ~dst:1 ~cap:2 ~cost:1);
+  ignore (Mincost.add_edge g ~src:0 ~dst:2 ~cap:2 ~cost:2);
+  ignore (Mincost.add_edge g ~src:1 ~dst:3 ~cap:2 ~cost:1);
+  ignore (Mincost.add_edge g ~src:2 ~dst:3 ~cap:2 ~cost:2);
+  let flow, cost = Mincost.min_cost_max_flow g ~s:0 ~t:3 in
+  check int_t "max flow" 4 flow;
+  (* 2 units at cost 2 + 2 units at cost 4. *)
+  check int_t "min cost" 12 cost
+
+let test_mincost_infeasible_amount () =
+  let g = Mincost.create ~n:2 in
+  ignore (Mincost.add_edge g ~src:0 ~dst:1 ~cap:1 ~cost:0);
+  check bool_t "too much flow requested" true
+    (Mincost.min_cost_flow g ~s:0 ~t:1 ~amount:2 = None)
+
+let test_lower_bounds_basic () =
+  (* One arc with lower bound 2: feasible flow must carry 2 units. *)
+  let arcs =
+    [|
+      { Mincost.With_lower_bounds.lb_src = 0; lb_dst = 1; lb_low = 2;
+        lb_cap = 5; lb_cost = 3 };
+    |]
+  in
+  match Mincost.With_lower_bounds.solve ~n:2 ~arcs ~s:0 ~t:1 with
+  | None -> Alcotest.fail "feasible"
+  | Some (cost, flows) ->
+      check int_t "cost includes lower bound" 6 cost;
+      check int_t "arc carries its bound" 2 flows.(0)
+
+let test_lower_bounds_infeasible () =
+  (* Lower bound with no way to route the forced flow onward. *)
+  let arcs =
+    [|
+      { Mincost.With_lower_bounds.lb_src = 0; lb_dst = 1; lb_low = 3;
+        lb_cap = 3; lb_cost = 0 };
+      { Mincost.With_lower_bounds.lb_src = 1; lb_dst = 2; lb_low = 0;
+        lb_cap = 1; lb_cost = 0 };
+    |]
+  in
+  check bool_t "infeasible detected" true
+    (Mincost.With_lower_bounds.solve ~n:3 ~arcs ~s:0 ~t:2 = None)
+
+let test_lower_bounds_chooses_cheap_cover () =
+  (* Vertex 1 must receive >= 2 units; two suppliers at different costs
+     plus a mandatory cheap arc. *)
+  let arcs =
+    [|
+      { Mincost.With_lower_bounds.lb_src = 0; lb_dst = 1; lb_low = 0;
+        lb_cap = 1; lb_cost = 1 };
+      { Mincost.With_lower_bounds.lb_src = 0; lb_dst = 1; lb_low = 0;
+        lb_cap = 1; lb_cost = 4 };
+      { Mincost.With_lower_bounds.lb_src = 1; lb_dst = 2; lb_low = 2;
+        lb_cap = 4; lb_cost = 0 };
+    |]
+  in
+  match Mincost.With_lower_bounds.solve ~n:3 ~arcs ~s:0 ~t:2 with
+  | None -> Alcotest.fail "feasible"
+  | Some (cost, flows) ->
+      check int_t "both suppliers used" 2 (flows.(0) + flows.(1));
+      check int_t "cost 1 + 4" 5 cost
+
+(* Property: the lower-bound solver agrees with brute-force enumeration on
+   tiny networks: minimal cost over all feasible integral flows respecting
+   the bounds. *)
+let prop_lower_bounds_brute =
+  QCheck.Test.make ~name:"lower-bound solver optimal (brute force)" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      (* 3 nodes (0 = s, 2 = t), up to 4 arcs with caps <= 2. *)
+      let arcs =
+        Array.init
+          (1 + Random.State.int st 3)
+          (fun _ ->
+            let src = Random.State.int st 2 in
+            let dst = 1 + Random.State.int st 2 in
+            let dst = if dst <= src then 2 else dst in
+            let cap = 1 + Random.State.int st 2 in
+            let low = Random.State.int st (cap + 1) in
+            {
+              Mincost.With_lower_bounds.lb_src = src;
+              lb_dst = dst;
+              lb_low = low;
+              lb_cap = cap;
+              lb_cost = Random.State.int st 4;
+            })
+      in
+      let solver = Mincost.With_lower_bounds.solve ~n:3 ~arcs ~s:0 ~t:2 in
+      (* Brute force: enumerate all flow vectors within bounds, keep those
+         with conservation at node 1 and s->t balance via the return arc
+         (any s-t flow value is allowed). *)
+      let m = Array.length arcs in
+      let best = ref None in
+      let rec enum i flows =
+        if i = m then begin
+          (* conservation at interior node 1 *)
+          let inflow n =
+            List.fold_left2
+              (fun acc a f ->
+                acc
+                + (if a.Mincost.With_lower_bounds.lb_dst = n then f else 0)
+                - if a.Mincost.With_lower_bounds.lb_src = n then f else 0)
+              0 (Array.to_list arcs) (List.rev flows)
+          in
+          if inflow 1 = 0 then begin
+            let cost =
+              List.fold_left2
+                (fun acc a f -> acc + (a.Mincost.With_lower_bounds.lb_cost * f))
+                0 (Array.to_list arcs) (List.rev flows)
+            in
+            match !best with
+            | Some c when c <= cost -> ()
+            | _ -> best := Some cost
+          end
+        end
+        else
+          for f = arcs.(i).Mincost.With_lower_bounds.lb_low
+              to arcs.(i).Mincost.With_lower_bounds.lb_cap do
+            enum (i + 1) (f :: flows)
+          done
+      in
+      enum 0 [];
+      match (solver, !best) with
+      | None, None -> true
+      | Some (cost, _), Some best -> cost = best
+      | _ -> false)
+
+(* Property: max-flow equals min-cut capacity on random small graphs
+   (verified against a brute-force cut enumeration). *)
+let prop_maxflow_mincut =
+  QCheck.Test.make ~name:"max-flow = min-cut (brute force)" ~count:80
+    QCheck.(pair (int_range 2 7) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let edges = ref [] in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && Random.State.int st 100 < 40 then
+            edges := (i, j, 1 + Random.State.int st 5) :: !edges
+        done
+      done;
+      let g = Maxflow.create ~n in
+      List.iter (fun (u, v, c) -> ignore (Maxflow.add_edge g ~src:u ~dst:v ~cap:c)) !edges;
+      let s = 0 and t = n - 1 in
+      let flow = Maxflow.max_flow g ~s ~t in
+      (* Brute force over all S-sides containing s but not t. *)
+      let best = ref max_int in
+      for mask = 0 to (1 lsl n) - 1 do
+        if mask land 1 = 1 && mask land (1 lsl t) = 0 then begin
+          let cut =
+            List.fold_left
+              (fun acc (u, v, c) ->
+                if mask land (1 lsl u) <> 0 && mask land (1 lsl v) = 0 then
+                  acc + c
+                else acc)
+              0 !edges
+          in
+          if cut < !best then best := cut
+        end
+      done;
+      flow = !best)
+
+let suite =
+  [
+    Alcotest.test_case "maxflow: single edge" `Quick test_maxflow_single_edge;
+    Alcotest.test_case "maxflow: series" `Quick test_maxflow_series;
+    Alcotest.test_case "maxflow: parallel" `Quick test_maxflow_parallel;
+    Alcotest.test_case "maxflow: residual path" `Quick test_maxflow_residual;
+    Alcotest.test_case "maxflow: disconnected" `Quick test_maxflow_disconnected;
+    Alcotest.test_case "maxflow: repeated runs" `Quick test_maxflow_rerun;
+    Alcotest.test_case "min cut side" `Quick test_min_cut;
+    Alcotest.test_case "maxflow: input validation" `Quick test_maxflow_invalid;
+    Alcotest.test_case "mincost: prefers cheap path" `Quick test_mincost_prefers_cheap;
+    Alcotest.test_case "mincost: min-cost max-flow" `Quick test_mincost_max_flow;
+    Alcotest.test_case "mincost: infeasible amount" `Quick test_mincost_infeasible_amount;
+    Alcotest.test_case "lower bounds: basic" `Quick test_lower_bounds_basic;
+    Alcotest.test_case "lower bounds: infeasible" `Quick test_lower_bounds_infeasible;
+    Alcotest.test_case "lower bounds: cheap cover" `Quick test_lower_bounds_chooses_cheap_cover;
+    QCheck_alcotest.to_alcotest prop_lower_bounds_brute;
+    QCheck_alcotest.to_alcotest prop_maxflow_mincut;
+  ]

@@ -1,0 +1,251 @@
+(* Tests for the ICL (IEEE 1687 subset) front-end: parsing, hierarchical
+   elaboration, select/reset semantics, error reporting, and feeding the
+   elaborated networks through the full synthesis pipeline. *)
+
+module Netlist = Ftrsn_rsn.Netlist
+module Config = Ftrsn_rsn.Config
+module Icl = Ftrsn_rsn.Icl
+module Engine = Ftrsn_access.Engine
+module Pipeline = Ftrsn_core.Pipeline
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let ok_net text =
+  match Icl.parse text with
+  | Ok net -> net
+  | Error e -> Alcotest.fail ("ICL parse failed: " ^ e)
+
+let seg_id net name =
+  let found = ref (-1) in
+  for i = 0 to Netlist.num_segments net - 1 do
+    if Netlist.segment_name net i = name then found := i
+  done;
+  if !found < 0 then Alcotest.fail ("no segment named " ^ name);
+  !found
+
+(* A flat branch network in the spirit of fig. 2. *)
+let fig2_icl =
+  {|
+Module fig2 {
+  ScanInPort si;
+  ScanOutPort so { Source d; }
+  ScanRegister a[1:0] { ScanInSource si; ResetValue 2'b00; Update; }
+  ScanRegister b[2:0] { ScanInSource a; }
+  ScanRegister c[3:0] { ScanInSource b; }
+  ScanMux m1 SelectedBy a[0] { 1'b0 : b; 1'b1 : c; }
+  ScanRegister d[1:0] { ScanInSource m1; }
+}
+|}
+
+let test_flat_module () =
+  let net = ok_net fig2_icl in
+  check int_t "segments" 4 (Netlist.num_segments net);
+  check int_t "muxes" 1 (Netlist.num_muxes net);
+  check int_t "bits" 11 (Netlist.total_bits net);
+  (* Reset path: a, b, d. *)
+  match Config.active_path net (Config.reset net) with
+  | Some path ->
+      check (Alcotest.list int_t) "reset path"
+        [ seg_id net "a"; seg_id net "b"; seg_id net "d" ]
+        path
+  | None -> Alcotest.fail "valid reset"
+
+let test_reconfiguration () =
+  let net = ok_net fig2_icl in
+  let cfg = Config.reset net in
+  Config.set_shadow cfg ~seg:(seg_id net "a") ~bit:0 true;
+  match Config.active_path net cfg with
+  | Some path -> check int_t "c spliced in" 4 (List.length path)
+  | None -> Alcotest.fail "valid"
+
+let sib_chain_icl =
+  Icl.sib_module_library
+  ^ {|
+Module chip {
+  ScanInPort si;
+  ScanOutPort so { Source s2.so; }
+  ScanRegister chain0[7:0] { ScanInSource s1.r; }
+  Instance s1 Of SIB { InputPort si = si; InputPort host = chain0; }
+  ScanRegister chain1[3:0] { ScanInSource s2.r; }
+  Instance s2 Of SIB { InputPort si = s1.so; InputPort host = chain1; }
+}
+|}
+
+let test_sib_instances () =
+  let net = ok_net sib_chain_icl in
+  (* 2 SIB registers + 2 chains. *)
+  check int_t "segments" 4 (Netlist.num_segments net);
+  check int_t "muxes" 2 (Netlist.num_muxes net);
+  check int_t "bits" 14 (Netlist.total_bits net);
+  (* Reset: both SIBs closed -> path = the two SIB bits. *)
+  (match Config.active_path net (Config.reset net) with
+  | Some path ->
+      check (Alcotest.list int_t) "reset path"
+        [ seg_id net "s1.r"; seg_id net "s2.r" ]
+        path
+  | None -> Alcotest.fail "valid reset");
+  (* Open s1: chain0 spliced in after s1.r. *)
+  let cfg = Config.reset net in
+  Config.set_shadow cfg ~seg:(seg_id net "s1.r") ~bit:0 true;
+  match Config.active_path net cfg with
+  | Some path ->
+      check bool_t "chain0 on path" true (List.mem (seg_id net "chain0") path)
+  | None -> Alcotest.fail "valid"
+
+let test_nested_hierarchy () =
+  let text =
+    Icl.sib_module_library
+    ^ {|
+Module core {
+  ScanInPort si;
+  ScanOutPort so { Source s.so; }
+  ScanRegister data[15:0] { ScanInSource s.r; }
+  Instance s Of SIB { InputPort si = si; InputPort host = data; }
+}
+Module soc {
+  ScanInPort si;
+  ScanOutPort so { Source g.so; }
+  Instance inner Of core { InputPort si = g.r; }
+  Instance g Of SIB { InputPort si = si; InputPort host = inner.so; }
+}
+|}
+  in
+  let net = ok_net text in
+  check int_t "segments" 3 (Netlist.num_segments net);
+  check bool_t "validates" true (Netlist.validate net = Ok ());
+  check bool_t "hierarchical names" true
+    (Array.exists
+       (fun (s : Netlist.segment) -> s.Netlist.seg_name = "inner.data")
+       net.Netlist.segs);
+  (* Opening both SIBs reaches the data register. *)
+  let cfg = Config.reset net in
+  Config.set_shadow cfg ~seg:(seg_id net "g.r") ~bit:0 true;
+  Config.set_shadow cfg ~seg:(seg_id net "inner.s.r") ~bit:0 true;
+  match Config.active_path net cfg with
+  | Some path ->
+      check bool_t "data reachable" true
+        (List.mem (seg_id net "inner.data") path)
+  | None -> Alcotest.fail "valid"
+
+let test_reset_value_semantics () =
+  let text =
+    {|
+Module m {
+  ScanInPort si;
+  ScanOutPort so { Source mx; }
+  ScanRegister sel[1:0] { ScanInSource si; ResetValue 2'b10; Update; }
+  ScanRegister a { ScanInSource sel; }
+  ScanRegister b { ScanInSource a; }
+  ScanMux mx SelectedBy sel[1:0] { 2'b00 : a; 2'b10 : b; 2'b01 : sel; }
+}
+|}
+  in
+  let net = ok_net text in
+  (* Reset 2'b10: shadow bit1 = 1, bit0 = 0 -> selects case 2'b10 = b. *)
+  match Config.active_path net (Config.reset net) with
+  | Some path ->
+      check bool_t "b on reset path" true (List.mem (seg_id net "b") path);
+      check bool_t "a on reset path (feeds b)" true
+        (List.mem (seg_id net "a") path)
+  | None -> Alcotest.fail "valid"
+
+let test_multibit_select_decode () =
+  let net =
+    ok_net
+      {|
+Module m {
+  ScanInPort si;
+  ScanOutPort so { Source mx; }
+  ScanRegister sel[1:0] { ScanInSource si; Update; }
+  ScanRegister a { ScanInSource sel; }
+  ScanRegister b { ScanInSource a; }
+  ScanRegister c { ScanInSource b; }
+  ScanMux mx SelectedBy sel[1:0] { 2'b00 : a; 2'b01 : b; 2'b10 : c; }
+}
+|}
+  in
+  let cfg = Config.reset net in
+  Config.set_shadow cfg ~seg:(seg_id net "sel") ~bit:1 true;
+  (* value 2 -> input c *)
+  match Config.active_path net cfg with
+  | Some path ->
+      check bool_t "c selected at value 2" true (List.mem (seg_id net "c") path)
+  | None -> Alcotest.fail "valid"
+
+let test_pipeline_on_icl_network () =
+  let net = ok_net sib_chain_icl in
+  let r = Pipeline.synthesize net in
+  let ctx = Engine.make_ctx r.Pipeline.ft in
+  let v = Engine.analyze ctx None in
+  check int_t "ft fully accessible" (Netlist.num_segments net)
+    (Engine.accessible_count v)
+
+let expect_error text fragment =
+  match Icl.parse text with
+  | Ok _ -> Alcotest.fail ("expected error mentioning " ^ fragment)
+  | Error e ->
+      check bool_t
+        (Printf.sprintf "error %S mentions %S" e fragment)
+        true
+        (try
+           ignore (Str.search_forward (Str.regexp_string fragment) e 0);
+           true
+         with Not_found -> false)
+
+let test_errors () =
+  expect_error "Module m { ScanInPort si; }" "ScanOutPort";
+  expect_error
+    "Module m { ScanInPort si; ScanOutPort so { Source x; } }"
+    "unresolved path";
+  expect_error
+    {|Module m { ScanInPort si; ScanOutPort so { Source r; }
+       ScanRegister r { ScanInSource si; }
+       ScanMux x SelectedBy r { 1'b0 : r; } }|}
+    "without Update";
+  expect_error
+    {|Module m { ScanInPort si; ScanOutPort so { Source r; }
+       ScanRegister r { ScanInSource si; ResetValue 2'b00; } }|}
+    "reset width";
+  expect_error
+    {|Module m { ScanInPort si; ScanOutPort so { Source i.so; }
+       Instance i Of nowhere; }|}
+    "unknown module";
+  expect_error
+    (Icl.sib_module_library
+   ^ {|Module m { ScanInPort si; ScanOutPort so { Source s.so; }
+       ScanRegister c { ScanInSource s.r; }
+       Instance s Of SIB { InputPort host = c; } }|})
+    "unbound scan-in port";
+  (* Recursive instantiation is rejected rather than looping. *)
+  expect_error
+    {|Module a { ScanInPort si; ScanOutPort so { Source i.so; }
+       Instance i Of a { InputPort si = si; } }|}
+    "nesting"
+
+module Text = Ftrsn_rsn.Text
+
+let test_icl_to_text_roundtrip () =
+  (* An elaborated ICL network survives the flat text format round trip. *)
+  let net = ok_net sib_chain_icl in
+  let s = Text.to_string net in
+  match Text.parse s with
+  | Error e -> Alcotest.fail e
+  | Ok net' -> check bool_t "round trip stable" true (s = Text.to_string net')
+
+let suite =
+  [
+    Alcotest.test_case "flat module" `Quick test_flat_module;
+    Alcotest.test_case "reconfiguration" `Quick test_reconfiguration;
+    Alcotest.test_case "SIB instances" `Quick test_sib_instances;
+    Alcotest.test_case "nested hierarchy" `Quick test_nested_hierarchy;
+    Alcotest.test_case "reset value semantics" `Quick test_reset_value_semantics;
+    Alcotest.test_case "multi-bit select decode" `Quick
+      test_multibit_select_decode;
+    Alcotest.test_case "pipeline on ICL network" `Quick
+      test_pipeline_on_icl_network;
+    Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "ICL to text round trip" `Quick
+      test_icl_to_text_roundtrip;
+  ]

@@ -1,0 +1,203 @@
+(* Tests for the simplex LP solver and the branch & bound ILP. *)
+
+module Simplex = Ftrsn_lp.Simplex
+module Bnb = Ftrsn_ilp.Bnb
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let float_t = Alcotest.float 1e-6
+
+type opt = { obj : float; x : float array }
+
+let optimal = function
+  | Simplex.Optimal { obj; x } -> { obj; x }
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_lp_simple_min () =
+  (* min x + y s.t. x + y >= 2, x >= 0, y >= 0: optimum 2. *)
+  let p = Simplex.make ~num_vars:2 ~objective:[| 1.0; 1.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Ge ~rhs:2.0;
+  let r = optimal (Simplex.solve p) in
+  check float_t "objective" 2.0 r.obj
+
+let test_lp_bounded_max_as_min () =
+  (* max 3x + 2y s.t. x + y <= 4, x <= 2 === min -3x - 2y. *)
+  let p = Simplex.make ~num_vars:2 ~objective:[| -3.0; -2.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Le ~rhs:4.0;
+  Simplex.set_bounds p 0 ~lo:0.0 ~hi:2.0;
+  let r = optimal (Simplex.solve p) in
+  check float_t "objective" (-10.0) r.obj;
+  check float_t "x at its bound" 2.0 r.x.(0);
+  check float_t "y fills the rest" 2.0 r.x.(1)
+
+let test_lp_equality () =
+  (* min 2x + 3y s.t. x + y = 5, x - y = 1 -> x = 3, y = 2. *)
+  let p = Simplex.make ~num_vars:2 ~objective:[| 2.0; 3.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Eq ~rhs:5.0;
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0); (1, -1.0) ] ~op:Simplex.Eq ~rhs:1.0;
+  let r = optimal (Simplex.solve p) in
+  check float_t "x" 3.0 r.x.(0);
+  check float_t "y" 2.0 r.x.(1);
+  check float_t "objective" 12.0 r.obj
+
+let test_lp_infeasible () =
+  let p = Simplex.make ~num_vars:1 ~objective:[| 1.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0) ] ~op:Simplex.Ge ~rhs:3.0;
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0) ] ~op:Simplex.Le ~rhs:1.0;
+  check bool_t "infeasible" true (Simplex.solve p = Simplex.Infeasible)
+
+let test_lp_unbounded () =
+  let p = Simplex.make ~num_vars:1 ~objective:[| -1.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  check bool_t "unbounded" true (Simplex.solve p = Simplex.Unbounded)
+
+let test_lp_lower_bound_shift () =
+  (* min x with x in [2, 5]: optimum 2 (lower bounds are shifted). *)
+  let p = Simplex.make ~num_vars:1 ~objective:[| 1.0 |] in
+  Simplex.set_bounds p 0 ~lo:2.0 ~hi:5.0;
+  let r = optimal (Simplex.solve p) in
+  check float_t "shifted optimum" 2.0 r.obj;
+  check float_t "x value" 2.0 r.x.(0)
+
+let test_lp_degenerate () =
+  (* Multiple constraints meeting at the optimum; exercises tie-breaking. *)
+  let p = Simplex.make ~num_vars:2 ~objective:[| 1.0; 1.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  Simplex.add_constraint p ~coeffs:[ (1, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Ge ~rhs:2.0;
+  let r = optimal (Simplex.solve p) in
+  check float_t "degenerate optimum" 2.0 r.obj
+
+let test_lp_resolvable () =
+  let p = Simplex.make ~num_vars:2 ~objective:[| 1.0; 2.0 |] in
+  Simplex.add_constraint p ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  let r1 = optimal (Simplex.solve p) in
+  check float_t "first solve" 1.0 r1.obj;
+  Simplex.add_constraint p ~coeffs:[ (1, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  let r2 = optimal (Simplex.solve p) in
+  check float_t "after extra constraint" 2.0 r2.obj
+
+(* --- ILP --- *)
+
+let test_ilp_knapsack () =
+  (* max 10a + 6b + 4c s.t. a + b + c <= 2 (0/1) === min negated. *)
+  let t = Bnb.make ~num_vars:3 ~objective:[| -10.0; -6.0; -4.0 |] in
+  Bnb.add_constraint t ~coeffs:[ (0, 1.0); (1, 1.0); (2, 1.0) ]
+    ~op:Simplex.Le ~rhs:2.0;
+  let r = Bnb.solve t in
+  match r.Bnb.best with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      check float_t "optimal value" (-16.0) sol.Bnb.obj;
+      check bool_t "a chosen" true sol.Bnb.x.(0);
+      check bool_t "b chosen" true sol.Bnb.x.(1);
+      check bool_t "c not" false sol.Bnb.x.(2);
+      check bool_t "proven optimal" true r.Bnb.optimal
+
+let test_ilp_integrality_gap () =
+  (* LP relaxation would take fractional halves: x + y >= 1, x + z >= 1,
+     y + z >= 1, min x + y + z.  LP optimum 1.5; ILP optimum 2. *)
+  let t = Bnb.make ~num_vars:3 ~objective:[| 1.0; 1.0; 1.0 |] in
+  List.iter
+    (fun (a, b) ->
+      Bnb.add_constraint t ~coeffs:[ (a, 1.0); (b, 1.0) ] ~op:Simplex.Ge
+        ~rhs:1.0)
+    [ (0, 1); (0, 2); (1, 2) ];
+  let r = Bnb.solve ~integral_objective:true t in
+  match r.Bnb.best with
+  | None -> Alcotest.fail "feasible"
+  | Some sol -> check float_t "vertex cover of triangle" 2.0 sol.Bnb.obj
+
+let test_ilp_infeasible () =
+  let t = Bnb.make ~num_vars:2 ~objective:[| 1.0; 1.0 |] in
+  Bnb.add_constraint t ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Ge ~rhs:3.0;
+  let r = Bnb.solve t in
+  check bool_t "no 0/1 solution" true (r.Bnb.best = None)
+
+let test_ilp_lazy_cuts () =
+  (* min x + y with x + y >= 1; a lazy cut rejects any solution without x,
+     forcing x = 1. *)
+  let t = Bnb.make ~num_vars:2 ~objective:[| 1.0; 1.0 |] in
+  Bnb.add_constraint t ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  let cuts x =
+    if not x.(0) then [ ([ (0, 1.0) ], Simplex.Ge, 1.0) ] else []
+  in
+  let r = Bnb.solve ~lazy_cuts:cuts t in
+  match r.Bnb.best with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      check bool_t "x forced by cut" true sol.Bnb.x.(0);
+      check bool_t "cuts were added or x chosen directly" true
+        (r.Bnb.cuts >= 0)
+
+let test_ilp_initial_incumbent () =
+  let t = Bnb.make ~num_vars:2 ~objective:[| 1.0; 5.0 |] in
+  Bnb.add_constraint t ~coeffs:[ (0, 1.0); (1, 1.0) ] ~op:Simplex.Ge ~rhs:1.0;
+  let r = Bnb.solve ~initial:[| true; true |] t in
+  match r.Bnb.best with
+  | None -> Alcotest.fail "feasible"
+  | Some sol ->
+      check float_t "improves on the initial incumbent" 1.0 sol.Bnb.obj
+
+(* Property: on random small set-cover-like ILPs, branch & bound matches
+   brute force. *)
+let prop_ilp_brute_force =
+  QCheck.Test.make ~name:"B&B matches brute force on random covers" ~count:40
+    QCheck.(pair (int_range 2 6) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let ncons = 1 + Random.State.int st 4 in
+      let cons =
+        List.init ncons (fun _ ->
+            let members =
+              List.filter (fun _ -> Random.State.bool st) (List.init n Fun.id)
+            in
+            if members = [] then [ 0 ] else members)
+      in
+      let weights = Array.init n (fun _ -> float_of_int (1 + Random.State.int st 9)) in
+      let t = Bnb.make ~num_vars:n ~objective:weights in
+      List.iter
+        (fun members ->
+          Bnb.add_constraint t
+            ~coeffs:(List.map (fun i -> (i, 1.0)) members)
+            ~op:Simplex.Ge ~rhs:1.0)
+        cons;
+      let r = Bnb.solve ~integral_objective:false t in
+      (* Brute force. *)
+      let best = ref infinity in
+      for mask = 0 to (1 lsl n) - 1 do
+        let ok =
+          List.for_all
+            (List.exists (fun i -> mask land (1 lsl i) <> 0))
+            cons
+        in
+        if ok then begin
+          let v = ref 0.0 in
+          for i = 0 to n - 1 do
+            if mask land (1 lsl i) <> 0 then v := !v +. weights.(i)
+          done;
+          if !v < !best then best := !v
+        end
+      done;
+      match r.Bnb.best with
+      | None -> !best = infinity
+      | Some sol -> abs_float (sol.Bnb.obj -. !best) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "lp: simple minimum" `Quick test_lp_simple_min;
+    Alcotest.test_case "lp: bounded maximum" `Quick test_lp_bounded_max_as_min;
+    Alcotest.test_case "lp: equality constraints" `Quick test_lp_equality;
+    Alcotest.test_case "lp: infeasible" `Quick test_lp_infeasible;
+    Alcotest.test_case "lp: unbounded" `Quick test_lp_unbounded;
+    Alcotest.test_case "lp: lower-bound shift" `Quick test_lp_lower_bound_shift;
+    Alcotest.test_case "lp: degenerate optimum" `Quick test_lp_degenerate;
+    Alcotest.test_case "lp: re-solvable" `Quick test_lp_resolvable;
+    Alcotest.test_case "ilp: knapsack" `Quick test_ilp_knapsack;
+    Alcotest.test_case "ilp: integrality gap" `Quick test_ilp_integrality_gap;
+    Alcotest.test_case "ilp: infeasible" `Quick test_ilp_infeasible;
+    Alcotest.test_case "ilp: lazy cuts" `Quick test_ilp_lazy_cuts;
+    Alcotest.test_case "ilp: initial incumbent" `Quick test_ilp_initial_incumbent;
+    QCheck_alcotest.to_alcotest prop_ilp_brute_force;
+  ]

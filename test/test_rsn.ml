@@ -1,0 +1,450 @@
+(* Tests for the RSN structural model: netlist validation, dataflow graph
+   extraction, configurations and active paths, SIB construction, the CSU
+   simulator, and the text format round trip. *)
+
+module Netlist = Ftrsn_rsn.Netlist
+module Config = Ftrsn_rsn.Config
+module Builder = Ftrsn_rsn.Builder
+module Sib = Ftrsn_rsn.Sib
+module Sim = Ftrsn_rsn.Sim
+module Text = Ftrsn_rsn.Text
+module Digraph = Ftrsn_topo.Digraph
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* The 4-segment network in the spirit of the paper's fig. 2: A, B, D on the
+   initial active path, C reachable by reconfiguring mux [m1] whose address
+   is driven by A's shadow bit 0. *)
+let fig2 () =
+  let b = Builder.create "fig2" in
+  let a = Builder.add_segment b ~shadow:2 ~name:"A" ~len:2 ~input:Netlist.Scan_in () in
+  let sb = Builder.add_segment b ~name:"B" ~len:3 ~input:(Netlist.Seg a) () in
+  let c = Builder.add_segment b ~name:"C" ~len:4 ~input:(Netlist.Seg sb) () in
+  let m1 =
+    Builder.add_mux b ~name:"m1"
+      ~inputs:[ Netlist.Seg sb; Netlist.Seg c ]
+      ~addr:[ Netlist.Ctrl_shadow { cseg = a; cbit = 0 } ]
+      ()
+  in
+  let d = Builder.add_segment b ~name:"D" ~len:2 ~input:(Netlist.Mux m1) () in
+  (Builder.finish b ~out:(Netlist.Seg d) (), a, sb, c, d)
+
+let small_sib () =
+  Sib.build ~name:"small"
+    [
+      Sib
+        {
+          name = "mod1";
+          inner = [ Sib.leaf ~name:"c1" ~len:3; Sib.leaf ~name:"c2" ~len:2 ];
+        };
+      Sib { name = "mod2"; inner = [ Sib.leaf ~name:"c3" ~len:4 ] };
+    ]
+
+let seg_id net name =
+  let found = ref (-1) in
+  for i = 0 to Netlist.num_segments net - 1 do
+    if Netlist.segment_name net i = name then found := i
+  done;
+  if !found < 0 then Alcotest.fail ("no segment named " ^ name);
+  !found
+
+let test_fig2_valid () =
+  let net, _, _, _, _ = fig2 () in
+  check bool_t "validates" true (Netlist.validate net = Ok ());
+  check int_t "segments" 4 (Netlist.num_segments net);
+  check int_t "muxes" 1 (Netlist.num_muxes net);
+  check int_t "bits" 11 (Netlist.total_bits net)
+
+let test_fig2_dataflow () =
+  let net, a, sb, c, d = fig2 () in
+  let g, lv = Netlist.dataflow_graph net in
+  let v s = 2 + s in
+  check int_t "vertices = segs + 2" 6 (Digraph.vertex_count g);
+  check bool_t "PI->A" true (Digraph.has_edge g 0 (v a));
+  check bool_t "A->B" true (Digraph.has_edge g (v a) (v sb));
+  check bool_t "B->C" true (Digraph.has_edge g (v sb) (v c));
+  check bool_t "B->D (bypass)" true (Digraph.has_edge g (v sb) (v d));
+  check bool_t "C->D" true (Digraph.has_edge g (v c) (v d));
+  check bool_t "D->PO" true (Digraph.has_edge g (v d) 1);
+  check int_t "level PI" 0 lv.(0);
+  check int_t "level D (longest path)" 4 lv.(v d);
+  check bool_t "mux on B->D edge" true
+    (Netlist.mux_on_edge net ~src:(v sb) ~dst:(v d) = Some 0);
+  check bool_t "no mux on PI->A" true
+    (Netlist.mux_on_edge net ~src:0 ~dst:(v a) = None)
+
+let test_fig2_active_path () =
+  let net, a, sb, c, d = fig2 () in
+  let cfg = Config.reset net in
+  (match Config.active_path net cfg with
+  | Some path -> check (Alcotest.list int_t) "reset path A,B,D" [ a; sb; d ] path
+  | None -> Alcotest.fail "reset config must be valid");
+  Config.set_shadow cfg ~seg:a ~bit:0 true;
+  (match Config.active_path net cfg with
+  | Some path ->
+      check (Alcotest.list int_t) "reconfigured path A,B,C,D" [ a; sb; c; d ] path
+  | None -> Alcotest.fail "config must be valid");
+  check bool_t "C selected" true (Config.is_selected net cfg c);
+  check int_t "path length" 11 (Config.path_length net [ a; sb; c; d ])
+
+let test_invalid_netlists () =
+  (* Mux with a single input. *)
+  let b = Builder.create "bad" in
+  let s = Builder.add_segment b ~name:"s" ~len:1 ~input:Netlist.Scan_in () in
+  ignore
+    (Builder.add_mux b ~name:"m" ~inputs:[ Netlist.Seg s; Netlist.Seg s ]
+       ~addr:[] ());
+  (try
+     ignore (Builder.finish b ~out:(Netlist.Seg s) ());
+     Alcotest.fail "expected failure: mux unreachable / addr too narrow"
+   with Invalid_argument _ -> ());
+  (* Structural cycle: segment feeding itself through a mux. *)
+  let b2 = Builder.create "cyclic" in
+  let s2 = Builder.add_segment b2 ~name:"s" ~len:1 ~input:(Netlist.Mux 0) () in
+  ignore
+    (Builder.add_mux b2 ~name:"m"
+       ~inputs:[ Netlist.Scan_in; Netlist.Seg s2 ]
+       ~addr:[ Netlist.Ctrl_const false ]
+       ());
+  try
+    ignore (Builder.finish b2 ~out:(Netlist.Seg s2) ());
+    Alcotest.fail "expected cycle rejection"
+  with Invalid_argument _ -> ()
+
+let test_sib_counts () =
+  let net = small_sib () in
+  check bool_t "validates" true (Netlist.validate net = Ok ());
+  (* 2 module SIBs + 3 leaf SIBs + 3 instrument segments. *)
+  check int_t "segments" 8 (Netlist.num_segments net);
+  check int_t "muxes" 5 (Netlist.num_muxes net);
+  (* bits: 5 SIB bits + 3 + 2 + 4. *)
+  check int_t "bits" 14 (Netlist.total_bits net);
+  check int_t "levels" 2 (Netlist.max_hier net)
+
+let test_sib_static_counts_match () =
+  let specs =
+    [
+      Sib.Sib
+        {
+          name = "mod1";
+          inner = [ Sib.leaf ~name:"c1" ~len:3; Sib.leaf ~name:"c2" ~len:2 ];
+        };
+      Sib.Sib { name = "mod2"; inner = [ Sib.leaf ~name:"c3" ~len:4 ] };
+    ]
+  in
+  let net = Sib.build ~name:"x" specs in
+  check int_t "muxes" (Sib.count_muxes specs) (Netlist.num_muxes net);
+  check int_t "segments" (Sib.count_segments specs) (Netlist.num_segments net);
+  check int_t "bits" (Sib.count_bits specs) (Netlist.total_bits net);
+  check int_t "depth" (Sib.depth specs) (Netlist.max_hier net)
+
+let test_sib_reset_path () =
+  let net = small_sib () in
+  let cfg = Config.reset net in
+  match Config.active_path net cfg with
+  | None -> Alcotest.fail "reset must be valid"
+  | Some path ->
+      check int_t "only module SIBs on reset path" 2 (List.length path);
+      List.iter
+        (fun s ->
+          check bool_t "is a module sib" true
+            (List.mem (Netlist.segment_name net s) [ "mod1"; "mod2" ]))
+        path
+
+let test_sib_open_hierarchy () =
+  let net = small_sib () in
+  let cfg = Config.reset net in
+  let mod1 = seg_id net "mod1" in
+  Config.set_shadow cfg ~seg:mod1 ~bit:0 true;
+  (match Config.active_path net cfg with
+  | None -> Alcotest.fail "valid"
+  | Some path ->
+      (* mod1 open: mod1, c1.sib, c2.sib, mod2. *)
+      check int_t "path length" 4 (List.length path));
+  let c1sib = seg_id net "c1.sib" in
+  Config.set_shadow cfg ~seg:c1sib ~bit:0 true;
+  match Config.active_path net cfg with
+  | None -> Alcotest.fail "valid"
+  | Some path ->
+      check int_t "c1 spliced in" 5 (List.length path);
+      check bool_t "instrument segment on path" true
+        (List.mem (seg_id net "c1") path)
+
+let test_sim_shift_through_chain () =
+  (* Reset path of fig2 has length 7 (A:2, B:3, D:2).  Shifting 7 known
+     bits must fill the path registers deterministically. *)
+  let net, a, sb, _c, d = fig2 () in
+  let state = Sim.initial net in
+  let stream = [ true; false; true; true; false; false; true ] in
+  let out = Sim.shift_only net state ~scan_in:stream in
+  check int_t "output stream length" 7 (List.length out);
+  (* Initial registers are all zero, so the outgoing bits are all zero. *)
+  List.iter (fun b0 -> check bool_t "zeros out" false b0) out;
+  (* Bit fed at cycle t sits at global position 7 - 1 - t.
+     Positions: A = 0..1, B = 2..4, D = 5..6. *)
+  let expect_pos p = List.nth stream (7 - 1 - p) in
+  check bool_t "A flop0" (expect_pos 0) state.Sim.shift.(a).(0);
+  check bool_t "A flop1" (expect_pos 1) state.Sim.shift.(a).(1);
+  check bool_t "B flop0" (expect_pos 2) state.Sim.shift.(sb).(0);
+  check bool_t "B flop2" (expect_pos 4) state.Sim.shift.(sb).(2);
+  check bool_t "D flop1" (expect_pos 6) state.Sim.shift.(d).(1)
+
+let test_sim_shift_out () =
+  (* What is shifted in comes out after path-length cycles. *)
+  let net, _, _, _, _ = fig2 () in
+  let state = Sim.initial net in
+  let stream = [ true; false; true; true; false; false; true ] in
+  ignore (Sim.shift_only net state ~scan_in:stream);
+  let out = Sim.shift_only net state ~scan_in:(List.map (fun _ -> false) stream) in
+  check (Alcotest.list bool_t) "first stream re-emerges" stream out
+
+let test_sim_csu_updates_shadow () =
+  let net, a, _, _, _ = fig2 () in
+  let state = Sim.initial net in
+  (* Shift a pattern that leaves A's flops = [1; 1] -> shadow becomes 11. *)
+  let stream = [ false; false; false; false; false; true; true ] in
+  ignore (Sim.csu net state ~scan_in:stream);
+  check bool_t "A shadow bit 0 updated" true
+    (Config.get_shadow state.Sim.config ~seg:a ~bit:0);
+  check bool_t "A shadow bit 1 updated" true
+    (Config.get_shadow state.Sim.config ~seg:a ~bit:1);
+  (* Next CSU: path now includes C. *)
+  match Config.active_path net state.Sim.config with
+  | Some path -> check int_t "longer path after reconfig" 4 (List.length path)
+  | None -> Alcotest.fail "valid"
+
+let test_sim_capture () =
+  let net, a, _, _, _ = fig2 () in
+  let state = Sim.initial net in
+  state.Sim.instrument.(a).(0) <- true;
+  state.Sim.instrument.(a).(1) <- false;
+  let path_len = 7 in
+  let out =
+    Sim.csu net state ~scan_in:(List.init path_len (fun _ -> false))
+  in
+  (* A's captured bit 0 sits at global position 0, emerging at cycle
+     path_len - 1 - 0 = 6. *)
+  check bool_t "captured instrument bit observed" true (List.nth out 6);
+  check bool_t "other captured bit zero" false (List.nth out 5)
+
+let test_sim_stuck_mux_addr () =
+  let net, a, sb, c, d = fig2 () in
+  ignore sb;
+  (* Address stuck at 1 forces C onto the path even from reset. *)
+  let inj = { Sim.no_injection with Sim.stuck_mux_addr = [ (0, 0, true) ] } in
+  let state = Sim.initial net in
+  (match Sim.active_path net inj state.Sim.config with
+  | Some path -> check bool_t "C forced onto path" true (List.mem c path)
+  | None -> Alcotest.fail "valid");
+  ignore (a, d)
+
+let test_sim_stuck_select () =
+  (* Select stuck-at-0 on B: B does not shift, so data never crosses it. *)
+  let net, _, sb, _, _ = fig2 () in
+  let inj = { Sim.no_injection with Sim.stuck_select = [ (sb, false) ] } in
+  let state = Sim.initial net in
+  let stream = List.init 7 (fun i -> i mod 2 = 0) in
+  ignore (Sim.shift_only net ~inj state ~scan_in:stream);
+  (* B's registers remain at reset. *)
+  Array.iter
+    (fun bit -> check bool_t "B did not shift" false bit)
+    state.Sim.shift.(sb)
+
+let test_sim_stuck_shift_reg () =
+  let net, a, _, _, _ = fig2 () in
+  let inj = { Sim.no_injection with Sim.stuck_shift = [ (a, 1, true) ] } in
+  let state = Sim.initial net in
+  ignore (Sim.shift_only net ~inj state ~scan_in:(List.init 7 (fun _ -> false)));
+  check bool_t "stuck flop pinned" true state.Sim.shift.(a).(1)
+
+let test_sim_stuck_pi () =
+  let net, a, _, _, _ = fig2 () in
+  let inj = { Sim.no_injection with Sim.stuck_pi = Some true } in
+  let state = Sim.initial net in
+  ignore (Sim.shift_only net ~inj state ~scan_in:(List.init 7 (fun _ -> false)));
+  (* All-ones stream entered despite all-zero scan-in. *)
+  check bool_t "A filled with stuck value" true
+    (state.Sim.shift.(a).(0) && state.Sim.shift.(a).(1))
+
+let test_text_roundtrip_fig2 () =
+  let net, _, _, _, _ = fig2 () in
+  let s = Text.to_string net in
+  match Text.parse s with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok net' ->
+      check Alcotest.string "round trip is stable" s (Text.to_string net');
+      check int_t "segments preserved" (Netlist.num_segments net)
+        (Netlist.num_segments net')
+
+let test_text_roundtrip_sib () =
+  let net = small_sib () in
+  let s = Text.to_string net in
+  match Text.parse s with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok net' -> check Alcotest.string "round trip" s (Text.to_string net')
+
+let test_text_roundtrip_ft () =
+  (* A synthesized fault-tolerant netlist (TMR flags, rescue selections,
+     primary controls, multi-input muxes) survives the text round trip. *)
+  let net = small_sib () in
+  let r = Ftrsn_core.Pipeline.synthesize net in
+  let s = Text.to_string r.Ftrsn_core.Pipeline.ft in
+  match Text.parse s with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok net' ->
+      check Alcotest.string "round trip" s (Text.to_string net');
+      check bool_t "rescue flags preserved" true
+        (Array.exists
+           (fun (m : Netlist.mux) ->
+             m.Netlist.mux_rescue_from < Array.length m.Netlist.mux_inputs)
+           net'.Netlist.muxes)
+
+let test_text_errors () =
+  check bool_t "garbage rejected" true
+    (match Text.parse "nonsense here" with Error _ -> true | Ok _ -> false);
+  check bool_t "missing out rejected" true
+    (match Text.parse "rsn x\nseg a len=1 shadow=0 reset=- hier=1 input=pi\n" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check bool_t "unknown segment reference rejected" true
+    (match
+       Text.parse "rsn x\nseg a len=1 shadow=0 reset=- hier=1 input=seg:zz\nout seg:a\n"
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* Property: random SIB hierarchies always validate, their reset path is
+   exactly the top-level SIBs, and static spec counts match the netlist. *)
+let random_spec st =
+  let rec gen depth budget =
+    if budget <= 0 then []
+    else
+      let n = 1 + Random.State.int st 3 in
+      List.init n (fun i ->
+          if depth >= 3 || Random.State.bool st then
+            Sib.leaf
+              ~name:(Printf.sprintf "l%d_%d_%d" depth i (Random.State.int st 1000))
+              ~len:(1 + Random.State.int st 5)
+          else
+            Sib.Sib
+              {
+                name =
+                  Printf.sprintf "g%d_%d_%d" depth i (Random.State.int st 1000);
+                inner = gen (depth + 1) (budget / 2);
+              })
+  in
+  (* Guard against empty inner chains: leaves have non-empty inner. *)
+  let rec fix = function
+    | Sib.Segment _ as s -> s
+    | Sib.Sib { name; inner } ->
+        let inner = List.map fix inner in
+        let inner =
+          if inner = [] then [ Sib.Segment { name = name ^ ".pad"; len = 1; shadow = 0 } ]
+          else inner
+        in
+        Sib.Sib { name; inner }
+  in
+  List.map fix (gen 0 8)
+
+let prop_random_sib_networks =
+  QCheck.Test.make ~name:"random SIB hierarchies validate and reset correctly"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let specs = random_spec st in
+      if specs = [] then true
+      else begin
+        let net = Sib.build ~name:"rand" specs in
+        Netlist.validate net = Ok ()
+        && Netlist.num_muxes net = Sib.count_muxes specs
+        && Netlist.num_segments net = Sib.count_segments specs
+        && Netlist.total_bits net = Sib.count_bits specs
+        &&
+        let cfg = Config.reset net in
+        match Config.active_path net cfg with
+        | None -> false
+        | Some path ->
+            (* Top-level chain only: all SIBs at hier 1, plus raw top
+               segments. *)
+            List.for_all
+              (fun s -> net.Netlist.segs.(s).Netlist.seg_hier = 1)
+              path
+      end)
+
+(* Property: shifting 2L zeros through any valid configuration returns the
+   L bits previously shifted in (scan-chain transparency). *)
+let prop_shift_transparency =
+  QCheck.Test.make ~name:"scan path is a transparent shift register" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let specs = random_spec st in
+      if specs = [] then true
+      else begin
+        let net = Sib.build ~name:"rand" specs in
+        let state = Sim.initial net in
+        (* Open a random subset of SIBs directly in the configuration. *)
+        for s = 0 to Netlist.num_segments net - 1 do
+          if
+            net.Netlist.segs.(s).Netlist.seg_shadow > 0
+            && Random.State.bool st
+          then Config.set_shadow state.Sim.config ~seg:s ~bit:0 true
+        done;
+        match Config.active_path net state.Sim.config with
+        | None -> false
+        | Some path ->
+            let len = Config.path_length net path in
+            let stream = List.init len (fun _ -> Random.State.bool st) in
+            ignore (Sim.shift_only net state ~scan_in:stream);
+            let out =
+              Sim.shift_only net state ~scan_in:(List.init len (fun _ -> false))
+            in
+            out = stream
+      end)
+
+module Stats = Ftrsn_rsn.Stats
+
+let test_stats () =
+  let net = small_sib () in
+  let st = Stats.compute net in
+  check int_t "segments" 8 st.Stats.segments;
+  check int_t "muxes" 5 st.Stats.muxes;
+  check int_t "scan bits" 14 st.Stats.scan_bits;
+  check int_t "shadow bits" 5 st.Stats.shadow_bits;
+  check int_t "control bits" 5 st.Stats.control_bits;
+  check int_t "levels" 2 st.Stats.levels;
+  check int_t "reset path segs" 2 st.Stats.reset_path_segments;
+  check int_t "reset path bits" 2 st.Stats.reset_path_bits;
+  check int_t "fully open = all bits" 14 st.Stats.full_path_bits;
+  check int_t "max segment" 4 st.Stats.max_seg_len
+
+let suite =
+  [
+    Alcotest.test_case "fig2 validates" `Quick test_fig2_valid;
+    Alcotest.test_case "fig2 dataflow graph" `Quick test_fig2_dataflow;
+    Alcotest.test_case "fig2 active paths" `Quick test_fig2_active_path;
+    Alcotest.test_case "invalid netlists rejected" `Quick test_invalid_netlists;
+    Alcotest.test_case "sib counts" `Quick test_sib_counts;
+    Alcotest.test_case "sib static counts" `Quick test_sib_static_counts_match;
+    Alcotest.test_case "sib reset path" `Quick test_sib_reset_path;
+    Alcotest.test_case "sib hierarchy opening" `Quick test_sib_open_hierarchy;
+    Alcotest.test_case "sim: shift placement" `Quick test_sim_shift_through_chain;
+    Alcotest.test_case "sim: shift transparency" `Quick test_sim_shift_out;
+    Alcotest.test_case "sim: csu shadow update" `Quick test_sim_csu_updates_shadow;
+    Alcotest.test_case "sim: capture" `Quick test_sim_capture;
+    Alcotest.test_case "sim: stuck mux address" `Quick test_sim_stuck_mux_addr;
+    Alcotest.test_case "sim: stuck select" `Quick test_sim_stuck_select;
+    Alcotest.test_case "sim: stuck shift flop" `Quick test_sim_stuck_shift_reg;
+    Alcotest.test_case "sim: stuck primary input" `Quick test_sim_stuck_pi;
+    Alcotest.test_case "text round trip (fig2)" `Quick test_text_roundtrip_fig2;
+    Alcotest.test_case "text round trip (sib)" `Quick test_text_roundtrip_sib;
+    Alcotest.test_case "text round trip (FT netlist)" `Quick
+      test_text_roundtrip_ft;
+    Alcotest.test_case "text parse errors" `Quick test_text_errors;
+    Alcotest.test_case "netlist statistics" `Quick test_stats;
+    QCheck_alcotest.to_alcotest prop_random_sib_networks;
+    QCheck_alcotest.to_alcotest prop_shift_transparency;
+  ]

@@ -1,0 +1,315 @@
+(* Tests for the boolean expression layer and the CDCL SAT solver,
+   including a qcheck cross-validation against brute-force enumeration. *)
+
+module Expr = Ftrsn_boolexpr.Expr
+module Solver = Ftrsn_sat.Solver
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let is_sat = function Solver.Sat -> true | Solver.Unsat -> false
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1 ];
+  check bool_t "unit clause" true (is_sat (Solver.solve s));
+  check bool_t "value" true (Solver.value s 1)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1 ];
+  Solver.add_clause s [ -1 ];
+  check bool_t "contradiction" false (is_sat (Solver.solve s))
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  check bool_t "empty clause" false (is_sat (Solver.solve s))
+
+let test_no_clauses () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 3;
+  check bool_t "vacuous" true (is_sat (Solver.solve s))
+
+let test_implication_chain () =
+  let s = Solver.create () in
+  let n = 50 in
+  for i = 1 to n - 1 do
+    Solver.add_clause s [ -i; i + 1 ]
+  done;
+  Solver.add_clause s [ 1 ];
+  check bool_t "chain sat" true (is_sat (Solver.solve s));
+  for i = 1 to n do
+    check bool_t (Printf.sprintf "var %d forced" i) true (Solver.value s i)
+  done;
+  Solver.add_clause s [ -n ];
+  check bool_t "chain + negation unsat" false (is_sat (Solver.solve s))
+
+let test_xor_constraints () =
+  (* x xor y, y xor z, x xor z is unsat (parity argument). *)
+  let s = Solver.create () in
+  let xor a b =
+    Solver.add_clause s [ a; b ];
+    Solver.add_clause s [ -a; -b ]
+  in
+  xor 1 2;
+  xor 2 3;
+  xor 1 3;
+  check bool_t "odd xor cycle" false (is_sat (Solver.solve s))
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: var p*2+h+1 means pigeon p in hole h. *)
+  let s = Solver.create () in
+  let v p h = (p * 2) + h + 1 in
+  for p = 0 to 2 do
+    Solver.add_clause s [ v p 0; v p 1 ]
+  done;
+  for h = 0 to 1 do
+    for p1 = 0 to 2 do
+      for p2 = p1 + 1 to 2 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  check bool_t "PHP(3,2) unsat" false (is_sat (Solver.solve s))
+
+let test_pigeonhole_4_3 () =
+  let s = Solver.create () in
+  let v p h = (p * 3) + h + 1 in
+  for p = 0 to 3 do
+    Solver.add_clause s [ v p 0; v p 1; v p 2 ]
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  check bool_t "PHP(4,3) unsat" false (is_sat (Solver.solve s))
+
+let test_assumptions () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  check bool_t "sat with assumption -1" true
+    (is_sat (Solver.solve ~assumptions:[ -1 ] s));
+  check bool_t "forced 2" true (Solver.value s 2);
+  check bool_t "unsat with both negative" false
+    (is_sat (Solver.solve ~assumptions:[ -1; -2 ] s));
+  check bool_t "solver usable after assumption unsat" true
+    (is_sat (Solver.solve s))
+
+let test_incremental () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  check bool_t "first solve" true (is_sat (Solver.solve s));
+  Solver.add_clause s [ -1 ];
+  check bool_t "still sat" true (is_sat (Solver.solve s));
+  check bool_t "2 forced now" true (Solver.value s 2);
+  Solver.add_clause s [ -2 ];
+  check bool_t "now unsat" false (is_sat (Solver.solve s));
+  check bool_t "stays unsat" false (is_sat (Solver.solve s))
+
+let test_model_satisfies () =
+  (* A moderately constrained instance; check the model satisfies every
+     clause. *)
+  let clauses =
+    [ [ 1; 2; -3 ]; [ -1; 3 ]; [ 2; 3; 4 ]; [ -4; -2 ]; [ 1; -2; 3; -4 ]; [ -3; 4; 5 ] ]
+  in
+  let s = Solver.create () in
+  List.iter (Solver.add_clause s) clauses;
+  check bool_t "sat" true (is_sat (Solver.solve s));
+  List.iter
+    (fun c ->
+      let sat_clause =
+        List.exists
+          (fun l ->
+            let v = Solver.value s (abs l) in
+            if l > 0 then v else not v)
+          c
+      in
+      check bool_t "clause satisfied" true sat_clause)
+    clauses
+
+(* --- boolexpr tests --- *)
+
+let test_expr_fold_constants () =
+  let ctx = Expr.create () in
+  let x = Expr.fresh_var ctx in
+  check bool_t "x & true = x" true
+    (Expr.equal (Expr.and_ ctx x (Expr.etrue ctx)) x);
+  check bool_t "x | false = x" true
+    (Expr.equal (Expr.or_ ctx x (Expr.efalse ctx)) x);
+  check bool_t "x & false = false" true
+    (Expr.is_false (Expr.and_ ctx x (Expr.efalse ctx)));
+  check bool_t "x & !x = false" true
+    (Expr.is_false (Expr.and_ ctx x (Expr.not_ ctx x)));
+  check bool_t "x | !x = true" true
+    (Expr.is_true (Expr.or_ ctx x (Expr.not_ ctx x)));
+  check bool_t "!!x = x" true (Expr.equal (Expr.not_ ctx (Expr.not_ ctx x)) x)
+
+let test_expr_hash_consing () =
+  let ctx = Expr.create () in
+  let x = Expr.var ctx 0 and y = Expr.var ctx 1 in
+  let a = Expr.and_ ctx x y and b = Expr.and_ ctx y x in
+  check bool_t "commutative sharing" true (Expr.equal a b)
+
+let test_expr_eval () =
+  let ctx = Expr.create () in
+  let x = Expr.var ctx 0 and y = Expr.var ctx 1 and z = Expr.var ctx 2 in
+  let e = Expr.ite ctx x (Expr.xor_ ctx y z) (Expr.iff_ ctx y z) in
+  let eval vx vy vz =
+    Expr.eval (fun i -> [| vx; vy; vz |].(i)) e
+  in
+  check bool_t "ite true branch" true (eval true true false);
+  check bool_t "ite true branch both" false (eval true true true);
+  check bool_t "ite false branch" true (eval false true true);
+  check bool_t "ite false branch diff" false (eval false true false)
+
+let test_tseitin_roundtrip () =
+  (* CNF of an expression is satisfiable exactly when the expression is,
+     and SAT models evaluate the expression to true. *)
+  let ctx = Expr.create () in
+  let x = Expr.var ctx 0 and y = Expr.var ctx 1 and z = Expr.var ctx 2 in
+  let e =
+    Expr.and_ ctx (Expr.or_ ctx x (Expr.not_ ctx y)) (Expr.xor_ ctx y z)
+  in
+  let cnf = Expr.Cnf.of_exprs ctx [ e ] in
+  let s = Solver.create () in
+  Solver.ensure_vars s cnf.Expr.Cnf.num_sat_vars;
+  List.iter (Solver.add_clause s) cnf.Expr.Cnf.clauses;
+  check bool_t "sat" true (is_sat (Solver.solve s));
+  let env i = Solver.value s (i + 1) in
+  check bool_t "model satisfies expression" true (Expr.eval env e)
+
+let test_tseitin_unsat () =
+  let ctx = Expr.create () in
+  let x = Expr.var ctx 0 in
+  let y = Expr.fresh_var ctx in
+  (* (x | y) & !x & !y *)
+  let e =
+    Expr.and_list ctx
+      [ Expr.or_ ctx x y; Expr.not_ ctx x; Expr.not_ ctx y ]
+  in
+  check bool_t "constant folding already catches it or CNF is unsat" true
+    (Expr.is_false e
+    ||
+    let cnf = Expr.Cnf.of_exprs ctx [ e ] in
+    let s = Solver.create () in
+    List.iter (Solver.add_clause s) cnf.Expr.Cnf.clauses;
+    not (is_sat (Solver.solve s)))
+
+(* --- DIMACS --- *)
+
+module Dimacs = Ftrsn_sat.Dimacs
+
+let test_dimacs_roundtrip () =
+  let cnf =
+    { Dimacs.num_vars = 4; clauses = [ [ 1; -2 ]; [ 3; 4; -1 ]; [ -4 ] ] }
+  in
+  match Dimacs.parse (Dimacs.print cnf) with
+  | Error e -> Alcotest.fail e
+  | Ok cnf' ->
+      check bool_t "round trip" true (cnf = cnf');
+      check bool_t "satisfiable" true (Dimacs.solve cnf = Solver.Sat)
+
+let test_dimacs_parse () =
+  let text = "c comment\np cnf 2 2\n1 2 0\n-1 -2 0\n" in
+  (match Dimacs.parse text with
+  | Ok cnf ->
+      check bool_t "2 vars" true (cnf.Dimacs.num_vars = 2);
+      check bool_t "2 clauses" true (List.length cnf.Dimacs.clauses = 2)
+  | Error e -> Alcotest.fail e);
+  check bool_t "garbage rejected" true
+    (match Dimacs.parse "p cnf x y" with Error _ -> true | Ok _ -> false);
+  check bool_t "unterminated clause rejected" true
+    (match Dimacs.parse "p cnf 2 1\n1 2" with Error _ -> true | Ok _ -> false);
+  check bool_t "out-of-range literal rejected" true
+    (match Dimacs.parse "p cnf 1 1\n2 0" with Error _ -> true | Ok _ -> false)
+
+let test_dimacs_unsat () =
+  let cnf = { Dimacs.num_vars = 1; clauses = [ [ 1 ]; [ -1 ] ] } in
+  check bool_t "unsat" true (Dimacs.solve cnf = Solver.Unsat)
+
+(* Brute-force satisfiability of a clause list over n variables. *)
+let brute_force_sat n clauses =
+  let rec go mask =
+    if mask >= 1 lsl n then false
+    else
+      let ok =
+        List.for_all
+          (List.exists (fun l ->
+               let v = mask land (1 lsl (abs l - 1)) <> 0 in
+               if l > 0 then v else not v))
+          clauses
+      in
+      ok || go (mask + 1)
+  in
+  go 0
+
+let prop_random_3sat =
+  QCheck.Test.make ~name:"CDCL agrees with brute force on random 3-SAT"
+    ~count:150
+    QCheck.(pair (int_range 3 10) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let m = 2 + Random.State.int st (4 * n) in
+      let clauses =
+        List.init m (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Random.State.int st n in
+                if Random.State.bool st then v else -v))
+      in
+      let s = Solver.create () in
+      Solver.ensure_vars s n;
+      List.iter (Solver.add_clause s) clauses;
+      is_sat (Solver.solve s) = brute_force_sat n clauses)
+
+let prop_model_is_model =
+  QCheck.Test.make ~name:"SAT models satisfy all clauses" ~count:150
+    QCheck.(pair (int_range 3 12) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let st = Random.State.make [| seed |] in
+      let m = 2 + Random.State.int st (3 * n) in
+      let clauses =
+        List.init m (fun _ ->
+            List.init (1 + Random.State.int st 3) (fun _ ->
+                let v = 1 + Random.State.int st n in
+                if Random.State.bool st then v else -v))
+      in
+      let s = Solver.create () in
+      Solver.ensure_vars s n;
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Unsat -> true
+      | Solver.Sat ->
+          List.for_all
+            (List.exists (fun l ->
+                 let v = Solver.value s (abs l) in
+                 if l > 0 then v else not v))
+            clauses)
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "no clauses" `Quick test_no_clauses;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "xor parity unsat" `Quick test_xor_constraints;
+    Alcotest.test_case "pigeonhole 3/2" `Quick test_pigeonhole_3_2;
+    Alcotest.test_case "pigeonhole 4/3" `Quick test_pigeonhole_4_3;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental solving" `Quick test_incremental;
+    Alcotest.test_case "model satisfies clauses" `Quick test_model_satisfies;
+    Alcotest.test_case "expr constant folding" `Quick test_expr_fold_constants;
+    Alcotest.test_case "expr hash consing" `Quick test_expr_hash_consing;
+    Alcotest.test_case "expr evaluation" `Quick test_expr_eval;
+    Alcotest.test_case "tseitin round trip" `Quick test_tseitin_roundtrip;
+    Alcotest.test_case "tseitin unsat" `Quick test_tseitin_unsat;
+    Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs parsing" `Quick test_dimacs_parse;
+    Alcotest.test_case "dimacs unsat" `Quick test_dimacs_unsat;
+    QCheck_alcotest.to_alcotest prop_random_3sat;
+    QCheck_alcotest.to_alcotest prop_model_is_model;
+  ]
