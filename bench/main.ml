@@ -105,6 +105,47 @@ let ablation_engines =
              ignore (Engine.analyze u226_ft_ctx (Some u226_fault))));
     ]
 
+(* Ablation: one incremental session sweeping a fault universe vs
+   constructing a solver per query — the cost the session layer
+   amortizes.  "Per query" means one fresh solver per goal check
+   (write / read), matching the legacy `check_write`/`check_read` entry
+   points; the pre-session code was weaker still (it rebuilt the solver
+   and the whole encoding once per *depth* probe).  u226 uses a
+   deterministic sample of its universe to keep the bench quota sane. *)
+let small_universe = Fault.universe small
+
+let u226_universe_sample =
+  List.filteri (fun i _ -> i mod 23 = 0) (Fault.universe u226)
+
+let sweep_session net faults =
+  let sess = Bmc.Session.create (Bmc.create net) in
+  ignore (Bmc.Session.check_faults sess ~target:0 faults)
+
+let sweep_oneshot net faults =
+  let model = Bmc.create net in
+  List.iter
+    (fun f ->
+      let sess = Bmc.Session.create model in
+      match Bmc.Session.check_write sess ~fault:f ~target:0 () with
+      | Bmc.Accessible _ ->
+          let sess' = Bmc.Session.create model in
+          ignore (Bmc.Session.check_read sess' ~fault:f ~target:0 ())
+      | _ -> ())
+    faults
+
+let bmc_incremental =
+  Test.make_grouped ~name:"bmc_incremental"
+    [
+      Test.make ~name:"session_universe_small"
+        (Staged.stage (fun () -> sweep_session small small_universe));
+      Test.make ~name:"oneshot_universe_small"
+        (Staged.stage (fun () -> sweep_oneshot small small_universe));
+      Test.make ~name:"session_universe_u226"
+        (Staged.stage (fun () -> sweep_session u226 u226_universe_sample));
+      Test.make ~name:"oneshot_universe_u226"
+        (Staged.stage (fun () -> sweep_oneshot u226 u226_universe_sample));
+    ]
+
 (* Primitives: retargeting plans, synthesis and graph extraction. *)
 let u226_plan = Option.get (Retarget.plan_write u226_ctx ~target:5 ())
 
@@ -162,7 +203,14 @@ let extensions =
 
 let all_tests =
   Test.make_grouped ~name:"ftrsn"
-    [ table1; ablation_solvers; ablation_engines; primitives; extensions ]
+    [
+      table1;
+      ablation_solvers;
+      ablation_engines;
+      bmc_incremental;
+      primitives;
+      extensions;
+    ]
 
 let benchmark () =
   let ols =
@@ -193,4 +241,21 @@ let () =
         | None -> "     n/a"
       in
       Printf.printf "%-50s %s %s\n" name estimate r2)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  (* Clause-reuse profile of one incremental session sweeping the small
+     network's fault universe: after the first query pays for the shared
+     cones, later queries re-emit only their fault-specific clauses. *)
+  let sess = Bmc.Session.create (Bmc.create small) in
+  ignore (Bmc.Session.check_faults sess ~target:0 small_universe);
+  let st = Bmc.Session.stats sess in
+  Printf.printf
+    "\nincremental session, %d-fault universe (small): %d queries, %d \
+     clauses emitted, %d nodes reused, %d conflicts\n"
+    (List.length small_universe)
+    st.Bmc.Session.queries st.Bmc.Session.clauses_emitted
+    st.Bmc.Session.nodes_reused st.Bmc.Session.conflicts;
+  Printf.printf "clauses emitted per query:";
+  List.iter
+    (fun q -> Printf.printf " %d" q.Bmc.Session.q_emitted)
+    st.Bmc.Session.per_query;
+  print_newline ()

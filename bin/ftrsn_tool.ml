@@ -48,15 +48,46 @@ let load path =
       Printf.eprintf "%s: %s\n" path e;
       exit 1
 
-let seg_by_name net name =
-  let found = ref None in
+(* Name -> index table, built once per loaded netlist; replaces the O(n)
+   scan-per-lookup over segment names. *)
+let seg_table net =
+  let tbl = Hashtbl.create (max 16 (Netlist.num_segments net)) in
   for i = 0 to Netlist.num_segments net - 1 do
-    if Netlist.segment_name net i = name then found := Some i
+    Hashtbl.replace tbl (Netlist.segment_name net i) i
   done;
-  match !found with
+  tbl
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <-
+        min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let seg_by_name tbl name =
+  match Hashtbl.find_opt tbl name with
   | Some i -> i
   | None ->
-      Printf.eprintf "no segment named %s\n" name;
+      let near =
+        Hashtbl.fold (fun n _ acc -> (edit_distance name n, n) :: acc) tbl []
+        |> List.filter (fun (d, _) -> d <= max 2 (String.length name / 3))
+        |> List.sort compare
+        |> List.filteri (fun i _ -> i < 3)
+        |> List.map snd
+      in
+      Printf.eprintf "no segment named %s%s\n" name
+        (match near with
+        | [] -> ""
+        | _ ->
+            Printf.sprintf " (did you mean %s?)" (String.concat ", " near));
       exit 1
 
 let cmd_stats path =
@@ -113,7 +144,7 @@ let parse_fault net spec =
 let cmd_access path target fault svf =
   let net = load path in
   let ctx = Engine.make_ctx net in
-  let target = seg_by_name net target in
+  let target = seg_by_name (seg_table net) target in
   let fault = Option.map (parse_fault net) fault in
   match Retarget.plan_write ctx ?fault ~target () with
   | None ->

@@ -9,6 +9,38 @@ module Order = Ftrsn_topo.Order
    sensitized. *)
 type cond = C_true | C_sel of int * int  (* mux, input index *)
 
+(* ---- static fault predicates, aligned with Engine.effects_of_fault ---- *)
+
+type fsum = {
+  pi_dead : bool;
+  po_dead : bool;
+  seg_scan_in : int -> bool;
+  seg_scan_out : int -> bool;
+  seg_shift : int -> bool;
+  seg_sel0 : int -> bool;
+  mux_out : int -> bool;
+  mux_in : int -> int -> bool;  (* mux, input (classes applied) *)
+  locked : int -> int -> bool option;  (* mux, addr bit *)
+  pinned : int -> int -> bool option;  (* seg, shadow bit *)
+  kill_write : int -> bool;
+  kill_read : int -> bool;
+}
+
+(* Per-step circuits of one unrolling step. *)
+type step_exprs = {
+  on : Expr.t array;        (* per element: lies on the active path *)
+  dirty_in : Expr.t array;  (* per segment: write data corrupted *)
+  after : Expr.t array;     (* per element: corruption between its output
+                               and the scan-out *)
+}
+
+type verdict = Accessible of int | Inaccessible
+
+type goal = G_write | G_read
+
+(* The static model [t] and the incremental [session] are mutually
+   recursive: a session holds the model it encodes, and the model caches a
+   default session for the thin one-shot-style wrappers. *)
 type t = {
   net : Netlist.t;
   ectx : Engine.ctx;                      (* for the port-masking rule *)
@@ -16,6 +48,39 @@ type t = {
   consumers : (int * cond) list array;    (* per element id *)
   drivers : int array;                    (* per segment: driver element *)
   max_hier : int;
+  mutable cached : session option;        (* default session (wrappers) *)
+}
+
+and session = {
+  model : t;
+  solver : Solver.t;
+  em : Expr.Cnf.emitter;
+  sctx : Expr.ctx;
+  (* Shared unrolling variables, grown monotonically with depth and reused
+     by every fault and every query: shadows.(step).(seg).(bit), and one
+     variable per (step, primary input). *)
+  mutable shadows : Expr.t array array array;
+  sprimaries : (int * string, Expr.t) Hashtbl.t;
+  (* Fault-free skeleton: circuits per step, encoded permanently
+     (ungrouped) so every fault's cones hash-cons onto them and only the
+     genuinely perturbed deltas live and die with a fault's group. *)
+  base_fs : fsum;
+  mutable base_circuits : step_exprs array;
+  fenc : (Fault.t option, fault_enc) Hashtbl.t;
+  mutable active : Fault.t option option;  (* last queried fault *)
+  mutable queries : int;
+  (* newest first: (emitted, reused, conflicts, sat) per query *)
+  mutable qlog : (int * int * int * bool) list;
+}
+
+and fault_enc = {
+  fe_act : int;                       (* activation gating this fault *)
+  fe_fs : fsum;
+  mutable fe_circuits : step_exprs array;  (* per step, grown *)
+  mutable fe_depth : int;             (* transitions emitted for steps
+                                         [0 .. fe_depth - 1] *)
+  fe_goals : (bool * int * int, int) Hashtbl.t;
+      (* (is_write, target, depth) -> goal activation *)
 }
 
 let create (net : Netlist.t) =
@@ -45,26 +110,7 @@ let create (net : Netlist.t) =
     | None -> invalid_arg "Bmc.create: cyclic netlist"
   in
   { net; ectx = Engine.make_ctx net; order; consumers; drivers;
-    max_hier = Netlist.max_hier net }
-
-type verdict = Accessible of int | Inaccessible
-
-(* ---- static fault predicates, aligned with Engine.effects_of_fault ---- *)
-
-type fsum = {
-  pi_dead : bool;
-  po_dead : bool;
-  seg_scan_in : int -> bool;
-  seg_scan_out : int -> bool;
-  seg_shift : int -> bool;
-  seg_sel0 : int -> bool;
-  mux_out : int -> bool;
-  mux_in : int -> int -> bool;  (* mux, input (classes applied) *)
-  locked : int -> int -> bool option;  (* mux, addr bit *)
-  pinned : int -> int -> bool option;  (* seg, shadow bit *)
-  kill_write : int -> bool;
-  kill_read : int -> bool;
-}
+    max_hier = Netlist.max_hier net; cached = None }
 
 let no_fault =
   {
@@ -171,13 +217,6 @@ let summarize t = function
           else { no_fault with mux_out = ( = ) m })
 
 (* ---- per-step circuit construction ---- *)
-
-type step_exprs = {
-  on : Expr.t array;        (* per element: lies on the active path *)
-  dirty_in : Expr.t array;  (* per segment: write data corrupted *)
-  after : Expr.t array;     (* per element: corruption between its output
-                               and the scan-out *)
-}
 
 (* Build the circuits of one unrolling step.  [shadow] gives the boolean
    expression of each shadow bit at this step, [primary] of each primary
@@ -289,146 +328,376 @@ let step_circuits t ctx fs ~shadow ~primary =
   done;
   { on; dirty_in; after }
 
-(* ---- unrolled check ---- *)
-
-type goal = G_write | G_read
-
-let check_goal ?(want_witness = false) t fault goal ~max_steps ~target =
-  ignore want_witness;
-  let net = t.net in
-  let fs = summarize t fault in
-  let statically_dead =
-    match goal with
-    | G_write -> fs.kill_write target || fs.pi_dead
-    | G_read -> fs.kill_read target || fs.po_dead
-  in
-  if statically_dead then (Inaccessible, [])
-  else begin
-    let result = ref None in
-    let n = ref 0 in
-    while !result = None && !n <= max_steps do
-      let steps = !n in
-      let ctx = Expr.create () in
-      (* Shadow variables per step; step 0 is the reset constants. *)
-      let nsegs = Netlist.num_segments net in
-      let shadow_vars =
-        Array.init (steps + 1) (fun tstep ->
-            Array.init nsegs (fun s ->
-                Array.init net.Netlist.segs.(s).Netlist.seg_shadow (fun b ->
-                    if tstep = 0 then
-                      Expr.const ctx net.Netlist.segs.(s).Netlist.seg_reset.(b)
-                    else Expr.fresh_var ctx)))
-      in
-      let primaries = Hashtbl.create 8 in
-      let primary_var tstep p =
-        match Hashtbl.find_opt primaries (tstep, p) with
-        | Some v -> v
-        | None ->
-            let v = Expr.fresh_var ctx in
-            Hashtbl.add primaries (tstep, p) v;
-            v
-      in
-      let circuits =
-        Array.init (steps + 1) (fun tstep ->
-            step_circuits t ctx fs
-              ~shadow:(fun s b -> shadow_vars.(tstep).(s).(b))
-              ~primary:(primary_var tstep))
-      in
-      (* Transition relation between consecutive steps (eq. 1 extended):
-         a shadow bit changes only when its segment is on the active path
-         with clean write data; corrupted writes are not relied upon. *)
-      let assertions = ref [] in
-      for tstep = 0 to steps - 1 do
-        let c = circuits.(tstep) in
-        for s = 0 to nsegs - 1 do
-          for b = 0 to net.Netlist.segs.(s).Netlist.seg_shadow - 1 do
-            let cur = shadow_vars.(tstep).(s).(b) in
-            let next = shadow_vars.(tstep + 1).(s).(b) in
-            let keep = Expr.iff_ ctx next cur in
-            let writable =
-              if fs.kill_write s then Expr.efalse ctx
-              else
-                Expr.and_ ctx
-                  c.on.(Netlist.Elt.of_seg s)
-                  (Expr.not_ ctx c.dirty_in.(s))
-            in
-            assertions := Expr.or_ ctx writable keep :: !assertions
-          done
-        done
-      done;
-      (* Goal at the final step. *)
-      let cfin = circuits.(steps) in
-      let goal_expr =
-        match goal with
-        | G_write ->
-            Expr.and_ ctx
-              cfin.on.(Netlist.Elt.of_seg target)
-              (Expr.not_ ctx cfin.dirty_in.(target))
-        | G_read ->
-            Expr.and_ ctx
-              cfin.on.(Netlist.Elt.of_seg target)
-              (Expr.not_ ctx cfin.after.(Netlist.Elt.of_seg target))
-      in
-      assertions := goal_expr :: !assertions;
-      let cnf = Expr.Cnf.of_exprs ctx !assertions in
-      let solver = Solver.create () in
-      Solver.ensure_vars solver cnf.Expr.Cnf.num_sat_vars;
-      List.iter (Solver.add_clause solver) cnf.Expr.Cnf.clauses;
-      (match Solver.solve solver with
-      | Solver.Sat ->
-          let witness =
-            if not want_witness then []
-            else
-              List.init (steps + 1) (fun tstep ->
-                  let shadows =
-                    Array.init nsegs (fun s ->
-                        Array.init
-                          net.Netlist.segs.(s).Netlist.seg_shadow
-                          (fun bq ->
-                            let e = shadow_vars.(tstep).(s).(bq) in
-                            match Ftrsn_boolexpr.Expr.var_index e with
-                            | Some i -> Solver.value solver (i + 1)
-                            | None -> Ftrsn_boolexpr.Expr.is_true e))
-                  in
-                  let primaries =
-                    Hashtbl.fold
-                      (fun (ts, p) e acc ->
-                        if ts <> tstep then acc
-                        else
-                          match Ftrsn_boolexpr.Expr.var_index e with
-                          | Some i -> (p, Solver.value solver (i + 1)) :: acc
-                          | None -> acc)
-                      primaries []
-                  in
-                  { Ftrsn_rsn.Config.shadows; primaries })
-          in
-          result := Some (Accessible steps, witness)
-      | Solver.Unsat -> ());
-      incr n
-    done;
-    match !result with Some r -> r | None -> (Inaccessible, [])
-  end
-
 let default_steps t = t.max_hier + 2
 
+(* ---- incremental session ---- *)
+
+type model = t
+
+module Session = struct
+  module Cnf = Expr.Cnf
+
+  type t = session
+
+  type query_stat = {
+    q_emitted : int;
+    q_reused : int;
+    q_conflicts : int;
+    q_sat : bool;
+  }
+
+  type stats = {
+    queries : int;
+    clauses_emitted : int;
+    nodes_reused : int;
+    conflicts : int;
+    decisions : int;
+    propagations : int;
+    per_query : query_stat list;
+  }
+
+  let create (model : model) =
+    let solver = Solver.create () in
+    let em =
+      Cnf.make_emitter
+        {
+          Cnf.fresh_var = (fun () -> Solver.new_var solver);
+          add_clause =
+            (fun under c ->
+              match under with
+              | Some act -> Solver.add_clause_under solver act c
+              | None -> Solver.add_clause solver c);
+        }
+    in
+    {
+      model;
+      solver;
+      em;
+      sctx = Expr.create ();
+      shadows = [||];
+      sprimaries = Hashtbl.create 64;
+      base_fs = summarize model None;
+      base_circuits = [||];
+      fenc = Hashtbl.create 16;
+      active = None;
+      queries = 0;
+      qlog = [];
+    }
+
+  let model sess = sess.model
+
+  (* Shared step variables, allocated once and reused by every fault. *)
+  let ensure_steps sess tstep =
+    while Array.length sess.shadows <= tstep do
+      let net = sess.model.net in
+      let t0 = Array.length sess.shadows in
+      let arr =
+        Array.init (Netlist.num_segments net) (fun s ->
+            Array.init net.Netlist.segs.(s).Netlist.seg_shadow (fun b ->
+                if t0 = 0 then
+                  Expr.const sess.sctx net.Netlist.segs.(s).Netlist.seg_reset.(b)
+                else Expr.fresh_var sess.sctx))
+      in
+      sess.shadows <- Array.append sess.shadows [| arr |]
+    done
+
+  let primary_var sess tstep p =
+    match Hashtbl.find_opt sess.sprimaries (tstep, p) with
+    | Some v -> v
+    | None ->
+        let v = Expr.fresh_var sess.sctx in
+        Hashtbl.add sess.sprimaries (tstep, p) v;
+        v
+
+  (* Retire a fault's whole clause group: hard-assert the negations of its
+     activation and every goal activation.  The gated clauses become inert
+     forever — a retired fault is re-encoded from scratch (fresh
+     activation) if it is ever queried again — and the solver deletes each
+     group in O(group size), so sequential sweeps over a fault universe
+     do not accumulate dead clauses in the watch lists. *)
+  let retire_enc sess fe =
+    Solver.retire_activation sess.solver fe.fe_act;
+    Hashtbl.iter
+      (fun _ g -> Solver.retire_activation sess.solver g)
+      fe.fe_goals;
+    (* The fault's Tseitin definitions died with its clause group; tell
+       the emitter so shared cones get re-encoded if a later fault's
+       circuits hash-cons onto them. *)
+    Cnf.retire_owner sess.em fe.fe_act
+
+  let retire_fault sess fault =
+    match Hashtbl.find_opt sess.fenc fault with
+    | Some fe ->
+        retire_enc sess fe;
+        Hashtbl.remove sess.fenc fault;
+        if sess.active = Some fault then sess.active <- None
+    | None -> ()
+
+  (* The per-fault encoding.  Switching to a different fault retires the
+     previous one, so sequential sweeps over a fault universe keep the
+     solver's live clause set bounded by one fault's encoding (plus the
+     Tseitin cones, which are shared across faults by hash-consing and by
+     the emitter memo). *)
+  let enc sess fault =
+    (match sess.active with
+    | Some prev when prev <> fault -> retire_fault sess prev
+    | _ -> ());
+    sess.active <- Some fault;
+    match Hashtbl.find_opt sess.fenc fault with
+    | Some fe -> fe
+    | None ->
+        let fe =
+          {
+            fe_act = Solver.new_activation sess.solver;
+            fe_fs = summarize sess.model fault;
+            fe_circuits = [||];
+            fe_depth = 0;
+            fe_goals = Hashtbl.create 8;
+          }
+        in
+        Hashtbl.add sess.fenc fault fe;
+        fe
+
+  let circuits_at sess fe tstep =
+    while Array.length fe.fe_circuits <= tstep do
+      let t0 = Array.length fe.fe_circuits in
+      ensure_steps sess t0;
+      let sh = sess.shadows.(t0) in
+      let c =
+        step_circuits sess.model sess.sctx fe.fe_fs
+          ~shadow:(fun s b -> sh.(s).(b))
+          ~primary:(primary_var sess t0)
+      in
+      fe.fe_circuits <- Array.append fe.fe_circuits [| c |]
+    done;
+    fe.fe_circuits.(tstep)
+
+  let base_circuits_at sess tstep =
+    while Array.length sess.base_circuits <= tstep do
+      let t0 = Array.length sess.base_circuits in
+      ensure_steps sess t0;
+      let sh = sess.shadows.(t0) in
+      let c =
+        step_circuits sess.model sess.sctx sess.base_fs
+          ~shadow:(fun s b -> sh.(s).(b))
+          ~primary:(primary_var sess t0)
+      in
+      sess.base_circuits <- Array.append sess.base_circuits [| c |]
+    done;
+    sess.base_circuits.(tstep)
+
+  (* Transition relation between consecutive steps (eq. 1 extended): a
+     shadow bit changes only when its segment is on the active path with
+     clean write data.  Emitted once per fault and depth, gated by the
+     fault's activation, and grown monotonically — transitions for steps
+     beyond a query's depth are harmless (any prefix extends by keeping
+     every shadow bit). *)
+  let ensure_transitions sess fe depth =
+    let net = sess.model.net in
+    let nsegs = Netlist.num_segments net in
+    let writable_of fs (c : step_exprs) s =
+      if fs.kill_write s then Expr.efalse sess.sctx
+      else
+        Expr.and_ sess.sctx
+          c.on.(Netlist.Elt.of_seg s)
+          (Expr.not_ sess.sctx c.dirty_in.(s))
+    in
+    while fe.fe_depth < depth do
+      let tstep = fe.fe_depth in
+      let c = circuits_at sess fe tstep in
+      let bc = base_circuits_at sess tstep in
+      ensure_steps sess (tstep + 1);
+      let cur = sess.shadows.(tstep) and next = sess.shadows.(tstep + 1) in
+      for s = 0 to nsegs - 1 do
+        for b = 0 to net.Netlist.segs.(s).Netlist.seg_shadow - 1 do
+          let keep = Expr.iff_ sess.sctx next.(s).(b) cur.(s).(b) in
+          (* Fault-independent skeleton — the keep cone and the fault-free
+             transition cone — is encoded permanently (ungrouped), so
+             every fault's cones hash-cons onto it.  Only the perturbed
+             delta of this fault's transition is gated by (and retired
+             with) the fault's clause group. *)
+          ignore
+            (Cnf.lit sess.em
+               (Expr.or_ sess.sctx (writable_of sess.base_fs bc s) keep));
+          let l =
+            Cnf.lit ~under:fe.fe_act sess.em
+              (Expr.or_ sess.sctx (writable_of fe.fe_fs c s) keep)
+          in
+          Cnf.emit_clause ~under:fe.fe_act sess.em [ l ]
+        done
+      done;
+      fe.fe_depth <- tstep + 1
+    done
+
+  let goal_act sess fe goal target depth =
+    let key = ((goal = G_write), target, depth) in
+    match Hashtbl.find_opt fe.fe_goals key with
+    | Some a -> a
+    | None ->
+        let goal_expr (cfin : step_exprs) =
+          match goal with
+          | G_write ->
+              Expr.and_ sess.sctx
+                cfin.on.(Netlist.Elt.of_seg target)
+                (Expr.not_ sess.sctx cfin.dirty_in.(target))
+          | G_read ->
+              Expr.and_ sess.sctx
+                cfin.on.(Netlist.Elt.of_seg target)
+                (Expr.not_ sess.sctx cfin.after.(Netlist.Elt.of_seg target))
+        in
+        (* Permanent fault-free goal cone first (shared skeleton), then
+           this fault's gated delta. *)
+        ignore (Cnf.lit sess.em (goal_expr (base_circuits_at sess depth)));
+        let ge = goal_expr (circuits_at sess fe depth) in
+        let a = Solver.new_activation sess.solver in
+        Cnf.emit_clause ~under:a sess.em
+          [ Cnf.lit ~under:fe.fe_act sess.em ge ];
+        Hashtbl.add fe.fe_goals key a;
+        a
+
+  (* Decode the model of a Sat answer into the witness configuration
+     sequence.  Model lookup goes through the emitter: an expression
+     variable that never reached the solver is unconstrained and reads as
+     false, exactly as in the one-shot encoding. *)
+  let decode sess steps =
+    let value_of e =
+      match Expr.var_index e with
+      | None -> Expr.is_true e
+      | Some _ -> (
+          match Cnf.find_lit sess.em e with
+          | None -> false
+          | Some l when l > 0 -> Solver.value sess.solver l
+          | Some l -> not (Solver.value sess.solver (-l)))
+    in
+    List.init (steps + 1) (fun tstep ->
+        let shadows =
+          Array.map (Array.map value_of) sess.shadows.(tstep)
+        in
+        let primaries =
+          Hashtbl.fold
+            (fun (ts, p) e acc ->
+              if ts <> tstep then acc
+              else
+                match Cnf.find_lit sess.em e with
+                | None -> acc
+                | Some l when l > 0 -> (p, Solver.value sess.solver l) :: acc
+                | Some l -> (p, not (Solver.value sess.solver (-l))) :: acc)
+            sess.sprimaries []
+        in
+        { Ftrsn_rsn.Config.shadows; primaries })
+
+  let check_goal ?(want_witness = false) sess fault goal ~max_steps ~target =
+    let fe = enc sess fault in
+    let fs = fe.fe_fs in
+    sess.queries <- sess.queries + 1;
+    let statically_dead =
+      match goal with
+      | G_write -> fs.kill_write target || fs.pi_dead
+      | G_read -> fs.kill_read target || fs.po_dead
+    in
+    if statically_dead then begin
+      sess.qlog <- (0, 0, 0, false) :: sess.qlog;
+      (Inaccessible, [])
+    end
+    else begin
+      let em0, ru0 = Cnf.emitter_stats sess.em in
+      let cf0, _, _ = Solver.stats sess.solver in
+      let result = ref None in
+      let n = ref 0 in
+      while !result = None && !n <= max_steps do
+        let depth = !n in
+        ensure_transitions sess fe depth;
+        let g = goal_act sess fe goal target depth in
+        (match Solver.solve ~assumptions:[ fe.fe_act; g ] sess.solver with
+        | Solver.Sat ->
+            let witness = if want_witness then decode sess depth else [] in
+            result := Some (Accessible depth, witness)
+        | Solver.Unsat -> ());
+        incr n
+      done;
+      let em1, ru1 = Cnf.emitter_stats sess.em in
+      let cf1, _, _ = Solver.stats sess.solver in
+      sess.qlog <-
+        (em1 - em0, ru1 - ru0, cf1 - cf0, !result <> None) :: sess.qlog;
+      match !result with Some r -> r | None -> (Inaccessible, [])
+    end
+
+  let steps_for sess max_steps =
+    Option.value ~default:(default_steps sess.model) max_steps
+
+  let check_write sess ?fault ?max_steps ~target () =
+    let max_steps = steps_for sess max_steps in
+    fst (check_goal sess fault G_write ~max_steps ~target)
+
+  let check_read sess ?fault ?max_steps ~target () =
+    let max_steps = steps_for sess max_steps in
+    fst (check_goal sess fault G_read ~max_steps ~target)
+
+  let write_witness sess ?fault ?max_steps ~target () =
+    let max_steps = steps_for sess max_steps in
+    match
+      check_goal ~want_witness:true sess fault G_write ~max_steps ~target
+    with
+    | Accessible n, configs -> Some (n, configs)
+    | Inaccessible, _ -> None
+
+  let check_access sess ?fault ?max_steps ~target () =
+    match check_write sess ?fault ?max_steps ~target () with
+    | Inaccessible -> Inaccessible
+    | Accessible w -> (
+        match check_read sess ?fault ?max_steps ~target () with
+        | Inaccessible -> Inaccessible
+        | Accessible r -> Accessible (max w r))
+
+  let check_targets sess ?fault ?max_steps targets =
+    Array.of_list
+      (List.map
+         (fun target -> check_access sess ?fault ?max_steps ~target ())
+         targets)
+
+  let check_faults sess ?max_steps ~target faults =
+    List.map
+      (fun f -> check_access sess ~fault:f ?max_steps ~target ())
+      faults
+
+  let stats sess =
+    let em, ru = Cnf.emitter_stats sess.em in
+    let c, d, p = Solver.stats sess.solver in
+    {
+      queries = sess.queries;
+      clauses_emitted = em;
+      nodes_reused = ru;
+      conflicts = c;
+      decisions = d;
+      propagations = p;
+      per_query =
+        List.rev_map
+          (fun (e, r, cf, sat) ->
+            { q_emitted = e; q_reused = r; q_conflicts = cf; q_sat = sat })
+          sess.qlog;
+    }
+end
+
+(* ---- one-shot-style wrappers over the model's cached session ---- *)
+
+let session t =
+  match t.cached with
+  | Some s -> s
+  | None ->
+      let s = Session.create t in
+      t.cached <- Some s;
+      s
+
+let netlist t = t.net
+
 let check_write t ?fault ?max_steps ~target () =
-  let max_steps = Option.value ~default:(default_steps t) max_steps in
-  fst (check_goal t fault G_write ~max_steps ~target)
+  Session.check_write (session t) ?fault ?max_steps ~target ()
 
 let check_read t ?fault ?max_steps ~target () =
-  let max_steps = Option.value ~default:(default_steps t) max_steps in
-  fst (check_goal t fault G_read ~max_steps ~target)
+  Session.check_read (session t) ?fault ?max_steps ~target ()
 
 let write_witness t ?fault ?max_steps ~target () =
-  let max_steps = Option.value ~default:(default_steps t) max_steps in
-  match check_goal ~want_witness:true t fault G_write ~max_steps ~target with
-  | Accessible n, configs -> Some (n, configs)
-  | Inaccessible, _ -> None
+  Session.write_witness (session t) ?fault ?max_steps ~target ()
 
 let check_access t ?fault ?max_steps ~target () =
-  match check_write t ?fault ?max_steps ~target () with
-  | Inaccessible -> Inaccessible
-  | Accessible w -> (
-      match check_read t ?fault ?max_steps ~target () with
-      | Inaccessible -> Inaccessible
-      | Accessible r -> Accessible (max w r))
+  Session.check_access (session t) ?fault ?max_steps ~target ()

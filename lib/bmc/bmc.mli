@@ -11,6 +11,13 @@
     circuits over the configuration variables, and the n-step unrolling is
     handed to the CDCL solver.
 
+    Solving is incremental: a {!Session} holds one solver per netlist and
+    grows the encoding monotonically across queries — unrolling variables
+    and Tseitin cones are shared between faults, depths and goals, with
+    per-fault and per-goal clause groups gated behind activation literals.
+    The classic one-shot entry points ({!check_write} etc.) are thin
+    wrappers over a session cached in the model.
+
     Semantics are aligned with {!Ftrsn_access.Engine} (which computes the
     same verdicts by graph fixpoints): writes through corrupted data are
     never relied upon (the transition keeps the old value), select
@@ -23,11 +30,92 @@ type t
 val create : Ftrsn_rsn.Netlist.t -> t
 (** Builds the static model data (consumer maps, topological orders). *)
 
+val netlist : t -> Ftrsn_rsn.Netlist.t
+(** The netlist the model was built from. *)
+
 type verdict =
   | Accessible of int
       (** accessible; payload = number of CSU operations needed (the
           unrolling depth at which the check succeeded) *)
   | Inaccessible
+
+type model = t
+(** Alias so {!Session} can refer to the model type under its own [t]. *)
+
+(** An incremental solving session: one SAT solver, one expression context
+    and one streaming CNF emitter per netlist, reused across every query.
+
+    The transition relation of each queried fault is encoded once per
+    depth and only grown, never rebuilt; each (goal, target, depth) gets
+    an activation literal so a query is a [solve ~assumptions] call with
+    exactly two assumptions.  Switching to a different fault retires the
+    previous fault's clause groups (see DESIGN.md), so sweeping a fault
+    universe keeps the live clause set bounded while the shared Tseitin
+    cones keep later faults cheaper to encode than the first. *)
+module Session : sig
+  type t
+
+  val create : model -> t
+  val model : t -> model
+
+  val check_write :
+    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int ->
+    unit -> verdict
+
+  val check_read :
+    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int ->
+    unit -> verdict
+
+  val write_witness :
+    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int ->
+    unit -> (int * Ftrsn_rsn.Config.t list) option
+
+  val check_access :
+    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int ->
+    unit -> verdict
+  (** Write and read legs share one encoding of the fault: the read query
+      reuses the transition clauses and circuits the write query emitted. *)
+
+  val check_targets :
+    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> int list ->
+    verdict array
+  (** Access verdict for each target under one (optional) fault; all
+      targets share the fault's single encoding. *)
+
+  val check_faults :
+    t -> ?max_steps:int -> target:int -> Ftrsn_fault.Fault.t list ->
+    verdict list
+  (** Access verdict of one target under each fault in turn.  Faults are
+      encoded and retired sequentially; Tseitin cones shared between
+      faults stay memoized, so later faults emit strictly fewer clauses. *)
+
+  val retire_fault : t -> Ftrsn_fault.Fault.t option -> unit
+  (** Explicitly retire a fault's clause groups (normally automatic when
+      the next query concerns a different fault). *)
+
+  type query_stat = {
+    q_emitted : int;    (** clauses emitted into the solver by this query *)
+    q_reused : int;     (** emitter memo hits (already-encoded nodes) *)
+    q_conflicts : int;  (** solver conflicts during this query *)
+    q_sat : bool;
+  }
+
+  type stats = {
+    queries : int;
+    clauses_emitted : int;  (** cumulative, whole session *)
+    nodes_reused : int;     (** cumulative emitter memo hits *)
+    conflicts : int;
+    decisions : int;
+    propagations : int;
+    per_query : query_stat list;  (** chronological *)
+  }
+
+  val stats : t -> stats
+end
+
+val session : t -> Session.t
+(** The model's cached default session (created on first use); the
+    one-shot-style functions below all route through it. *)
 
 val check_write :
   t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int -> unit ->

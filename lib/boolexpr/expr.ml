@@ -208,4 +208,127 @@ module Cnf = struct
     in
     List.iter (fun e -> emit [ lit_of e ]) es;
     { clauses = List.rev !clauses; num_sat_vars = !next - 1 }
+
+  (* ---- streaming emission into an existing solver ---- *)
+
+  type sink = {
+    fresh_var : unit -> int;
+    add_clause : int option -> clause -> unit;
+        (* [add_clause under c]: [under] is an opaque clause-group tag
+           (e.g. a solver activation literal) the sink may use to register
+           [c] for group retirement; [None] means ungrouped. *)
+  }
+
+  type emitter = {
+    sink : sink;
+    node_lit : (int, int) Hashtbl.t;   (* expr id -> DIMACS literal *)
+    node_owner : (int, int) Hashtbl.t;
+        (* expr id -> group tag its definition clauses were emitted
+           under; absent = permanent (ungrouped) definitions *)
+    retired : (int, unit) Hashtbl.t;   (* group tags retired by the user *)
+    asserted : (int, unit) Hashtbl.t;  (* expr ids already unit-asserted *)
+    mutable n_clauses : int;
+    mutable n_reused : int;
+  }
+
+  (* Unlike [of_exprs], the emitter allocates a SAT variable for EVERY
+     node, expression variables included, from the sink's allocator: the
+     context keeps growing fresh expression variables between emissions
+     (one unrolling step at a time), so the fixed "expr var i = SAT var
+     i + 1" layout would collide with earlier auxiliaries.  Model lookup
+     therefore goes through {!find_lit}. *)
+  let make_emitter sink =
+    {
+      sink;
+      node_lit = Hashtbl.create 1024;
+      node_owner = Hashtbl.create 256;
+      retired = Hashtbl.create 64;
+      asserted = Hashtbl.create 64;
+      n_clauses = 0;
+      n_reused = 0;
+    }
+
+  (* Tseitin definitions are always emitted ungrouped ([under] absent):
+     the memo shares them across clause groups, so they must outlive any
+     individual group. *)
+  let emit_clause ?under em c =
+    em.n_clauses <- em.n_clauses + 1;
+    em.sink.add_clause under c
+
+  (* A node is reusable as-is when its definition clauses are permanent,
+     or owned by the (live) group the caller is emitting under.  In every
+     other case — owner retired, different group, or a permanent caller
+     over group-owned definitions — the definitions are re-emitted for
+     the same solver variable, so the memoized literal stays stable. *)
+  let owner_ok em id under =
+    match Hashtbl.find_opt em.node_owner id with
+    | None -> true
+    | Some g -> (
+        (not (Hashtbl.mem em.retired g))
+        && match under with Some g' -> g' = g | None -> false)
+
+  let set_owner em id under =
+    match under with
+    | Some g -> Hashtbl.replace em.node_owner id g
+    | None -> Hashtbl.remove em.node_owner id
+
+  let rec lit ?under em e =
+    match Hashtbl.find_opt em.node_lit e.id with
+    | Some l when owner_ok em e.id under ->
+        em.n_reused <- em.n_reused + 1;
+        l
+    | known ->
+        (* [known = Some l]: the node's solver variable exists but its
+           definition clauses must be (re-)emitted under [under]. *)
+        let var_of () =
+          match known with Some l -> abs l | None -> em.sink.fresh_var ()
+        in
+        let l =
+          match e.node with
+          | True ->
+              let v = var_of () in
+              emit_clause ?under em [ v ];
+              v
+          | False ->
+              let v = var_of () in
+              emit_clause ?under em [ v ];
+              -v
+          | Var _ -> em.sink.fresh_var ()
+          | Not x ->
+              let lx = lit ?under em x in
+              (match known with Some l -> l | None -> -lx)
+          | And (x, y) ->
+              let a = lit ?under em x and b = lit ?under em y in
+              let v = var_of () in
+              emit_clause ?under em [ -v; a ];
+              emit_clause ?under em [ -v; b ];
+              emit_clause ?under em [ v; -a; -b ];
+              v
+          | Or (x, y) ->
+              let a = lit ?under em x and b = lit ?under em y in
+              let v = var_of () in
+              emit_clause ?under em [ -v; a; b ];
+              emit_clause ?under em [ v; -a ];
+              emit_clause ?under em [ v; -b ];
+              v
+        in
+        (match e.node with Var _ -> () | _ -> set_owner em e.id under);
+        if known = None then Hashtbl.add em.node_lit e.id l;
+        l
+
+  let retire_owner em g = Hashtbl.replace em.retired g ()
+
+  let find_lit em e = Hashtbl.find_opt em.node_lit e.id
+
+  let emit em es =
+    List.iter
+      (fun e ->
+        let l = lit em e in
+        if not (Hashtbl.mem em.asserted e.id) then begin
+          Hashtbl.add em.asserted e.id ();
+          emit_clause em [ l ]
+        end)
+      es
+
+  let emitter_stats em = (em.n_clauses, em.n_reused)
 end

@@ -67,4 +67,62 @@ module Cnf : sig
   (** [of_exprs ctx es] is an equisatisfiable CNF asserting every
       expression in [es].  Expression variable [i] is SAT variable
       [i + 1] in every call, so models translate back directly. *)
+
+  (** {2 Streaming emission}
+
+      A {!emitter} Tseitin-encodes expressions incrementally into an
+      existing solver: each DAG node is encoded at most once over the
+      emitter's whole lifetime, so consecutive queries that share
+      structure (one BMC unrolling step at a time, many faults over one
+      network) re-emit only their genuinely new cones.  Because the
+      expression context keeps allocating fresh variables between
+      emissions, the emitter maps {e every} node — expression variables
+      included — through the sink's allocator; translate models back with
+      {!find_lit} rather than the [i + 1] rule of {!of_exprs}. *)
+
+  type sink = {
+    fresh_var : unit -> int;   (** allocate the next solver variable *)
+    add_clause : int option -> clause -> unit;
+        (** [add_clause under c]: [under] is an opaque clause-group tag
+            (e.g. a solver activation literal) that the sink may use to
+            register [c] for group retirement; [None] means ungrouped.
+            Tseitin definitions always arrive ungrouped — the memo shares
+            them across groups. *)
+  }
+
+  type emitter
+
+  val make_emitter : sink -> emitter
+
+  val lit : ?under:int -> emitter -> t -> int
+  (** The DIMACS literal equisatisfiably representing the expression,
+      encoding any not-yet-emitted nodes into the sink (memoized).
+      [?under] tags the definition clauses with a clause group: they are
+      forwarded to the sink with that tag, and after {!retire_owner} on
+      the tag the affected nodes are transparently re-encoded (for the
+      same solver variable) the next time they are requested.  Nodes
+      requested without [?under] get permanent definitions. *)
+
+  val emit : emitter -> t list -> unit
+  (** Asserts every expression (a unit clause on its {!lit}); asserting
+      the same node twice emits nothing the second time. *)
+
+  val emit_clause : ?under:int -> emitter -> clause -> unit
+  (** Forwards a raw clause to the sink, counted in {!emitter_stats} —
+      for gating clauses built from {!lit} results.  [?under] is passed
+      through as the sink's clause-group tag. *)
+
+  val retire_owner : emitter -> int -> unit
+  (** Marks a clause group tag as retired: nodes whose definitions were
+      emitted under it will be re-encoded on their next use.  Call this
+      when the corresponding solver-side clause group is retired. *)
+
+  val find_lit : emitter -> t -> int option
+  (** The literal of an already-encoded node ([None] if the node never
+      reached the solver); does not emit. *)
+
+  val emitter_stats : emitter -> int * int
+  (** [(clauses_emitted, nodes_reused)]: total clauses forwarded to the
+      sink, and memo hits where an already-encoded node was requested
+      again — the clause-reuse counters of the session layer. *)
 end

@@ -1,6 +1,15 @@
 module Netlist = Ftrsn_rsn.Netlist
 module Fault = Ftrsn_fault.Fault
 module Engine = Ftrsn_access.Engine
+module Bmc = Ftrsn_bmc.Bmc
+
+type solver_stats = {
+  s_conflicts : int;
+  s_decisions : int;
+  s_propagations : int;
+  s_clauses_emitted : int;
+  s_nodes_reused : int;
+}
 
 type result = {
   worst_segments : float;
@@ -9,6 +18,7 @@ type result = {
   avg_bits : float;
   faults : int;
   total_weight : int;
+  solver : solver_stats option;
 }
 
 (* Merge two partial results (weighted sums are kept internally as
@@ -27,41 +37,139 @@ let merge a b =
       /. float_of_int (a.total_weight + b.total_weight);
     faults = a.faults + b.faults;
     total_weight = a.total_weight + b.total_weight;
+    solver =
+      (match (a.solver, b.solver) with
+      | None, s | s, None -> s
+      | Some x, Some y ->
+          Some
+            {
+              s_conflicts = x.s_conflicts + y.s_conflicts;
+              s_decisions = x.s_decisions + y.s_decisions;
+              s_propagations = x.s_propagations + y.s_propagations;
+              s_clauses_emitted = x.s_clauses_emitted + y.s_clauses_emitted;
+              s_nodes_reused = x.s_nodes_reused + y.s_nodes_reused;
+            });
+  }
+
+(* Split a list into [chunks] chunks of (near-)equal ceil size; the last
+   chunk may be shorter, none is empty.  E.g. 10 items over 3 chunks give
+   sizes [4; 4; 2]. *)
+let split_chunks ~chunks l =
+  if chunks <= 0 then invalid_arg "Metric.split_chunks: chunks must be > 0";
+  let n = List.length l in
+  if n = 0 then []
+  else begin
+    let k = min chunks n in
+    let chunk = (n + k - 1) / k in
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let rec go = function
+      | [] -> []
+      | l ->
+          let head, tail = take chunk [] l in
+          head :: go tail
+    in
+    go l
+  end
+
+(* Shared accumulation: per-fault (segment fraction, bit fraction, weight)
+   samples folded into worst/weighted-average form. *)
+type acc = {
+  mutable a_worst_segments : float;
+  mutable a_worst_bits : float;
+  mutable a_sum_segments : float;
+  mutable a_sum_bits : float;
+  mutable a_weight : int;
+  mutable a_count : int;
+}
+
+let acc_create () =
+  {
+    a_worst_segments = 1.0;
+    a_worst_bits = 1.0;
+    a_sum_segments = 0.0;
+    a_sum_bits = 0.0;
+    a_weight = 0;
+    a_count = 0;
+  }
+
+let acc_add acc ~w ~fs ~fb =
+  if fs < acc.a_worst_segments then acc.a_worst_segments <- fs;
+  if fb < acc.a_worst_bits then acc.a_worst_bits <- fb;
+  acc.a_sum_segments <- acc.a_sum_segments +. (float_of_int w *. fs);
+  acc.a_sum_bits <- acc.a_sum_bits +. (float_of_int w *. fb);
+  acc.a_weight <- acc.a_weight + w;
+  acc.a_count <- acc.a_count + 1
+
+let acc_result ~what ~solver acc =
+  if acc.a_count = 0 then invalid_arg (what ^ ": empty fault list");
+  {
+    worst_segments = acc.a_worst_segments;
+    avg_segments = acc.a_sum_segments /. float_of_int acc.a_weight;
+    worst_bits = acc.a_worst_bits;
+    avg_bits = acc.a_sum_bits /. float_of_int acc.a_weight;
+    faults = acc.a_count;
+    total_weight = acc.a_weight;
+    solver;
   }
 
 let evaluate_faults ctx faults =
   let net = Engine.netlist ctx in
   let nsegs = Netlist.num_segments net in
   let nbits = Netlist.total_bits net in
-  let worst_segments = ref 1.0 and worst_bits = ref 1.0 in
-  let sum_segments = ref 0.0 and sum_bits = ref 0.0 in
-  let total_weight = ref 0 in
-  let count = ref 0 in
+  let acc = acc_create () in
   List.iter
     (fun f ->
       let v = Engine.analyze ctx (Some f) in
       let w = Fault.weight net f in
       let fs = float_of_int (Engine.accessible_count v) /. float_of_int nsegs in
       let fb = float_of_int (Engine.accessible_bits ctx v) /. float_of_int nbits in
-      if fs < !worst_segments then worst_segments := fs;
-      if fb < !worst_bits then worst_bits := fb;
-      sum_segments := !sum_segments +. (float_of_int w *. fs);
-      sum_bits := !sum_bits +. (float_of_int w *. fb);
-      total_weight := !total_weight + w;
-      incr count)
+      acc_add acc ~w ~fs ~fb)
     faults;
-  if !count = 0 then invalid_arg "Metric.evaluate_faults: empty fault list";
-  {
-    worst_segments = !worst_segments;
-    avg_segments = !sum_segments /. float_of_int !total_weight;
-    worst_bits = !worst_bits;
-    avg_bits = !sum_bits /. float_of_int !total_weight;
-    faults = !count;
-    total_weight = !total_weight;
-  }
+  acc_result ~what:"Metric.evaluate_faults" ~solver:None acc
 
-let evaluate ?sample ?(domains = 1) net =
-  let ctx = Engine.make_ctx net in
+let evaluate_faults_bmc sess faults =
+  let net = Bmc.netlist (Bmc.Session.model sess) in
+  let nsegs = Netlist.num_segments net in
+  let nbits = Netlist.total_bits net in
+  let targets = List.init nsegs Fun.id in
+  let acc = acc_create () in
+  List.iter
+    (fun f ->
+      let vs = Bmc.Session.check_targets sess ~fault:f targets in
+      let w = Fault.weight net f in
+      let segs = ref 0 and bits = ref 0 in
+      Array.iteri
+        (fun i v ->
+          match v with
+          | Bmc.Accessible _ ->
+              incr segs;
+              bits := !bits + Netlist.seg_len net i
+          | Bmc.Inaccessible -> ())
+        vs;
+      let fs = float_of_int !segs /. float_of_int nsegs in
+      let fb = float_of_int !bits /. float_of_int nbits in
+      acc_add acc ~w ~fs ~fb)
+    faults;
+  let st = Bmc.Session.stats sess in
+  let solver =
+    Some
+      {
+        s_conflicts = st.Bmc.Session.conflicts;
+        s_decisions = st.Bmc.Session.decisions;
+        s_propagations = st.Bmc.Session.propagations;
+        s_clauses_emitted = st.Bmc.Session.clauses_emitted;
+        s_nodes_reused = st.Bmc.Session.nodes_reused;
+      }
+  in
+  acc_result ~what:"Metric.evaluate_faults_bmc" ~solver acc
+
+let evaluate ?sample ?(domains = 1) ?(engine = `Structural) net =
   let faults = Fault.universe net in
   let faults =
     match sample with
@@ -77,80 +185,86 @@ let evaluate ?sample ?(domains = 1) net =
             | _ -> false)
           faults
   in
-  if domains <= 1 then evaluate_faults ctx faults
+  let eval_chunk =
+    match engine with
+    | `Structural ->
+        (* The engine context is read-only during analysis, so one context
+           can serve every domain; a fresh one per chunk keeps the two
+           engines symmetric. *)
+        fun fs -> evaluate_faults (Engine.make_ctx net) fs
+    | `Bmc ->
+        (* A SAT session is stateful, so each domain drives its own. *)
+        fun fs -> evaluate_faults_bmc (Bmc.Session.create (Bmc.create net)) fs
+  in
+  if domains <= 1 then eval_chunk faults
   else begin
-    (* The engine context is read-only during analysis, so the fault list
-       can be chunked across domains; each domain evaluates its share and
-       the partial results merge exactly (min for worst, weighted mean for
-       averages). *)
-    let n = List.length faults in
-    let chunk = max 1 ((n + domains - 1) / domains) in
-    let rec split i = function
-      | [] -> []
-      | l when i + chunk >= n -> [ l ]
-      | l ->
-          let rec take k acc rest =
-            if k = 0 then (List.rev acc, rest)
-            else
-              match rest with
-              | [] -> (List.rev acc, [])
-              | x :: tl -> take (k - 1) (x :: acc) tl
-          in
-          let head, tail = take chunk [] l in
-          head :: split (i + chunk) tail
-    in
-    let chunks = split 0 faults in
+    let chunks = split_chunks ~chunks:domains faults in
     let workers =
-      List.map
-        (fun fs -> Domain.spawn (fun () -> evaluate_faults ctx fs))
-        chunks
+      List.map (fun fs -> Domain.spawn (fun () -> eval_chunk fs)) chunks
     in
     match List.map Domain.join workers with
     | [] -> invalid_arg "Metric.evaluate: empty universe"
     | first :: rest -> List.fold_left merge first rest
   end
 
-let evaluate_pairs ?(sample = 37) net =
+let evaluate_pairs ?(sample = 37) ?(domains = 1) net =
+  let sample = max 1 sample in
   let ctx = Engine.make_ctx net in
   let faults = Array.of_list (Fault.universe net) in
   let n = Array.length faults in
   let nsegs = Netlist.num_segments net in
   let nbits = Netlist.total_bits net in
-  let worst_segments = ref 1.0 and worst_bits = ref 1.0 in
-  let sum_segments = ref 0.0 and sum_bits = ref 0.0 in
-  let count = ref 0 in
+  (* Deterministic enumeration of every k-th unordered pair. *)
+  let pairs = ref [] in
   let idx = ref 0 in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      if !idx mod sample = 0 then begin
-        let v = Engine.analyze_multi ctx [ faults.(i); faults.(j) ] in
+      if !idx mod sample = 0 then pairs := (faults.(i), faults.(j)) :: !pairs;
+      incr idx
+    done
+  done;
+  let pairs = List.rev !pairs in
+  let eval_chunk ps =
+    let acc = acc_create () in
+    List.iter
+      (fun (fi, fj) ->
+        let v = Engine.analyze_multi ctx [ fi; fj ] in
+        let w = Fault.weight net fi * Fault.weight net fj in
         let fs =
           float_of_int (Engine.accessible_count v) /. float_of_int nsegs
         in
         let fb =
           float_of_int (Engine.accessible_bits ctx v) /. float_of_int nbits
         in
-        if fs < !worst_segments then worst_segments := fs;
-        if fb < !worst_bits then worst_bits := fb;
-        sum_segments := !sum_segments +. fs;
-        sum_bits := !sum_bits +. fb;
-        incr count
-      end;
-      incr idx
-    done
-  done;
-  if !count = 0 then invalid_arg "Metric.evaluate_pairs: empty";
-  {
-    worst_segments = !worst_segments;
-    avg_segments = !sum_segments /. float_of_int !count;
-    worst_bits = !worst_bits;
-    avg_bits = !sum_bits /. float_of_int !count;
-    faults = !count;
-    total_weight = !count;
-  }
+        acc_add acc ~w ~fs ~fb)
+      ps;
+    acc_result ~what:"Metric.evaluate_pairs" ~solver:None acc
+  in
+  if domains <= 1 then begin
+    if pairs = [] then invalid_arg "Metric.evaluate_pairs: empty";
+    eval_chunk pairs
+  end
+  else begin
+    let chunks = split_chunks ~chunks:domains pairs in
+    let workers =
+      List.map (fun ps -> Domain.spawn (fun () -> eval_chunk ps)) chunks
+    in
+    match List.map Domain.join workers with
+    | [] -> invalid_arg "Metric.evaluate_pairs: empty"
+    | first :: rest -> List.fold_left merge first rest
+  end
+
+let pp_solver_stats fmt s =
+  Format.fprintf fmt
+    "@[<h>solver: %d conflicts, %d decisions, %d propagations; %d clauses emitted, %d nodes reused@]"
+    s.s_conflicts s.s_decisions s.s_propagations s.s_clauses_emitted
+    s.s_nodes_reused
 
 let pp fmt r =
   Format.fprintf fmt
     "@[<v>segments: worst %.3f avg %.4f@,bits: worst %.3f avg %.4f@,(%d faults, weight %d)@]"
     r.worst_segments r.avg_segments r.worst_bits r.avg_bits r.faults
-    r.total_weight
+    r.total_weight;
+  match r.solver with
+  | None -> ()
+  | Some s -> Format.fprintf fmt "@,%a" pp_solver_stats s

@@ -4,7 +4,22 @@
     metric computes the fraction of scan segments, and of scan bits, that
     remain accessible (writable and readable), then reports the worst case
     and the fault-weighted average — the eight accessibility columns of
-    Table I. *)
+    Table I.
+
+    Verdicts come from one of two engines: the structural fixpoint engine
+    ({!Ftrsn_access.Engine}, the default) or the SAT-based BMC engine
+    driven through incremental {!Ftrsn_bmc.Bmc.Session}s (one session per
+    domain; clauses are reused across the faults a session sweeps). *)
+
+type solver_stats = {
+  s_conflicts : int;
+  s_decisions : int;
+  s_propagations : int;
+  s_clauses_emitted : int;  (** CNF clauses emitted into the solver(s) *)
+  s_nodes_reused : int;     (** emitter memo hits: nodes NOT re-emitted *)
+}
+(** Cumulative SAT statistics over every session the evaluation used;
+    merging partial results sums them. *)
 
 type result = {
   worst_segments : float;  (** min over faults of accessible-segment fraction *)
@@ -12,32 +27,55 @@ type result = {
   worst_bits : float;
   avg_bits : float;
   faults : int;            (** faults evaluated *)
-  total_weight : int;
+  total_weight : int;      (** sum of {!Ftrsn_fault.Fault.weight} *)
+  solver : solver_stats option;
+      (** [Some] iff the BMC engine produced the verdicts *)
 }
 
 val evaluate :
   ?sample:int ->
   ?domains:int ->
+  ?engine:[ `Structural | `Bmc ] ->
   Ftrsn_rsn.Netlist.t ->
   result
-(** [evaluate net] runs the accessibility engine over the full single
+(** [evaluate net] runs the accessibility analysis over the full single
     stuck-at fault universe.  [sample:k] keeps every [k]-th fault site
     (deterministically) to bound runtime on very large networks; the
     primary scan-port faults are always retained, so the worst case of
     port-dominated networks is exact.  [domains:n] spreads the per-fault
     analyses over [n] OCaml 5 domains (worst cases merge exactly;
     averages agree with the sequential result up to floating-point
-    summation order). *)
+    summation order).  [engine] selects the verdict engine; with [`Bmc]
+    each domain drives its own incremental SAT session and the result
+    carries the cumulative {!solver_stats}. *)
 
 val evaluate_faults :
   Ftrsn_access.Engine.ctx -> Ftrsn_fault.Fault.t list -> result
-(** The metric restricted to a given fault list (shared context). *)
+(** The structural metric restricted to a given fault list (shared
+    context). *)
+
+val evaluate_faults_bmc :
+  Ftrsn_bmc.Bmc.Session.t -> Ftrsn_fault.Fault.t list -> result
+(** The BMC metric restricted to a given fault list, reusing the given
+    incremental session (its cumulative stats are reported in
+    [result.solver]). *)
 
 val evaluate_pairs :
-  ?sample:int -> Ftrsn_rsn.Netlist.t -> result
+  ?sample:int -> ?domains:int -> Ftrsn_rsn.Netlist.t -> result
 (** Double-fault study (beyond the paper's single-fault scope): evaluates
     accessibility under PAIRS of simultaneous stuck-at faults.  The pair
     universe is quadratic, so [sample] (default 37) keeps every k-th pair
-    of a deterministic enumeration. *)
+    of a deterministic enumeration.  Each pair is weighted by the product
+    of its faults' weights; [domains] parallelizes as in {!evaluate}. *)
+
+val split_chunks : chunks:int -> 'a list -> 'a list list
+(** Partition a list into at most [chunks] contiguous chunks of equal ceil
+    size (the last may be shorter; none is empty) — the unit of work
+    distribution of the [domains] options, exposed for testing.
+    @raise Invalid_argument if [chunks <= 0]. *)
+
+val merge : result -> result -> result
+(** Exact recombination of two partial results (min of worsts, weighted
+    mean of averages, sum of solver stats). *)
 
 val pp : Format.formatter -> result -> unit

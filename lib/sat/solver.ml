@@ -44,6 +44,15 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable seen : bool array;         (* scratch for conflict analysis *)
+  mutable failed : int list;         (* failed assumptions of the last Unsat *)
+  groups : (int, clause list ref) Hashtbl.t;
+      (* activation var -> clauses gated by it, for O(group) retirement *)
+  mutable occurs : int array;
+      (* per var: number of live attached clauses containing it.  A var
+         with no occurrences is unconstrained: the search never decides
+         it and the model reports its saved phase.  This is what makes
+         retiring a clause group actually cheap — the group's private
+         variables stop costing decision and propagation time. *)
 }
 
 let create () =
@@ -69,12 +78,15 @@ let create () =
     var_inc = 1.0;
     cla_inc = 1.0;
     unsat_at_root = false;
-    model = [||];
+    model = Array.make 16 false;
     have_model = false;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
     seen = Array.make 16 false;
+    failed = [];
+    groups = Hashtbl.create 16;
+    occurs = Array.make 16 0;
   }
 
 let num_vars s = s.nvars
@@ -148,6 +160,8 @@ let grow_to s n =
     s.activity <- extend s.activity 0.0;
     s.polarity <- extend s.polarity false;
     s.seen <- extend s.seen false;
+    s.model <- extend s.model false;
+    s.occurs <- extend s.occurs 0;
     s.heap_pos <- extend s.heap_pos (-1);
     s.trail <- extend s.trail 0;
     s.trail_lim <- extend s.trail_lim 0;
@@ -177,6 +191,7 @@ let lit_of_dimacs s d =
 
 let lit_var l = l lsr 1
 let lit_neg l = l lxor 1
+let dimacs_of_lit l = if l land 1 = 0 then (l lsr 1) + 1 else -((l lsr 1) + 1)
 
 (* value of a literal: -1 undef, 0 false, 1 true *)
 let lit_val s l =
@@ -242,7 +257,31 @@ let watch s l c = s.watches.(l) <- c :: s.watches.(l)
 
 let attach s c =
   watch s (lit_neg c.lits.(0)) c;
-  watch s (lit_neg c.lits.(1)) c
+  watch s (lit_neg c.lits.(1)) c;
+  Array.iter
+    (fun l ->
+      let v = lit_var l in
+      s.occurs.(v) <- s.occurs.(v) + 1;
+      (* A var regaining occurrences must become decidable again: it may
+         have been popped from the order heap while unconstrained. *)
+      if s.occurs.(v) = 1 && s.assign.(v) < 0 then heap_insert s v)
+    c.lits
+
+(* Delete a clause in place: propagation drops deleted clauses from the
+   watch lists lazily the next time it scans them.  A deleted clause may
+   still be the reason of a level-0 assignment; that is safe because
+   conflict analysis never resolves on level-0 literals. *)
+let delete_clause s c =
+  if not c.deleted then begin
+    c.deleted <- true;
+    if c.learnt then s.n_learnt <- s.n_learnt - 1
+    else s.n_problem <- s.n_problem - 1;
+    Array.iter
+      (fun l ->
+        let v = lit_var l in
+        s.occurs.(v) <- s.occurs.(v) - 1)
+      c.lits
+  end
 
 (* ---- propagation ---- *)
 
@@ -356,6 +395,34 @@ let analyze s confl =
   List.iter (fun q -> s.seen.(lit_var q) <- false) (List.tl !learnt);
   (lits, !btlevel)
 
+(* Final conflict analysis: assumption literal [p] came up false during the
+   assumption scan.  Walk the implication trail backwards from the top and
+   collect the assumption decisions (reason = None above level 0) that the
+   falsification of [p] depends on — the failed-assumption subset, in the
+   DIMACS convention of the caller's assumption list. *)
+let analyze_final s p =
+  let out = ref [ dimacs_of_lit p ] in
+  if decision_level s > 0 then begin
+    s.seen.(lit_var p) <- true;
+    let bottom = s.trail_lim.(0) in
+    for i = s.trail_len - 1 downto bottom do
+      let v = lit_var s.trail.(i) in
+      if s.seen.(v) then begin
+        (match s.reason.(v) with
+        | None -> out := dimacs_of_lit s.trail.(i) :: !out
+        | Some c ->
+            Array.iter
+              (fun q ->
+                let u = lit_var q in
+                if u <> v && s.level.(u) > 0 then s.seen.(u) <- true)
+              c.lits);
+        s.seen.(v) <- false
+      end
+    done;
+    s.seen.(lit_var p) <- false
+  end;
+  List.sort_uniq compare !out
+
 (* ---- learnt clause database reduction ---- *)
 
 let locked s c =
@@ -371,41 +438,49 @@ let reduce_db s =
   List.iteri
     (fun i c ->
       if i < n / 2 && (not (locked s c)) && Array.length c.lits > 2 then
-        c.deleted <- true)
+        delete_clause s c)
     sorted;
-  s.learnt_clauses <- List.filter (fun c -> not c.deleted) s.learnt_clauses;
-  s.n_learnt <- List.length s.learnt_clauses
+  s.learnt_clauses <- List.filter (fun c -> not c.deleted) s.learnt_clauses
 
 (* ---- adding clauses ---- *)
 
+(* Returns the clause when one was actually attached (length >= 2 after
+   level-0 strengthening); None when the clause was dropped, became a unit
+   fact, or made the instance unsat. *)
 let add_clause_internal s lits =
-  if not s.unsat_at_root then begin
+  if s.unsat_at_root then None
+  else begin
     let lits = List.sort_uniq compare lits in
     let tautology = List.exists (fun l -> List.mem (lit_neg l) lits) lits in
     let satisfied =
       List.exists (fun l -> lit_val s l = 1 && s.level.(lit_var l) = 0) lits
     in
-    if not (tautology || satisfied) then begin
+    if tautology || satisfied then None
+    else begin
       let lits =
         List.filter
           (fun l -> not (lit_val s l = 0 && s.level.(lit_var l) = 0))
           lits
       in
       match lits with
-      | [] -> s.unsat_at_root <- true
+      | [] ->
+          s.unsat_at_root <- true;
+          None
       | [ l ] ->
           if lit_val s l = 0 then s.unsat_at_root <- true
           else if lit_val s l = -1 then begin
             enqueue s l None;
             if propagate s <> None then s.unsat_at_root <- true
-          end
+          end;
+          None
       | _ ->
           let c =
             { lits = Array.of_list lits; learnt = false; act = 0.0;
               deleted = false }
           in
           s.n_problem <- s.n_problem + 1;
-          attach s c
+          attach s c;
+          Some c
     end
   end
 
@@ -413,7 +488,7 @@ let add_clause s dimacs_lits =
   cancel_until s 0;
   s.have_model <- false;
   let lits = List.map (lit_of_dimacs s) dimacs_lits in
-  add_clause_internal s lits
+  ignore (add_clause_internal s lits)
 
 (* ---- search ---- *)
 
@@ -428,12 +503,16 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
+(* Unconstrained vars (no live clause mentions them) are never decided:
+   any phase satisfies the live clause set, so the model just reports
+   their saved polarity.  [attach] re-inserts a var into the heap when a
+   new clause constrains it again. *)
 let pick_branch s =
   let rec go () =
     if s.heap_len = 0 then -1
     else begin
       let v = heap_pop s in
-      if s.assign.(v) < 0 then v else go ()
+      if s.assign.(v) < 0 && s.occurs.(v) > 0 then v else go ()
     end
   in
   go ()
@@ -461,6 +540,7 @@ let record_learnt s lits btlevel =
 
 let solve ?(assumptions = []) s =
   s.have_model <- false;
+  s.failed <- [];
   if s.unsat_at_root then Unsat
   else begin
     let assumps = Array.of_list (List.map (lit_of_dimacs s) assumptions) in
@@ -502,7 +582,9 @@ let solve ?(assumptions = []) s =
                     (* Already implied: open an empty level to keep the
                        level <-> assumption alignment. *)
                     push_level s
-                | 0 -> answer := Some Unsat
+                | 0 ->
+                    s.failed <- analyze_final s l;
+                    answer := Some Unsat
                 | _ ->
                     push_level s;
                     enqueue s l None
@@ -510,7 +592,11 @@ let solve ?(assumptions = []) s =
               else begin
                 let v = pick_branch s in
                 if v < 0 then begin
-                  s.model <- Array.init s.nvars (fun i -> s.assign.(i) = 1);
+                  for i = 0 to s.nvars - 1 do
+                    s.model.(i) <-
+                      (if s.assign.(i) >= 0 then s.assign.(i) = 1
+                       else s.polarity.(i))
+                  done;
                   s.have_model <- true;
                   answer := Some Sat
                 end
@@ -531,3 +617,83 @@ let value s v =
   if not s.have_model then invalid_arg "Sat.Solver.value: no model";
   if v <= 0 || v > s.nvars then invalid_arg "Sat.Solver.value: bad variable";
   s.model.(v - 1)
+
+let failed_assumptions s = s.failed
+
+(* ---- activation literals (incremental sessions) ---- *)
+
+let new_activation s = new_var s
+
+let add_clause_under s act lits =
+  if act <= 0 || act > s.nvars then
+    invalid_arg "Sat.Solver.add_clause_under: bad activation literal";
+  cancel_until s 0;
+  s.have_model <- false;
+  let lits = List.map (lit_of_dimacs s) (-act :: lits) in
+  match add_clause_internal s lits with
+  | None -> ()
+  | Some c -> (
+      match Hashtbl.find_opt s.groups act with
+      | Some l -> l := c :: !l
+      | None -> Hashtbl.add s.groups act (ref [ c ]))
+
+(* Drop clauses satisfied at level 0 from the watch lists, so retired
+   activation groups stop costing propagation time.  Safe: conflict
+   analysis never dereferences reasons of level-0 assignments, and a
+   satisfied clause constrains nothing. *)
+let simplify s =
+  cancel_until s 0;
+  if not s.unsat_at_root then begin
+    (match propagate s with
+    | Some _ -> s.unsat_at_root <- true
+    | None -> ());
+    if not s.unsat_at_root then begin
+      let satisfied c =
+        Array.exists
+          (fun l -> lit_val s l = 1 && s.level.(lit_var l) = 0)
+          c.lits
+      in
+      for l = 0 to (2 * s.nvars) - 1 do
+        s.watches.(l) <-
+          List.filter
+            (fun c ->
+              if c.deleted then false
+              else if satisfied c then begin
+                delete_clause s c;
+                false
+              end
+              else true)
+            s.watches.(l)
+      done;
+      s.learnt_clauses <-
+        List.filter (fun c -> not c.deleted) s.learnt_clauses
+    end
+  end
+
+(* Permanently deactivate a group: assert the negated activator (making
+   every gated clause satisfied at level 0) and delete the group's clauses
+   in O(group size) — no global sweep.  Propagation evicts them from the
+   watch lists as it encounters them.  Learnt clauses satisfied at level 0
+   (they typically contain the negated activator) are swept too, so they
+   stop pinning the group's dead variables as constrained. *)
+let retire_activation s act =
+  if act <= 0 || act > s.nvars then
+    invalid_arg "Sat.Solver.retire_activation: bad activation literal";
+  add_clause s [ -act ];
+  match Hashtbl.find_opt s.groups act with
+  | Some l ->
+      List.iter (delete_clause s) !l;
+      Hashtbl.remove s.groups act;
+      if s.n_learnt > 0 && not s.unsat_at_root then begin
+        let sat0 c =
+          Array.exists
+            (fun q -> lit_val s q = 1 && s.level.(lit_var q) = 0)
+            c.lits
+        in
+        List.iter
+          (fun c -> if sat0 c then delete_clause s c)
+          s.learnt_clauses;
+        s.learnt_clauses <-
+          List.filter (fun c -> not c.deleted) s.learnt_clauses
+      end
+  | None -> ()

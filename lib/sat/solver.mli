@@ -34,6 +34,42 @@ val solve : ?assumptions:int list -> t -> result
     assumption literals if any.  The solver is incremental: more clauses
     may be added after a call and [solve] called again. *)
 
+val failed_assumptions : t -> int list
+(** After a [solve ~assumptions] call that returned [Unsat], the subset of
+    the assumption literals whose conjunction was refuted (sorted, duplicate
+    free) — the incremental-session analogue of a final conflict clause.
+    Empty when the instance is unsatisfiable independently of the
+    assumptions (or after a [Sat] answer). *)
+
+(** {2 Activation literals}
+
+    An activation literal [a] guards a group of clauses added with
+    [add_clause_under s a]: the group is active exactly in the [solve]
+    calls that assume [a].  Retiring [a] permanently asserts [-a] and
+    deletes the group's clauses in time proportional to the group size —
+    the lifecycle used by the BMC session layer to share one solver across
+    many queries without accumulating dead clauses. *)
+
+val new_activation : t -> int
+(** A fresh activation literal (a plain variable; returned positive). *)
+
+val add_clause_under : t -> int -> int list -> unit
+(** [add_clause_under s a lits] adds the clause [(-a) :: lits]: [lits] is
+    enforced only while [a] is assumed.
+    @raise Invalid_argument if [a] is not an allocated variable. *)
+
+val retire_activation : t -> int -> unit
+(** Permanently asserts the negation of the activation literal and deletes
+    the clauses registered under it (they can never constrain the search
+    again); costs O(group size), with the watch lists cleaned lazily by
+    propagation.  Assuming a retired activation in a later [solve] yields
+    [Unsat] with that literal among the failed assumptions. *)
+
+val simplify : t -> unit
+(** Removes clauses satisfied at decision level 0 from the watch lists
+    (learnt and problem clauses alike); sound at any point between
+    [solve] calls. *)
+
 val value : t -> int -> bool
 (** [value s v] is the phase of variable [v] in the model found by the last
     [solve] call that returned [Sat].

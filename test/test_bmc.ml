@@ -307,6 +307,144 @@ let test_depth_grows_with_nesting () =
     | Bmc.Inaccessible -> Alcotest.fail "accessible"
   done
 
+(* --- incremental session --- *)
+
+let verdict_str = function
+  | Bmc.Accessible n -> Printf.sprintf "accessible@%d" n
+  | Bmc.Inaccessible -> "inaccessible"
+
+(* The batched session API agrees — verdicts AND depths — with the
+   one-query-at-a-time wrappers, over the entire fault universe. *)
+let session_agrees_on net =
+  let sess = Bmc.Session.create (Bmc.create net) in
+  let reference = Bmc.create net in
+  let faults = Fault.universe net in
+  for target = 0 to Netlist.num_segments net - 1 do
+    let batched = Bmc.Session.check_faults sess ~target faults in
+    List.iter2
+      (fun fault batched_v ->
+        let one_shot = Bmc.check_access reference ~fault ~target () in
+        if batched_v <> one_shot then
+          Alcotest.fail
+            (Printf.sprintf "%s: %s under %s: batched=%s one-shot=%s"
+               net.Netlist.net_name
+               (Netlist.segment_name net target)
+               (Fault.to_string net fault)
+               (verdict_str batched_v) (verdict_str one_shot)))
+      faults batched
+  done
+
+let test_session_faults_small_sib () = session_agrees_on (small_sib ())
+let test_session_faults_fig2 () = session_agrees_on (fig2 ())
+let test_session_faults_wide_mux () = session_agrees_on (wide_mux ())
+
+let test_session_check_targets () =
+  let net = fig2 () in
+  let sess = Bmc.Session.create (Bmc.create net) in
+  let reference = Bmc.create net in
+  let targets = List.init (Netlist.num_segments net) Fun.id in
+  let fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false } in
+  let no_fault_vs = Bmc.Session.check_targets sess targets in
+  let fault_vs = Bmc.Session.check_targets sess ~fault targets in
+  List.iteri
+    (fun i target ->
+      check bool_t
+        (Printf.sprintf "fault-free target %d" target)
+        true
+        (no_fault_vs.(i) = Bmc.check_access reference ~target ());
+      check bool_t
+        (Printf.sprintf "faulty target %d" target)
+        true
+        (fault_vs.(i) = Bmc.check_access reference ~fault ~target ()))
+    targets
+
+let validate_witness net target (steps, configs) =
+  check int_t "steps + 1 configurations" (steps + 1) (List.length configs);
+  check bool_t "starts at reset" true
+    (Config.equal (List.hd configs) (Config.reset net));
+  let rec walk = function
+    | c1 :: (c2 :: _ as tl) ->
+        (match Sim.active_path net Sim.no_injection c1 with
+        | None -> Alcotest.fail "intermediate config invalid"
+        | Some path ->
+            for s = 0 to Netlist.num_segments net - 1 do
+              if c1.Config.shadows.(s) <> c2.Config.shadows.(s) then
+                check bool_t "changed segment was on the path" true
+                  (List.mem s path)
+            done);
+        walk tl
+    | _ -> ()
+  in
+  walk configs;
+  match Sim.active_path net Sim.no_injection (List.nth configs steps) with
+  | Some path -> check bool_t "target exposed" true (List.mem target path)
+  | None -> Alcotest.fail "final config invalid"
+
+let test_witness_through_reused_solver () =
+  (* Regression: model decoding stays correct after the solver has served
+     many queries — including a fault encode/retire cycle in between. *)
+  let net = small_sib () in
+  let sess = Bmc.Session.create (Bmc.create net) in
+  (match Bmc.Session.write_witness sess ~target:2 (* c1 *) () with
+  | None -> Alcotest.fail "c1 accessible"
+  | Some w -> validate_witness net 2 w);
+  let fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false } in
+  (match Bmc.Session.write_witness sess ~fault ~target:7 (* c3 *) () with
+  | None -> Alcotest.fail "c3 accessible under mod1 seal"
+  | Some (_, configs) ->
+      let final = List.nth configs (List.length configs - 1) in
+      check bool_t "mod1 bit stays 0" false final.Config.shadows.(0).(0));
+  (* Back to fault-free: the retired no-fault group is re-encoded and the
+     decoded model must still be a valid sequence. *)
+  match Bmc.Session.write_witness sess ~target:7 () with
+  | None -> Alcotest.fail "c3 accessible fault-free"
+  | Some w -> validate_witness net 7 w
+
+let test_emissions_decrease () =
+  (* The clause-reuse property the session exists for.  The first query is
+     an inaccessible one, so it unrolls to full depth and pays for the
+     whole shared skeleton (step variables, keep-chains, circuit cones);
+     every later query over the same network then re-emits strictly less,
+     and repeating a query emits nothing at all. *)
+  let net = small_sib () in
+  let sess = Bmc.Session.create (Bmc.create net) in
+  let target = 2 (* c1, the deepest kind of segment *) in
+  let seal = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false } in
+  let faults =
+    seal :: List.filter (fun f -> f <> seal) (Fault.universe net)
+  in
+  ignore (Bmc.Session.check_faults sess ~target faults);
+  let st = Bmc.Session.stats sess in
+  check bool_t "several queries ran" true (st.Bmc.Session.queries > 2);
+  (match st.Bmc.Session.per_query with
+  | [] -> Alcotest.fail "per-query log empty"
+  | first :: rest ->
+      check bool_t "first query emits" true (first.Bmc.Session.q_emitted > 0);
+      List.iteri
+        (fun i q ->
+          if q.Bmc.Session.q_emitted >= first.Bmc.Session.q_emitted then
+            Alcotest.fail
+              (Printf.sprintf
+                 "query %d emitted %d clauses, not less than the first's %d"
+                 (i + 1) q.Bmc.Session.q_emitted
+                 first.Bmc.Session.q_emitted))
+        rest);
+  check bool_t "cones were reused" true (st.Bmc.Session.nodes_reused > 0);
+  (* Repeating the exact same query: everything is memoized. *)
+  let q0 = st.Bmc.Session.queries in
+  ignore (Bmc.Session.check_write sess ~target ());
+  ignore (Bmc.Session.check_write sess ~target ());
+  let st' = Bmc.Session.stats sess in
+  let fresh =
+    List.filteri (fun i _ -> i >= q0) st'.Bmc.Session.per_query
+  in
+  check int_t "two more queries logged" 2 (List.length fresh);
+  match fresh with
+  | [ _; repeat ] ->
+      check int_t "repeated query emits nothing" 0
+        repeat.Bmc.Session.q_emitted
+  | _ -> Alcotest.fail "unexpected log shape"
+
 let suite =
   [
     Alcotest.test_case "fault-free depths" `Quick test_fault_free_depths;
@@ -335,4 +473,16 @@ let suite =
       test_depth_grows_with_nesting;
     Alcotest.test_case "BMC depth = plan steps" `Quick
       test_bmc_depth_equals_plan_steps;
+    Alcotest.test_case "session batch = one-shot (small SIB)" `Slow
+      test_session_faults_small_sib;
+    Alcotest.test_case "session batch = one-shot (fig2)" `Slow
+      test_session_faults_fig2;
+    Alcotest.test_case "session batch = one-shot (4:1 mux)" `Slow
+      test_session_faults_wide_mux;
+    Alcotest.test_case "session check_targets" `Quick
+      test_session_check_targets;
+    Alcotest.test_case "witness through reused solver" `Quick
+      test_witness_through_reused_solver;
+    Alcotest.test_case "emissions decrease across queries" `Quick
+      test_emissions_decrease;
   ]

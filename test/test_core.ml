@@ -276,6 +276,95 @@ let test_parallel_metric_exact () =
   check (Alcotest.float 1e-9) "avg bits" seq.Metric.avg_bits
     par.Metric.avg_bits
 
+let test_split_chunks () =
+  let items n = List.init n Fun.id in
+  let sizes l = List.map List.length l in
+  (* Ceil-sized chunks until exhaustion; regression for the old split that
+     merged the final two chunks (10 over 3 used to give [4; 6]). *)
+  check (Alcotest.list int_t) "10 over 3" [ 4; 4; 2 ]
+    (sizes (Metric.split_chunks ~chunks:3 (items 10)));
+  check (Alcotest.list int_t) "9 over 3" [ 3; 3; 3 ]
+    (sizes (Metric.split_chunks ~chunks:3 (items 9)));
+  check (Alcotest.list int_t) "7 over 2" [ 4; 3 ]
+    (sizes (Metric.split_chunks ~chunks:2 (items 7)));
+  check (Alcotest.list int_t) "fewer items than chunks" [ 1; 1; 1 ]
+    (sizes (Metric.split_chunks ~chunks:8 (items 3)));
+  check (Alcotest.list int_t) "single chunk" [ 5 ]
+    (sizes (Metric.split_chunks ~chunks:1 (items 5)));
+  check bool_t "empty list" true (Metric.split_chunks ~chunks:4 [] = []);
+  (* Order and content preserved. *)
+  check (Alcotest.list int_t) "concat restores the list" (items 10)
+    (List.concat (Metric.split_chunks ~chunks:3 (items 10)));
+  check bool_t "chunks <= 0 rejected" true
+    (match Metric.split_chunks ~chunks:0 (items 3) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_metric_engines_agree () =
+  (* The BMC engine, driven through incremental sessions, reproduces the
+     structural metric exactly — verdict for verdict, so every float field
+     coincides — and reports its solver statistics. *)
+  List.iter
+    (fun net ->
+      let s = Metric.evaluate net in
+      let b = Metric.evaluate ~engine:`Bmc net in
+      let name = net.Netlist.net_name in
+      check int_t (name ^ ": fault count") s.Metric.faults b.Metric.faults;
+      check int_t (name ^ ": weight") s.Metric.total_weight
+        b.Metric.total_weight;
+      check (Alcotest.float 1e-12) (name ^ ": worst segments")
+        s.Metric.worst_segments b.Metric.worst_segments;
+      check (Alcotest.float 1e-12) (name ^ ": worst bits")
+        s.Metric.worst_bits b.Metric.worst_bits;
+      check (Alcotest.float 1e-9) (name ^ ": avg segments")
+        s.Metric.avg_segments b.Metric.avg_segments;
+      check (Alcotest.float 1e-9) (name ^ ": avg bits") s.Metric.avg_bits
+        b.Metric.avg_bits;
+      check bool_t (name ^ ": structural has no solver stats") true
+        (s.Metric.solver = None);
+      match b.Metric.solver with
+      | None -> Alcotest.fail (name ^ ": bmc metric must report solver stats")
+      | Some st ->
+          check bool_t (name ^ ": clauses were emitted") true
+            (st.Metric.s_clauses_emitted > 0);
+          check bool_t (name ^ ": clauses were reused") true
+            (st.Metric.s_nodes_reused > 0))
+    [ tiny_sib (); small_sib () ]
+
+let test_metric_bmc_parallel () =
+  (* Multi-domain BMC evaluation (one session per domain) merges to the
+     sequential result; solver stats accumulate across sessions. *)
+  let net = tiny_sib () in
+  let seq = Metric.evaluate ~engine:`Bmc net in
+  let par = Metric.evaluate ~engine:`Bmc ~domains:2 net in
+  check int_t "fault count" seq.Metric.faults par.Metric.faults;
+  check (Alcotest.float 1e-12) "worst segments" seq.Metric.worst_segments
+    par.Metric.worst_segments;
+  check (Alcotest.float 1e-9) "avg segments" seq.Metric.avg_segments
+    par.Metric.avg_segments;
+  match par.Metric.solver with
+  | None -> Alcotest.fail "parallel bmc metric must report solver stats"
+  | Some st -> check bool_t "emitted > 0" true (st.Metric.s_clauses_emitted > 0)
+
+let test_pairs_weighted_and_parallel () =
+  let net = small_sib () in
+  let seq = Metric.evaluate_pairs ~sample:11 net in
+  (* Pair weights are the product of the member fault weights (all 1 in
+     the default model, so total weight = pair count). *)
+  check int_t "weight = sum of pair weight products" seq.Metric.faults
+    seq.Metric.total_weight;
+  check bool_t "pairs never beat the best single fault" true
+    (seq.Metric.worst_segments
+    <= (Metric.evaluate net).Metric.worst_segments +. 1e-12);
+  let par = Metric.evaluate_pairs ~sample:11 ~domains:3 net in
+  check int_t "parallel: same pair count" seq.Metric.faults par.Metric.faults;
+  check int_t "parallel: same weight" seq.Metric.total_weight
+    par.Metric.total_weight;
+  check (Alcotest.float 1e-12) "parallel: same worst"
+    seq.Metric.worst_segments par.Metric.worst_segments;
+  check (Alcotest.float 1e-9) "parallel: same average"
+    seq.Metric.avg_segments par.Metric.avg_segments
+
 let test_report_row_and_csv () =
   let net = small_sib () in
   let row = Ftrsn_core.Report.row ~name:"small" net in
@@ -429,6 +518,12 @@ let suite =
     Alcotest.test_case "fig2-style pipeline" `Quick test_fig2_style_pipeline;
     Alcotest.test_case "parallel metric exact" `Quick
       test_parallel_metric_exact;
+    Alcotest.test_case "split_chunks shapes" `Quick test_split_chunks;
+    Alcotest.test_case "metric: engines agree" `Slow test_metric_engines_agree;
+    Alcotest.test_case "metric: BMC parallel exact" `Quick
+      test_metric_bmc_parallel;
+    Alcotest.test_case "pairs: weighted and parallel" `Quick
+      test_pairs_weighted_and_parallel;
     Alcotest.test_case "report row and CSV" `Quick test_report_row_and_csv;
     Alcotest.test_case "area profile sensitivity" `Quick
       test_area_profile_sensitivity;

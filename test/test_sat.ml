@@ -131,6 +131,70 @@ let test_model_satisfies () =
       check bool_t "clause satisfied" true sat_clause)
     clauses
 
+let test_failed_assumptions () =
+  let s = Solver.create () in
+  Solver.add_clause s [ -1; 2 ];
+  Solver.add_clause s [ -2; 3 ];
+  (* Assuming 1 and -3 contradicts the implication chain; 5 is idle. *)
+  check bool_t "unsat under assumptions" false
+    (is_sat (Solver.solve ~assumptions:[ 1; -3; 5 ] s));
+  let failed = Solver.failed_assumptions s in
+  check bool_t "1 failed" true (List.mem 1 failed);
+  check bool_t "-3 failed" true (List.mem (-3) failed);
+  check bool_t "idle assumption not blamed" false (List.mem 5 failed);
+  check bool_t "sat again without them" true
+    (is_sat (Solver.solve ~assumptions:[ 1; 3 ] s));
+  check bool_t "failed cleared on sat" true
+    (Solver.failed_assumptions s = [])
+
+let test_activation_groups () =
+  let s = Solver.create () in
+  let a = Solver.new_activation s and b = Solver.new_activation s in
+  let x = Solver.new_var s in
+  Solver.add_clause_under s a [ x ];
+  Solver.add_clause_under s b [ -x ];
+  (* Each group alone is consistent; both together clash on x. *)
+  check bool_t "group a alone" true (is_sat (Solver.solve ~assumptions:[ a ] s));
+  check bool_t "x under a" true (Solver.value s x);
+  check bool_t "group b alone" true (is_sat (Solver.solve ~assumptions:[ b ] s));
+  check bool_t "!x under b" false (Solver.value s x);
+  check bool_t "groups clash" false
+    (is_sat (Solver.solve ~assumptions:[ a; b ] s));
+  check bool_t "no groups, no constraint" true (is_sat (Solver.solve s))
+
+let test_retire_activation () =
+  let s = Solver.create () in
+  let a = Solver.new_activation s in
+  let x = Solver.new_var s in
+  Solver.add_clause_under s a [ x ];
+  check bool_t "active" true (is_sat (Solver.solve ~assumptions:[ a ] s));
+  Solver.retire_activation s a;
+  check bool_t "solver still sat" true (is_sat (Solver.solve s));
+  check bool_t "assuming retired activation is unsat" false
+    (is_sat (Solver.solve ~assumptions:[ a ] s));
+  check bool_t "retired activation blamed" true
+    (List.mem a (Solver.failed_assumptions s));
+  (* x is no longer constrained: it can be assumed either way. *)
+  check bool_t "x free (true)" true
+    (is_sat (Solver.solve ~assumptions:[ x ] s));
+  check bool_t "x free (false)" true
+    (is_sat (Solver.solve ~assumptions:[ -x ] s))
+
+let test_simplify_preserves () =
+  (* Root-level facts let simplify sweep satisfied clauses; verdicts and
+     models must not change. *)
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  Solver.add_clause s [ -1; 3 ];
+  Solver.add_clause s [ 1 ];
+  check bool_t "sat before" true (is_sat (Solver.solve s));
+  Solver.simplify s;
+  check bool_t "sat after simplify" true (is_sat (Solver.solve s));
+  check bool_t "1 still forced" true (Solver.value s 1);
+  check bool_t "3 still forced" true (Solver.value s 3);
+  Solver.add_clause s [ -3 ];
+  check bool_t "contradiction still detected" false (is_sat (Solver.solve s))
+
 (* --- boolexpr tests --- *)
 
 let test_expr_fold_constants () =
@@ -198,6 +262,70 @@ let test_tseitin_unsat () =
     let s = Solver.create () in
     List.iter (Solver.add_clause s) cnf.Expr.Cnf.clauses;
     not (is_sat (Solver.solve s)))
+
+let test_streaming_emitter () =
+  (* The streaming emitter gives the same verdicts as one-shot CNF, and a
+     second emission of a shared cone emits no new clauses. *)
+  let ctx = Expr.create () in
+  let x = Expr.fresh_var ctx and y = Expr.fresh_var ctx in
+  let shared = Expr.xor_ ctx x y in
+  let s = Solver.create () in
+  let em =
+    Expr.Cnf.make_emitter
+      {
+        Expr.Cnf.fresh_var = (fun () -> Solver.new_var s);
+        add_clause = (fun _ c -> Solver.add_clause s c);
+      }
+  in
+  Expr.Cnf.emit em [ shared ];
+  let emitted1, _ = Expr.Cnf.emitter_stats em in
+  check bool_t "first emission emits" true (emitted1 > 0);
+  check bool_t "xor satisfiable" true (is_sat (Solver.solve s));
+  let lx = Option.get (Expr.Cnf.find_lit em x) in
+  let ly = Option.get (Expr.Cnf.find_lit em y) in
+  check bool_t "model satisfies xor" true
+    (Solver.value s (abs lx) <> Solver.value s (abs ly));
+  (* Re-asserting the same expression: pure memo hits, zero new clauses. *)
+  Expr.Cnf.emit em [ shared ];
+  let emitted2, reused2 = Expr.Cnf.emitter_stats em in
+  check bool_t "re-emission emits nothing" true (emitted2 = emitted1);
+  check bool_t "re-emission is a memo hit" true (reused2 > 0);
+  (* A superexpression reuses the shared cone: only the new node emits. *)
+  let z = Expr.fresh_var ctx in
+  Expr.Cnf.emit em [ Expr.and_ ctx shared z ];
+  let emitted3, _ = Expr.Cnf.emitter_stats em in
+  check bool_t "superexpression reuses cone" true
+    (emitted3 - emitted2 <= 5);
+  check bool_t "still satisfiable" true (is_sat (Solver.solve s));
+  let lz = Option.get (Expr.Cnf.find_lit em z) in
+  check bool_t "z forced by conjunction" true (Solver.value s (abs lz) = (lz > 0))
+
+let test_emitter_under_activations () =
+  (* Streamed cones gated by activation literals: the emitter encodes the
+     definition clauses once; contradictory groups only clash when both
+     are assumed. *)
+  let ctx = Expr.create () in
+  let x = Expr.fresh_var ctx and y = Expr.fresh_var ctx in
+  let e = Expr.and_ ctx x y in
+  let s = Solver.create () in
+  let em =
+    Expr.Cnf.make_emitter
+      {
+        Expr.Cnf.fresh_var = (fun () -> Solver.new_var s);
+        add_clause = (fun _ c -> Solver.add_clause s c);
+      }
+  in
+  let a = Solver.new_activation s and b = Solver.new_activation s in
+  let le = Expr.Cnf.lit em e in
+  Expr.Cnf.emit_clause em [ -a; le ];
+  Expr.Cnf.emit_clause em [ -b; -le ];
+  check bool_t "a: conjunction holds" true
+    (is_sat (Solver.solve ~assumptions:[ a ] s));
+  let lx = Option.get (Expr.Cnf.find_lit em x) in
+  check bool_t "a forces x" true (Solver.value s (abs lx) = (lx > 0));
+  check bool_t "b alone fine" true (is_sat (Solver.solve ~assumptions:[ b ] s));
+  check bool_t "a and b clash" false
+    (is_sat (Solver.solve ~assumptions:[ a; b ] s))
 
 (* --- DIMACS --- *)
 
@@ -302,11 +430,18 @@ let suite =
     Alcotest.test_case "assumptions" `Quick test_assumptions;
     Alcotest.test_case "incremental solving" `Quick test_incremental;
     Alcotest.test_case "model satisfies clauses" `Quick test_model_satisfies;
+    Alcotest.test_case "failed assumptions" `Quick test_failed_assumptions;
+    Alcotest.test_case "activation groups" `Quick test_activation_groups;
+    Alcotest.test_case "retire activation" `Quick test_retire_activation;
+    Alcotest.test_case "simplify preserves" `Quick test_simplify_preserves;
     Alcotest.test_case "expr constant folding" `Quick test_expr_fold_constants;
     Alcotest.test_case "expr hash consing" `Quick test_expr_hash_consing;
     Alcotest.test_case "expr evaluation" `Quick test_expr_eval;
     Alcotest.test_case "tseitin round trip" `Quick test_tseitin_roundtrip;
     Alcotest.test_case "tseitin unsat" `Quick test_tseitin_unsat;
+    Alcotest.test_case "streaming emitter" `Quick test_streaming_emitter;
+    Alcotest.test_case "emitter under activations" `Quick
+      test_emitter_under_activations;
     Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
     Alcotest.test_case "dimacs parsing" `Quick test_dimacs_parse;
     Alcotest.test_case "dimacs unsat" `Quick test_dimacs_unsat;
