@@ -122,9 +122,10 @@ let cmd_harden path =
     r.Pipeline.syn_stats.Ftrsn_core.Synthesis.added_ctrl_bits
     r.Pipeline.area_ratios.Ftrsn_core.Area.r_area
 
-let cmd_metric path sample =
+let cmd_metric path sample domains brute =
   let net = load path in
-  Format.printf "%a@." Metric.pp (Metric.evaluate ?sample net)
+  Format.printf "%a@." Metric.pp
+    (Metric.evaluate ?sample ~domains ~reduce:(not brute) net)
 
 let parse_fault net spec =
   (* "<segment or mux name>.<site>/sa<0|1>", matching Fault.to_string. *)
@@ -230,8 +231,14 @@ let () =
     let sample =
       Arg.(value & opt (some int) None & info [ "sample" ] ~doc:"Every k-th fault only.")
     in
+    let domains =
+      Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Evaluation domains (work-stealing queue).")
+    in
+    let brute =
+      Arg.(value & flag & info [ "brute" ] ~doc:"Disable fault-universe reduction (collapsing + cone deltas); results are identical, only slower.")
+    in
     Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
-      Term.(const cmd_metric $ path $ sample)
+      Term.(const cmd_metric $ path $ sample $ domains $ brute)
   in
   let access_cmd =
     let target =

@@ -67,9 +67,20 @@ let characteristics socs =
     socs
 
 let metric_row name m =
-  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults)\n" name
+  let red =
+    match m.Metric.reduction with
+    | None -> ""
+    | Some r ->
+        Printf.sprintf " -> %d classes, cone avg %.0f/%d segs"
+          r.Metric.r_classes
+          (if r.Metric.r_classes = 0 then 0.0
+           else
+             float_of_int r.Metric.r_cone_sum /. float_of_int r.Metric.r_classes)
+          r.Metric.r_cone_max
+  in
+  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults%s)\n" name
     m.Metric.worst_bits m.Metric.avg_bits m.Metric.worst_segments
-    m.Metric.avg_segments m.Metric.faults
+    m.Metric.avg_segments m.Metric.faults red
 
 let access_header () =
   Printf.printf "%-9s %10s %9s %12s %11s\n" "SoC" "bits-worst" "bits-avg"

@@ -1,5 +1,8 @@
 module Netlist = Ftrsn_rsn.Netlist
 module Fault = Ftrsn_fault.Fault
+module Bitset = Ftrsn_topo.Bitset
+module Digraph = Ftrsn_topo.Digraph
+module Order = Ftrsn_topo.Order
 
 (* Dataflow vertex ids follow Netlist.dataflow_graph: 0 = scan-in,
    1 = scan-out, 2 + i = segment i. *)
@@ -139,22 +142,6 @@ let no_effects ctx =
     po_dead = false;
   }
 
-(* Muxes whose address is driven by the given shadow bit, with the bit
-   position within each mux's address. *)
-let driven_muxes (net : Netlist.t) seg bit =
-  let result = ref [] in
-  Array.iteri
-    (fun m (mx : Netlist.mux) ->
-      Array.iteri
-        (fun b ctrl ->
-          match ctrl with
-          | Netlist.Ctrl_shadow { cseg; cbit } when cseg = seg && cbit = bit ->
-              result := (m, b) :: !result
-          | _ -> ())
-        mx.mux_addr)
-    net.muxes;
-  !result
-
 (* With duplicated scan ports (§III-E-4), the secondary scan-in is wired to
    the input of every successor of the primary scan-in, and every
    predecessor of the primary scan-out is wired to the secondary scan-out.
@@ -170,85 +157,32 @@ let port_mux_masked ctx m =
 
 let port_masked = port_mux_masked
 
-(* Accumulates one fault's contribution into [e]; composable, so the same
-   machinery analyzes multi-fault scenarios (beyond the paper's single
-   stuck-at scope). *)
+(* Folds one fault's canonical semantic summary (see {!Fault.summarize} —
+   the single place the stuck-at case analysis lives; the BMC engine
+   derives its predicates from the same summaries) into [e]; composable,
+   so the same machinery analyzes multi-fault scenarios (beyond the
+   paper's single stuck-at scope). *)
+let add_summary_effects e (sm : Fault.summary) =
+  let set a i = a.(i) <- true in
+  List.iter (set e.hard_block) sm.Fault.sm_hard_block;
+  List.iter (set e.corrupt_vertex) sm.Fault.sm_corrupt_vertex;
+  List.iter (set e.corrupt_in) sm.Fault.sm_corrupt_in;
+  List.iter (set e.corrupt_out) sm.Fault.sm_corrupt_out;
+  List.iter (set e.kill_write) sm.Fault.sm_kill_write;
+  List.iter (set e.kill_read) sm.Fault.sm_kill_read;
+  List.iter (set e.mux_out_bad) sm.Fault.sm_mux_out;
+  e.mux_in_bad <- sm.Fault.sm_mux_in @ e.mux_in_bad;
+  e.locked_addr <- sm.Fault.sm_locked_addr @ e.locked_addr;
+  e.stuck_shadow <- sm.Fault.sm_stuck_shadow @ e.stuck_shadow;
+  if sm.Fault.sm_pi_dead then e.pi_dead <- true;
+  if sm.Fault.sm_po_dead then e.po_dead <- true;
+  e
+
+let summarize ctx f =
+  Fault.summarize ~port_masked:(port_mux_masked ctx) ctx.net f
+
 let add_fault_effects ctx e (f : Fault.t) =
-  match f with
-  | f when Fault.is_masked ctx.net f -> e
-  | { site; stuck } -> (
-      let net = ctx.net in
-      match site with
-      | Fault.Seg_scan_in i ->
-          e.corrupt_in.(i) <- true;
-          (* The corrupted stream also fills the segment itself. *)
-          e.kill_write.(i) <- true;
-          e
-      | Fault.Seg_scan_out i ->
-          e.corrupt_out.(i) <- true;
-          e.kill_read.(i) <- true;
-          e
-      | Fault.Seg_shift_reg i ->
-          e.corrupt_vertex.(i) <- true;
-          e.kill_write.(i) <- true;
-          e.kill_read.(i) <- true;
-          e
-      | Fault.Seg_shadow_reg (i, b) ->
-          (* The pinned bit breaks the segment's own write interface and
-             freezes every address line it drives. *)
-          e.kill_write.(i) <- true;
-          let driven = driven_muxes net i b in
-          let tmr_protected =
-            driven <> []
-            && List.for_all (fun (m, _) -> net.muxes.(m).Netlist.mux_tmr) driven
-          in
-          if tmr_protected then begin
-            (* Register replica outvoted: only the segment's write interface
-               of that bit is affected. *)
-            e
-          end
-          else begin
-            e.stuck_shadow <- (i, b, stuck) :: e.stuck_shadow;
-            e
-          end
-      | Fault.Seg_select i ->
-          (* Stuck-at-0 prevents shifting; stuck-at-1 is recoverable by
-             keeping the segment on every active path. *)
-          if not stuck then e.hard_block.(i) <- true;
-          e
-      | Fault.Seg_capture_en i ->
-          (* Never-capture kills read; always-capture is the normal
-             behaviour of a selected segment. *)
-          if not stuck then e.kill_read.(i) <- true;
-          e
-      | Fault.Seg_update_en i ->
-          if not stuck then begin
-            e.kill_write.(i) <- true;
-            (* Shadow frozen at reset: address lines driven by this segment
-               can never change.  Modelled by treating the segment as an
-               unwritable steering driver (the fixpoint already consults
-               writability), which kill_write achieves. *)
-            ()
-          end;
-          e
-      | Fault.Mux_addr (m, b) ->
-          if not (port_mux_masked ctx m) then
-            e.locked_addr <- (m, b, stuck) :: e.locked_addr;
-          e
-      | Fault.Mux_addr_replica _ -> e
-      | Fault.Mux_data_in (m, k) ->
-          if not (port_mux_masked ctx m) then
-            e.mux_in_bad <- (m, Netlist.mux_input_class net m k) :: e.mux_in_bad;
-          e
-      | Fault.Mux_out m ->
-          if not (port_mux_masked ctx m) then e.mux_out_bad.(m) <- true;
-          e
-      | Fault.Primary_in ->
-          if not net.Netlist.dual_ports then e.pi_dead <- true;
-          e
-      | Fault.Primary_out ->
-          if not net.Netlist.dual_ports then e.po_dead <- true;
-          e)
+  add_summary_effects e (summarize ctx f)
 
 let effects_of_faults ctx faults =
   List.fold_left (add_fault_effects ctx) (no_effects ctx) faults
@@ -551,6 +485,456 @@ let access_witness ctx fault s =
 
 let access_path ctx fault s =
   Option.map (fun w -> w.w_vertices) (access_witness ctx fault s)
+
+(* ---- fault-free baseline and cone-of-influence deltas ----
+
+   The metric evaluates every fault of the universe against the same
+   context, and most faults disturb only a small cone of the dataflow
+   graph.  [baseline] precomputes the fault-free verdict plus the static
+   reachability and dependency tables from which each fault's cone is
+   derived; [analyze_delta] re-runs the fixpoint only inside the cone and
+   splices the fault-free verdict everywhere else.  Exactness, not
+   approximation: outside the cone the faulty least fixpoint provably
+   coincides with the fault-free one, so the spliced verdict is
+   bit-identical to [analyze]'s. *)
+
+type baseline = {
+  b_verdict : verdict;           (* fault-free analyze *)
+  b_reach : Bitset.t array;      (* per vertex v: vertices reachable from v *)
+  b_coreach : Bitset.t array;    (* per vertex v: vertices reaching v *)
+  b_host_edges_all : int list array;
+      (* per segment: edges with a shadow steering requirement hosted in
+         the segment (any reset polarity) *)
+  b_host_edges_nonreset : int list array;
+      (* per segment: edges with a hosted requirement whose reset value
+         does NOT match — the only requirements that consult the host's
+         writability *)
+  b_mux_edges : int list array;  (* per mux: edges routed through it *)
+  b_steer : bool array;
+      (* per edge: steerability in the fault-free network under the final
+         fault-free writability.  Valid for any edge not affected by the
+         fault, at every delta iteration: such an edge consults only
+         non-cone hosts, whose writability never leaves its baseline
+         value. *)
+}
+
+let baseline_verdict b = b.b_verdict
+
+let baseline ctx =
+  let b_verdict = analyze ctx None in
+  let nv = ctx.nv in
+  let g =
+    Digraph.of_edges ~n:nv
+      (Array.to_list (Array.map (fun e -> (e.e_src, e.e_dst)) ctx.edges))
+  in
+  let b_reach = Array.init nv (fun _ -> Bitset.create nv) in
+  let b_coreach = Array.init nv (fun _ -> Bitset.create nv) in
+  (match Order.sort g with
+  | Some order ->
+      (* Successors first for reach, predecessors first for co-reach. *)
+      for idx = nv - 1 downto 0 do
+        let v = order.(idx) in
+        Bitset.add b_reach.(v) v;
+        List.iter
+          (fun w -> Bitset.union_into b_reach.(v) b_reach.(w))
+          (Digraph.succ g v)
+      done;
+      for idx = 0 to nv - 1 do
+        let v = order.(idx) in
+        Bitset.add b_coreach.(v) v;
+        List.iter
+          (fun u -> Bitset.union_into b_coreach.(v) b_coreach.(u))
+          (Digraph.pred g v)
+      done
+  | None ->
+      (* Cyclic dataflow (never produced by the synthesizer, but stay
+         sound): every cone degenerates to the full network. *)
+      Array.iter Bitset.fill b_reach;
+      Array.iter Bitset.fill b_coreach);
+  let b_host_edges_all = Array.make ctx.nsegs [] in
+  let b_host_edges_nonreset = Array.make ctx.nsegs [] in
+  let b_mux_edges = Array.make (Netlist.num_muxes ctx.net) [] in
+  Array.iteri
+    (fun ei e ->
+      let seen_all = ref [] and seen_nr = ref [] in
+      Array.iter
+        (fun (_, cseg, _, _, reset_matches) ->
+          if not (List.mem cseg !seen_all) then begin
+            seen_all := cseg :: !seen_all;
+            b_host_edges_all.(cseg) <- ei :: b_host_edges_all.(cseg)
+          end;
+          if (not reset_matches) && not (List.mem cseg !seen_nr) then begin
+            seen_nr := cseg :: !seen_nr;
+            b_host_edges_nonreset.(cseg) <- ei :: b_host_edges_nonreset.(cseg)
+          end)
+        e.e_shadow_reqs;
+      let seen_m = ref [] in
+      Array.iter
+        (fun (m, _) ->
+          if not (List.mem m !seen_m) then begin
+            seen_m := m :: !seen_m;
+            b_mux_edges.(m) <- ei :: b_mux_edges.(m)
+          end)
+        e.e_muxes)
+    ctx.edges;
+  let eff0 = no_effects ctx in
+  let b_steer =
+    Array.map (edge_steerable ctx eff0 b_verdict.writable) ctx.edges
+  in
+  {
+    b_verdict;
+    b_reach;
+    b_coreach;
+    b_host_edges_all;
+    b_host_edges_nonreset;
+    b_mux_edges;
+    b_steer;
+  }
+
+(* Summary shapes that need no graph traversal at all (see analyze_delta's
+   fast paths). *)
+let only_kill_read (sm : Fault.summary) =
+  sm.Fault.sm_kill_read <> []
+  && Fault.summary_benign { sm with Fault.sm_kill_read = [] }
+
+let only_kill_write (sm : Fault.summary) =
+  sm.Fault.sm_kill_write <> []
+  && Fault.summary_benign { sm with Fault.sm_kill_write = [] }
+
+let local_kill_write base (sm : Fault.summary) =
+  only_kill_write sm
+  && List.for_all
+       (fun i -> base.b_host_edges_nonreset.(i) = [])
+       sm.Fault.sm_kill_write
+
+(* Vertices whose verdict (or writability) may differ from the fault-free
+   baseline under [sm].  Data/steering damage at a vertex or edge taints
+   everything downstream (reach) and upstream (co-reach); local interface
+   damage (kill_write / kill_read) taints only the segment itself, plus —
+   through the cascade — any edge steered by a not-reset-matching bit
+   hosted in a tainted segment, because that segment's writability may
+   have changed. *)
+let cone_vertices ctx base (sm : Fault.summary) =
+  let cv = Bitset.create ctx.nv in
+  let nedges = Array.length ctx.edges in
+  let affected = Array.make nedges false in
+  let aff_list = ref [] in
+  (* Data corruption lives on the edges adjacent to the disturbed
+     segments; mark them so the delta traversals re-evaluate the edge
+     predicates there (and only there). *)
+  let mark ei =
+    if not affected.(ei) then begin
+      affected.(ei) <- true;
+      aff_list := ei :: !aff_list
+    end
+  in
+  if sm.Fault.sm_pi_dead || sm.Fault.sm_po_dead then begin
+    Bitset.fill cv;
+    for ei = nedges - 1 downto 0 do
+      mark ei
+    done
+  end
+  else begin
+    let add_v v =
+      Bitset.union_into cv base.b_reach.(v);
+      Bitset.union_into cv base.b_coreach.(v)
+    in
+    let add_edge ei =
+      mark ei;
+      let e = ctx.edges.(ei) in
+      Bitset.union_into cv base.b_reach.(e.e_dst);
+      Bitset.union_into cv base.b_coreach.(e.e_src)
+    in
+    let through i = add_v (v_of_seg i) in
+    let local i = Bitset.add cv (v_of_seg i) in
+    List.iter through sm.Fault.sm_hard_block;
+    List.iter through sm.Fault.sm_corrupt_vertex;
+    List.iter
+      (fun i ->
+        through i;
+        List.iter mark ctx.in_edges.(v_of_seg i))
+      sm.Fault.sm_corrupt_in;
+    List.iter
+      (fun i ->
+        through i;
+        List.iter mark ctx.out_edges.(v_of_seg i))
+      sm.Fault.sm_corrupt_out;
+    List.iter local sm.Fault.sm_kill_write;
+    List.iter local sm.Fault.sm_kill_read;
+    List.iter
+      (fun m -> List.iter add_edge base.b_mux_edges.(m))
+      sm.Fault.sm_mux_out;
+    List.iter
+      (fun (m, _) -> List.iter add_edge base.b_mux_edges.(m))
+      sm.Fault.sm_mux_in;
+    List.iter
+      (fun (m, _, _) -> List.iter add_edge base.b_mux_edges.(m))
+      sm.Fault.sm_locked_addr;
+    List.iter
+      (fun (i, _, _) -> List.iter add_edge base.b_host_edges_all.(i))
+      sm.Fault.sm_stuck_shadow;
+    (* Writability cascade: a tainted segment's writability may change,
+       which re-steers every edge with a hosted not-reset-matching
+       requirement; their endpoints' cones join until stable. *)
+    let applied = Array.make ctx.nsegs false in
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := false;
+      for i = 0 to ctx.nsegs - 1 do
+        if
+          (not applied.(i))
+          && base.b_host_edges_nonreset.(i) <> []
+          && Bitset.mem cv (v_of_seg i)
+        then begin
+          applied.(i) <- true;
+          List.iter add_edge base.b_host_edges_nonreset.(i);
+          continue_ := true
+        end
+      done
+    done
+  end;
+  (cv, affected, !aff_list)
+
+let cone_seg_list ctx cv =
+  let acc = ref [] in
+  for i = ctx.nsegs - 1 downto 0 do
+    if Bitset.mem cv (v_of_seg i) then acc := i :: !acc
+  done;
+  !acc
+
+let cone ctx base (sm : Fault.summary) =
+  if Fault.summary_benign sm then None
+  else if only_kill_read sm then
+    Some (Bitset.of_list ctx.nsegs sm.Fault.sm_kill_read)
+  else if local_kill_write base sm then
+    Some (Bitset.of_list ctx.nsegs sm.Fault.sm_kill_write)
+  else begin
+    let cv, _, _ = cone_vertices ctx base sm in
+    let cs = Bitset.create ctx.nsegs in
+    List.iter (Bitset.add cs) (cone_seg_list ctx cv);
+    Some cs
+  end
+
+let analyze_delta ctx base (sm : Fault.summary) =
+  if Fault.summary_benign sm then (base.b_verdict, 0)
+  else if only_kill_read sm then begin
+    (* kill_read is consulted only by the readable formula: no traversal
+       changes, so flip the affected segments in place. *)
+    let readable = Array.copy base.b_verdict.readable in
+    let accessible = Array.copy base.b_verdict.accessible in
+    List.iter
+      (fun i ->
+        readable.(i) <- false;
+        accessible.(i) <- false)
+      sm.Fault.sm_kill_read;
+    ( { writable = base.b_verdict.writable; readable; accessible },
+      List.length sm.Fault.sm_kill_read )
+  end
+  else if local_kill_write base sm then begin
+    (* Writability is consulted by steering only through
+       not-reset-matching hosted requirements; with none hosted in the
+       killed segments, the traversals are untouched too. *)
+    let writable = Array.copy base.b_verdict.writable in
+    let accessible = Array.copy base.b_verdict.accessible in
+    List.iter
+      (fun i ->
+        writable.(i) <- false;
+        accessible.(i) <- false)
+      sm.Fault.sm_kill_write;
+    ( { writable; readable = base.b_verdict.readable; accessible },
+      List.length sm.Fault.sm_kill_write )
+  end
+  else begin
+    let eff = add_summary_effects (no_effects ctx) sm in
+    let cv, _, aff_list = cone_vertices ctx base sm in
+    let cone_list = cone_seg_list ctx cv in
+    (* Seeded fixpoint: outside the cone the faulty least fixpoint equals
+       the fault-free one, so seeding with (baseline minus cone) starts
+       below the faulty fixpoint and chaotic iteration converges to
+       exactly it.  Writability and steerability only grow during the
+       iteration, so the two supporting traversals (clean reach from
+       scan-in, any co-reach to scan-out) are maintained incrementally:
+       when a promoted segment makes a hosted edge steerable, the
+       traversals extend across that edge instead of restarting — total
+       work is about two traversals however deep the enabling chain. *)
+    let writable = Array.copy base.b_verdict.writable in
+    List.iter (fun i -> writable.(i) <- false) cone_list;
+    (* Per-edge caches under the current writability: only the affected
+       edges ever deviate from the fault-free baseline, and [steer] is
+       refreshed exactly when one of an edge's not-reset-matching hosts
+       is promoted; corruption is static per fault. *)
+    let steer = Array.copy base.b_steer in
+    List.iter
+      (fun ei -> steer.(ei) <- edge_steerable ctx eff writable ctx.edges.(ei))
+      aff_list;
+    let corrupt = Array.make (Array.length ctx.edges) false in
+    List.iter
+      (fun ei -> if edge_corrupt eff ctx.edges.(ei) then corrupt.(ei) <- true)
+      aff_list;
+    let rw = Array.make ctx.nv false in
+    let s_any = Array.make ctx.nv false in
+    (* Vertices that entered a traversal since the last promotion sweep. *)
+    let newly = ref [] in
+    let fstack = Array.make ctx.nv 0 in
+    let fsp = ref 0 in
+    let bstack = Array.make ctx.nv 0 in
+    let bsp = ref 0 in
+    let mark_f v =
+      rw.(v) <- true;
+      fstack.(!fsp) <- v;
+      incr fsp;
+      newly := v :: !newly
+    in
+    let mark_b v =
+      s_any.(v) <- true;
+      bstack.(!bsp) <- v;
+      incr bsp;
+      newly := v :: !newly
+    in
+    let drain_f () =
+      while !fsp > 0 do
+        decr fsp;
+        let u = fstack.(!fsp) in
+        if u = v_pi || clean_through eff u then
+          List.iter
+            (fun ei ->
+              let v = ctx.edges.(ei).e_dst in
+              if
+                (not rw.(v))
+                && v <> v_po
+                && shiftable eff v
+                && (not corrupt.(ei))
+                && steer.(ei)
+              then mark_f v)
+            ctx.out_edges.(u)
+      done
+    in
+    let drain_b () =
+      while !bsp > 0 do
+        decr bsp;
+        let v = bstack.(!bsp) in
+        List.iter
+          (fun ei ->
+            let u = ctx.edges.(ei).e_src in
+            if (not s_any.(u)) && u <> v_pi && steer.(ei) then mark_b u)
+          ctx.in_edges.(v)
+      done
+    in
+    if not eff.pi_dead then begin
+      mark_f v_pi;
+      drain_f ()
+    end;
+    mark_b v_po;
+    drain_b ();
+    let promote i =
+      if
+        (not writable.(i))
+        && rw.(v_of_seg i)
+        && s_any.(v_of_seg i)
+        && (not eff.kill_write.(i))
+        && not eff.pi_dead
+      then begin
+        writable.(i) <- true;
+        List.iter
+          (fun ei ->
+            if
+              (not steer.(ei))
+              && edge_steerable ctx eff writable ctx.edges.(ei)
+            then begin
+              steer.(ei) <- true;
+              let e = ctx.edges.(ei) in
+              if
+                rw.(e.e_src)
+                && (not rw.(e.e_dst))
+                && e.e_dst <> v_po
+                && shiftable eff e.e_dst
+                && (not corrupt.(ei))
+                && (e.e_src = v_pi || clean_through eff e.e_src)
+              then begin
+                mark_f e.e_dst;
+                drain_f ()
+              end;
+              if s_any.(e.e_dst) && (not s_any.(e.e_src)) && e.e_src <> v_pi
+              then begin
+                mark_b e.e_src;
+                drain_b ()
+              end
+            end)
+          base.b_host_edges_nonreset.(i)
+      end
+    in
+    newly := [];
+    List.iter promote cone_list;
+    let rec settle () =
+      match !newly with
+      | [] -> ()
+      | vs ->
+          newly := [];
+          List.iter (fun v -> if v >= 2 then promote (seg_of_v v)) vs;
+          settle ()
+    in
+    settle ();
+    (* Final traversals under the settled writability, reusing the edge
+       caches: any-data reach from scan-in, clean co-reach to scan-out. *)
+    let r_any = Array.make ctx.nv false in
+    r_any.(v_pi) <- true;
+    fstack.(0) <- v_pi;
+    fsp := 1;
+    while !fsp > 0 do
+      decr fsp;
+      let u = fstack.(!fsp) in
+      List.iter
+        (fun ei ->
+          let v = ctx.edges.(ei).e_dst in
+          if (not r_any.(v)) && v <> v_po && steer.(ei) then begin
+            r_any.(v) <- true;
+            fstack.(!fsp) <- v;
+            incr fsp
+          end)
+        ctx.out_edges.(u)
+    done;
+    let s_clean = Array.make ctx.nv false in
+    if not eff.po_dead then begin
+      s_clean.(v_po) <- true;
+      bstack.(0) <- v_po;
+      bsp := 1;
+      while !bsp > 0 do
+        decr bsp;
+        let v = bstack.(!bsp) in
+        List.iter
+          (fun ei ->
+            let u = ctx.edges.(ei).e_src in
+            if
+              (not s_clean.(u))
+              && u <> v_pi
+              && shiftable eff u
+              && (not corrupt.(ei))
+              && clean_through eff u
+              && steer.(ei)
+            then begin
+              s_clean.(u) <- true;
+              bstack.(!bsp) <- u;
+              incr bsp
+            end)
+          ctx.in_edges.(v)
+      done
+    end;
+    let readable = Array.copy base.b_verdict.readable in
+    let accessible = Array.copy base.b_verdict.accessible in
+    List.iter
+      (fun i ->
+        let r =
+          r_any.(v_of_seg i)
+          && s_clean.(v_of_seg i)
+          && (not eff.kill_read.(i))
+          && (not eff.corrupt_vertex.(i))
+          && not eff.po_dead
+        in
+        readable.(i) <- r;
+        accessible.(i) <- writable.(i) && r)
+      cone_list;
+    ({ writable; readable; accessible }, List.length cone_list)
+  end
 
 (* Read counterpart: a path through the target whose SUFFIX (target to
    scan-out) is corruption-free and shiftable, while the prefix only needs

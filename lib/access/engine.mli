@@ -52,6 +52,42 @@ val analyze_multi : ctx -> Ftrsn_fault.Fault.t list -> verdict
 val accessible_count : verdict -> int
 val accessible_bits : ctx -> verdict -> int
 
+(** {2 Fault-free baseline and cone-of-influence deltas}
+
+    Evaluating the whole fault universe repeats almost identical work per
+    fault: most stuck-ats disturb only a small cone of the dataflow graph.
+    {!baseline} packages the fault-free verdict together with static
+    reachability and steering-dependency tables; {!analyze_delta} then
+    re-runs the writability fixpoint and the final traversals only for
+    segments inside the fault's cone and splices the fault-free verdict
+    for the rest.  The result is bit-identical to {!analyze} — outside the
+    cone the faulty least fixpoint provably coincides with the fault-free
+    one — it is just computed faster. *)
+
+type baseline
+(** Fault-free verdict plus per-vertex reach/co-reach bitsets and
+    per-segment / per-mux edge dependency tables for one {!ctx}.
+    Immutable once built; safe to share across domains. *)
+
+val baseline : ctx -> baseline
+
+val baseline_verdict : baseline -> verdict
+(** The fault-free verdict ({!analyze}[ ctx None]). *)
+
+val cone : ctx -> baseline -> Ftrsn_fault.Fault.summary -> Ftrsn_topo.Bitset.t option
+(** The fault's cone of influence as a set of segment indices: an
+    over-approximation of the segments whose verdict (or writability) can
+    differ from the fault-free baseline.  [None] for a benign summary
+    (empty cone, verdict = baseline). *)
+
+val analyze_delta :
+  ctx -> baseline -> Ftrsn_fault.Fault.summary -> verdict * int
+(** [analyze_delta ctx base sm] is the verdict under the summarized fault,
+    bit-identical to [analyze ctx (Some f)] for any fault [f] with summary
+    [sm], together with the cone size ([0] for a benign summary).  The
+    returned verdict may share arrays with {!baseline_verdict}; treat it
+    as immutable. *)
+
 type witness = {
   w_vertices : int list;
       (** dataflow vertices from scan-in to scan-out, through the target *)

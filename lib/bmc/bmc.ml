@@ -128,93 +128,48 @@ let no_fault =
     kill_read = (fun _ -> false);
   }
 
-let driven_all_tmr (net : Netlist.t) seg bit =
-  let driven = ref [] in
-  Array.iteri
-    (fun m (mx : Netlist.mux) ->
-      Array.iter
-        (function
-          | Netlist.Ctrl_shadow { cseg; cbit } when cseg = seg && cbit = bit ->
-              driven := m :: !driven
-          | _ -> ())
-        mx.mux_addr)
-    net.muxes;
-  !driven <> []
-  && List.for_all (fun m -> net.Netlist.muxes.(m).Netlist.mux_tmr) !driven
+(* The predicates are derived from the fault's canonical semantic summary
+   ({!Fault.summarize}), the single place the stuck-at case analysis
+   lives.  A hard-blocked segment (select stuck-at-0) cannot shift: it is
+   lost itself — the engine encodes this as an unreachable vertex, the
+   BMC as kill_write/kill_read plus the seg_sel0 path predicate. *)
+let of_summary (net : Netlist.t) (sm : Fault.summary) =
+  if Fault.summary_benign sm then no_fault
+  else
+    let mem l i = List.mem i l in
+    {
+      pi_dead = sm.Fault.sm_pi_dead;
+      po_dead = sm.Fault.sm_po_dead;
+      seg_scan_in = mem sm.Fault.sm_corrupt_in;
+      seg_scan_out = mem sm.Fault.sm_corrupt_out;
+      seg_shift = mem sm.Fault.sm_corrupt_vertex;
+      seg_sel0 = mem sm.Fault.sm_hard_block;
+      mux_out = mem sm.Fault.sm_mux_out;
+      mux_in =
+        (fun m k ->
+          let kc = Netlist.mux_input_class net m k in
+          List.exists (fun (m', k') -> m' = m && k' = kc) sm.Fault.sm_mux_in);
+      locked =
+        (fun m b ->
+          List.find_map
+            (fun (m', b', v) -> if m' = m && b' = b then Some v else None)
+            sm.Fault.sm_locked_addr);
+      pinned =
+        (fun s b ->
+          List.find_map
+            (fun (s', b', v) -> if s' = s && b' = b then Some v else None)
+            sm.Fault.sm_stuck_shadow);
+      kill_write =
+        (fun i -> mem sm.Fault.sm_kill_write i || mem sm.Fault.sm_hard_block i);
+      kill_read =
+        (fun i -> mem sm.Fault.sm_kill_read i || mem sm.Fault.sm_hard_block i);
+    }
 
 let summarize t = function
   | None -> no_fault
-  | Some f when Fault.is_masked t.net f -> no_fault
-  | Some { Fault.site; stuck } -> (
-      let eq2 a b (x, y) = a = x && b = y in
-      match site with
-      | Fault.Primary_in ->
-          if t.net.Netlist.dual_ports then no_fault
-          else { no_fault with pi_dead = true }
-      | Fault.Primary_out ->
-          if t.net.Netlist.dual_ports then no_fault
-          else { no_fault with po_dead = true }
-      | Fault.Seg_scan_in i ->
-          {
-            no_fault with
-            seg_scan_in = ( = ) i;
-            kill_write = ( = ) i;
-          }
-      | Fault.Seg_scan_out i ->
-          { no_fault with seg_scan_out = ( = ) i; kill_read = ( = ) i }
-      | Fault.Seg_shift_reg i ->
-          {
-            no_fault with
-            seg_shift = ( = ) i;
-            kill_write = ( = ) i;
-            kill_read = ( = ) i;
-          }
-      | Fault.Seg_select i ->
-          if stuck then no_fault (* recoverable, as in the engine *)
-          else
-            (* The segment cannot shift: it is lost itself, and any data
-               passing through it freezes. *)
-            {
-              no_fault with
-              seg_sel0 = ( = ) i;
-              kill_write = ( = ) i;
-              kill_read = ( = ) i;
-            }
-      | Fault.Seg_capture_en i ->
-          if stuck then no_fault else { no_fault with kill_read = ( = ) i }
-      | Fault.Seg_update_en i ->
-          if stuck then no_fault else { no_fault with kill_write = ( = ) i }
-      | Fault.Seg_shadow_reg (i, b) ->
-          if driven_all_tmr t.net i b then
-            { no_fault with kill_write = ( = ) i }
-          else
-            {
-              no_fault with
-              kill_write = ( = ) i;
-              pinned = (fun s b' -> if s = i && b' = b then Some stuck else None);
-            }
-      | Fault.Mux_addr (m, b) ->
-          if Engine.port_masked t.ectx m then no_fault
-          else
-            {
-              no_fault with
-              locked =
-                (fun m' b' -> if eq2 m b (m', b') then Some stuck else None);
-            }
-      | Fault.Mux_addr_replica _ -> no_fault
-      | Fault.Mux_data_in (m, k) ->
-          if Engine.port_masked t.ectx m then no_fault
-          else
-            let k = Netlist.mux_input_class t.net m k in
-            {
-              no_fault with
-              mux_in =
-                (fun m' k' ->
-                  m = m' && k = Netlist.mux_input_class t.net m' k');
-            }
-      | Fault.Mux_out m ->
-          if Engine.port_masked t.ectx m then no_fault
-          else { no_fault with mux_out = ( = ) m })
+  | Some f ->
+      of_summary t.net
+        (Fault.summarize ~port_masked:(Engine.port_masked t.ectx) t.net f)
 
 (* ---- per-step circuit construction ---- *)
 
@@ -649,10 +604,16 @@ module Session = struct
         | Inaccessible -> Inaccessible
         | Accessible r -> Accessible (max w r))
 
-  let check_targets sess ?fault ?max_steps targets =
+  let check_targets sess ?fault ?max_steps ?only ?fallback targets =
+    let keep = match only with None -> fun _ -> true | Some p -> p in
+    let skipped =
+      match fallback with None -> fun _ -> Inaccessible | Some f -> f
+    in
     Array.of_list
       (List.map
-         (fun target -> check_access sess ?fault ?max_steps ~target ())
+         (fun target ->
+           if keep target then check_access sess ?fault ?max_steps ~target ()
+           else skipped target)
          targets)
 
   let check_faults sess ?max_steps ~target faults =

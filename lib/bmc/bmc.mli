@@ -77,10 +77,15 @@ module Session : sig
       reuses the transition clauses and circuits the write query emitted. *)
 
   val check_targets :
-    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> int list ->
+    t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int ->
+    ?only:(int -> bool) -> ?fallback:(int -> verdict) -> int list ->
     verdict array
   (** Access verdict for each target under one (optional) fault; all
-      targets share the fault's single encoding. *)
+      targets share the fault's single encoding.  [only] restricts the
+      SAT queries to the targets it accepts (default: all) — the
+      cone-of-influence restriction of the reduced metric; a filtered-out
+      target gets [fallback target] instead (default [Inaccessible]),
+      typically the fault-free verdict spliced in by the caller. *)
 
   val check_faults :
     t -> ?max_steps:int -> target:int -> Ftrsn_fault.Fault.t list ->

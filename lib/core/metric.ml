@@ -2,6 +2,7 @@ module Netlist = Ftrsn_rsn.Netlist
 module Fault = Ftrsn_fault.Fault
 module Engine = Ftrsn_access.Engine
 module Bmc = Ftrsn_bmc.Bmc
+module Bitset = Ftrsn_topo.Bitset
 
 type solver_stats = {
   s_conflicts : int;
@@ -11,6 +12,14 @@ type solver_stats = {
   s_nodes_reused : int;
 }
 
+type reduction_stats = {
+  r_universe : int;
+  r_classes : int;
+  r_benign : int;
+  r_cone_sum : int;
+  r_cone_max : int;
+}
+
 type result = {
   worst_segments : float;
   avg_segments : float;
@@ -18,11 +27,42 @@ type result = {
   avg_bits : float;
   faults : int;
   total_weight : int;
+  steals : int;
   solver : solver_stats option;
+  reduction : reduction_stats option;
 }
 
+let merge_solver a b =
+  match (a, b) with
+  | None, s | s, None -> s
+  | Some x, Some y ->
+      Some
+        {
+          s_conflicts = x.s_conflicts + y.s_conflicts;
+          s_decisions = x.s_decisions + y.s_decisions;
+          s_propagations = x.s_propagations + y.s_propagations;
+          s_clauses_emitted = x.s_clauses_emitted + y.s_clauses_emitted;
+          s_nodes_reused = x.s_nodes_reused + y.s_nodes_reused;
+        }
+
+let merge_reduction a b =
+  match (a, b) with
+  | None, r | r, None -> r
+  | Some x, Some y ->
+      Some
+        {
+          r_universe = x.r_universe + y.r_universe;
+          r_classes = x.r_classes + y.r_classes;
+          r_benign = x.r_benign + y.r_benign;
+          r_cone_sum = x.r_cone_sum + y.r_cone_sum;
+          r_cone_max = max x.r_cone_max y.r_cone_max;
+        }
+
 (* Merge two partial results (weighted sums are kept internally as
-   averages times weight, so recombine carefully). *)
+   averages times weight, so recombine carefully).  The evaluation paths
+   below merge their integer accumulators instead, which is exact; this
+   float-level recombination is kept for callers composing finished
+   results. *)
 let merge a b =
   {
     worst_segments = min a.worst_segments b.worst_segments;
@@ -37,23 +77,15 @@ let merge a b =
       /. float_of_int (a.total_weight + b.total_weight);
     faults = a.faults + b.faults;
     total_weight = a.total_weight + b.total_weight;
-    solver =
-      (match (a.solver, b.solver) with
-      | None, s | s, None -> s
-      | Some x, Some y ->
-          Some
-            {
-              s_conflicts = x.s_conflicts + y.s_conflicts;
-              s_decisions = x.s_decisions + y.s_decisions;
-              s_propagations = x.s_propagations + y.s_propagations;
-              s_clauses_emitted = x.s_clauses_emitted + y.s_clauses_emitted;
-              s_nodes_reused = x.s_nodes_reused + y.s_nodes_reused;
-            });
+    steals = a.steals + b.steals;
+    solver = merge_solver a.solver b.solver;
+    reduction = merge_reduction a.reduction b.reduction;
   }
 
 (* Split a list into [chunks] chunks of (near-)equal ceil size; the last
    chunk may be shorter, none is empty.  E.g. 10 items over 3 chunks give
-   sizes [4; 4; 2]. *)
+   sizes [4; 4; 2].  Deprecated as a work-distribution strategy (the
+   evaluators now pull from a shared queue); kept for its unit tests. *)
 let split_chunks ~chunks l =
   if chunks <= 0 then invalid_arg "Metric.split_chunks: chunks must be > 0";
   let n = List.length l in
@@ -77,143 +109,352 @@ let split_chunks ~chunks l =
     go l
   end
 
-(* Shared accumulation: per-fault (segment fraction, bit fraction, weight)
-   samples folded into worst/weighted-average form. *)
-type acc = {
-  mutable a_worst_segments : float;
-  mutable a_worst_bits : float;
-  mutable a_sum_segments : float;
-  mutable a_sum_bits : float;
+(* Integer accumulation of per-fault accessible counts.  All fields are
+   exact integers folded with commutative operations (min / sum), so the
+   final result is bit-identical however the faults are partitioned or
+   interleaved across domains — the property that lets the dynamic
+   scheduler reorder work freely and the collapsed classes stand in for
+   their members.  The single float division happens once at the end. *)
+type iacc = {
+  mutable a_min_segs : int;
+  mutable a_min_bits : int;
+  mutable a_sum_segs : int;  (* sum of weight * accessible segments *)
+  mutable a_sum_bits : int;  (* sum of weight * accessible bits *)
   mutable a_weight : int;
   mutable a_count : int;
 }
 
-let acc_create () =
+let iacc_create () =
   {
-    a_worst_segments = 1.0;
-    a_worst_bits = 1.0;
-    a_sum_segments = 0.0;
-    a_sum_bits = 0.0;
+    a_min_segs = max_int;
+    a_min_bits = max_int;
+    a_sum_segs = 0;
+    a_sum_bits = 0;
     a_weight = 0;
     a_count = 0;
   }
 
-let acc_add acc ~w ~fs ~fb =
-  if fs < acc.a_worst_segments then acc.a_worst_segments <- fs;
-  if fb < acc.a_worst_bits then acc.a_worst_bits <- fb;
-  acc.a_sum_segments <- acc.a_sum_segments +. (float_of_int w *. fs);
-  acc.a_sum_bits <- acc.a_sum_bits +. (float_of_int w *. fb);
+let iacc_add acc ~w ~n ~segs ~bits =
+  if segs < acc.a_min_segs then acc.a_min_segs <- segs;
+  if bits < acc.a_min_bits then acc.a_min_bits <- bits;
+  acc.a_sum_segs <- acc.a_sum_segs + (w * segs);
+  acc.a_sum_bits <- acc.a_sum_bits + (w * bits);
   acc.a_weight <- acc.a_weight + w;
-  acc.a_count <- acc.a_count + 1
+  acc.a_count <- acc.a_count + n
 
-let acc_result ~what ~solver acc =
+let iacc_merge a b =
+  a.a_min_segs <- min a.a_min_segs b.a_min_segs;
+  a.a_min_bits <- min a.a_min_bits b.a_min_bits;
+  a.a_sum_segs <- a.a_sum_segs + b.a_sum_segs;
+  a.a_sum_bits <- a.a_sum_bits + b.a_sum_bits;
+  a.a_weight <- a.a_weight + b.a_weight;
+  a.a_count <- a.a_count + b.a_count
+
+let iacc_result ~what ~nsegs ~nbits ~steals ~solver ~reduction acc =
   if acc.a_count = 0 then invalid_arg (what ^ ": empty fault list");
+  let fsegs = float_of_int nsegs and fbits = float_of_int nbits in
+  let fweight = float_of_int acc.a_weight in
   {
-    worst_segments = acc.a_worst_segments;
-    avg_segments = acc.a_sum_segments /. float_of_int acc.a_weight;
-    worst_bits = acc.a_worst_bits;
-    avg_bits = acc.a_sum_bits /. float_of_int acc.a_weight;
+    worst_segments = float_of_int acc.a_min_segs /. fsegs;
+    avg_segments = float_of_int acc.a_sum_segs /. (fweight *. fsegs);
+    worst_bits = float_of_int acc.a_min_bits /. fbits;
+    avg_bits = float_of_int acc.a_sum_bits /. (fweight *. fbits);
     faults = acc.a_count;
     total_weight = acc.a_weight;
+    steals;
     solver;
+    reduction;
   }
+
+(* ---- dynamic work-stealing scheduler ----
+
+   One shared atomic cursor over the item array; every domain claims the
+   next unclaimed item until exhaustion, so an expensive item (a trunk
+   fault, a slow SAT query) delays only the domain it runs on while the
+   others drain the rest of the queue.  An item counts as stolen when it
+   lands on a different domain than the static ceil-chunk split would
+   have assigned.  [init] builds each domain's private worker state
+   (engine context or SAT session), [step] folds one item into it and
+   [finish] extracts the partial result; partials merge exactly because
+   the accumulators are integers. *)
+let steal_map ~domains items ~init ~step ~finish =
+  let n = Array.length items in
+  let next = Atomic.make 0 in
+  let chunk = if domains <= 1 then max n 1 else (n + domains - 1) / domains in
+  let run d () =
+    let st = init d in
+    let steals = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n then continue_ := false
+      else begin
+        if i / chunk <> d then incr steals;
+        step st items.(i)
+      end
+    done;
+    (finish st, !steals)
+  in
+  if domains <= 1 then [ run 0 () ]
+  else
+    List.map Domain.join
+      (List.init domains (fun d -> Domain.spawn (run d)))
+
+let count_verdict net v =
+  let segs = ref 0 and bits = ref 0 in
+  Array.iteri
+    (fun i ok ->
+      if ok then begin
+        incr segs;
+        bits := !bits + Netlist.seg_len net i
+      end)
+    v.Engine.accessible;
+  (!segs, !bits)
+
+let count_bmc net vs =
+  let segs = ref 0 and bits = ref 0 in
+  Array.iteri
+    (fun i v ->
+      match v with
+      | Bmc.Accessible _ ->
+          incr segs;
+          bits := !bits + Netlist.seg_len net i
+      | Bmc.Inaccessible -> ())
+    vs;
+  (!segs, !bits)
+
+let solver_of_session sess =
+  let st = Bmc.Session.stats sess in
+  Some
+    {
+      s_conflicts = st.Bmc.Session.conflicts;
+      s_decisions = st.Bmc.Session.decisions;
+      s_propagations = st.Bmc.Session.propagations;
+      s_clauses_emitted = st.Bmc.Session.clauses_emitted;
+      s_nodes_reused = st.Bmc.Session.nodes_reused;
+    }
 
 let evaluate_faults ctx faults =
   let net = Engine.netlist ctx in
-  let nsegs = Netlist.num_segments net in
-  let nbits = Netlist.total_bits net in
-  let acc = acc_create () in
+  let acc = iacc_create () in
   List.iter
     (fun f ->
       let v = Engine.analyze ctx (Some f) in
-      let w = Fault.weight net f in
-      let fs = float_of_int (Engine.accessible_count v) /. float_of_int nsegs in
-      let fb = float_of_int (Engine.accessible_bits ctx v) /. float_of_int nbits in
-      acc_add acc ~w ~fs ~fb)
+      let segs, bits = count_verdict net v in
+      iacc_add acc ~w:(Fault.weight net f) ~n:1 ~segs ~bits)
     faults;
-  acc_result ~what:"Metric.evaluate_faults" ~solver:None acc
+  iacc_result ~what:"Metric.evaluate_faults" ~nsegs:(Netlist.num_segments net)
+    ~nbits:(Netlist.total_bits net) ~steals:0 ~solver:None ~reduction:None acc
 
 let evaluate_faults_bmc sess faults =
   let net = Bmc.netlist (Bmc.Session.model sess) in
   let nsegs = Netlist.num_segments net in
-  let nbits = Netlist.total_bits net in
   let targets = List.init nsegs Fun.id in
-  let acc = acc_create () in
+  let acc = iacc_create () in
   List.iter
     (fun f ->
       let vs = Bmc.Session.check_targets sess ~fault:f targets in
-      let w = Fault.weight net f in
-      let segs = ref 0 and bits = ref 0 in
-      Array.iteri
-        (fun i v ->
-          match v with
-          | Bmc.Accessible _ ->
-              incr segs;
-              bits := !bits + Netlist.seg_len net i
-          | Bmc.Inaccessible -> ())
-        vs;
-      let fs = float_of_int !segs /. float_of_int nsegs in
-      let fb = float_of_int !bits /. float_of_int nbits in
-      acc_add acc ~w ~fs ~fb)
+      let segs, bits = count_bmc net vs in
+      iacc_add acc ~w:(Fault.weight net f) ~n:1 ~segs ~bits)
     faults;
-  let st = Bmc.Session.stats sess in
-  let solver =
+  iacc_result ~what:"Metric.evaluate_faults_bmc" ~nsegs
+    ~nbits:(Netlist.total_bits net) ~steals:0
+    ~solver:(solver_of_session sess) ~reduction:None acc
+
+(* Per-domain partial of the collapsed paths: accumulator plus the cone
+   statistics the domain observed. *)
+type red_state = {
+  rs_acc : iacc;
+  mutable rs_cone_sum : int;
+  mutable rs_cone_max : int;
+}
+
+let red_state () = { rs_acc = iacc_create (); rs_cone_sum = 0; rs_cone_max = 0 }
+
+let red_note rs cone =
+  rs.rs_cone_sum <- rs.rs_cone_sum + cone;
+  if cone > rs.rs_cone_max then rs.rs_cone_max <- cone
+
+let finish_partials ~what ~net ~universe ~classes ~benign partials =
+  let acc = iacc_create () in
+  let steals = ref 0 and cone_sum = ref 0 and cone_max = ref 0 in
+  let solver = ref None in
+  List.iter
+    (fun ((rs, sv), st) ->
+      iacc_merge acc rs.rs_acc;
+      steals := !steals + st;
+      cone_sum := !cone_sum + rs.rs_cone_sum;
+      if rs.rs_cone_max > !cone_max then cone_max := rs.rs_cone_max;
+      solver := merge_solver !solver sv)
+    partials;
+  let reduction =
     Some
       {
-        s_conflicts = st.Bmc.Session.conflicts;
-        s_decisions = st.Bmc.Session.decisions;
-        s_propagations = st.Bmc.Session.propagations;
-        s_clauses_emitted = st.Bmc.Session.clauses_emitted;
-        s_nodes_reused = st.Bmc.Session.nodes_reused;
+        r_universe = universe;
+        r_classes = classes;
+        r_benign = benign;
+        r_cone_sum = !cone_sum;
+        r_cone_max = !cone_max;
       }
   in
-  acc_result ~what:"Metric.evaluate_faults_bmc" ~solver acc
+  iacc_result ~what ~nsegs:(Netlist.num_segments net)
+    ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:!solver ~reduction
+    acc
 
-let evaluate ?sample ?(domains = 1) ?(engine = `Structural) net =
-  let faults = Fault.universe net in
-  let faults =
-    match sample with
-    | None -> faults
-    | Some k when k <= 1 -> faults
-    | Some k ->
-        List.filteri
-          (fun i f ->
-            i mod k = 0
-            ||
-            match f.Fault.site with
-            | Fault.Primary_in | Fault.Primary_out -> true
-            | _ -> false)
-          faults
+let class_counts classes =
+  Array.fold_left
+    (fun (total, benign) (c : Fault.clas) ->
+      let members = List.length c.Fault.cls_members in
+      ( total + members,
+        if Fault.summary_benign c.Fault.cls_summary then benign + members
+        else benign ))
+    (0, 0) classes
+
+(* Full-universe evaluation through the reduction layer: equivalence
+   classes stand in for their members (weights already summed by
+   {!Fault.collapse}) and each class verdict is a cone-of-influence delta
+   against the shared fault-free baseline.  Context and baseline are
+   immutable after construction, so all domains share them. *)
+let evaluate_reduced_structural ~domains net faults =
+  let ctx = Engine.make_ctx net in
+  let base = Engine.baseline ctx in
+  let classes = Array.of_list (Fault.collapse net faults) in
+  let universe, benign = class_counts classes in
+  let partials =
+    steal_map ~domains classes
+      ~init:(fun _ -> red_state ())
+      ~step:(fun rs (c : Fault.clas) ->
+        let v, cone = Engine.analyze_delta ctx base c.Fault.cls_summary in
+        red_note rs cone;
+        let segs, bits = count_verdict net v in
+        iacc_add rs.rs_acc ~w:c.Fault.cls_weight
+          ~n:(List.length c.Fault.cls_members)
+          ~segs ~bits)
+      ~finish:(fun rs -> (rs, None))
   in
-  let eval_chunk =
-    match engine with
-    | `Structural ->
-        (* The engine context is read-only during analysis, so one context
-           can serve every domain; a fresh one per chunk keeps the two
-           engines symmetric. *)
-        fun fs -> evaluate_faults (Engine.make_ctx net) fs
-    | `Bmc ->
-        (* A SAT session is stateful, so each domain drives its own. *)
-        fun fs -> evaluate_faults_bmc (Bmc.Session.create (Bmc.create net)) fs
+  finish_partials ~what:"Metric.evaluate" ~net ~universe
+    ~classes:(Array.length classes) ~benign partials
+
+(* The BMC variant: per-domain incremental session, fault-free verdicts
+   established once per session, then each non-benign class re-checks only
+   the targets inside its cone ([Session.check_targets ~only]) with the
+   fault-free verdict spliced in for the rest.  The structural baseline
+   supplies the cones; the SAT solver supplies the verdicts. *)
+let evaluate_reduced_bmc ~domains net faults =
+  let ctx = Engine.make_ctx net in
+  let base = Engine.baseline ctx in
+  let classes = Array.of_list (Fault.collapse net faults) in
+  let universe, benign = class_counts classes in
+  let nsegs = Netlist.num_segments net in
+  let targets = List.init nsegs Fun.id in
+  let partials =
+    steal_map ~domains classes
+      ~init:(fun _ ->
+        let sess = Bmc.Session.create (Bmc.create net) in
+        let base_vs = Bmc.Session.check_targets sess targets in
+        (sess, base_vs, red_state ()))
+      ~step:(fun (sess, base_vs, rs) (c : Fault.clas) ->
+        let n = List.length c.Fault.cls_members in
+        if Fault.summary_benign c.Fault.cls_summary then begin
+          red_note rs 0;
+          let segs, bits = count_bmc net base_vs in
+          iacc_add rs.rs_acc ~w:c.Fault.cls_weight ~n ~segs ~bits
+        end
+        else begin
+          let cone =
+            match Engine.cone ctx base c.Fault.cls_summary with
+            | Some cs -> cs
+            | None -> Bitset.create nsegs (* unreachable: benign handled *)
+          in
+          red_note rs (Bitset.cardinal cone);
+          let vs =
+            Bmc.Session.check_targets sess ~fault:c.Fault.cls_rep
+              ~only:(Bitset.mem cone)
+              ~fallback:(fun t -> base_vs.(t))
+              targets
+          in
+          let segs, bits = count_bmc net vs in
+          iacc_add rs.rs_acc ~w:c.Fault.cls_weight ~n ~segs ~bits
+        end)
+      ~finish:(fun (sess, _, rs) -> (rs, solver_of_session sess))
   in
-  if domains <= 1 then eval_chunk faults
-  else begin
-    let chunks = split_chunks ~chunks:domains faults in
-    let workers =
-      List.map (fun fs -> Domain.spawn (fun () -> eval_chunk fs)) chunks
-    in
-    match List.map Domain.join workers with
-    | [] -> invalid_arg "Metric.evaluate: empty universe"
-    | first :: rest -> List.fold_left merge first rest
-  end
+  finish_partials ~what:"Metric.evaluate" ~net ~universe
+    ~classes:(Array.length classes) ~benign partials
+
+let evaluate_brute_structural ~domains net faults =
+  let items = Array.of_list faults in
+  let partials =
+    steal_map ~domains items
+      ~init:(fun _ -> (Engine.make_ctx net, iacc_create ()))
+      ~step:(fun (ctx, acc) f ->
+        let v = Engine.analyze ctx (Some f) in
+        let segs, bits = count_verdict net v in
+        iacc_add acc ~w:(Fault.weight net f) ~n:1 ~segs ~bits)
+      ~finish:(fun (_, acc) -> acc)
+  in
+  let acc = iacc_create () in
+  let steals = ref 0 in
+  List.iter
+    (fun (a, st) ->
+      iacc_merge acc a;
+      steals := !steals + st)
+    partials;
+  iacc_result ~what:"Metric.evaluate" ~nsegs:(Netlist.num_segments net)
+    ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:None
+    ~reduction:None acc
+
+let evaluate_brute_bmc ~domains net faults =
+  let items = Array.of_list faults in
+  let nsegs = Netlist.num_segments net in
+  let targets = List.init nsegs Fun.id in
+  let partials =
+    steal_map ~domains items
+      ~init:(fun _ -> (Bmc.Session.create (Bmc.create net), iacc_create ()))
+      ~step:(fun (sess, acc) f ->
+        let vs = Bmc.Session.check_targets sess ~fault:f targets in
+        let segs, bits = count_bmc net vs in
+        iacc_add acc ~w:(Fault.weight net f) ~n:1 ~segs ~bits)
+      ~finish:(fun (sess, acc) -> (acc, solver_of_session sess))
+  in
+  let acc = iacc_create () in
+  let steals = ref 0 and solver = ref None in
+  List.iter
+    (fun ((a, sv), st) ->
+      iacc_merge acc a;
+      steals := !steals + st;
+      solver := merge_solver !solver sv)
+    partials;
+  iacc_result ~what:"Metric.evaluate" ~nsegs ~nbits:(Netlist.total_bits net)
+    ~steals:!steals ~solver:!solver ~reduction:None acc
+
+let sample_faults sample faults =
+  match sample with
+  | None -> faults
+  | Some k when k <= 1 -> faults
+  | Some k ->
+      List.filteri
+        (fun i f ->
+          i mod k = 0
+          ||
+          match f.Fault.site with
+          | Fault.Primary_in | Fault.Primary_out -> true
+          | _ -> false)
+        faults
+
+let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
+    net =
+  let faults = sample_faults sample (Fault.universe net) in
+  match (engine, reduce) with
+  | `Structural, true -> evaluate_reduced_structural ~domains net faults
+  | `Structural, false -> evaluate_brute_structural ~domains net faults
+  | `Bmc, true -> evaluate_reduced_bmc ~domains net faults
+  | `Bmc, false -> evaluate_brute_bmc ~domains net faults
 
 let evaluate_pairs ?(sample = 37) ?(domains = 1) net =
   let sample = max 1 sample in
   let ctx = Engine.make_ctx net in
   let faults = Array.of_list (Fault.universe net) in
   let n = Array.length faults in
-  let nsegs = Netlist.num_segments net in
-  let nbits = Netlist.total_bits net in
   (* Deterministic enumeration of every k-th unordered pair. *)
   let pairs = ref [] in
   let idx = ref 0 in
@@ -223,36 +464,32 @@ let evaluate_pairs ?(sample = 37) ?(domains = 1) net =
       incr idx
     done
   done;
-  let pairs = List.rev !pairs in
-  let eval_chunk ps =
-    let acc = acc_create () in
-    List.iter
-      (fun (fi, fj) ->
+  let items = Array.of_list (List.rev !pairs) in
+  if Array.length items = 0 then invalid_arg "Metric.evaluate_pairs: empty";
+  (* The context is read-only during analysis, so the domains share it;
+     the shared-cursor scheduler replaces the static chunk split, whose
+     first chunk used to concentrate the slow port/trunk pairs. *)
+  let partials =
+    steal_map ~domains items
+      ~init:(fun _ -> iacc_create ())
+      ~step:(fun acc (fi, fj) ->
         let v = Engine.analyze_multi ctx [ fi; fj ] in
-        let w = Fault.weight net fi * Fault.weight net fj in
-        let fs =
-          float_of_int (Engine.accessible_count v) /. float_of_int nsegs
-        in
-        let fb =
-          float_of_int (Engine.accessible_bits ctx v) /. float_of_int nbits
-        in
-        acc_add acc ~w ~fs ~fb)
-      ps;
-    acc_result ~what:"Metric.evaluate_pairs" ~solver:None acc
+        let segs, bits = count_verdict net v in
+        iacc_add acc
+          ~w:(Fault.weight net fi * Fault.weight net fj)
+          ~n:1 ~segs ~bits)
+      ~finish:Fun.id
   in
-  if domains <= 1 then begin
-    if pairs = [] then invalid_arg "Metric.evaluate_pairs: empty";
-    eval_chunk pairs
-  end
-  else begin
-    let chunks = split_chunks ~chunks:domains pairs in
-    let workers =
-      List.map (fun ps -> Domain.spawn (fun () -> eval_chunk ps)) chunks
-    in
-    match List.map Domain.join workers with
-    | [] -> invalid_arg "Metric.evaluate_pairs: empty"
-    | first :: rest -> List.fold_left merge first rest
-  end
+  let acc = iacc_create () in
+  let steals = ref 0 in
+  List.iter
+    (fun (a, st) ->
+      iacc_merge acc a;
+      steals := !steals + st)
+    partials;
+  iacc_result ~what:"Metric.evaluate_pairs" ~nsegs:(Netlist.num_segments net)
+    ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:None
+    ~reduction:None acc
 
 let pp_solver_stats fmt s =
   Format.fprintf fmt
@@ -260,11 +497,23 @@ let pp_solver_stats fmt s =
     s.s_conflicts s.s_decisions s.s_propagations s.s_clauses_emitted
     s.s_nodes_reused
 
+let pp_reduction_stats fmt r =
+  Format.fprintf fmt
+    "@[<h>reduction: %d faults -> %d classes (%d benign); cone avg %.1f max %d@]"
+    r.r_universe r.r_classes r.r_benign
+    (if r.r_classes = 0 then 0.0
+     else float_of_int r.r_cone_sum /. float_of_int r.r_classes)
+    r.r_cone_max
+
 let pp fmt r =
   Format.fprintf fmt
     "@[<v>segments: worst %.3f avg %.4f@,bits: worst %.3f avg %.4f@,(%d faults, weight %d)@]"
     r.worst_segments r.avg_segments r.worst_bits r.avg_bits r.faults
     r.total_weight;
+  (match r.reduction with
+  | None -> ()
+  | Some red -> Format.fprintf fmt "@,%a" pp_reduction_stats red);
+  if r.steals > 0 then Format.fprintf fmt "@,steals: %d" r.steals;
   match r.solver with
   | None -> ()
   | Some s -> Format.fprintf fmt "@,%a" pp_solver_stats s

@@ -9,7 +9,25 @@
     Verdicts come from one of two engines: the structural fixpoint engine
     ({!Ftrsn_access.Engine}, the default) or the SAT-based BMC engine
     driven through incremental {!Ftrsn_bmc.Bmc.Session}s (one session per
-    domain; clauses are reused across the faults a session sweeps). *)
+    domain; clauses are reused across the faults a session sweeps).
+
+    By default the fault universe is reduced before any engine runs:
+
+    - faults with the same semantic {!Ftrsn_fault.Fault.summary} are
+      collapsed into one equivalence class (the class carries the summed
+      weight and member count, so the aggregates are unchanged);
+    - each class verdict is computed as a cone-of-influence delta against
+      the fault-free baseline — only segments the fault can disturb are
+      re-analyzed ({!Ftrsn_access.Engine.analyze_delta}, or
+      [Bmc.Session.check_targets ~only] for the BMC engine), the
+      fault-free verdict is spliced in for the rest.
+
+    Both reductions are exact: the reduced result is bit-identical to the
+    brute-force one ([~reduce:false]) in every [result] field.  All
+    accumulation is integer (min / weighted sums), divided to fractions
+    once at the end, so results are also independent of evaluation order —
+    which lets a work-stealing scheduler distribute faults dynamically
+    over domains instead of static chunking. *)
 
 type solver_stats = {
   s_conflicts : int;
@@ -21,38 +39,60 @@ type solver_stats = {
 (** Cumulative SAT statistics over every session the evaluation used;
     merging partial results sums them. *)
 
+type reduction_stats = {
+  r_universe : int;  (** faults in the (sampled) universe *)
+  r_classes : int;   (** equivalence classes actually evaluated *)
+  r_benign : int;    (** faults whose summary is benign (one shared class) *)
+  r_cone_sum : int;  (** sum over classes of cone size, in segments *)
+  r_cone_max : int;  (** largest cone *)
+}
+(** What the reduction layer saved: [r_universe - r_classes] engine runs
+    avoided by collapsing, and an average cone of
+    [r_cone_sum / r_classes] segments re-analyzed per class instead of
+    all of them. *)
+
 type result = {
   worst_segments : float;  (** min over faults of accessible-segment fraction *)
   avg_segments : float;    (** weighted average of accessible-segment fraction *)
   worst_bits : float;
   avg_bits : float;
-  faults : int;            (** faults evaluated *)
+  faults : int;            (** faults represented (class members included) *)
   total_weight : int;      (** sum of {!Ftrsn_fault.Fault.weight} *)
+  steals : int;
+      (** work items executed by a different domain than the static
+          ceil-chunk split would have assigned (0 when [domains = 1]) *)
   solver : solver_stats option;
       (** [Some] iff the BMC engine produced the verdicts *)
+  reduction : reduction_stats option;
+      (** [Some] iff the reduction layer was used ([reduce = true]) *)
 }
 
 val evaluate :
   ?sample:int ->
   ?domains:int ->
   ?engine:[ `Structural | `Bmc ] ->
+  ?reduce:bool ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** [evaluate net] runs the accessibility analysis over the full single
     stuck-at fault universe.  [sample:k] keeps every [k]-th fault site
     (deterministically) to bound runtime on very large networks; the
     primary scan-port faults are always retained, so the worst case of
-    port-dominated networks is exact.  [domains:n] spreads the per-fault
-    analyses over [n] OCaml 5 domains (worst cases merge exactly;
-    averages agree with the sequential result up to floating-point
-    summation order).  [engine] selects the verdict engine; with [`Bmc]
+    port-dominated networks is exact.  Sampling is applied {e before}
+    collapsing, so a sampled reduced run represents exactly the sampled
+    universe.  [domains:n] spreads the work over [n] OCaml 5 domains
+    through the work-stealing queue; results are bit-identical to the
+    sequential run.  [engine] selects the verdict engine; with [`Bmc]
     each domain drives its own incremental SAT session and the result
-    carries the cumulative {!solver_stats}. *)
+    carries the cumulative {!solver_stats}.  [reduce] (default [true])
+    enables equivalence collapsing and cone-of-influence deltas; the
+    result fields are bit-identical either way, only [reduction] and the
+    runtime differ. *)
 
 val evaluate_faults :
   Ftrsn_access.Engine.ctx -> Ftrsn_fault.Fault.t list -> result
 (** The structural metric restricted to a given fault list (shared
-    context). *)
+    context), brute-force and sequential. *)
 
 val evaluate_faults_bmc :
   Ftrsn_bmc.Bmc.Session.t -> Ftrsn_fault.Fault.t list -> result
@@ -66,16 +106,29 @@ val evaluate_pairs :
     accessibility under PAIRS of simultaneous stuck-at faults.  The pair
     universe is quadratic, so [sample] (default 37) keeps every k-th pair
     of a deterministic enumeration.  Each pair is weighted by the product
-    of its faults' weights; [domains] parallelizes as in {!evaluate}. *)
+    of its faults' weights.  Pairs are distributed over [domains] by the
+    work-stealing queue — pair costs are highly skewed (port and trunk
+    faults force whole-graph re-analysis), which used to leave the
+    statically-chunked first domain the straggler. *)
 
 val split_chunks : chunks:int -> 'a list -> 'a list list
+[@@ocaml.deprecated
+  "static chunking is no longer the work-distribution strategy; the \
+   evaluators pull from a shared work-stealing queue"]
 (** Partition a list into at most [chunks] contiguous chunks of equal ceil
-    size (the last may be shorter; none is empty) — the unit of work
-    distribution of the [domains] options, exposed for testing.
+    size (the last may be shorter; none is empty).
+    @deprecated Formerly the unit of work distribution of the [domains]
+    options; superseded by the dynamic scheduler.  Kept for its unit
+    tests.
     @raise Invalid_argument if [chunks <= 0]. *)
 
 val merge : result -> result -> result
-(** Exact recombination of two partial results (min of worsts, weighted
-    mean of averages, sum of solver stats). *)
+(** Recombination of two partial results (min of worsts, weighted mean of
+    averages, sums of counts, solver and reduction stats).  The averages
+    recombine through floats, so prefer a single [evaluate] call when
+    bit-exactness matters — the internal accumulators are integers and
+    need no such recombination. *)
 
 val pp : Format.formatter -> result -> unit
+
+val pp_reduction_stats : Format.formatter -> reduction_stats -> unit

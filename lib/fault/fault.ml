@@ -93,21 +93,24 @@ let tmr_protected_shadow (net : Netlist.t) seg bit =
 
 (* Consumer dataflow vertex of each mux and the set of scan-in successor
    vertices, from the collapsed dataflow view.  Mirrors the engine's
-   cached computation; netlists here are small enough to recompute. *)
-let port_masked_mux (net : Netlist.t) m =
-  net.Netlist.dual_ports
-  &&
-  let routes = Netlist.edge_routes net in
-  let consumer = ref (-1) in
-  let pi_succ = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun (src, dst) rs ->
-      if src = 0 then Hashtbl.replace pi_succ dst ();
-      List.iter
-        (List.iter (fun (m', _) -> if m' = m then consumer := dst))
-        rs)
-    routes;
-  !consumer = 1 || Hashtbl.mem pi_succ !consumer
+   cached computation. *)
+let port_mask_table (net : Netlist.t) =
+  if not net.Netlist.dual_ports then fun _ -> false
+  else begin
+    let routes = Netlist.edge_routes net in
+    let consumer = Array.make (Array.length net.Netlist.muxes) (-1) in
+    let pi_succ = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (src, dst) rs ->
+        if src = 0 then Hashtbl.replace pi_succ dst ();
+        List.iter
+          (List.iter (fun (m', _) -> consumer.(m') <- dst))
+          rs)
+      routes;
+    fun m -> consumer.(m) = 1 || Hashtbl.mem pi_succ consumer.(m)
+  end
+
+let port_masked_mux (net : Netlist.t) m = port_mask_table net m
 
 let to_injection (net : Netlist.t) f =
   let v = f.stuck in
@@ -147,6 +150,117 @@ let to_injection (net : Netlist.t) f =
       if net.Netlist.dual_ports then base else { base with stuck_po = Some v }
 
 let weight (_net : Netlist.t) (_f : t) = 1
+
+(* ---- semantic summaries and equivalence collapsing ---- *)
+
+type summary = {
+  sm_hard_block : int list;
+  sm_corrupt_vertex : int list;
+  sm_corrupt_in : int list;
+  sm_corrupt_out : int list;
+  sm_kill_write : int list;
+  sm_kill_read : int list;
+  sm_mux_out : int list;
+  sm_mux_in : (int * int) list;
+  sm_locked_addr : (int * int * bool) list;
+  sm_stuck_shadow : (int * int * bool) list;
+  sm_pi_dead : bool;
+  sm_po_dead : bool;
+}
+
+let empty_summary =
+  {
+    sm_hard_block = [];
+    sm_corrupt_vertex = [];
+    sm_corrupt_in = [];
+    sm_corrupt_out = [];
+    sm_kill_write = [];
+    sm_kill_read = [];
+    sm_mux_out = [];
+    sm_mux_in = [];
+    sm_locked_addr = [];
+    sm_stuck_shadow = [];
+    sm_pi_dead = false;
+    sm_po_dead = false;
+  }
+
+let summary_benign sm = sm = empty_summary
+
+let summarize ?port_masked (net : Netlist.t) f =
+  let masked =
+    match port_masked with Some p -> p | None -> port_mask_table net
+  in
+  let e = empty_summary in
+  match f with
+  | f when is_masked net f -> e
+  | { site; stuck } -> (
+      match site with
+      | Seg_scan_in i -> { e with sm_corrupt_in = [ i ]; sm_kill_write = [ i ] }
+      | Seg_scan_out i ->
+          { e with sm_corrupt_out = [ i ]; sm_kill_read = [ i ] }
+      | Seg_shift_reg i ->
+          {
+            e with
+            sm_corrupt_vertex = [ i ];
+            sm_kill_write = [ i ];
+            sm_kill_read = [ i ];
+          }
+      | Seg_shadow_reg (i, b) ->
+          if tmr_protected_shadow net i b then { e with sm_kill_write = [ i ] }
+          else
+            {
+              e with
+              sm_kill_write = [ i ];
+              sm_stuck_shadow = [ (i, b, stuck) ];
+            }
+      | Seg_select i -> if stuck then e else { e with sm_hard_block = [ i ] }
+      | Seg_capture_en i -> if stuck then e else { e with sm_kill_read = [ i ] }
+      | Seg_update_en i -> if stuck then e else { e with sm_kill_write = [ i ] }
+      | Mux_addr (m, b) ->
+          if masked m then e else { e with sm_locked_addr = [ (m, b, stuck) ] }
+      | Mux_addr_replica _ -> e
+      | Mux_data_in (m, k) ->
+          if masked m then e
+          else { e with sm_mux_in = [ (m, Netlist.mux_input_class net m k) ] }
+      | Mux_out m -> if masked m then e else { e with sm_mux_out = [ m ] }
+      | Primary_in ->
+          if net.Netlist.dual_ports then e else { e with sm_pi_dead = true }
+      | Primary_out ->
+          if net.Netlist.dual_ports then e else { e with sm_po_dead = true })
+
+type clas = {
+  cls_rep : t;
+  cls_members : t list;
+  cls_weight : int;
+  cls_summary : summary;
+}
+
+let collapse (net : Netlist.t) faults =
+  let masked = port_mask_table net in
+  let tbl : (summary, t list ref * int ref) Hashtbl.t = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      let sm = summarize ~port_masked:masked net f in
+      match Hashtbl.find_opt tbl sm with
+      | Some (members, w) ->
+          members := f :: !members;
+          w := !w + weight net f
+      | None ->
+          let cell = (ref [ f ], ref (weight net f)) in
+          Hashtbl.add tbl sm cell;
+          order := (sm, cell) :: !order)
+    faults;
+  List.rev_map
+    (fun (sm, (members, w)) ->
+      let members = List.rev !members in
+      {
+        cls_rep = List.hd members;
+        cls_members = members;
+        cls_weight = !w;
+        cls_summary = sm;
+      })
+    !order
 
 let pp net fmt f =
   let seg i = Netlist.segment_name net i in

@@ -56,5 +56,68 @@ val weight : Ftrsn_rsn.Netlist.t -> t -> int
 (** Physical multiplicity of the site, used to weight the average of the
     fault-tolerance metric.  Port and register sites currently weigh 1. *)
 
+(** {2 Semantic summaries and equivalence collapsing}
+
+    A fault's {!summary} is its canonical semantic effect on the netlist:
+    the per-segment interface damage, data-corruption sites, pinned shadow
+    bits and locked address ports that BOTH accessibility engines
+    ({!Ftrsn_access.Engine} and {!Ftrsn_bmc.Bmc}) derive their per-fault
+    effect records from.  Faults with equal summaries are therefore
+    provably equivalent: they receive identical verdicts from either
+    engine, so the metric needs to evaluate only one representative per
+    class.  Classic cases collapsed this way: the two stuck values of a
+    data fault (segment scan-in/out, shift stage, mux data/output port —
+    corruption does not depend on the stuck polarity), benign faults
+    (select/capture/update stuck-at-1, masked TMR replicas, faults
+    bypassed by duplicated scan ports), and TMR-outvoted shadow replicas
+    of the same segment. *)
+
+type summary = {
+  sm_hard_block : int list;         (** segments that cannot shift at all *)
+  sm_corrupt_vertex : int list;     (** data through the segment corrupted *)
+  sm_corrupt_in : int list;         (** data entering the segment corrupted *)
+  sm_corrupt_out : int list;        (** data leaving the segment corrupted *)
+  sm_kill_write : int list;         (** local write capability lost *)
+  sm_kill_read : int list;          (** local read capability lost *)
+  sm_mux_out : int list;            (** mux outputs corrupting data *)
+  sm_mux_in : (int * int) list;     (** (mux, canonical input) data faults *)
+  sm_locked_addr : (int * int * bool) list;  (** mux addr bits forced *)
+  sm_stuck_shadow : (int * int * bool) list; (** shadow bits pinned *)
+  sm_pi_dead : bool;
+  sm_po_dead : bool;
+}
+
+val empty_summary : summary
+(** The fault-free summary. *)
+
+val summarize :
+  ?port_masked:(int -> bool) -> Ftrsn_rsn.Netlist.t -> t -> summary
+(** Canonical semantic summary of a single fault.  [port_masked] overrides
+    the duplicated-scan-port masking predicate (the engines pass their
+    cached {!Ftrsn_access.Engine.port_masked}); by default it is computed
+    from the netlist's edge routes. *)
+
+val summary_benign : summary -> bool
+(** Whether the summary equals {!empty_summary}: the fault is
+    indistinguishable from the fault-free network for both engines. *)
+
+val port_mask_table : Ftrsn_rsn.Netlist.t -> int -> bool
+(** Memoized form of {!port_masked_mux}: the returned predicate shares one
+    edge-route computation across all muxes. *)
+
+type clas = {
+  cls_rep : t;          (** representative (first member in input order) *)
+  cls_members : t list; (** all members, in input order *)
+  cls_weight : int;     (** sum of the members' {!weight}s *)
+  cls_summary : summary;
+}
+
+val collapse : Ftrsn_rsn.Netlist.t -> t list -> clas list
+(** Partition a fault list into semantic equivalence classes (equal
+    {!summary}), in order of first appearance.  Exact weight bookkeeping:
+    the class weights sum to the total weight of the input list, so
+    evaluating one representative per class with its class weight
+    reproduces the unreduced metric bit for bit. *)
+
 val pp : Ftrsn_rsn.Netlist.t -> Format.formatter -> t -> unit
 val to_string : Ftrsn_rsn.Netlist.t -> t -> string

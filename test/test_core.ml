@@ -14,6 +14,7 @@ module Pipeline = Ftrsn_core.Pipeline
 module Engine = Ftrsn_access.Engine
 module Retarget = Ftrsn_access.Retarget
 module Fault = Ftrsn_fault.Fault
+module Itc02 = Ftrsn_itc02.Itc02
 
 let check = Alcotest.check
 let bool_t = Alcotest.bool
@@ -276,6 +277,10 @@ let test_parallel_metric_exact () =
   check (Alcotest.float 1e-9) "avg bits" seq.Metric.avg_bits
     par.Metric.avg_bits
 
+(* split_chunks is deprecated (the evaluators pull from a shared queue now)
+   but its unit tests are kept as long as the function is. *)
+[@@@ocaml.alert "-deprecated"]
+
 let test_split_chunks () =
   let items n = List.init n Fun.id in
   let sizes l = List.map List.length l in
@@ -299,6 +304,94 @@ let test_split_chunks () =
     (match Metric.split_chunks ~chunks:0 (items 3) with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+(* ---- fault-universe reduction properties ----
+
+   The reduction layer (summary collapsing + cone-of-influence deltas +
+   the work-stealing scheduler) claims bit-identical results; these
+   properties pin that claim down against the brute-force path, for both
+   engines, with exact float equality. *)
+
+let same_result (a : Metric.result) (b : Metric.result) =
+  a.Metric.worst_segments = b.Metric.worst_segments
+  && a.Metric.avg_segments = b.Metric.avg_segments
+  && a.Metric.worst_bits = b.Metric.worst_bits
+  && a.Metric.avg_bits = b.Metric.avg_bits
+  && a.Metric.faults = b.Metric.faults
+  && a.Metric.total_weight = b.Metric.total_weight
+
+let prop_reduction_exact_structural =
+  QCheck.Test.make
+    ~name:"reduced metric = brute force (structural, random nets)" ~count:12
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Ftrsn_rsn.Random_net.generate ~seed ~segments:(6 + (seed mod 5)) ()
+      in
+      same_result (Metric.evaluate net) (Metric.evaluate ~reduce:false net))
+
+let prop_reduction_exact_bmc =
+  QCheck.Test.make ~name:"reduced metric = brute force (BMC, random nets)"
+    ~count:4
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Ftrsn_rsn.Random_net.generate ~seed ~segments:5 () in
+      same_result
+        (Metric.evaluate ~engine:`Bmc net)
+        (Metric.evaluate ~engine:`Bmc ~reduce:false net))
+
+let test_reduction_exact_bmc_sibs () =
+  List.iter
+    (fun net ->
+      check bool_t
+        (net.Netlist.net_name ^ ": bmc reduced = brute")
+        true
+        (same_result
+           (Metric.evaluate ~engine:`Bmc net)
+           (Metric.evaluate ~engine:`Bmc ~reduce:false net)))
+    [ tiny_sib (); small_sib () ]
+
+let test_reduction_exact_u226 () =
+  let net = Itc02.rsn (Option.get (Itc02.find "u226")) in
+  let red = Metric.evaluate net in
+  let brute = Metric.evaluate ~reduce:false net in
+  check bool_t "bit-identical result" true (same_result red brute);
+  (match red.Metric.reduction with
+  | None -> Alcotest.fail "reduced run must report reduction stats"
+  | Some r ->
+      check int_t "stats cover the universe" brute.Metric.faults
+        r.Metric.r_universe;
+      check bool_t "collapsing reduces" true
+        (r.Metric.r_classes < r.Metric.r_universe);
+      check bool_t "cones bounded by the segment count" true
+        (r.Metric.r_cone_max <= Netlist.num_segments net));
+  check bool_t "brute run has no reduction stats" true
+    (brute.Metric.reduction = None);
+  (* The work-stealing scheduler leaves the result bit-identical, and the
+     shared cursor actually moves work across domains. *)
+  let par = Metric.evaluate ~domains:3 net in
+  check bool_t "parallel reduced identical" true (same_result red par);
+  check bool_t "parallel brute identical" true
+    (same_result brute (Metric.evaluate ~reduce:false ~domains:3 net));
+  check int_t "sequential run steals nothing" 0 red.Metric.steals
+
+let prop_collapse_weights =
+  QCheck.Test.make ~name:"class weights sum to the universe weight" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Ftrsn_rsn.Random_net.generate ~seed ~segments:(4 + (seed mod 7)) ()
+      in
+      let universe = Fault.universe net in
+      let classes = Fault.collapse net universe in
+      let w = List.fold_left (fun a f -> a + Fault.weight net f) 0 universe in
+      let cw = List.fold_left (fun a c -> a + c.Fault.cls_weight) 0 classes in
+      let members =
+        List.fold_left
+          (fun a c -> a + List.length c.Fault.cls_members)
+          0 classes
+      in
+      cw = w && members = List.length universe)
 
 let test_metric_engines_agree () =
   (* The BMC engine, driven through incremental sessions, reproduces the
@@ -519,6 +612,13 @@ let suite =
     Alcotest.test_case "parallel metric exact" `Quick
       test_parallel_metric_exact;
     Alcotest.test_case "split_chunks shapes" `Quick test_split_chunks;
+    Alcotest.test_case "reduction: exact on u226, parallel exact" `Quick
+      test_reduction_exact_u226;
+    Alcotest.test_case "reduction: BMC exact on SIB nets" `Slow
+      test_reduction_exact_bmc_sibs;
+    QCheck_alcotest.to_alcotest prop_reduction_exact_structural;
+    QCheck_alcotest.to_alcotest prop_reduction_exact_bmc;
+    QCheck_alcotest.to_alcotest prop_collapse_weights;
     Alcotest.test_case "metric: engines agree" `Slow test_metric_engines_agree;
     Alcotest.test_case "metric: BMC parallel exact" `Quick
       test_metric_bmc_parallel;
