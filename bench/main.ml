@@ -223,6 +223,33 @@ let fault_reduction =
              ignore (Metric.evaluate ~sample:16 ~reduce:false p93791)));
     ]
 
+(* Exhaustive double-fault sweeps: the class-pair reduction (diagonal
+   reuse + non-interacting AND-arithmetic + stacked deltas) against the
+   brute pair enumeration.  The u226 fault universe is thinned 16x for
+   the reduced-vs-brute pair so the brute leg fits the quota; the full
+   u226 sweep shows the absolute cost the reduction makes tractable. *)
+let double_fault =
+  Test.make_grouped ~name:"double_fault"
+    [
+      Test.make ~name:"pairs_reduced_u226_s16"
+        (Staged.stage (fun () ->
+             ignore
+               (Metric.evaluate_pairs ~exhaustive:true ~fault_sample:16 u226)));
+      Test.make ~name:"pairs_brute_u226_s16"
+        (Staged.stage (fun () ->
+             ignore
+               (Metric.evaluate_pairs ~exhaustive:true ~reduce:false
+                  ~fault_sample:16 u226)));
+      Test.make ~name:"pairs_reduced_u226_ft_s16"
+        (Staged.stage (fun () ->
+             ignore
+               (Metric.evaluate_pairs ~exhaustive:true ~fault_sample:16
+                  u226_ft)));
+      Test.make ~name:"pairs_reduced_u226_full"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate_pairs ~exhaustive:true u226)));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"ftrsn"
     [
@@ -234,10 +261,11 @@ let all_tests =
       extensions;
     ]
 
-(* Benched under its own, larger quota: the full d695 sweeps run 0.3-1 s
-   per iteration, so the default 0.8 s quota yields a single noisy sample
-   and a meaningless OLS fit. *)
-let reduction_tests = Test.make_grouped ~name:"ftrsn" [ fault_reduction ]
+(* Benched under its own, larger quota: the full d695 and u226 pair
+   sweeps run 0.3-3 s per iteration, so the default 0.8 s quota yields a
+   single noisy sample and a meaningless OLS fit. *)
+let reduction_tests =
+  Test.make_grouped ~name:"ftrsn" [ fault_reduction; double_fault ]
 
 let benchmark () =
   let ols =
@@ -261,8 +289,21 @@ let benchmark () =
   results
 
 (* --json: per-bench ns/run estimates as a flat JSON object, for trend
-   tracking across commits (written to BENCH_2.json in the current
-   directory). *)
+   tracking across commits.  Written to the repo root (nearest ancestor
+   directory holding a dune-project) — `dune exec` runs from _build
+   otherwise and the file silently lands outside the checkout. *)
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | Some d -> d
+  | None -> (
+      match up (Sys.getcwd ()) with Some d -> d | None -> Sys.getcwd ())
+
 let write_json path rows =
   let oc = open_out path in
   output_string oc "{\n";
@@ -291,6 +332,21 @@ let smoke () =
     || r.Metric.avg_segments <> b.Metric.avg_segments
     || r.Metric.avg_bits <> b.Metric.avg_bits
   then failwith "smoke: reduced metric disagrees with brute force on u226";
+  let pr = Metric.evaluate_pairs ~exhaustive:true small in
+  let pb = Metric.evaluate_pairs ~exhaustive:true ~reduce:false small in
+  if
+    pr.Metric.worst_segments <> pb.Metric.worst_segments
+    || pr.Metric.avg_segments <> pb.Metric.avg_segments
+    || pr.Metric.worst_bits <> pb.Metric.worst_bits
+    || pr.Metric.avg_bits <> pb.Metric.avg_bits
+  then failwith "smoke: pair reduction disagrees with brute pairs on small";
+  (match pr.Metric.pairs with
+  | Some p
+    when p.Metric.p_diagonal + p.Metric.p_disjoint + p.Metric.p_stacked
+         = p.Metric.p_class_pairs ->
+      ()
+  | Some _ -> failwith "smoke: pair dispatch stats do not cover all pairs"
+  | None -> failwith "smoke: exhaustive pair sweep reported no stats");
   ignore (Metric.evaluate ~sample:16 ~domains:2 u226);
   ignore (Engine.analyze small_ctx (Some small_fault));
   ignore (Bmc.check_access small_bmc ~fault:small_fault ~target:2 ());
@@ -322,7 +378,9 @@ let () =
       Printf.printf "%-50s %s %s\n" name estimate r2)
     (List.sort compare !rows);
   if Array.exists (( = ) "--json") Sys.argv then
-    write_json "BENCH_2.json" (List.sort compare !rows);
+    write_json
+      (Filename.concat (repo_root ()) "BENCH_3.json")
+      (List.sort compare !rows);
   (* Clause-reuse profile of one incremental session sweeping the small
      network's fault universe: after the first query pays for the shared
      cones, later queries re-emit only their fault-specific clauses. *)

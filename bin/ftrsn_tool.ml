@@ -122,10 +122,15 @@ let cmd_harden path =
     r.Pipeline.syn_stats.Ftrsn_core.Synthesis.added_ctrl_bits
     r.Pipeline.area_ratios.Ftrsn_core.Area.r_area
 
-let cmd_metric path sample domains brute =
+let cmd_metric path sample domains brute pairs =
   let net = load path in
-  Format.printf "%a@." Metric.pp
-    (Metric.evaluate ?sample ~domains ~reduce:(not brute) net)
+  let r =
+    if pairs then
+      Metric.evaluate_pairs ?fault_sample:sample ~domains ~exhaustive:true
+        ~reduce:(not brute) net
+    else Metric.evaluate ?sample ~domains ~reduce:(not brute) net
+  in
+  Format.printf "%a@." Metric.pp r
 
 let parse_fault net spec =
   (* "<segment or mux name>.<site>/sa<0|1>", matching Fault.to_string. *)
@@ -237,8 +242,11 @@ let () =
     let brute =
       Arg.(value & flag & info [ "brute" ] ~doc:"Disable fault-universe reduction (collapsing + cone deltas); results are identical, only slower.")
     in
+    let pairs =
+      Arg.(value & flag & info [ "pairs" ] ~doc:"Exhaustive double-fault sweep: every unordered fault pair, exactly, via class-pair collapsing, disjoint-cone splicing and stacked deltas.  $(b,--sample) then thins the fault universe (not the pairs); $(b,--brute) enumerates all pairs one by one.")
+    in
     Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
-      Term.(const cmd_metric $ path $ sample $ domains $ brute)
+      Term.(const cmd_metric $ path $ sample $ domains $ brute $ pairs)
   in
   let access_cmd =
     let target =

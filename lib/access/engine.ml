@@ -142,6 +142,25 @@ let no_effects ctx =
     po_dead = false;
   }
 
+(* Snapshot of an effects record: the bool arrays are copied (folding a
+   further summary into the copy must not disturb the original), the lists
+   and flags are immutable values and shared. *)
+let effects_copy e =
+  {
+    hard_block = Array.copy e.hard_block;
+    corrupt_vertex = Array.copy e.corrupt_vertex;
+    corrupt_in = Array.copy e.corrupt_in;
+    corrupt_out = Array.copy e.corrupt_out;
+    kill_write = Array.copy e.kill_write;
+    kill_read = Array.copy e.kill_read;
+    mux_out_bad = Array.copy e.mux_out_bad;
+    mux_in_bad = e.mux_in_bad;
+    locked_addr = e.locked_addr;
+    stuck_shadow = e.stuck_shadow;
+    pi_dead = e.pi_dead;
+    po_dead = e.po_dead;
+  }
+
 (* With duplicated scan ports (§III-E-4), the secondary scan-in is wired to
    the input of every successor of the primary scan-in, and every
    predecessor of the primary scan-out is wired to the secondary scan-out.
@@ -228,13 +247,26 @@ let edge_steerable _ctx eff writable edge =
         List.exists (fun (m, b, v) -> (m, b) = port && v = required)
           eff.locked_addr
       in
-      if not locked_right then
-        match
-          List.find_opt (fun (s', b', _) -> s' = cseg && b' = cbit)
-            eff.stuck_shadow
-        with
-        | Some (_, _, v) -> if v <> required then ok := false
-        | None -> if (not writable.(cseg)) && not reset_matches then ok := false)
+      if not locked_right then begin
+        (* Multi-fault effects can pin the same bit more than once — even
+           to both values.  The check must not depend on effect order (the
+           pair reduction relies on commutativity), so scan every entry:
+           any pin to the wrong value defeats the requirement (two
+           conflicting pins therefore kill the mux for both polarities), a
+           pin to the required value satisfies it, and an unpinned bit
+           falls back to the writability/reset rule. *)
+        let pinned = ref false and wrong = ref false in
+        List.iter
+          (fun (s', b', v) ->
+            if s' = cseg && b' = cbit then begin
+              pinned := true;
+              if v <> required then wrong := true
+            end)
+          eff.stuck_shadow;
+        if !wrong then ok := false
+        else if (not !pinned) && (not writable.(cseg)) && not reset_matches
+        then ok := false
+      end)
     edge.e_shadow_reqs;
   !ok
 
@@ -516,6 +548,36 @@ type baseline = {
          fault, at every delta iteration: such an edge consults only
          non-cone hosts, whose writability never leaves its baseline
          value. *)
+  b_corrupt : bool array;
+      (* per edge: data corruption in the fault-free network — identically
+         false, kept as the shared root of the stacked-delta corruption
+         caches.  Never mutated. *)
+  b_cyclic : bool;
+      (* dataflow graph has a cycle: every tight analysis falls back to
+         the coarse static cone *)
+  b_live_out : int list array;
+  b_live_in : int list array;
+      (* per vertex: the baseline-steerable ("live") edges leaving /
+         entering it — the subgraph every fault-free access uses *)
+  b_live_reach : bool array;
+      (* per vertex: reachable from scan-in over live edges.  In the
+         fault-free network nothing is corrupted or blocked, so this is
+         simultaneously the clean and the any-data forward traversal. *)
+  b_live_coreach : bool array;  (* per vertex: reaches scan-out, ditto *)
+  b_cert_rounds : (int array * int array) array;
+      (* founded canonical writability certificates: per fixpoint round,
+         the forward BFS tree from scan-in (per vertex, the incoming edge
+         of its canonical prefix; -1 off-tree) and the backward BFS tree
+         to scan-out (per vertex, the outgoing edge of its canonical
+         suffix), both over edges enabled by the PREVIOUS rounds' writable
+         set — so every not-reset-matching steering requirement on a
+         certificate edge is hosted by a segment certified at a strictly
+         earlier round.  The probe replays this forest to decide which
+         segments keep their baseline-canonical access under a fault. *)
+  b_cert_round_of : int array;
+      (* per segment: the round at which it entered the writability
+         fixpoint (its certificate lives in [b_cert_rounds] at that
+         index); -1 if never writable *)
 }
 
 let baseline_verdict b = b.b_verdict
@@ -529,7 +591,8 @@ let baseline ctx =
   in
   let b_reach = Array.init nv (fun _ -> Bitset.create nv) in
   let b_coreach = Array.init nv (fun _ -> Bitset.create nv) in
-  (match Order.sort g with
+  let order_opt = Order.sort g in
+  (match order_opt with
   | Some order ->
       (* Successors first for reach, predecessors first for co-reach. *)
       for idx = nv - 1 downto 0 do
@@ -581,6 +644,104 @@ let baseline ctx =
   let b_steer =
     Array.map (edge_steerable ctx eff0 b_verdict.writable) ctx.edges
   in
+  let b_live_out = Array.make nv [] in
+  let b_live_in = Array.make nv [] in
+  for ei = Array.length ctx.edges - 1 downto 0 do
+    if b_steer.(ei) then begin
+      let e = ctx.edges.(ei) in
+      b_live_out.(e.e_src) <- ei :: b_live_out.(e.e_src);
+      b_live_in.(e.e_dst) <- ei :: b_live_in.(e.e_dst)
+    end
+  done;
+  (* Plain reachability over the live subgraph; with no corruption and no
+     blocks these coincide with both the clean and the any-data baseline
+     traversals ([b_verdict] was computed from exactly these edges). *)
+  let bfs adj ~root ~skip =
+    let ok = Array.make nv false in
+    ok.(root) <- true;
+    let stack = ref [ root ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+          stack := rest;
+          List.iter
+            (fun ei ->
+              let e = ctx.edges.(ei) in
+              let v = if adj == b_live_out then e.e_dst else e.e_src in
+              if (not ok.(v)) && v <> skip then begin
+                ok.(v) <- true;
+                stack := v :: !stack
+              end)
+            adj.(u)
+    done;
+    ok
+  in
+  let b_live_reach = bfs b_live_out ~root:v_pi ~skip:v_po in
+  let b_live_coreach = bfs b_live_in ~root:v_po ~skip:v_pi in
+  (* Founded canonical certificate forest: re-run the writability fixpoint
+     in rounds, recording for each round a concrete scan-in prefix tree
+     and scan-out suffix tree over the edges the PREVIOUS rounds enable.
+     Every hosted not-reset-matching requirement on a round-k certificate
+     edge is therefore certified at a round < k — the recursion the pair
+     probe's fragility check relies on is well founded by construction.
+     The fault-free network has no corruption or blocking, so the clean
+     forward and any-data backward traversals are both plain BFS over the
+     enabled edges, and the final writable set coincides with
+     [b_verdict.writable]. *)
+  let nedges = Array.length ctx.edges in
+  let b_cert_round_of = Array.make ctx.nsegs (-1) in
+  let cert_rounds = ref [] in
+  let w = Array.make ctx.nsegs false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let enabled =
+      Array.init nedges (fun ei -> edge_steerable ctx eff0 w ctx.edges.(ei))
+    in
+    let tree ~fwd ~root ~skip =
+      let parent = Array.make nv (-1) in
+      let seen = Array.make nv false in
+      seen.(root) <- true;
+      let stack = ref [ root ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+            stack := rest;
+            List.iter
+              (fun ei ->
+                if enabled.(ei) then begin
+                  let e = ctx.edges.(ei) in
+                  let v = if fwd then e.e_dst else e.e_src in
+                  if (not seen.(v)) && v <> skip then begin
+                    seen.(v) <- true;
+                    parent.(v) <- ei;
+                    stack := v :: !stack
+                  end
+                end)
+              (if fwd then ctx.out_edges.(u) else ctx.in_edges.(u))
+      done;
+      parent
+    in
+    let pre = tree ~fwd:true ~root:v_pi ~skip:v_po in
+    let suf = tree ~fwd:false ~root:v_po ~skip:v_pi in
+    let round = List.length !cert_rounds in
+    let promoted = ref false in
+    for s = 0 to ctx.nsegs - 1 do
+      if (not w.(s)) && pre.(v_of_seg s) >= 0 && suf.(v_of_seg s) >= 0
+      then begin
+        w.(s) <- true;
+        b_cert_round_of.(s) <- round;
+        promoted := true
+      end
+    done;
+    if !promoted then begin
+      cert_rounds := (pre, suf) :: !cert_rounds;
+      progress := true
+    end
+  done;
+  assert (w = b_verdict.writable);
   {
     b_verdict;
     b_reach;
@@ -589,6 +750,14 @@ let baseline ctx =
     b_host_edges_nonreset;
     b_mux_edges;
     b_steer;
+    b_corrupt = Array.make (Array.length ctx.edges) false;
+    b_cyclic = order_opt = None;
+    b_live_out;
+    b_live_in;
+    b_live_reach;
+    b_live_coreach;
+    b_cert_rounds = Array.of_list (List.rev !cert_rounds);
+    b_cert_round_of;
   }
 
 (* Summary shapes that need no graph traversal at all (see analyze_delta's
@@ -607,14 +776,15 @@ let local_kill_write base (sm : Fault.summary) =
        (fun i -> base.b_host_edges_nonreset.(i) = [])
        sm.Fault.sm_kill_write
 
-(* Vertices whose verdict (or writability) may differ from the fault-free
-   baseline under [sm].  Data/steering damage at a vertex or edge taints
+(* Coarse static cone: data/steering damage at a vertex or edge taints
    everything downstream (reach) and upstream (co-reach); local interface
    damage (kill_write / kill_read) taints only the segment itself, plus —
    through the cascade — any edge steered by a not-reset-matching bit
    hosted in a tainted segment, because that segment's writability may
-   have changed. *)
-let cone_vertices ctx base (sm : Fault.summary) =
+   have changed.  A sound over-approximation under ANY base state (the
+   tables are static), which the tight probe below is not; kept as the
+   fallback for the summaries the probe refuses. *)
+let probe_coarse ctx base (sm : Fault.summary) =
   let cv = Bitset.create ctx.nv in
   let nedges = Array.length ctx.edges in
   let affected = Array.make nedges false in
@@ -695,6 +865,8 @@ let cone_vertices ctx base (sm : Fault.summary) =
   end;
   (cv, affected, !aff_list)
 
+let cone_vertices = probe_coarse
+
 let cone_seg_list ctx cv =
   let acc = ref [] in
   for i = ctx.nsegs - 1 downto 0 do
@@ -702,74 +874,81 @@ let cone_seg_list ctx cv =
   done;
   !acc
 
-let cone ctx base (sm : Fault.summary) =
-  if Fault.summary_benign sm then None
-  else if only_kill_read sm then
-    Some (Bitset.of_list ctx.nsegs sm.Fault.sm_kill_read)
-  else if local_kill_write base sm then
-    Some (Bitset.of_list ctx.nsegs sm.Fault.sm_kill_write)
-  else begin
-    let cv, _, _ = cone_vertices ctx base sm in
-    let cs = Bitset.create ctx.nsegs in
-    List.iter (Bitset.add cs) (cone_seg_list ctx cv);
-    Some cs
-  end
+(* ---- stacked secondary baselines ----
 
-let analyze_delta ctx base (sm : Fault.summary) =
-  if Fault.summary_benign sm then (base.b_verdict, 0)
-  else if only_kill_read sm then begin
-    (* kill_read is consulted only by the readable formula: no traversal
-       changes, so flip the affected segments in place. *)
-    let readable = Array.copy base.b_verdict.readable in
-    let accessible = Array.copy base.b_verdict.accessible in
-    List.iter
-      (fun i ->
-        readable.(i) <- false;
-        accessible.(i) <- false)
-      sm.Fault.sm_kill_read;
-    ( { writable = base.b_verdict.writable; readable; accessible },
-      List.length sm.Fault.sm_kill_read )
-  end
-  else if local_kill_write base sm then begin
-    (* Writability is consulted by steering only through
-       not-reset-matching hosted requirements; with none hosted in the
-       killed segments, the traversals are untouched too. *)
-    let writable = Array.copy base.b_verdict.writable in
-    let accessible = Array.copy base.b_verdict.accessible in
-    List.iter
-      (fun i ->
-        writable.(i) <- false;
-        accessible.(i) <- false)
-      sm.Fault.sm_kill_write;
-    ( { writable; readable = base.b_verdict.readable; accessible },
-      List.length sm.Fault.sm_kill_write )
-  end
-  else begin
-    let eff = add_summary_effects (no_effects ctx) sm in
-    let cv, _, aff_list = cone_vertices ctx base sm in
-    let cone_list = cone_seg_list ctx cv in
-    (* Seeded fixpoint: outside the cone the faulty least fixpoint equals
-       the fault-free one, so seeding with (baseline minus cone) starts
-       below the faulty fixpoint and chaotic iteration converges to
+   The double-fault sweep groups pairs by first class, computes that
+   class's faulty state ONCE, and runs the second fault's delta on top.
+   [stacked] is the exact analogue of [baseline] for a (possibly) faulty
+   base state: the verdict plus the per-edge steer/corruption caches under
+   the stacked effects.  Everything the delta machinery consults about the
+   BASE NETWORK (reach/co-reach tables, host/mux edge indices) is static,
+   so it keeps coming from the underlying [baseline]; the cone argument
+   only uses those tables as over-approximations of dependency, which they
+   remain under any fault, so the splice is exact on stacked bases too. *)
+
+type stacked = {
+  s_base : baseline;
+  s_sm : Fault.summary option;
+      (* the stacked summary itself; [None] = fault-free base.  A delta on
+         top must derive its cone from the UNION of this and the delta
+         summary: the tight cone of the delta alone only bounds the
+         divergence from the fault-free baseline, not from a faulty base
+         (the base fault may have killed the very paths the splice relies
+         on). *)
+  s_eff : effects option;
+      (* effects of the stacked summary; [None] = fault-free base (avoids
+         allocating an effects record on the fast paths) *)
+  s_verdict : verdict;  (* exact verdict under the stacked summary *)
+  s_steer : bool array;
+      (* per edge: steerability under the stacked effects and the settled
+         writability of [s_verdict] *)
+  s_corrupt : bool array;  (* per edge: corruption under the stacked effects *)
+}
+
+let stacked_verdict stk = stk.s_verdict
+
+let of_baseline base =
+  {
+    s_base = base;
+    s_sm = None;
+    s_eff = None;
+    s_verdict = base.b_verdict;
+    s_steer = base.b_steer;
+    s_corrupt = base.b_corrupt;
+  }
+
+(* Full cone-restricted fixpoint on top of the stacked state; [eff] must
+   be the stacked effects extended with the delta summary, and [cone_sm]
+   the union of the stacked and delta summaries (just the delta summary
+   on a fault-free base).  Returns the combined verdict, the cone size,
+   and the final steer/corruption caches (which [stack] packages into the
+   next secondary baseline). *)
+let delta_full ctx stk (cone_sm : Fault.summary) eff =
+  let base = stk.s_base in
+  let cv, _, aff_list = cone_vertices ctx base cone_sm in
+  let cone_list = cone_seg_list ctx cv in
+    (* Seeded fixpoint: outside the cone the combined least fixpoint
+       equals the stacked one, so seeding with (stacked minus cone) starts
+       below the combined fixpoint and chaotic iteration converges to
        exactly it.  Writability and steerability only grow during the
        iteration, so the two supporting traversals (clean reach from
        scan-in, any co-reach to scan-out) are maintained incrementally:
        when a promoted segment makes a hosted edge steerable, the
        traversals extend across that edge instead of restarting — total
        work is about two traversals however deep the enabling chain. *)
-    let writable = Array.copy base.b_verdict.writable in
+    let writable = Array.copy stk.s_verdict.writable in
     List.iter (fun i -> writable.(i) <- false) cone_list;
     (* Per-edge caches under the current writability: only the affected
-       edges ever deviate from the fault-free baseline, and [steer] is
+       edges ever deviate from the stacked state, and [steer] is
        refreshed exactly when one of an edge's not-reset-matching hosts
-       is promoted; corruption is static per fault. *)
-    let steer = Array.copy base.b_steer in
+       is promoted; corruption is static per delta. *)
+    let steer = Array.copy stk.s_steer in
     List.iter
       (fun ei -> steer.(ei) <- edge_steerable ctx eff writable ctx.edges.(ei))
       aff_list;
-    let corrupt = Array.make (Array.length ctx.edges) false in
+    let corrupt = Array.copy stk.s_corrupt in
     List.iter
-      (fun ei -> if edge_corrupt eff ctx.edges.(ei) then corrupt.(ei) <- true)
+      (fun ei -> corrupt.(ei) <- edge_corrupt eff ctx.edges.(ei))
       aff_list;
     let rw = Array.make ctx.nv false in
     let s_any = Array.make ctx.nv false in
@@ -919,8 +1098,8 @@ let analyze_delta ctx base (sm : Fault.summary) =
           ctx.in_edges.(v)
       done
     end;
-    let readable = Array.copy base.b_verdict.readable in
-    let accessible = Array.copy base.b_verdict.accessible in
+    let readable = Array.copy stk.s_verdict.readable in
+    let accessible = Array.copy stk.s_verdict.accessible in
     List.iter
       (fun i ->
         let r =
@@ -933,8 +1112,657 @@ let analyze_delta ctx base (sm : Fault.summary) =
         readable.(i) <- r;
         accessible.(i) <- writable.(i) && r)
       cone_list;
-    ({ writable; readable; accessible }, List.length cone_list)
+    ({ writable; readable; accessible }, List.length cone_list, steer, corrupt)
+
+(* Combined effects of the stacked state plus one further summary. *)
+let stacked_eff ctx stk sm =
+  match stk.s_eff with
+  | None -> add_summary_effects (no_effects ctx) sm
+  | Some e -> add_summary_effects (effects_copy e) sm
+
+(* Delta of summary [sm] on top of an arbitrary stacked state.  The three
+   fast paths mirror [analyze_delta]'s and stay valid on faulty bases:
+   they reason about the DELTA summary alone, and splice from the stacked
+   verdict.  Exact: the combined verdict is bit-identical to
+   [analyze_multi] over the union of the stacked and delta summaries. *)
+let analyze_delta_on ctx stk (sm : Fault.summary) =
+  if Fault.summary_benign sm then (stk.s_verdict, 0)
+  else if only_kill_read sm then begin
+    (* kill_read is consulted only by the readable formula: no traversal
+       changes, so flip the affected segments in place. *)
+    let readable = Array.copy stk.s_verdict.readable in
+    let accessible = Array.copy stk.s_verdict.accessible in
+    List.iter
+      (fun i ->
+        readable.(i) <- false;
+        accessible.(i) <- false)
+      sm.Fault.sm_kill_read;
+    ( { writable = stk.s_verdict.writable; readable; accessible },
+      List.length sm.Fault.sm_kill_read )
   end
+  else if local_kill_write stk.s_base sm then begin
+    (* Writability is consulted by steering only through
+       not-reset-matching hosted requirements; with none hosted in the
+       killed segments, the traversals are untouched too. *)
+    let writable = Array.copy stk.s_verdict.writable in
+    let accessible = Array.copy stk.s_verdict.accessible in
+    List.iter
+      (fun i ->
+        writable.(i) <- false;
+        accessible.(i) <- false)
+      sm.Fault.sm_kill_write;
+    ( { writable; readable = stk.s_verdict.readable; accessible },
+      List.length sm.Fault.sm_kill_write )
+  end
+  else begin
+    let cone_sm =
+      match stk.s_sm with
+      | None -> sm
+      | Some s0 -> Fault.summary_union s0 sm
+    in
+    let v, n, _, _ = delta_full ctx stk cone_sm (stacked_eff ctx stk sm) in
+    (v, n)
+  end
+
+let analyze_delta ctx base sm = analyze_delta_on ctx (of_baseline base) sm
+
+(* ---- pair probes: exact taints and interaction regions ----
+
+   The double-fault factorization needs, per fault class, (a) the EXACT
+   set of segments whose verdict differs from the baseline (the tight
+   cone — the coarse one is usually the whole network on scan
+   topologies), and (b) a certificate region such that two classes with
+   disjoint regions compose POINTWISE: every traversal under both faults
+   is the AND of the single-fault traversals, hence every verdict bit is
+   the AND of the single-fault verdict bits.
+
+   The taint comes for free by diffing the class's delta verdict against
+   the baseline.  The delta also hands back the settled per-edge
+   steerability/corruption caches, i.e. the exact faulty state — so the
+   exact set of KILLED live edges (including the ones that died because a
+   steering host lost its writability, transitively) is a linear scan,
+   and the four access traversals under the fault are four cheap BFS over
+   those caches.
+
+   The region certifies non-interaction by induction along each
+   traversal: for a vertex surviving both faults separately, one of its
+   surviving in-edges must also survive the other fault — unless that
+   edge was damaged by it (endpoints are in the region) or its tail lost
+   the other traversal while the head survived (the head is then in the
+   region as a traversal BOUNDARY).  So the region contains
+
+   - both endpoints of every live edge the fault killed or corrupted,
+   - the live neighborhoods of blocked / data-corrupting segments,
+   - per traversal kind, every surviving vertex adjacent to a vertex
+     that lost the traversal (the boundary — NOT the lost interior, so a
+     trunk fault that wipes a whole co-reach cone exposes only the rim),
+   - both endpoints of every live edge one of whose not-reset-matching
+     steering requirements the fault PINS to its required value: such a
+     pin changes nothing alone (the host is baseline-writable, else the
+     probe refuses), but it can keep the edge alive when the OTHER fault
+     kills the host's writability, making the combination strictly
+     better than the AND.
+
+   Purely local kill_write / kill_read summaries get an EMPTY region:
+   they touch no traversal, their verdict change is already a pointwise
+   conjunction, and it composes with any other fault.
+
+   Note the taint is deliberately NOT part of the region: two faults may
+   taint the same segment (say both kill its readability through distant
+   damage) and still compose pointwise.  The pair sweep therefore
+   combines counts with lost-list arithmetic rather than splicing.
+
+   Disjoint regions alone do NOT suffice: writability is a least
+   fixpoint, and two faults can each destroy the other's last FOUNDED
+   support while every segment stays writable under either fault alone —
+   fault i kills segment a's canonical derivation (a re-routes through an
+   edge hosted by b), fault j kills b's (b re-routes through an edge
+   hosted by a); under both, the two re-routes support only each other
+   and the least fixpoint drops both, with no damage and no traversal
+   boundary anywhere near a or b.  W_i AND W_j is a post-fixpoint of the
+   combined steering operator but not the least one.
+
+   The probe therefore also reports which segments became FRAGILE: still
+   writable, but their baseline-canonical certificate (the founded
+   prefix/suffix forest recorded in the baseline) was damaged, so their
+   writability rests on a re-route whose foundedness the region argument
+   cannot see.  A segment that keeps its canonical certificate under
+   fault i AND under fault j keeps it under both (the certificate is
+   shared and its hosts recurse at strictly smaller certificate rank),
+   so it stays writable in the combined least fixpoint.
+
+   For the fragile segments themselves the probe materializes a founded
+   certificate under ITS OWN fault (the faulty fixpoint owns one — its
+   rounds strictly decrease) and publishes the certificate paths' vertex
+   footprint [pr_supp] and the set of steering hosts they rest on
+   [pr_rhosts].  Such a re-route survives the PARTNER fault j too when
+   (a) j's exact damage avoids the footprint — the certificate edges
+   miss every baseline-live edge j kills or corrupts ([pr_dead_edges])
+   and the certificate vertices miss every segment j blocks or turns
+   corrupting ([pr_dmg]), so each re-route edge stays steerable and
+   clean under j — and (b) every host stays writable under j with its
+   canonical certificate intact (host not in j's writability losses and
+   not in fragile_j), which by the shared-canonical argument keeps the
+   host writable under BOTH.  Gating against j's exact damage rather
+   than its whole region matters: region_j also collects undamaged rim
+   vertices (traversal boundaries, endpoints of killed edges, pin
+   guards) that a re-route may freely pass through.  Fragile hosts of
+   re-routes are themselves fragile, so their own re-routes are in the
+   footprint and the recursion stays founded by the faulty fixpoint's
+   ranks.
+
+   Hence the pair gate (checked in Metric): regions disjoint, each
+   fault's [pr_supp_edges] disjoint from the partner's [pr_dead_edges],
+   each fault's [pr_supp] disjoint from the partner's [pr_dmg], and
+   each fault's [pr_rhosts] disjoint from both the partner's fragile
+   set and the partner's writability losses — then W_combined =
+   W_i AND W_j, the combined edge deaths are the union of the
+   single-fault deaths, and the boundary induction above applies to
+   every traversal. *)
+
+type probe = {
+  pr_verdict : verdict;
+  pr_cone : Bitset.t;
+  pr_region : Bitset.t;
+  pr_fragile : Bitset.t;
+  pr_supp : Bitset.t;
+  pr_supp_edges : Bitset.t;
+  pr_rhosts : Bitset.t;
+  pr_dead_edges : Bitset.t;
+  pr_dmg : Bitset.t;
+  pr_coarse : bool;
+}
+
+let seg_bitset ctx cv =
+  let cs = Bitset.create ctx.nsegs in
+  List.iter (Bitset.add cs) (cone_seg_list ctx cv);
+  cs
+
+let probe ctx base (sm : Fault.summary) =
+  let local segs =
+    (* Pure interface kills: no edge, no traversal and no certificate is
+       touched (a locally killed segment hosts no not-reset-matching
+       requirement), so nothing is fragile. *)
+    let v, _ = analyze_delta ctx base sm in
+    {
+      pr_verdict = v;
+      pr_cone = Bitset.of_list ctx.nsegs segs;
+      pr_region = Bitset.create ctx.nv;
+      pr_fragile = Bitset.create ctx.nsegs;
+      pr_supp = Bitset.create ctx.nv;
+      pr_supp_edges = Bitset.create (Array.length ctx.edges);
+      pr_rhosts = Bitset.create ctx.nsegs;
+      pr_dead_edges = Bitset.create (Array.length ctx.edges);
+      pr_dmg = Bitset.create ctx.nv;
+      pr_coarse = false;
+    }
+  in
+  let coarse () =
+    let v, _ = analyze_delta ctx base sm in
+    let cv, _, _ = probe_coarse ctx base sm in
+    let full n = let b = Bitset.create n in Bitset.fill b; b in
+    { pr_verdict = v; pr_cone = seg_bitset ctx cv;
+      pr_region = full ctx.nv; pr_fragile = full ctx.nsegs;
+      pr_supp = full ctx.nv;
+      pr_supp_edges = full (Array.length ctx.edges);
+      pr_rhosts = full ctx.nsegs;
+      pr_dead_edges = full (Array.length ctx.edges);
+      pr_dmg = full ctx.nv;
+      pr_coarse = true }
+  in
+  if Fault.summary_benign sm then
+    {
+      pr_verdict = base.b_verdict;
+      pr_cone = Bitset.create ctx.nsegs;
+      pr_region = Bitset.create ctx.nv;
+      pr_fragile = Bitset.create ctx.nsegs;
+      pr_supp = Bitset.create ctx.nv;
+      pr_supp_edges = Bitset.create (Array.length ctx.edges);
+      pr_rhosts = Bitset.create ctx.nsegs;
+      pr_dead_edges = Bitset.create (Array.length ctx.edges);
+      pr_dmg = Bitset.create ctx.nv;
+      pr_coarse = false;
+    }
+  else if only_kill_read sm then local sm.Fault.sm_kill_read
+  else if local_kill_write base sm then local sm.Fault.sm_kill_write
+  else if sm.Fault.sm_pi_dead || sm.Fault.sm_po_dead || base.b_cyclic then
+    coarse ()
+  else begin
+    let writable0 = base.b_verdict.writable in
+    (* Steering-gain detection: a pin or lock matching a required address
+       value whose hosting segment is NOT baseline-writable can turn a
+       baseline-dead edge live, voiding the whole no-gain reasoning. *)
+    let gain = ref false in
+    List.iter
+      (fun (s, b, v) ->
+        if not writable0.(s) then
+          List.iter
+            (fun ei ->
+              Array.iter
+                (fun (_, cseg, cbit, required, reset_matches) ->
+                  if cseg = s && cbit = b && required = v && not reset_matches
+                  then gain := true)
+                ctx.edges.(ei).e_shadow_reqs)
+            base.b_host_edges_all.(s))
+      sm.Fault.sm_stuck_shadow;
+    List.iter
+      (fun (m, b, v) ->
+        List.iter
+          (fun ei ->
+            Array.iter
+              (fun (port, cseg, _, required, reset_matches) ->
+                if
+                  port = (m, b) && required = v && (not reset_matches)
+                  && not writable0.(cseg)
+                then gain := true)
+              ctx.edges.(ei).e_shadow_reqs)
+          base.b_mux_edges.(m))
+      sm.Fault.sm_locked_addr;
+    if !gain then coarse ()
+    else begin
+      let eff = add_summary_effects (no_effects ctx) sm in
+      let v, _, steer, corrupt = delta_full ctx (of_baseline base) sm eff in
+      let nedges = Array.length ctx.edges in
+      (* Exact taint: the verdict diff. *)
+      let cs = Bitset.create ctx.nsegs in
+      let v0 = base.b_verdict in
+      for i = 0 to ctx.nsegs - 1 do
+        if
+          v.writable.(i) <> v0.writable.(i)
+          || v.readable.(i) <> v0.readable.(i)
+        then Bitset.add cs i
+      done;
+      (* The four access traversals under the settled faulty state. *)
+      let traverse ~fwd ~clean =
+        let root = if fwd then v_pi else v_po in
+        let stop = if fwd then v_po else v_pi in
+        let ok = Array.make ctx.nv false in
+        ok.(root) <- true;
+        let stack = ref [ root ] in
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | u :: rest ->
+              stack := rest;
+              if fwd && clean && not (u = v_pi || clean_through eff u) then ()
+              else
+                List.iter
+                  (fun ei ->
+                    if steer.(ei) && not (clean && corrupt.(ei)) then begin
+                      let e = ctx.edges.(ei) in
+                      let w = if fwd then e.e_dst else e.e_src in
+                      if
+                        (not ok.(w))
+                        && w <> stop
+                        && ((not clean) || shiftable eff w)
+                        && not ((not fwd) && clean && not (clean_through eff w))
+                      then begin
+                        ok.(w) <- true;
+                        stack := w :: !stack
+                      end
+                    end)
+                  (if fwd then ctx.out_edges.(u) else ctx.in_edges.(u))
+        done;
+        ok
+      in
+      let rw = traverse ~fwd:true ~clean:true in
+      let r_any = traverse ~fwd:true ~clean:false in
+      let s_clean = traverse ~fwd:false ~clean:true in
+      let s_any = traverse ~fwd:false ~clean:false in
+      let region = Bitset.create ctx.nv in
+      let add_ei ei =
+        let e = ctx.edges.(ei) in
+        Bitset.add region e.e_src;
+        Bitset.add region e.e_dst
+      in
+      (* Killed or corrupted live edges — [steer] is the exact faulty
+         steerability, so writability-cascade deaths are included.
+         [dead_edges] keeps the edge-granular set for the partner's
+         re-route check. *)
+      let dead_edges = Bitset.create nedges in
+      for ei = 0 to nedges - 1 do
+        if base.b_steer.(ei) && ((not steer.(ei)) || corrupt.(ei)) then begin
+          Bitset.add dead_edges ei;
+          add_ei ei
+        end
+      done;
+      let dmg = Bitset.create ctx.nv in
+      let vertex_damage w =
+        Bitset.add region w;
+        Bitset.add dmg w;
+        List.iter
+          (fun ei -> Bitset.add region ctx.edges.(ei).e_src)
+          base.b_live_in.(w);
+        List.iter
+          (fun ei -> Bitset.add region ctx.edges.(ei).e_dst)
+          base.b_live_out.(w)
+      in
+      List.iter (fun i -> vertex_damage (v_of_seg i)) sm.Fault.sm_hard_block;
+      List.iter
+        (fun i -> vertex_damage (v_of_seg i))
+        sm.Fault.sm_corrupt_vertex;
+      (* Traversal boundaries: surviving vertices adjacent (along a live
+         edge) to a vertex that lost the traversal. *)
+      for ei = 0 to nedges - 1 do
+        if base.b_steer.(ei) then begin
+          let e = ctx.edges.(ei) in
+          let u = e.e_src and w = e.e_dst in
+          if base.b_live_reach.(u) && w <> v_po then begin
+            if (not rw.(u)) && rw.(w) then Bitset.add region w;
+            if (not r_any.(u)) && r_any.(w) then Bitset.add region w
+          end;
+          if base.b_live_coreach.(w) && u <> v_pi then begin
+            if (not s_any.(w)) && s_any.(u) then Bitset.add region u;
+            if (not s_clean.(w)) && s_clean.(u) then Bitset.add region u
+          end
+        end
+      done;
+      (* Pinned-right steering requirements on live edges (see above). *)
+      List.iter
+        (fun (s, b, vv) ->
+          List.iter
+            (fun ei ->
+              if base.b_steer.(ei) then begin
+                let keep = ref false in
+                Array.iter
+                  (fun (_, cseg, cbit, required, reset_matches) ->
+                    if
+                      cseg = s && cbit = b && required = vv
+                      && not reset_matches
+                    then keep := true)
+                  ctx.edges.(ei).e_shadow_reqs;
+                if !keep then add_ei ei
+              end)
+            base.b_host_edges_all.(s))
+        sm.Fault.sm_stuck_shadow;
+      List.iter
+        (fun (m, b, vv) ->
+          List.iter
+            (fun ei ->
+              if base.b_steer.(ei) then begin
+                let keep = ref false in
+                Array.iter
+                  (fun (port, _, _, required, reset_matches) ->
+                    if port = (m, b) && required = vv && not reset_matches
+                    then keep := true)
+                  ctx.edges.(ei).e_shadow_reqs;
+                if !keep then add_ei ei
+              end)
+            base.b_mux_edges.(m))
+        sm.Fault.sm_locked_addr;
+      (* Fragility: which segments keep their CANONICAL baseline
+         certificate under the fault?  Replay the founded forest in round
+         order.  [all_w] neutralizes [edge_steerable]'s host-writability
+         fallback so the call checks only the syntactic conditions (dead
+         edge, wrong pins, wrong locks); hosted not-reset-matching
+         requirements are then handled by [hosts_ok] through the founded
+         recursion — the host's own certificate must have survived
+         ([pclass]), unless the fault itself pins or locks the bit to its
+         required value (any pin on the bit is necessarily right here:
+         wrong pins already failed the syntactic check). *)
+      let all_w = Array.make ctx.nsegs true in
+      let pclass = Array.make ctx.nsegs false in
+      let hosts_ok e =
+        let ok = ref true in
+        Array.iter
+          (fun (port, cseg, cbit, required, reset_matches) ->
+            if (not reset_matches) && not pclass.(cseg) then begin
+              let exempt =
+                List.exists
+                  (fun (m, b, vv) -> (m, b) = port && vv = required)
+                  eff.locked_addr
+                || List.exists
+                     (fun (s', b', _) -> s' = cseg && b' = cbit)
+                     eff.stuck_shadow
+              in
+              if not exempt then ok := false
+            end)
+          e.e_shadow_reqs;
+        !ok
+      in
+      let pre_memo = Array.make ctx.nv 0 (* 0 unknown / 1 ok / 2 bad *) in
+      let suf_memo = Array.make ctx.nv 0 in
+      (* Iterative tree walk (certificate paths can be as long as the
+         longest scan chain): ascend to the first memoized ancestor, then
+         settle the collected chain root-side first. *)
+      let walk memo parent next_v root edge_ok v0 =
+        let chain = ref [] in
+        let v = ref v0 in
+        let known = ref None in
+        while !known = None do
+          if !v = root then known := Some true
+          else if memo.(!v) = 1 then known := Some true
+          else if memo.(!v) = 2 then known := Some false
+          else begin
+            chain := !v :: !chain;
+            v := next_v parent.(!v)
+          end
+        done;
+        let ok = ref (!known = Some true) in
+        List.iter
+          (fun u ->
+            if !ok then ok := edge_ok u parent.(u);
+            memo.(u) <- (if !ok then 1 else 2))
+          !chain;
+        !ok
+      in
+      let nrounds = Array.length base.b_cert_rounds in
+      for round = 0 to nrounds - 1 do
+        Array.fill pre_memo 0 ctx.nv 0;
+        Array.fill suf_memo 0 ctx.nv 0;
+        let pre_tree, suf_tree = base.b_cert_rounds.(round) in
+        (* Prefix edges carry clean data into the target: steerable,
+           uncorrupted, destination shiftable, source passing clean. *)
+        let pre_edge_ok u ei =
+          let e = ctx.edges.(ei) in
+          edge_steerable ctx eff all_w e
+          && hosts_ok e
+          && (not corrupt.(ei))
+          && shiftable eff u
+          && (e.e_src = v_pi || clean_through eff e.e_src)
+        in
+        (* Suffix edges only need to exist topologically: steerable. *)
+        let suf_edge_ok _u ei =
+          let e = ctx.edges.(ei) in
+          edge_steerable ctx eff all_w e && hosts_ok e
+        in
+        for s = 0 to ctx.nsegs - 1 do
+          if
+            base.b_cert_round_of.(s) = round
+            && (not eff.kill_write.(s))
+            && walk pre_memo pre_tree
+                 (fun ei -> ctx.edges.(ei).e_src)
+                 v_pi pre_edge_ok (v_of_seg s)
+            && walk suf_memo suf_tree
+                 (fun ei -> ctx.edges.(ei).e_dst)
+                 v_po suf_edge_ok (v_of_seg s)
+          then pclass.(s) <- true
+        done
+      done;
+      let fragile = Bitset.create ctx.nsegs in
+      for s = 0 to ctx.nsegs - 1 do
+        if v.writable.(s) && not pclass.(s) then Bitset.add fragile s
+      done;
+      (* Re-routed certificates: a fragile segment is still writable, so
+         the FAULTY fixpoint owns a founded certificate for it.
+         Materialize one (round-stratified replay of the faulty fixpoint,
+         exactly like the baseline forest but under [eff] and the settled
+         corruption cache) and expose its vertex and edge footprints
+         [supp] / [supp_edges] plus the steering hosts [rhosts] it rests
+         on.  A partner fault whose exact damage (dead_edges, dmg)
+         avoids the footprint and under which every such host keeps both
+         its writability and its canonical certificate cannot disturb
+         the re-route — the pair gate in Metric checks exactly that,
+         instead of pessimistically refusing every fragile class. *)
+      let supp = Bitset.create ctx.nv in
+      let supp_edges = Bitset.create nedges in
+      let rhosts = Bitset.create ctx.nsegs in
+      if not (Bitset.is_empty fragile) then begin
+        let wf = Array.make ctx.nsegs false in
+        let frounds = ref [] in
+        let fround_of = Array.make ctx.nsegs (-1) in
+        let progress = ref true in
+        while !progress do
+          progress := false;
+          let enabled =
+            Array.init nedges (fun ei ->
+                edge_steerable ctx eff wf ctx.edges.(ei))
+          in
+          (* Clean forward tree from scan-in under the fault (the entry /
+             extension conditions of [reach_from_pi ~clean:true]). *)
+          let pre = Array.make ctx.nv (-1) in
+          let seenp = Array.make ctx.nv false in
+          seenp.(v_pi) <- true;
+          let stack = ref [ v_pi ] in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | u :: rest ->
+                stack := rest;
+                if u = v_pi || clean_through eff u then
+                  List.iter
+                    (fun ei ->
+                      if enabled.(ei) && not corrupt.(ei) then begin
+                        let w = ctx.edges.(ei).e_dst in
+                        if (not seenp.(w)) && w <> v_po && shiftable eff w
+                        then begin
+                          seenp.(w) <- true;
+                          pre.(w) <- ei;
+                          stack := w :: !stack
+                        end
+                      end)
+                    ctx.out_edges.(u)
+          done;
+          (* Any-data backward tree to scan-out. *)
+          let suf = Array.make ctx.nv (-1) in
+          let seens = Array.make ctx.nv false in
+          seens.(v_po) <- true;
+          let stack = ref [ v_po ] in
+          while !stack <> [] do
+            match !stack with
+            | [] -> ()
+            | w :: rest ->
+                stack := rest;
+                List.iter
+                  (fun ei ->
+                    if enabled.(ei) then begin
+                      let u = ctx.edges.(ei).e_src in
+                      if (not seens.(u)) && u <> v_pi then begin
+                        seens.(u) <- true;
+                        suf.(u) <- ei;
+                        stack := u :: !stack
+                      end
+                    end)
+                  ctx.in_edges.(w)
+          done;
+          let round = List.length !frounds in
+          let promoted = ref false in
+          for s = 0 to ctx.nsegs - 1 do
+            if
+              (not wf.(s))
+              && (not eff.kill_write.(s))
+              && pre.(v_of_seg s) >= 0
+              && suf.(v_of_seg s) >= 0
+            then begin
+              wf.(s) <- true;
+              fround_of.(s) <- round;
+              promoted := true
+            end
+          done;
+          if !promoted then begin
+            frounds := (pre, suf) :: !frounds;
+            progress := true
+          end
+        done;
+        assert (wf = v.writable);
+        let frounds = Array.of_list (List.rev !frounds) in
+        let host_edge ei =
+          Array.iter
+            (fun (port, cseg, cbit, required, reset_matches) ->
+              if not reset_matches then begin
+                (* A pin on the bit is necessarily to the required value:
+                   the certificate edge is steerable under the fault. *)
+                let exempt =
+                  List.exists
+                    (fun (m, b, vv) -> (m, b) = port && vv = required)
+                    eff.locked_addr
+                  || List.exists
+                       (fun (s', b', _) -> s' = cseg && b' = cbit)
+                       eff.stuck_shadow
+                in
+                if not exempt then Bitset.add rhosts cseg
+              end)
+            ctx.edges.(ei).e_shadow_reqs
+        in
+        let pre_done = Array.make ctx.nv false in
+        let suf_done = Array.make ctx.nv false in
+        for round = 0 to Array.length frounds - 1 do
+          Array.fill pre_done 0 ctx.nv false;
+          Array.fill suf_done 0 ctx.nv false;
+          let pre, suf = frounds.(round) in
+          Bitset.iter
+            (fun s ->
+              if fround_of.(s) = round then begin
+                let u = ref (v_of_seg s) in
+                while !u <> v_pi && not pre_done.(!u) do
+                  pre_done.(!u) <- true;
+                  Bitset.add supp !u;
+                  let ei = pre.(!u) in
+                  Bitset.add supp_edges ei;
+                  host_edge ei;
+                  u := ctx.edges.(ei).e_src
+                done;
+                let u = ref (v_of_seg s) in
+                while !u <> v_po && not suf_done.(!u) do
+                  suf_done.(!u) <- true;
+                  Bitset.add supp !u;
+                  let ei = suf.(!u) in
+                  Bitset.add supp_edges ei;
+                  host_edge ei;
+                  u := ctx.edges.(ei).e_dst
+                done
+              end)
+            fragile
+        done
+      end;
+      { pr_verdict = v; pr_cone = cs; pr_region = region;
+        pr_fragile = fragile; pr_supp = supp; pr_supp_edges = supp_edges;
+        pr_rhosts = rhosts; pr_dead_edges = dead_edges; pr_dmg = dmg;
+        pr_coarse = false }
+    end
+  end
+
+let cone ctx base (sm : Fault.summary) =
+  if Fault.summary_benign sm then None
+  else if only_kill_read sm then
+    Some (Bitset.of_list ctx.nsegs sm.Fault.sm_kill_read)
+  else if local_kill_write base sm then
+    Some (Bitset.of_list ctx.nsegs sm.Fault.sm_kill_write)
+  else Some (probe ctx base sm).pr_cone
+
+(* Secondary baseline under [sm]: the stacked state all of [sm]'s pairs
+   share.  The steer/corruption caches must reflect [sm] even when the
+   verdict comes from a fast path — on those paths the fault-free caches
+   are still exact (kill_read touches neither; a local kill_write changes
+   writability only where no not-reset-matching requirement is hosted). *)
+let stack ctx base (sm : Fault.summary) =
+  let stk0 = of_baseline base in
+  let eff = stacked_eff ctx stk0 sm in
+  if
+    Fault.summary_benign sm || only_kill_read sm || local_kill_write base sm
+  then
+    let v, _ = analyze_delta_on ctx stk0 sm in
+    { stk0 with s_sm = Some sm; s_eff = Some eff; s_verdict = v }
+  else
+    let v, _, steer, corrupt = delta_full ctx stk0 sm eff in
+    {
+      s_base = base;
+      s_sm = Some sm;
+      s_eff = Some eff;
+      s_verdict = v;
+      s_steer = steer;
+      s_corrupt = corrupt;
+    }
 
 (* Read counterpart: a path through the target whose SUFFIX (target to
    scan-out) is corruption-free and shiftable, while the prefix only needs

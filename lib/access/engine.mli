@@ -80,6 +80,76 @@ val cone : ctx -> baseline -> Ftrsn_fault.Fault.summary -> Ftrsn_topo.Bitset.t o
     differ from the fault-free baseline.  [None] for a benign summary
     (empty cone, verdict = baseline). *)
 
+type probe = {
+  pr_verdict : verdict;
+      (** the class verdict, = [analyze_delta]'s (may share arrays with
+          the baseline verdict; treat as immutable) *)
+  pr_cone : Ftrsn_topo.Bitset.t;
+      (** segment indices whose verdict differs from the fault-free
+          baseline — EXACT (the verdict diff) unless [pr_coarse], then
+          the static reach/co-reach over-approximation *)
+  pr_region : Ftrsn_topo.Bitset.t;
+      (** dataflow-vertex interaction region: endpoints of every live
+          edge the fault killed, corrupted, or pinned into its required
+          steering value, live neighborhoods of blocked/corrupting
+          segments, and the surviving boundary of every access traversal
+          the fault disturbed.  Empty for purely local kill_write /
+          kill_read summaries; full when [pr_coarse]. *)
+  pr_fragile : Ftrsn_topo.Bitset.t;
+      (** segments that stay writable under the fault but lost their
+          canonical baseline write certificate (their writability rests
+          on a re-routed derivation).  Empty for purely local kill
+          summaries; full when [pr_coarse]. *)
+  pr_supp : Ftrsn_topo.Bitset.t;
+      (** vertex footprint of the founded re-route certificates backing
+          the fragile segments' writability under this fault.  Empty
+          when nothing is fragile; full when [pr_coarse]. *)
+  pr_supp_edges : Ftrsn_topo.Bitset.t;
+      (** edge footprint of the same re-route certificates (indices into
+          the dataflow edge array).  Empty when nothing is fragile; full
+          when [pr_coarse]. *)
+  pr_rhosts : Ftrsn_topo.Bitset.t;
+      (** steering hosts (segments) the re-route certificates rest on.
+          Empty when nothing is fragile; full when [pr_coarse]. *)
+  pr_dead_edges : Ftrsn_topo.Bitset.t;
+      (** baseline-live edges this fault kills (unsteerable under the
+          faulty fixpoint) or corrupts.  Subset of the edge endpoints
+          folded into [pr_region]; full when [pr_coarse]. *)
+  pr_dmg : Ftrsn_topo.Bitset.t;
+      (** dataflow vertices the fault makes non-shifting or corrupting
+          (hard blocks and data-corrupting segments).  Subset of
+          [pr_region]; full when [pr_coarse]. *)
+  pr_coarse : bool;
+      (** the summary defeated the region analysis (dead scan ports,
+          steering-improving pins on unwritable hosts, cyclic dataflow) *)
+}
+(** A fault class's footprint for the double-fault factorization.  Two
+    summaries compose POINTWISE — the verdict under both faults is the
+    bitwise AND of the two single-fault verdicts — when (a) their
+    regions are DISJOINT, (b) each summary's re-route certificates
+    avoid the other's damage ([pr_supp_edges] disjoint from the other's
+    [pr_dead_edges], [pr_supp] disjoint from the other's [pr_dmg]), and
+    (c) each summary's [pr_rhosts] avoids both the other's [pr_fragile]
+    set and the other's writability losses.  Conditions (b)+(c) rule
+    out mutual support: two faults that each destroy the other's only
+    founded writability derivation can deflate the combined least
+    fixpoint without any shared damage region; a fragile segment's
+    re-route certificate provably survives the partner when the
+    partner's damage (killed/corrupted live edges, blocked/corrupting
+    vertices) misses its footprint and every steering host it rests on
+    keeps both its writability and its canonical certificate.  Note (b)
+    checks the partner's exact damage, not its whole region: the region
+    also contains undamaged rim vertices that a re-route may freely
+    traverse.  Under (a)-(c) the pair's accessibility counts follow
+    from the single-fault results (subtract the partner's
+    lost-but-still-accessible segments) and no pair fixpoint is needed.
+    NOT a splice: the two faults may well taint common segments (their
+    cones need not be disjoint). *)
+
+val probe : ctx -> baseline -> Ftrsn_fault.Fault.summary -> probe
+(** The verdict, tight cone and interaction region of a summary.
+    [pr_cone] agrees with {!cone} (modulo [None] vs empty). *)
+
 val analyze_delta :
   ctx -> baseline -> Ftrsn_fault.Fault.summary -> verdict * int
 (** [analyze_delta ctx base sm] is the verdict under the summarized fault,
@@ -87,6 +157,35 @@ val analyze_delta :
     [sm], together with the cone size ([0] for a benign summary).  The
     returned verdict may share arrays with {!baseline_verdict}; treat it
     as immutable. *)
+
+(** {2 Stacked secondary baselines (double-fault deltas)}
+
+    The exhaustive double-fault sweep groups pairs by first fault class:
+    {!stack} computes that class's faulty state once — verdict plus the
+    per-edge steering/corruption caches, the exact analogue of
+    {!baseline} for a faulty base — and {!analyze_delta_on} runs the
+    second summary's cone-restricted delta on top, so each interacting
+    pair costs one small fixpoint instead of a full {!analyze_multi}. *)
+
+type stacked
+(** A secondary baseline: the exact state of the network under one
+    summarized fault, ready to receive further deltas.  Immutable once
+    built; safe to share across domains. *)
+
+val stack : ctx -> baseline -> Ftrsn_fault.Fault.summary -> stacked
+(** [stack ctx base sm] is the secondary baseline under [sm]
+    (the fault-free stacked state when [sm] is benign). *)
+
+val stacked_verdict : stacked -> verdict
+(** The verdict under the stacked summary (= [analyze_delta ctx base sm]'s
+    verdict). *)
+
+val analyze_delta_on :
+  ctx -> stacked -> Ftrsn_fault.Fault.summary -> verdict * int
+(** [analyze_delta_on ctx stk sm] is the verdict under the UNION of the
+    stacked summary and [sm], bit-identical to [analyze_multi] over both
+    faults, with the delta's cone size.  [analyze_delta] is the special
+    case over the fault-free stacked state. *)
 
 type witness = {
   w_vertices : int list;

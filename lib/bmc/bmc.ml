@@ -22,6 +22,12 @@ type fsum = {
   mux_in : int -> int -> bool;  (* mux, input (classes applied) *)
   locked : int -> int -> bool option;  (* mux, addr bit *)
   pinned : int -> int -> bool option;  (* seg, shadow bit *)
+  bit_conflict : int -> int -> bool;
+      (* mux, addr bit: the effective control carries contradictory
+         constants (locks to both values, or — when unlocked — the driving
+         shadow bit pinned both ways).  Only multi-fault summaries can
+         conflict; the mux is then unsensitizable, matching the structural
+         engine's order-independent pin/lock checks. *)
   kill_write : int -> bool;
   kill_read : int -> bool;
 }
@@ -66,8 +72,12 @@ and session = {
      genuinely perturbed deltas live and die with a fault's group. *)
   base_fs : fsum;
   mutable base_circuits : step_exprs array;
-  fenc : (Fault.t option, fault_enc) Hashtbl.t;
-  mutable active : Fault.t option option;  (* last queried fault *)
+  (* Fault SETS are the encoding unit: [[]] is fault-free, singletons are
+     the classic single-fault queries, two-element lists the double-fault
+     sweep.  List order is the caller's; the metric's pair sweep always
+     passes [rep_i; rep_j] with i < j, so keys stay canonical. *)
+  fenc : (Fault.t list, fault_enc) Hashtbl.t;
+  mutable active : Fault.t list option;  (* last queried fault set *)
   mutable queries : int;
   (* newest first: (emitted, reused, conflicts, sat) per query *)
   mutable qlog : (int * int * int * bool) list;
@@ -124,6 +134,7 @@ let no_fault =
     mux_in = (fun _ _ -> false);
     locked = (fun _ _ -> None);
     pinned = (fun _ _ -> None);
+    bit_conflict = (fun _ _ -> false);
     kill_write = (fun _ -> false);
     kill_read = (fun _ -> false);
   }
@@ -159,17 +170,53 @@ let of_summary (net : Netlist.t) (sm : Fault.summary) =
           List.find_map
             (fun (s', b', v) -> if s' = s && b' = b then Some v else None)
             sm.Fault.sm_stuck_shadow);
+      bit_conflict =
+        (fun m b ->
+          let values sel l =
+            List.filter_map sel l |> fun vs ->
+            (List.mem true vs, List.mem false vs)
+          in
+          let lock_true, lock_false =
+            values
+              (fun (m', b', v) -> if m' = m && b' = b then Some v else None)
+              sm.Fault.sm_locked_addr
+          in
+          if lock_true && lock_false then true
+          else if lock_true || lock_false then false
+            (* a single lock dominates any pin, as in the structural
+               engine's locked_right override *)
+          else
+            match net.Netlist.muxes.(m).Netlist.mux_addr.(b) with
+            | Netlist.Ctrl_shadow { cseg; cbit } ->
+                let pin_true, pin_false =
+                  values
+                    (fun (s', b', v) ->
+                      if s' = cseg && b' = cbit then Some v else None)
+                    sm.Fault.sm_stuck_shadow
+                in
+                pin_true && pin_false
+            | _ -> false);
       kill_write =
         (fun i -> mem sm.Fault.sm_kill_write i || mem sm.Fault.sm_hard_block i);
       kill_read =
         (fun i -> mem sm.Fault.sm_kill_read i || mem sm.Fault.sm_hard_block i);
     }
 
-let summarize t = function
-  | None -> no_fault
-  | Some f ->
+(* Predicates of a SET of simultaneous faults ([[]] = fault-free): the
+   canonical summaries merge via {!Fault.summary_union} before compiling,
+   so both engines derive multi-fault effects from the same merged
+   summary. *)
+let summarize_faults t faults =
+  match faults with
+  | [] -> no_fault
+  | _ ->
       of_summary t.net
-        (Fault.summarize ~port_masked:(Engine.port_masked t.ectx) t.net f)
+        (List.fold_left
+           (fun acc f ->
+             Fault.summary_union acc
+               (Fault.summarize ~port_masked:(Engine.port_masked t.ectx) t.net
+                  f))
+           Fault.empty_summary faults)
 
 (* ---- per-step circuit construction ---- *)
 
@@ -193,12 +240,15 @@ let step_circuits t ctx fs ~shadow ~primary =
   in
   let sel_expr m k =
     let width = Array.length net.Netlist.muxes.(m).Netlist.mux_addr in
-    let bits =
-      List.init width (fun b ->
-          let e = bit_expr m b in
-          if k land (1 lsl b) <> 0 then e else Expr.not_ ctx e)
-    in
-    Expr.and_list ctx bits
+    let rec conflicted b = b < width && (fs.bit_conflict m b || conflicted (b + 1)) in
+    if conflicted 0 then Expr.efalse ctx
+    else
+      let bits =
+        List.init width (fun b ->
+            let e = bit_expr m b in
+            if k land (1 lsl b) <> 0 then e else Expr.not_ ctx e)
+      in
+      Expr.and_list ctx bits
   in
   let cond_expr = function
     | C_true -> Expr.etrue ctx
@@ -331,7 +381,7 @@ module Session = struct
       sctx = Expr.create ();
       shadows = [||];
       sprimaries = Hashtbl.create 64;
-      base_fs = summarize model None;
+      base_fs = summarize_faults model [];
       base_circuits = [||];
       fenc = Hashtbl.create 16;
       active = None;
@@ -380,37 +430,39 @@ module Session = struct
        circuits hash-cons onto them. *)
     Cnf.retire_owner sess.em fe.fe_act
 
-  let retire_fault sess fault =
-    match Hashtbl.find_opt sess.fenc fault with
+  let retire_faults sess faults =
+    match Hashtbl.find_opt sess.fenc faults with
     | Some fe ->
         retire_enc sess fe;
-        Hashtbl.remove sess.fenc fault;
-        if sess.active = Some fault then sess.active <- None
+        Hashtbl.remove sess.fenc faults;
+        if sess.active = Some faults then sess.active <- None
     | None -> ()
 
-  (* The per-fault encoding.  Switching to a different fault retires the
+  let retire_fault sess fault = retire_faults sess (Option.to_list fault)
+
+  (* The per-fault-set encoding.  Switching to a different set retires the
      previous one, so sequential sweeps over a fault universe keep the
-     solver's live clause set bounded by one fault's encoding (plus the
+     solver's live clause set bounded by one set's encoding (plus the
      Tseitin cones, which are shared across faults by hash-consing and by
      the emitter memo). *)
-  let enc sess fault =
+  let enc sess faults =
     (match sess.active with
-    | Some prev when prev <> fault -> retire_fault sess prev
+    | Some prev when prev <> faults -> retire_faults sess prev
     | _ -> ());
-    sess.active <- Some fault;
-    match Hashtbl.find_opt sess.fenc fault with
+    sess.active <- Some faults;
+    match Hashtbl.find_opt sess.fenc faults with
     | Some fe -> fe
     | None ->
         let fe =
           {
             fe_act = Solver.new_activation sess.solver;
-            fe_fs = summarize sess.model fault;
+            fe_fs = summarize_faults sess.model faults;
             fe_circuits = [||];
             fe_depth = 0;
             fe_goals = Hashtbl.create 8;
           }
         in
-        Hashtbl.add sess.fenc fault fe;
+        Hashtbl.add sess.fenc faults fe;
         fe
 
   let circuits_at sess fe tstep =
@@ -541,8 +593,8 @@ module Session = struct
         in
         { Ftrsn_rsn.Config.shadows; primaries })
 
-  let check_goal ?(want_witness = false) sess fault goal ~max_steps ~target =
-    let fe = enc sess fault in
+  let check_goal ?(want_witness = false) sess faults goal ~max_steps ~target =
+    let fe = enc sess faults in
     let fs = fe.fe_fs in
     sess.queries <- sess.queries + 1;
     let statically_dead =
@@ -582,29 +634,34 @@ module Session = struct
 
   let check_write sess ?fault ?max_steps ~target () =
     let max_steps = steps_for sess max_steps in
-    fst (check_goal sess fault G_write ~max_steps ~target)
+    fst (check_goal sess (Option.to_list fault) G_write ~max_steps ~target)
 
   let check_read sess ?fault ?max_steps ~target () =
     let max_steps = steps_for sess max_steps in
-    fst (check_goal sess fault G_read ~max_steps ~target)
+    fst (check_goal sess (Option.to_list fault) G_read ~max_steps ~target)
 
   let write_witness sess ?fault ?max_steps ~target () =
     let max_steps = steps_for sess max_steps in
     match
-      check_goal ~want_witness:true sess fault G_write ~max_steps ~target
+      check_goal ~want_witness:true sess (Option.to_list fault) G_write
+        ~max_steps ~target
     with
     | Accessible n, configs -> Some (n, configs)
     | Inaccessible, _ -> None
 
-  let check_access sess ?fault ?max_steps ~target () =
-    match check_write sess ?fault ?max_steps ~target () with
+  let access_multi sess ~faults ?max_steps ~target () =
+    let max_steps = steps_for sess max_steps in
+    match fst (check_goal sess faults G_write ~max_steps ~target) with
     | Inaccessible -> Inaccessible
     | Accessible w -> (
-        match check_read sess ?fault ?max_steps ~target () with
+        match fst (check_goal sess faults G_read ~max_steps ~target) with
         | Inaccessible -> Inaccessible
         | Accessible r -> Accessible (max w r))
 
-  let check_targets sess ?fault ?max_steps ?only ?fallback targets =
+  let check_access sess ?fault ?max_steps ~target () =
+    access_multi sess ~faults:(Option.to_list fault) ?max_steps ~target ()
+
+  let check_targets_multi sess ?max_steps ?only ?fallback ~faults targets =
     let keep = match only with None -> fun _ -> true | Some p -> p in
     let skipped =
       match fallback with None -> fun _ -> Inaccessible | Some f -> f
@@ -612,9 +669,14 @@ module Session = struct
     Array.of_list
       (List.map
          (fun target ->
-           if keep target then check_access sess ?fault ?max_steps ~target ()
+           if keep target then
+             access_multi sess ~faults ?max_steps ~target ()
            else skipped target)
          targets)
+
+  let check_targets sess ?fault ?max_steps ?only ?fallback targets =
+    check_targets_multi sess ?max_steps ?only ?fallback
+      ~faults:(Option.to_list fault) targets
 
   let check_faults sess ?max_steps ~target faults =
     List.map

@@ -87,6 +87,17 @@ module Session : sig
       target gets [fallback target] instead (default [Inaccessible]),
       typically the fault-free verdict spliced in by the caller. *)
 
+  val check_targets_multi :
+    t -> ?max_steps:int -> ?only:(int -> bool) ->
+    ?fallback:(int -> verdict) -> faults:Ftrsn_fault.Fault.t list ->
+    int list -> verdict array
+  (** Like {!check_targets}, under a SET of simultaneous faults ([[]] =
+      fault-free): the faults' canonical summaries are merged with
+      {!Ftrsn_fault.Fault.summary_union} and encoded as one clause group,
+      keyed by the list, so the double-fault sweep reuses encodings like
+      the single-fault sweep does.  The list order is the caller's
+      canonical key — pass pairs in a fixed order to maximize reuse. *)
+
   val check_faults :
     t -> ?max_steps:int -> target:int -> Ftrsn_fault.Fault.t list ->
     verdict list

@@ -20,6 +20,15 @@ type reduction_stats = {
   r_cone_max : int;
 }
 
+type pair_stats = {
+  p_classes : int;      (* fault classes in the collapsed universe *)
+  p_class_pairs : int;  (* unordered class pairs examined (incl. diagonal) *)
+  p_diagonal : int;     (* same-class pairs: answered by the single verdict *)
+  p_disjoint : int;     (* non-interacting pairs: pointwise-AND counting *)
+  p_stacked : int;      (* interacting pairs: delta on a secondary baseline *)
+  p_stacks : int;       (* secondary baselines built *)
+}
+
 type result = {
   worst_segments : float;
   avg_segments : float;
@@ -30,6 +39,7 @@ type result = {
   steals : int;
   solver : solver_stats option;
   reduction : reduction_stats option;
+  pairs : pair_stats option;
 }
 
 let merge_solver a b =
@@ -58,6 +68,20 @@ let merge_reduction a b =
           r_cone_max = max x.r_cone_max y.r_cone_max;
         }
 
+let merge_pairs a b =
+  match (a, b) with
+  | None, p | p, None -> p
+  | Some x, Some y ->
+      Some
+        {
+          p_classes = x.p_classes + y.p_classes;
+          p_class_pairs = x.p_class_pairs + y.p_class_pairs;
+          p_diagonal = x.p_diagonal + y.p_diagonal;
+          p_disjoint = x.p_disjoint + y.p_disjoint;
+          p_stacked = x.p_stacked + y.p_stacked;
+          p_stacks = x.p_stacks + y.p_stacks;
+        }
+
 (* Merge two partial results (weighted sums are kept internally as
    averages times weight, so recombine carefully).  The evaluation paths
    below merge their integer accumulators instead, which is exact; this
@@ -80,34 +104,8 @@ let merge a b =
     steals = a.steals + b.steals;
     solver = merge_solver a.solver b.solver;
     reduction = merge_reduction a.reduction b.reduction;
+    pairs = merge_pairs a.pairs b.pairs;
   }
-
-(* Split a list into [chunks] chunks of (near-)equal ceil size; the last
-   chunk may be shorter, none is empty.  E.g. 10 items over 3 chunks give
-   sizes [4; 4; 2].  Deprecated as a work-distribution strategy (the
-   evaluators now pull from a shared queue); kept for its unit tests. *)
-let split_chunks ~chunks l =
-  if chunks <= 0 then invalid_arg "Metric.split_chunks: chunks must be > 0";
-  let n = List.length l in
-  if n = 0 then []
-  else begin
-    let k = min chunks n in
-    let chunk = (n + k - 1) / k in
-    let rec take k acc rest =
-      if k = 0 then (List.rev acc, rest)
-      else
-        match rest with
-        | [] -> (List.rev acc, [])
-        | x :: tl -> take (k - 1) (x :: acc) tl
-    in
-    let rec go = function
-      | [] -> []
-      | l ->
-          let head, tail = take chunk [] l in
-          head :: go tail
-    in
-    go l
-  end
 
 (* Integer accumulation of per-fault accessible counts.  All fields are
    exact integers folded with commutative operations (min / sum), so the
@@ -150,7 +148,8 @@ let iacc_merge a b =
   a.a_weight <- a.a_weight + b.a_weight;
   a.a_count <- a.a_count + b.a_count
 
-let iacc_result ~what ~nsegs ~nbits ~steals ~solver ~reduction acc =
+let iacc_result ?(pairs = None) ~what ~nsegs ~nbits ~steals ~solver ~reduction
+    acc =
   if acc.a_count = 0 then invalid_arg (what ^ ": empty fault list");
   let fsegs = float_of_int nsegs and fbits = float_of_int nbits in
   let fweight = float_of_int acc.a_weight in
@@ -164,6 +163,7 @@ let iacc_result ~what ~nsegs ~nbits ~steals ~solver ~reduction acc =
     steals;
     solver;
     reduction;
+    pairs;
   }
 
 (* ---- dynamic work-stealing scheduler ----
@@ -450,46 +450,480 @@ let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
   | `Bmc, true -> evaluate_reduced_bmc ~domains net faults
   | `Bmc, false -> evaluate_brute_bmc ~domains net faults
 
-let evaluate_pairs ?(sample = 37) ?(domains = 1) net =
-  let sample = max 1 sample in
-  let ctx = Engine.make_ctx net in
-  let faults = Array.of_list (Fault.universe net) in
+(* ---- double-fault sweeps ----
+
+   A pair verdict depends only on the two faults' canonical summaries, so
+   the exhaustive sweep runs over unordered CLASS pairs with product
+   weights instead of fault pairs.  Per class pair (i, j):
+
+   - diagonal (i = j): duplicated semantic effects are idempotent in both
+     engines, so every member pair of the class shares the class's own
+     single-fault verdict — m*(m-1)/2 pairs answered by a lookup;
+   - disjoint interaction regions and no mutual-support hazard
+     ({!Engine.probe}'s region + fragility gate): the pair verdict is
+     the pointwise AND of the two single-fault verdicts, so the pair's
+     counts follow from the single-fault results and the (small) list of
+     segments the partner lost — O(min lost), no fixpoint;
+   - interacting regions: the first class's faulty state is computed once
+     per row as a secondary baseline ({!Engine.stack}) and the second
+     summary's cone delta runs on top ({!Engine.analyze_delta_on}).
+
+   Everything is integer-exact, so the sweep is bit-identical to the brute
+   pair enumeration, sequentially and across domains. *)
+
+(* Deterministic enumeration of every [sample]-th unordered fault pair,
+   generated straight into the result array (at millions of pairs the
+   intermediate list was measurable garbage). *)
+let pair_items ~sample faults =
   let n = Array.length faults in
-  (* Deterministic enumeration of every k-th unordered pair. *)
-  let pairs = ref [] in
-  let idx = ref 0 in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      if !idx mod sample = 0 then pairs := (faults.(i), faults.(j)) :: !pairs;
-      incr idx
-    done
-  done;
-  let items = Array.of_list (List.rev !pairs) in
+  let total = n * (n - 1) / 2 in
+  let count = (total + sample - 1) / sample in
+  if count = 0 then [||]
+  else begin
+    let items = Array.make count (faults.(0), faults.(0)) in
+    let idx = ref 0 and pos = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if !idx mod sample = 0 then begin
+          items.(!pos) <- (faults.(i), faults.(j));
+          incr pos
+        end;
+        incr idx
+      done
+    done;
+    items
+  end
+
+let evaluate_pairs_brute ~sample ~domains ~engine net faults =
+  let faults = Array.of_list faults in
+  let items = pair_items ~sample faults in
   if Array.length items = 0 then invalid_arg "Metric.evaluate_pairs: empty";
-  (* The context is read-only during analysis, so the domains share it;
-     the shared-cursor scheduler replaces the static chunk split, whose
-     first chunk used to concentrate the slow port/trunk pairs. *)
-  let partials =
-    steal_map ~domains items
-      ~init:(fun _ -> iacc_create ())
-      ~step:(fun acc (fi, fj) ->
-        let v = Engine.analyze_multi ctx [ fi; fj ] in
-        let segs, bits = count_verdict net v in
-        iacc_add acc
-          ~w:(Fault.weight net fi * Fault.weight net fj)
-          ~n:1 ~segs ~bits)
-      ~finish:Fun.id
-  in
+  let nsegs = Netlist.num_segments net in
   let acc = iacc_create () in
-  let steals = ref 0 in
-  List.iter
-    (fun (a, st) ->
-      iacc_merge acc a;
-      steals := !steals + st)
-    partials;
-  iacc_result ~what:"Metric.evaluate_pairs" ~nsegs:(Netlist.num_segments net)
-    ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:None
+  let steals = ref 0 and solver = ref None in
+  let collect fold partials =
+    List.iter
+      (fun (st, s) ->
+        fold st;
+        steals := !steals + s)
+      partials
+  in
+  (match engine with
+  | `Structural ->
+      (* The context is read-only during analysis, so the domains share
+         it. *)
+      let ctx = Engine.make_ctx net in
+      steal_map ~domains items
+        ~init:(fun _ -> iacc_create ())
+        ~step:(fun a (fi, fj) ->
+          let v = Engine.analyze_multi ctx [ fi; fj ] in
+          let segs, bits = count_verdict net v in
+          iacc_add a
+            ~w:(Fault.weight net fi * Fault.weight net fj)
+            ~n:1 ~segs ~bits)
+        ~finish:Fun.id
+      |> collect (fun a -> iacc_merge acc a)
+  | `Bmc ->
+      let targets = List.init nsegs Fun.id in
+      steal_map ~domains items
+        ~init:(fun _ -> (Bmc.Session.create (Bmc.create net), iacc_create ()))
+        ~step:(fun (sess, a) (fi, fj) ->
+          let vs =
+            Bmc.Session.check_targets_multi sess ~faults:[ fi; fj ] targets
+          in
+          let segs, bits = count_bmc net vs in
+          iacc_add a
+            ~w:(Fault.weight net fi * Fault.weight net fj)
+            ~n:1 ~segs ~bits)
+        ~finish:(fun (sess, a) -> (a, solver_of_session sess))
+      |> collect (fun (a, sv) ->
+             iacc_merge acc a;
+             solver := merge_solver !solver sv));
+  iacc_result ~what:"Metric.evaluate_pairs" ~nsegs
+    ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:!solver
     ~reduction:None acc
+
+(* Per-class data shared by both exhaustive engines: summaries, member
+   counts, weights, the sum of squared member weights (for the diagonal
+   pair weight), and — filled in by phase 1, to disjoint indices, so the
+   domains share the arrays — cones, interaction regions, accessibility
+   counts/bitsets and lost-segment lists. *)
+type pair_prep = {
+  pq_sms : Fault.summary array;
+  pq_cones : Bitset.t array;
+  pq_regions : Bitset.t array;
+      (* interaction regions (dataflow vertices); region-disjoint classes
+         compose pointwise (see Engine.probe) provided the fragility gate
+         below also passes *)
+  pq_wlost : Bitset.t array;
+      (* baseline-writable segments no longer writable under the class
+         fault *)
+  pq_fragile : Bitset.t array;
+      (* segments writable under the class fault only through a re-routed
+         (non-canonical) derivation *)
+  pq_supp : Bitset.t array;
+      (* vertex footprint of the class's re-route certificates *)
+  pq_supp_edges : Bitset.t array;
+      (* edge footprint of the class's re-route certificates *)
+  pq_dead_edges : Bitset.t array;
+      (* baseline-live edges the class fault kills or corrupts *)
+  pq_dmg : Bitset.t array;
+      (* vertices the class fault blocks or turns corrupting *)
+  pq_rhosts : Bitset.t array;
+      (* steering hosts the class's re-route certificates rest on.  A
+         pair composes pointwise iff the regions are disjoint, each
+         side's supp_edges avoid the other's dead_edges, each side's
+         supp avoids the other's dmg, and each side's rhosts avoid the
+         other's fragile set and writability losses (see Engine.probe) *)
+  pq_members : int array;
+  pq_weight : int array;
+  pq_sq : int array;
+  pq_segs : int array;  (* accessible segments under the class fault *)
+  pq_bits : int array;
+  pq_acc : Bitset.t array;  (* accessible segments, as a bitset *)
+  pq_lost : int array array;
+      (* baseline-accessible segments no longer accessible under the
+         class fault (every non-coarse class's accessible set is a subset
+         of the baseline's — effects only remove capabilities) *)
+  pq_len : int array;  (* per-segment scan length *)
+}
+
+let pair_prep_static net classes =
+  let nc = Array.length classes in
+  let none = Bitset.create 0 in
+  {
+    pq_sms = Array.map (fun c -> c.Fault.cls_summary) classes;
+    pq_cones = Array.make nc none;
+    pq_regions = Array.make nc none;
+    pq_wlost = Array.make nc none;
+    pq_fragile = Array.make nc none;
+    pq_supp = Array.make nc none;
+    pq_supp_edges = Array.make nc none;
+    pq_dead_edges = Array.make nc none;
+    pq_dmg = Array.make nc none;
+    pq_rhosts = Array.make nc none;
+    pq_members =
+      Array.map (fun c -> List.length c.Fault.cls_members) classes;
+    pq_weight = Array.map (fun c -> c.Fault.cls_weight) classes;
+    pq_sq =
+      Array.map
+        (fun (c : Fault.clas) ->
+          List.fold_left
+            (fun a f ->
+              let w = Fault.weight net f in
+              a + (w * w))
+            0 c.Fault.cls_members)
+        classes;
+    pq_segs = Array.make nc 0;
+    pq_bits = Array.make nc 0;
+    pq_acc = Array.make nc none;
+    pq_lost = Array.make nc [||];
+    pq_len =
+      Array.init (Netlist.num_segments net) (fun i -> Netlist.seg_len net i);
+  }
+
+(* Accessibility bitset and lost list of one class, given a per-segment
+   accessibility predicate. *)
+let pair_prep_note pq i ~nsegs ~base_acc ~acc_of =
+  let acc = Bitset.create nsegs in
+  let lost = ref [] in
+  for s = nsegs - 1 downto 0 do
+    if acc_of s then Bitset.add acc s
+    else if base_acc s then lost := s :: !lost
+  done;
+  pq.pq_acc.(i) <- acc;
+  pq.pq_lost.(i) <- Array.of_list !lost
+
+(* Per-domain partial of the exhaustive pair sweeps. *)
+type pair_state = {
+  ps_acc : iacc;
+  mutable ps_diagonal : int;
+  mutable ps_disjoint : int;
+  mutable ps_stacked : int;
+  mutable ps_stacks : int;
+}
+
+let pair_state () =
+  {
+    ps_acc = iacc_create ();
+    ps_diagonal = 0;
+    ps_disjoint = 0;
+    ps_stacked = 0;
+    ps_stacks = 0;
+  }
+
+(* The row [i]'s pair arithmetic shared by both engines: the diagonal and
+   the disjoint fast path are pure counting; [interact j] supplies the
+   accessible counts of an interacting pair (i, j). *)
+let pair_row pq ps i ~interact =
+  let nc = Array.length pq.pq_sms in
+  (* Diagonal: every unordered pair of distinct members of class i.  The
+     union of two equal summaries is engine-equivalent to the summary
+     itself, so the pair verdict is the class verdict. *)
+  ps.ps_diagonal <- ps.ps_diagonal + 1;
+  let m = pq.pq_members.(i) in
+  let npairs = m * (m - 1) / 2 in
+  if npairs > 0 then begin
+    let w = (pq.pq_weight.(i) * pq.pq_weight.(i)) - pq.pq_sq.(i) in
+    iacc_add ps.ps_acc ~w:(w / 2) ~n:npairs ~segs:pq.pq_segs.(i)
+      ~bits:pq.pq_bits.(i)
+  end;
+  for j = i + 1 to nc - 1 do
+    let npairs = pq.pq_members.(i) * pq.pq_members.(j) in
+    let w = pq.pq_weight.(i) * pq.pq_weight.(j) in
+    if
+      Bitset.disjoint pq.pq_regions.(i) pq.pq_regions.(j)
+      && Bitset.disjoint pq.pq_supp_edges.(i) pq.pq_dead_edges.(j)
+      && Bitset.disjoint pq.pq_supp_edges.(j) pq.pq_dead_edges.(i)
+      && Bitset.disjoint pq.pq_supp.(i) pq.pq_dmg.(j)
+      && Bitset.disjoint pq.pq_supp.(j) pq.pq_dmg.(i)
+      && Bitset.disjoint pq.pq_rhosts.(i) pq.pq_fragile.(j)
+      && Bitset.disjoint pq.pq_rhosts.(j) pq.pq_fragile.(i)
+      && Bitset.disjoint pq.pq_rhosts.(i) pq.pq_wlost.(j)
+      && Bitset.disjoint pq.pq_rhosts.(j) pq.pq_wlost.(i)
+    then begin
+      (* Disjoint interaction regions and no mutual-support hazard (a
+         fragile segment of one class surviving in the other): the pair's
+         accessible set is the intersection of the two classes' — class
+         [keep]'s count minus the partner's lost segments that [keep]
+         still had.  Exact because both accessible sets are subsets of
+         the baseline's (coarse classes have full regions and never get
+         here). *)
+      ps.ps_disjoint <- ps.ps_disjoint + 1;
+      let keep, lost =
+        if Array.length pq.pq_lost.(j) <= Array.length pq.pq_lost.(i) then
+          (i, pq.pq_lost.(j))
+        else (j, pq.pq_lost.(i))
+      in
+      let acc = pq.pq_acc.(keep) in
+      let dsegs = ref 0 and dbits = ref 0 in
+      Array.iter
+        (fun s ->
+          if Bitset.mem acc s then begin
+            incr dsegs;
+            dbits := !dbits + pq.pq_len.(s)
+          end)
+        lost;
+      iacc_add ps.ps_acc ~w ~n:npairs
+        ~segs:(pq.pq_segs.(keep) - !dsegs)
+        ~bits:(pq.pq_bits.(keep) - !dbits)
+    end
+    else begin
+      ps.ps_stacked <- ps.ps_stacked + 1;
+      let segs, bits = interact j in
+      iacc_add ps.ps_acc ~w ~n:npairs ~segs ~bits
+    end
+  done
+
+let finish_pair_partials ~net ~nclasses partials =
+  let acc = iacc_create () in
+  let steals = ref 0 and solver = ref None in
+  let stats =
+    ref
+      {
+        p_classes = nclasses;
+        p_class_pairs = nclasses * (nclasses + 1) / 2;
+        p_diagonal = 0;
+        p_disjoint = 0;
+        p_stacked = 0;
+        p_stacks = 0;
+      }
+  in
+  List.iter
+    (fun ((ps, sv), st) ->
+      iacc_merge acc ps.ps_acc;
+      steals := !steals + st;
+      solver := merge_solver !solver sv;
+      stats :=
+        {
+          !stats with
+          p_diagonal = !stats.p_diagonal + ps.ps_diagonal;
+          p_disjoint = !stats.p_disjoint + ps.ps_disjoint;
+          p_stacked = !stats.p_stacked + ps.ps_stacked;
+          p_stacks = !stats.p_stacks + ps.ps_stacks;
+        })
+    partials;
+  iacc_result ~pairs:(Some !stats) ~what:"Metric.evaluate_pairs"
+    ~nsegs:(Netlist.num_segments net) ~nbits:(Netlist.total_bits net)
+    ~steals:!steals ~solver:!solver ~reduction:None acc
+
+let evaluate_pairs_reduced_structural ~domains net faults =
+  let ctx = Engine.make_ctx net in
+  let base = Engine.baseline ctx in
+  let classes = Array.of_list (Fault.collapse net faults) in
+  let nc = Array.length classes in
+  let nsegs = Netlist.num_segments net in
+  let pq = pair_prep_static net classes in
+  let base_v = Engine.baseline_verdict base in
+  let base_acc s = base_v.Engine.accessible.(s) in
+  (* Phase 1: per-class probes — single-fault verdict counts plus the
+     exact cones and interaction regions.  Writes go to disjoint indices,
+     so the domains share the arrays. *)
+  let prep_partials =
+    steal_map ~domains (Array.init nc Fun.id)
+      ~init:(fun _ -> ())
+      ~step:(fun () i ->
+        let p = Engine.probe ctx base pq.pq_sms.(i) in
+        pq.pq_cones.(i) <- p.Engine.pr_cone;
+        pq.pq_regions.(i) <- p.Engine.pr_region;
+        pq.pq_fragile.(i) <- p.Engine.pr_fragile;
+        pq.pq_supp.(i) <- p.Engine.pr_supp;
+        pq.pq_supp_edges.(i) <- p.Engine.pr_supp_edges;
+        pq.pq_dead_edges.(i) <- p.Engine.pr_dead_edges;
+        pq.pq_dmg.(i) <- p.Engine.pr_dmg;
+        pq.pq_rhosts.(i) <- p.Engine.pr_rhosts;
+        let v = p.Engine.pr_verdict in
+        let wlost = Bitset.create nsegs in
+        for s = 0 to nsegs - 1 do
+          if base_v.Engine.writable.(s) && not v.Engine.writable.(s) then
+            Bitset.add wlost s
+        done;
+        pq.pq_wlost.(i) <- wlost;
+        let segs, bits = count_verdict net v in
+        pq.pq_segs.(i) <- segs;
+        pq.pq_bits.(i) <- bits;
+        pair_prep_note pq i ~nsegs ~base_acc
+          ~acc_of:(fun s -> v.Engine.accessible.(s)))
+      ~finish:(fun () -> ())
+  in
+  let prep_steals = List.fold_left (fun a ((), s) -> a + s) 0 prep_partials in
+  (* Phase 2: row-granular sweep over first classes; each row lazily
+     builds its secondary baseline the first time it meets an interacting
+     partner. *)
+  let partials =
+    steal_map ~domains (Array.init nc Fun.id)
+      ~init:(fun _ -> pair_state ())
+      ~step:(fun ps i ->
+        let stk = ref None in
+        pair_row pq ps i ~interact:(fun j ->
+            let s =
+              match !stk with
+              | Some s -> s
+              | None ->
+                  let s = Engine.stack ctx base pq.pq_sms.(i) in
+                  ps.ps_stacks <- ps.ps_stacks + 1;
+                  stk := Some s;
+                  s
+            in
+            let v, _ = Engine.analyze_delta_on ctx s pq.pq_sms.(j) in
+            count_verdict net v))
+      ~finish:(fun ps -> (ps, None))
+  in
+  let r = finish_pair_partials ~net ~nclasses:nc partials in
+  { r with steals = r.steals + prep_steals }
+
+let evaluate_pairs_reduced_bmc ~domains net faults =
+  let ctx = Engine.make_ctx net in
+  let base = Engine.baseline ctx in
+  let classes = Array.of_list (Fault.collapse net faults) in
+  let nc = Array.length classes in
+  let nsegs = Netlist.num_segments net in
+  let targets = List.init nsegs Fun.id in
+  let pq = pair_prep_static net classes in
+  let base_wrt = (Engine.baseline_verdict base).Engine.writable in
+  (* Phase 1: per-class structural probes (cones and interaction regions)
+     and cone-restricted SAT counts, as in the single-fault sweep.  The
+     structural regions drive the factorization below — the engines agree
+     on them (the cone-splice assumption the reduced single-fault BMC
+     path already rests on, property-tested). *)
+  let bmc_acc vs s =
+    match vs.(s) with Bmc.Accessible _ -> true | Bmc.Inaccessible -> false
+  in
+  let prep_partials =
+    steal_map ~domains (Array.init nc Fun.id)
+      ~init:(fun _ ->
+        let sess = Bmc.Session.create (Bmc.create net) in
+        let base_vs = Bmc.Session.check_targets sess targets in
+        (sess, base_vs))
+      ~step:(fun (sess, base_vs) i ->
+        let p = Engine.probe ctx base pq.pq_sms.(i) in
+        pq.pq_cones.(i) <- p.Engine.pr_cone;
+        pq.pq_regions.(i) <- p.Engine.pr_region;
+        pq.pq_fragile.(i) <- p.Engine.pr_fragile;
+        pq.pq_supp.(i) <- p.Engine.pr_supp;
+        pq.pq_supp_edges.(i) <- p.Engine.pr_supp_edges;
+        pq.pq_dead_edges.(i) <- p.Engine.pr_dead_edges;
+        pq.pq_dmg.(i) <- p.Engine.pr_dmg;
+        pq.pq_rhosts.(i) <- p.Engine.pr_rhosts;
+        let wlost = Bitset.create nsegs in
+        for s = 0 to nsegs - 1 do
+          if
+            base_wrt.(s)
+            && not p.Engine.pr_verdict.Engine.writable.(s)
+          then Bitset.add wlost s
+        done;
+        pq.pq_wlost.(i) <- wlost;
+        let vs =
+          if Fault.summary_benign pq.pq_sms.(i) then base_vs
+          else
+            Bmc.Session.check_targets sess ~fault:classes.(i).Fault.cls_rep
+              ~only:(Bitset.mem p.Engine.pr_cone)
+              ~fallback:(fun t -> base_vs.(t))
+              targets
+        in
+        let segs, bits = count_bmc net vs in
+        pq.pq_segs.(i) <- segs;
+        pq.pq_bits.(i) <- bits;
+        pair_prep_note pq i ~nsegs ~base_acc:(bmc_acc base_vs)
+          ~acc_of:(bmc_acc vs))
+      ~finish:(fun (sess, _) -> solver_of_session sess)
+  in
+  let prep_steals = ref 0 and prep_solver = ref None in
+  List.iter
+    (fun (sv, st) ->
+      prep_steals := !prep_steals + st;
+      prep_solver := merge_solver !prep_solver sv)
+    prep_partials;
+  (* Phase 2: the row sweep; interacting pairs are SAT-checked under the
+     merged fault set, restricted to the union of the two cones. *)
+  let partials =
+    steal_map ~domains (Array.init nc Fun.id)
+      ~init:(fun _ ->
+        let sess = Bmc.Session.create (Bmc.create net) in
+        let base_vs = Bmc.Session.check_targets sess targets in
+        (sess, base_vs, pair_state ()))
+      ~step:(fun (sess, base_vs, ps) i ->
+        pair_row pq ps i ~interact:(fun j ->
+            (* The restriction must be the cone of the MERGED summary:
+               with tight cones the union of the two single-fault taints
+               can undershoot the pair's (interaction can kill paths both
+               single faults left alive). *)
+            let u =
+              match
+                Engine.cone ctx base
+                  (Fault.summary_union pq.pq_sms.(i) pq.pq_sms.(j))
+              with
+              | Some cs -> cs
+              | None -> Bitset.create nsegs
+            in
+            let vs =
+              Bmc.Session.check_targets_multi sess
+                ~faults:
+                  [ classes.(i).Fault.cls_rep; classes.(j).Fault.cls_rep ]
+                ~only:(Bitset.mem u)
+                ~fallback:(fun t -> base_vs.(t))
+                targets
+            in
+            count_bmc net vs))
+      ~finish:(fun (sess, _, ps) -> (ps, solver_of_session sess))
+  in
+  let r = finish_pair_partials ~net ~nclasses:nc partials in
+  {
+    r with
+    steals = r.steals + !prep_steals;
+    solver = merge_solver r.solver !prep_solver;
+  }
+
+let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
+    ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true) net =
+  let faults = sample_faults fault_sample (Fault.universe net) in
+  if exhaustive && reduce then
+    match engine with
+    | `Structural -> evaluate_pairs_reduced_structural ~domains net faults
+    | `Bmc -> evaluate_pairs_reduced_bmc ~domains net faults
+  else
+    let sample = if exhaustive then 1 else max 1 sample in
+    evaluate_pairs_brute ~sample ~domains ~engine net faults
 
 let pp_solver_stats fmt s =
   Format.fprintf fmt
@@ -505,6 +939,12 @@ let pp_reduction_stats fmt r =
      else float_of_int r.r_cone_sum /. float_of_int r.r_classes)
     r.r_cone_max
 
+let pp_pair_stats fmt p =
+  Format.fprintf fmt
+    "@[<h>pairs: %d classes -> %d class pairs (%d diagonal, %d disjoint, %d stacked); %d secondary baselines@]"
+    p.p_classes p.p_class_pairs p.p_diagonal p.p_disjoint p.p_stacked
+    p.p_stacks
+
 let pp fmt r =
   Format.fprintf fmt
     "@[<v>segments: worst %.3f avg %.4f@,bits: worst %.3f avg %.4f@,(%d faults, weight %d)@]"
@@ -513,6 +953,9 @@ let pp fmt r =
   (match r.reduction with
   | None -> ()
   | Some red -> Format.fprintf fmt "@,%a" pp_reduction_stats red);
+  (match r.pairs with
+  | None -> ()
+  | Some p -> Format.fprintf fmt "@,%a" pp_pair_stats p);
   if r.steals > 0 then Format.fprintf fmt "@,steals: %d" r.steals;
   match r.solver with
   | None -> ()

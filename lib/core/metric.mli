@@ -51,6 +51,28 @@ type reduction_stats = {
     [r_cone_sum / r_classes] segments re-analyzed per class instead of
     all of them. *)
 
+type pair_stats = {
+  p_classes : int;      (** fault classes in the collapsed universe *)
+  p_class_pairs : int;
+      (** unordered class pairs examined, diagonal included:
+          [p_classes * (p_classes + 1) / 2] *)
+  p_diagonal : int;
+      (** same-class pairs — answered by the class's single-fault verdict
+          (equal summaries are idempotent in both engines) *)
+  p_disjoint : int;
+      (** non-interacting pairs — interaction regions disjoint and the
+          mutual-support gate passed, so the pair verdict is the
+          pointwise AND of the single-fault verdicts and the counts
+          follow arithmetically; no fixpoint or SAT query *)
+  p_stacked : int;
+      (** interacting pairs — a cone delta on a secondary baseline
+          (structural) or a cone-restricted SAT sweep of the merged
+          summary (BMC) *)
+  p_stacks : int;  (** secondary baselines actually built (structural) *)
+}
+(** How the exhaustive double-fault sweep dispatched the class pairs;
+    [p_diagonal + p_disjoint + p_stacked = p_class_pairs]. *)
+
 type result = {
   worst_segments : float;  (** min over faults of accessible-segment fraction *)
   avg_segments : float;    (** weighted average of accessible-segment fraction *)
@@ -65,6 +87,8 @@ type result = {
       (** [Some] iff the BMC engine produced the verdicts *)
   reduction : reduction_stats option;
       (** [Some] iff the reduction layer was used ([reduce = true]) *)
+  pairs : pair_stats option;
+      (** [Some] iff the exhaustive reduced pair sweep produced the result *)
 }
 
 val evaluate :
@@ -101,26 +125,62 @@ val evaluate_faults_bmc :
     [result.solver]). *)
 
 val evaluate_pairs :
-  ?sample:int -> ?domains:int -> Ftrsn_rsn.Netlist.t -> result
+  ?sample:int ->
+  ?fault_sample:int ->
+  ?domains:int ->
+  ?engine:[ `Structural | `Bmc ] ->
+  ?exhaustive:bool ->
+  ?reduce:bool ->
+  Ftrsn_rsn.Netlist.t ->
+  result
 (** Double-fault study (beyond the paper's single-fault scope): evaluates
-    accessibility under PAIRS of simultaneous stuck-at faults.  The pair
-    universe is quadratic, so [sample] (default 37) keeps every k-th pair
-    of a deterministic enumeration.  Each pair is weighted by the product
-    of its faults' weights.  Pairs are distributed over [domains] by the
-    work-stealing queue — pair costs are highly skewed (port and trunk
-    faults force whole-graph re-analysis), which used to leave the
-    statically-chunked first domain the straggler. *)
+    accessibility under PAIRS of simultaneous stuck-at faults, each pair
+    weighted by the product of its faults' weights.
 
-val split_chunks : chunks:int -> 'a list -> 'a list list
-[@@ocaml.deprecated
-  "static chunking is no longer the work-distribution strategy; the \
-   evaluators pull from a shared work-stealing queue"]
-(** Partition a list into at most [chunks] contiguous chunks of equal ceil
-    size (the last may be shorter; none is empty).
-    @deprecated Formerly the unit of work distribution of the [domains]
-    options; superseded by the dynamic scheduler.  Kept for its unit
-    tests.
-    @raise Invalid_argument if [chunks <= 0]. *)
+    With [exhaustive:true] (and the default [reduce:true]) the FULL pair
+    universe is evaluated exactly: faults are collapsed into semantic
+    classes as in {!evaluate} and the sweep runs over unordered class
+    pairs — diagonal pairs reuse the class's single-fault verdict;
+    non-interacting pairs (disjoint interaction regions, no
+    mutual-support hazard — see {!Ftrsn_access.Engine.probe}) are
+    answered arithmetically from the two single-fault verdicts, whose
+    pointwise AND the pair verdict provably equals; only the remaining
+    interacting pairs run an engine (a cone delta on a stacked
+    secondary baseline, or a cone-restricted SAT sweep of the merged
+    summary).  The result is bit-identical to the brute pair
+    enumeration ([reduce:false]) in every field, sequentially and for any
+    [domains]; [result.pairs] reports the dispatch statistics.
+
+    Without [exhaustive] the quadratic universe is subsampled: [sample]
+    (default 37) keeps every k-th pair of a deterministic enumeration —
+    the fallback for networks whose fault universe makes even the
+    class-pair count intractable.  [fault_sample] additionally thins the
+    fault universe itself (as [evaluate ~sample]) before pairing, in
+    either mode.
+
+    Work is distributed over [domains] at pair granularity (brute) or
+    first-class-row granularity (exhaustive) by the work-stealing queue —
+    pair costs are highly skewed (port and trunk faults force whole-graph
+    re-analysis), which used to leave the statically-chunked first domain
+    the straggler. *)
+
+val steal_map :
+  domains:int ->
+  'a array ->
+  init:(int -> 'b) ->
+  step:('b -> 'a -> unit) ->
+  finish:('b -> 'c) ->
+  ('c * int) list
+(** The work-stealing scheduler underlying every evaluator: one shared
+    atomic cursor over the item array; each of [domains] domains builds
+    its private state with [init domain], folds claimed items into it
+    with [step] and extracts a partial with [finish].  Returns one
+    [(partial, steals)] per domain, where [steals] counts items executed
+    by a different domain than a static ceil-chunk split would have
+    assigned (always 0 when [domains <= 1], which runs inline without
+    spawning).  Exact whenever the fold is commutative — the evaluators
+    use integer accumulators so their results are bit-identical to the
+    sequential fold. *)
 
 val merge : result -> result -> result
 (** Recombination of two partial results (min of worsts, weighted mean of
@@ -132,3 +192,5 @@ val merge : result -> result -> result
 val pp : Format.formatter -> result -> unit
 
 val pp_reduction_stats : Format.formatter -> reduction_stats -> unit
+
+val pp_pair_stats : Format.formatter -> pair_stats -> unit

@@ -186,6 +186,26 @@ let empty_summary =
 
 let summary_benign sm = sm = empty_summary
 
+(* Combined semantic effect of two (or more) simultaneous faults: every
+   per-site list concatenates and the global kill flags disjoin.  Duplicate
+   entries are harmless — both engines treat the lists as sets — so no
+   deduplication is attempted. *)
+let summary_union a b =
+  {
+    sm_hard_block = a.sm_hard_block @ b.sm_hard_block;
+    sm_corrupt_vertex = a.sm_corrupt_vertex @ b.sm_corrupt_vertex;
+    sm_corrupt_in = a.sm_corrupt_in @ b.sm_corrupt_in;
+    sm_corrupt_out = a.sm_corrupt_out @ b.sm_corrupt_out;
+    sm_kill_write = a.sm_kill_write @ b.sm_kill_write;
+    sm_kill_read = a.sm_kill_read @ b.sm_kill_read;
+    sm_mux_out = a.sm_mux_out @ b.sm_mux_out;
+    sm_mux_in = a.sm_mux_in @ b.sm_mux_in;
+    sm_locked_addr = a.sm_locked_addr @ b.sm_locked_addr;
+    sm_stuck_shadow = a.sm_stuck_shadow @ b.sm_stuck_shadow;
+    sm_pi_dead = a.sm_pi_dead || b.sm_pi_dead;
+    sm_po_dead = a.sm_po_dead || b.sm_po_dead;
+  }
+
 let summarize ?port_masked (net : Netlist.t) f =
   let masked =
     match port_masked with Some p -> p | None -> port_mask_table net

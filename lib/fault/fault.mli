@@ -101,6 +101,14 @@ val summary_benign : summary -> bool
 (** Whether the summary equals {!empty_summary}: the fault is
     indistinguishable from the fault-free network for both engines. *)
 
+val summary_union : summary -> summary -> summary
+(** Combined semantic effect of two simultaneous faults: per-site lists
+    concatenate, the global port-kill flags disjoin.  Both engines apply
+    summaries set-wise, so [summary_union] is commutative, associative and
+    idempotent up to engine semantics — the basis of the double-fault pair
+    reduction (a pair verdict depends only on the union of the two class
+    summaries). *)
+
 val port_mask_table : Ftrsn_rsn.Netlist.t -> int -> bool
 (** Memoized form of {!port_masked_mux}: the returned predicate shares one
     edge-route computation across all muxes. *)

@@ -47,6 +47,12 @@ let equal a b =
 let same_capacity a b op =
   if a.n <> b.n then invalid_arg ("Bitset." ^ op ^ ": capacity mismatch")
 
+let disjoint a b =
+  same_capacity a b "disjoint";
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
 let inter_into dst src =
   same_capacity dst src "inter_into";
   Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words

@@ -22,6 +22,10 @@ val fill : t -> unit
 val copy : t -> t
 val equal : t -> t -> bool
 
+val disjoint : t -> t -> bool
+(** [disjoint a b] is [true] iff [a ∩ b] is empty (one word-scan, no
+    allocation). @raise Invalid_argument on capacity mismatch. *)
+
 val inter_into : t -> t -> unit
 (** [inter_into dst src] replaces [dst] with [dst ∩ src].
     @raise Invalid_argument on capacity mismatch. *)

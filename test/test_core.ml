@@ -277,33 +277,43 @@ let test_parallel_metric_exact () =
   check (Alcotest.float 1e-9) "avg bits" seq.Metric.avg_bits
     par.Metric.avg_bits
 
-(* split_chunks is deprecated (the evaluators pull from a shared queue now)
-   but its unit tests are kept as long as the function is. *)
-[@@@ocaml.alert "-deprecated"]
-
-let test_split_chunks () =
-  let items n = List.init n Fun.id in
-  let sizes l = List.map List.length l in
-  (* Ceil-sized chunks until exhaustion; regression for the old split that
-     merged the final two chunks (10 over 3 used to give [4; 6]). *)
-  check (Alcotest.list int_t) "10 over 3" [ 4; 4; 2 ]
-    (sizes (Metric.split_chunks ~chunks:3 (items 10)));
-  check (Alcotest.list int_t) "9 over 3" [ 3; 3; 3 ]
-    (sizes (Metric.split_chunks ~chunks:3 (items 9)));
-  check (Alcotest.list int_t) "7 over 2" [ 4; 3 ]
-    (sizes (Metric.split_chunks ~chunks:2 (items 7)));
-  check (Alcotest.list int_t) "fewer items than chunks" [ 1; 1; 1 ]
-    (sizes (Metric.split_chunks ~chunks:8 (items 3)));
-  check (Alcotest.list int_t) "single chunk" [ 5 ]
-    (sizes (Metric.split_chunks ~chunks:1 (items 5)));
-  check bool_t "empty list" true (Metric.split_chunks ~chunks:4 [] = []);
-  (* Order and content preserved. *)
-  check (Alcotest.list int_t) "concat restores the list" (items 10)
-    (List.concat (Metric.split_chunks ~chunks:3 (items 10)));
-  check bool_t "chunks <= 0 rejected" true
-    (match Metric.split_chunks ~chunks:0 (items 3) with
-    | exception Invalid_argument _ -> true
-    | _ -> false)
+(* The work-stealing scheduler is the unit of work distribution (it
+   replaced the static split_chunks); its contract: one partial per
+   domain, every item folded exactly once, exact results for commutative
+   folds regardless of the domain count. *)
+let test_steal_map () =
+  let items n = Array.init n Fun.id in
+  let sum ~domains n =
+    Metric.steal_map ~domains (items n)
+      ~init:(fun _ -> ref 0)
+      ~step:(fun acc i -> acc := !acc + i)
+      ~finish:(fun acc -> !acc)
+  in
+  let total partials = List.fold_left (fun a (s, _) -> a + s) 0 partials in
+  let steals partials = List.fold_left (fun a (_, st) -> a + st) 0 partials in
+  let expect = 100 * 99 / 2 in
+  let seq = sum ~domains:1 100 in
+  check int_t "one partial per domain (sequential)" 1 (List.length seq);
+  check int_t "sequential sum exact" expect (total seq);
+  check int_t "sequential run steals nothing" 0 (steals seq);
+  let par = sum ~domains:3 100 in
+  check int_t "one partial per domain (parallel)" 3 (List.length par);
+  check int_t "parallel sum exact" expect (total par);
+  let wide = sum ~domains:8 5 in
+  check int_t "more domains than items" 8 (List.length wide);
+  check int_t "starved domains contribute empty partials" (5 * 4 / 2)
+    (total wide);
+  check int_t "empty item array" 0 (total (sum ~domains:4 0));
+  (* Each item is claimed exactly once: the partials partition the items. *)
+  let seen =
+    Metric.steal_map ~domains:3 (items 50)
+      ~init:(fun _ -> ref [])
+      ~step:(fun acc i -> acc := i :: !acc)
+      ~finish:(fun acc -> !acc)
+  in
+  let all = List.concat_map fst seen |> List.sort compare in
+  check (Alcotest.list int_t) "items partitioned across domains"
+    (Array.to_list (items 50)) all
 
 (* ---- fault-universe reduction properties ----
 
@@ -458,6 +468,156 @@ let test_pairs_weighted_and_parallel () =
   check (Alcotest.float 1e-9) "parallel: same average"
     seq.Metric.avg_segments par.Metric.avg_segments
 
+(* ---- exhaustive double-fault sweep properties ----
+
+   The pair reduction (class-pair collapsing + disjoint-cone splicing +
+   stacked deltas) claims bit-identical results against the brute pair
+   enumeration; these properties pin that down with exact float equality,
+   for both engines, sequentially and across domains. *)
+
+let prop_pairs_exhaustive_exact_structural =
+  QCheck.Test.make
+    ~name:"exhaustive pair sweep = brute pairs (structural, random nets)"
+    ~count:8
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Ftrsn_rsn.Random_net.generate ~seed ~segments:(5 + (seed mod 4)) ()
+      in
+      let red = Metric.evaluate_pairs ~exhaustive:true net in
+      let brute = Metric.evaluate_pairs ~exhaustive:true ~reduce:false net in
+      let par = Metric.evaluate_pairs ~exhaustive:true ~domains:3 net in
+      same_result red brute && same_result red par)
+
+let prop_pairs_exhaustive_exact_bmc =
+  QCheck.Test.make
+    ~name:"exhaustive pair sweep = brute pairs (BMC, random nets)" ~count:2
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Ftrsn_rsn.Random_net.generate ~seed ~segments:4 () in
+      let red = Metric.evaluate_pairs ~engine:`Bmc ~exhaustive:true net in
+      let brute =
+        Metric.evaluate_pairs ~engine:`Bmc ~exhaustive:true ~reduce:false net
+      in
+      let par =
+        Metric.evaluate_pairs ~engine:`Bmc ~exhaustive:true ~domains:2 net
+      in
+      same_result red brute && same_result red par)
+
+let test_pairs_exhaustive_u226 () =
+  (* A real ITC'02 SoC, fault universe thinned to keep the brute reference
+     tractable; the exhaustive sweep must match it bit for bit and report
+     coherent dispatch statistics. *)
+  let net = Itc02.rsn (Option.get (Itc02.find "u226")) in
+  let red = Metric.evaluate_pairs ~exhaustive:true ~fault_sample:16 net in
+  let brute =
+    Metric.evaluate_pairs ~exhaustive:true ~reduce:false ~fault_sample:16 net
+  in
+  check bool_t "bit-identical to brute pairs" true (same_result red brute);
+  check bool_t "brute run has no pair stats" true (brute.Metric.pairs = None);
+  let par =
+    Metric.evaluate_pairs ~exhaustive:true ~fault_sample:16 ~domains:3 net
+  in
+  check bool_t "parallel exhaustive identical" true (same_result red par);
+  match red.Metric.pairs with
+  | None -> Alcotest.fail "exhaustive sweep must report pair stats"
+  | Some p ->
+      check int_t "dispatch covers every class pair" p.Metric.p_class_pairs
+        (p.Metric.p_diagonal + p.Metric.p_disjoint + p.Metric.p_stacked);
+      check int_t "one diagonal pair per class" p.Metric.p_classes
+        p.Metric.p_diagonal;
+      check int_t "class pairs = nc*(nc+1)/2"
+        (p.Metric.p_classes * (p.Metric.p_classes + 1) / 2)
+        p.Metric.p_class_pairs;
+      check bool_t "at most one secondary baseline per row" true
+        (p.Metric.p_stacks <= p.Metric.p_classes);
+      check bool_t "the fast paths fire" true
+        (p.Metric.p_diagonal + p.Metric.p_disjoint > 0)
+
+let test_pairs_disjoint_and () =
+  (* The non-interacting fast path rests on: for class pairs with
+     disjoint interaction regions and no mutual-support hazard (each
+     class's re-route certificates avoid the other's exact damage, and
+     the hosts they rest on keep their writability and canonical
+     certificates under the other fault), the pair verdict is the
+     pointwise AND of the two single-fault verdicts.  Check that claim
+     verdict-by-verdict (not just in the counts) against analyze_multi,
+     on the hand-built nets and a band of random ones, using the SAME
+     gate Metric.pair_row applies. *)
+  let checked = ref 0 in
+  let check_net net =
+    let name = net.Netlist.net_name in
+    let ctx = Engine.make_ctx net in
+    let base = Engine.baseline ctx in
+    let nsegs = Netlist.num_segments net in
+    let classes = Array.of_list (Fault.collapse net (Fault.universe net)) in
+    let probes =
+      Array.map (fun c -> Engine.probe ctx base c.Fault.cls_summary) classes
+    in
+    let bw = (Engine.baseline_verdict base).Engine.writable in
+    let wlosts =
+      Array.map
+        (fun (p : Engine.probe) ->
+          let w = Ftrsn_topo.Bitset.create nsegs in
+          for s = 0 to nsegs - 1 do
+            if bw.(s) && not p.Engine.pr_verdict.Engine.writable.(s) then
+              Ftrsn_topo.Bitset.add w s
+          done;
+          w)
+        probes
+    in
+    Array.iteri
+      (fun i (pi : Engine.probe) ->
+        for j = i + 1 to Array.length classes - 1 do
+          let pj = probes.(j) in
+          if
+            Ftrsn_topo.Bitset.disjoint pi.Engine.pr_region
+              pj.Engine.pr_region
+            && Ftrsn_topo.Bitset.disjoint pi.Engine.pr_supp_edges
+                 pj.Engine.pr_dead_edges
+            && Ftrsn_topo.Bitset.disjoint pj.Engine.pr_supp_edges
+                 pi.Engine.pr_dead_edges
+            && Ftrsn_topo.Bitset.disjoint pi.Engine.pr_supp
+                 pj.Engine.pr_dmg
+            && Ftrsn_topo.Bitset.disjoint pj.Engine.pr_supp
+                 pi.Engine.pr_dmg
+            && Ftrsn_topo.Bitset.disjoint pi.Engine.pr_rhosts
+                 pj.Engine.pr_fragile
+            && Ftrsn_topo.Bitset.disjoint pj.Engine.pr_rhosts
+                 pi.Engine.pr_fragile
+            && Ftrsn_topo.Bitset.disjoint pi.Engine.pr_rhosts wlosts.(j)
+            && Ftrsn_topo.Bitset.disjoint pj.Engine.pr_rhosts wlosts.(i)
+          then begin
+            incr checked;
+            let pair =
+              Engine.analyze_multi ctx
+                [ classes.(i).Fault.cls_rep; classes.(j).Fault.cls_rep ]
+            in
+            let vi = pi.Engine.pr_verdict and vj = pj.Engine.pr_verdict in
+            for s = 0 to nsegs - 1 do
+              let row msg f =
+                if
+                  (f pair).(s) <> ((f vi).(s) && (f vj).(s))
+                then
+                  Alcotest.fail
+                    (Printf.sprintf "%s: %s AND mismatch at seg %d" name msg
+                       s)
+              in
+              row "writable" (fun (v : Engine.verdict) -> v.Engine.writable);
+              row "readable" (fun v -> v.Engine.readable);
+              row "accessible" (fun v -> v.Engine.accessible)
+            done
+          end
+        done)
+      probes
+  in
+  List.iter check_net [ tiny_sib (); small_sib () ];
+  for seed = 0 to 60 do
+    check_net
+      (Ftrsn_rsn.Random_net.generate ~seed ~segments:(6 + (seed mod 5)) ())
+  done;
+  check bool_t "some non-interacting class pair exists" true (!checked > 0)
+
 let test_report_row_and_csv () =
   let net = small_sib () in
   let row = Ftrsn_core.Report.row ~name:"small" net in
@@ -611,7 +771,7 @@ let suite =
     Alcotest.test_case "fig2-style pipeline" `Quick test_fig2_style_pipeline;
     Alcotest.test_case "parallel metric exact" `Quick
       test_parallel_metric_exact;
-    Alcotest.test_case "split_chunks shapes" `Quick test_split_chunks;
+    Alcotest.test_case "steal_map contract" `Quick test_steal_map;
     Alcotest.test_case "reduction: exact on u226, parallel exact" `Quick
       test_reduction_exact_u226;
     Alcotest.test_case "reduction: BMC exact on SIB nets" `Slow
@@ -624,6 +784,12 @@ let suite =
       test_metric_bmc_parallel;
     Alcotest.test_case "pairs: weighted and parallel" `Quick
       test_pairs_weighted_and_parallel;
+    QCheck_alcotest.to_alcotest prop_pairs_exhaustive_exact_structural;
+    QCheck_alcotest.to_alcotest prop_pairs_exhaustive_exact_bmc;
+    Alcotest.test_case "pairs: exhaustive exact on u226" `Slow
+      test_pairs_exhaustive_u226;
+    Alcotest.test_case "pairs: non-interacting pointwise AND" `Quick
+      test_pairs_disjoint_and;
     Alcotest.test_case "report row and CSV" `Quick test_report_row_and_csv;
     Alcotest.test_case "area profile sensitivity" `Quick
       test_area_profile_sensitivity;
