@@ -250,6 +250,66 @@ let double_fault =
              ignore (Metric.evaluate_pairs ~exhaustive:true u226)));
     ]
 
+(* Proof logging: what DRUP emission costs on top of plain solving, and
+   what inline RUP checking costs on top of emission.  The solver legs
+   refute PHP(5,4) — a learning-heavy pure-SAT workload — three ways:
+   no sink, a counting sink (emission overhead alone), and a sink feeding
+   the independent checker (full certification).  The metric legs sweep
+   the small network's fault universe through the BMC engine with and
+   without [~certify]. *)
+module Solver = Ftrsn_sat.Solver
+module Checker = Ftrsn_sat.Checker
+
+let php_solve sink =
+  let s = Solver.create () in
+  Solver.set_proof_sink s sink;
+  let v p h = (p * 4) + h + 1 in
+  for p = 0 to 4 do
+    Solver.add_clause s [ v p 0; v p 1; v p 2; v p 3 ]
+  done;
+  for h = 0 to 3 do
+    for p1 = 0 to 4 do
+      for p2 = p1 + 1 to 4 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat -> failwith "PHP(5,4) must be unsat"
+
+let php_checked () =
+  let chk = Checker.create () in
+  php_solve
+    (Some
+       (fun ev ->
+         match ev with
+         | Solver.P_input c -> Checker.add_clause chk c
+         | Solver.P_add c -> (
+             match Checker.add_lemma chk c with
+             | Ok () -> ()
+             | Error e -> failwith ("proof rejected: " ^ e))
+         | Solver.P_delete c -> Checker.delete_clause chk c));
+  if not (Checker.contradiction chk) then
+    failwith "checker did not certify the refutation"
+
+let proof_logging =
+  let events = ref 0 in
+  Test.make_grouped ~name:"proof_logging"
+    [
+      Test.make ~name:"php54_plain"
+        (Staged.stage (fun () -> php_solve None));
+      Test.make ~name:"php54_logged"
+        (Staged.stage (fun () -> php_solve (Some (fun _ -> incr events))));
+      Test.make ~name:"php54_checked" (Staged.stage php_checked);
+      Test.make ~name:"metric_bmc_small_plain"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate ~engine:`Bmc small)));
+      Test.make ~name:"metric_bmc_small_certified"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate ~engine:`Bmc ~certify:true small)));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"ftrsn"
     [
@@ -259,6 +319,7 @@ let all_tests =
       bmc_incremental;
       primitives;
       extensions;
+      proof_logging;
     ]
 
 (* Benched under its own, larger quota: the full d695 and u226 pair
@@ -352,6 +413,26 @@ let smoke () =
   ignore (Bmc.check_access small_bmc ~fault:small_fault ~target:2 ());
   ignore (Augment.solve p_small);
   ignore (Retarget.plan_write u226_ctx ~target:5 ());
+  (* proof_logging group: every leg must run, every emitted proof must be
+     accepted by the independent checker (php_checked and ~certify raise
+     on any rejected step), and the certified sweep must actually have
+     certified something. *)
+  php_solve None;
+  php_checked ();
+  let c = Metric.evaluate ~engine:`Bmc ~certify:true small in
+  let cu = Metric.evaluate ~sample:16 ~engine:`Bmc ~certify:true u226 in
+  (match (c.Metric.solver, cu.Metric.solver) with
+  | Some sc, Some su
+    when sc.Metric.s_cert_unsat > 0
+         && sc.Metric.s_cert_lemmas > 0
+         && su.Metric.s_cert_unsat > 0 ->
+      ()
+  | _ -> failwith "smoke: certified metric reported no certification work");
+  let p = Metric.evaluate ~engine:`Bmc small in
+  if
+    c.Metric.worst_segments <> p.Metric.worst_segments
+    || c.Metric.avg_bits <> p.Metric.avg_bits
+  then failwith "smoke: certified BMC metric disagrees with plain BMC";
   print_endline "bench smoke OK"
 
 let () =

@@ -7,6 +7,8 @@
      harden     — run the fault-tolerant synthesis and write the result in
                   the flat text format
      metric     — evaluate the fault-tolerance metric
+     certify    — the metric through the BMC engine with every UNSAT
+                  verdict verified by an independent RUP proof checker
      access     — plan an access to a segment (optionally under a fault)
                   and print the CSU schedule or SVF vectors
      diagnose   — read an observed signature (bit lines) and list candidate
@@ -132,6 +134,26 @@ let cmd_metric path sample domains brute pairs =
   in
   Format.printf "%a@." Metric.pp r
 
+let cmd_certify path sample domains pairs =
+  let net = load path in
+  match
+    if pairs then
+      Metric.evaluate_pairs ?fault_sample:sample ~domains ~exhaustive:true
+        ~engine:`Bmc ~certify:true net
+    else Metric.evaluate ?sample ~domains ~engine:`Bmc ~certify:true net
+  with
+  | r ->
+      Format.printf "%a@." Metric.pp r;
+      let s = Option.get r.Metric.solver in
+      Printf.printf
+        "certification: OK (%d UNSAT verdicts RUP-checked, %d lemmas, %d \
+         deletions, %.2fs in checker)\n"
+        s.Metric.s_cert_unsat s.Metric.s_cert_lemmas s.Metric.s_cert_deletes
+        s.Metric.s_cert_time
+  | exception Ftrsn_bmc.Bmc.Session.Certification_failed msg ->
+      Printf.eprintf "certification: FAILED: %s\n" msg;
+      exit 3
+
 let parse_fault net spec =
   (* "<segment or mux name>.<site>/sa<0|1>", matching Fault.to_string. *)
   match
@@ -248,6 +270,24 @@ let () =
     Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
       Term.(const cmd_metric $ path $ sample $ domains $ brute $ pairs)
   in
+  let certify_cmd =
+    let sample =
+      Arg.(value & opt (some int) None & info [ "sample" ] ~doc:"Every k-th fault only.")
+    in
+    let domains =
+      Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Evaluation domains (work-stealing queue).")
+    in
+    let pairs =
+      Arg.(value & flag & info [ "pairs" ] ~doc:"Certify the exhaustive double-fault sweep instead of the single-fault metric.")
+    in
+    Cmd.v
+      (Cmd.info "certify"
+         ~doc:"Fault-tolerance metric through the BMC engine in certified \
+               mode: every solver derivation and every UNSAT verdict is \
+               verified inline by an independent RUP proof checker.  Exits \
+               3 if any proof step is rejected.")
+      Term.(const cmd_certify $ path $ sample $ domains $ pairs)
+  in
   let access_cmd =
     let target =
       Arg.(required & pos 1 (some string) None & info [] ~docv:"SEGMENT")
@@ -271,6 +311,14 @@ let () =
   let group =
     Cmd.group
       (Cmd.info "ftrsn-tool" ~doc:"RSN netlist utilities")
-      [ stats_cmd; dot_cmd; harden_cmd; metric_cmd; access_cmd; diagnose_cmd ]
+      [
+        stats_cmd;
+        dot_cmd;
+        harden_cmd;
+        metric_cmd;
+        certify_cmd;
+        access_cmd;
+        diagnose_cmd;
+      ]
   in
   exit (Cmd.eval group)

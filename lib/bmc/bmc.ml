@@ -3,6 +3,7 @@ module Fault = Ftrsn_fault.Fault
 module Engine = Ftrsn_access.Engine
 module Expr = Ftrsn_boolexpr.Expr
 module Solver = Ftrsn_sat.Solver
+module Checker = Ftrsn_sat.Checker
 module Order = Ftrsn_topo.Order
 
 (* Condition under which an interconnect from an element to its consumer is
@@ -81,6 +82,19 @@ and session = {
   mutable queries : int;
   (* newest first: (emitted, reused, conflicts, sat) per query *)
   mutable qlog : (int * int * int * bool) list;
+  cert : cert_state option;  (* Some = certified mode *)
+}
+
+(* Inline certification: the independent RUP checker mirrors the solver's
+   proof events, and every Unsat verdict is certified on the spot by
+   checking that the negated failed-assumption set is RUP. *)
+and cert_state = {
+  cc : Checker.t;
+  mutable cc_inputs : int;   (* problem clauses mirrored *)
+  mutable cc_lemmas : int;   (* derivations verified *)
+  mutable cc_deletes : int;  (* deletion events forwarded *)
+  mutable cc_unsat : int;    (* Unsat verdicts certified *)
+  mutable cc_time : float;   (* CPU seconds spent in the checker *)
 }
 
 and fault_enc = {
@@ -351,6 +365,14 @@ module Session = struct
     q_sat : bool;
   }
 
+  type cert_stats = {
+    cert_unsat : int;
+    cert_lemmas : int;
+    cert_inputs : int;
+    cert_deletes : int;
+    cert_time : float;
+  }
+
   type stats = {
     queries : int;
     clauses_emitted : int;
@@ -359,10 +381,43 @@ module Session = struct
     decisions : int;
     propagations : int;
     per_query : query_stat list;
+    cert : cert_stats option;
   }
 
-  let create (model : model) =
+  exception Certification_failed of string
+
+  let create ?(certify = false) (model : model) =
     let solver = Solver.create () in
+    let cert =
+      if not certify then None
+      else begin
+        let cs =
+          { cc = Checker.create (); cc_inputs = 0; cc_lemmas = 0;
+            cc_deletes = 0; cc_unsat = 0; cc_time = 0.0 }
+        in
+        Solver.set_proof_sink solver
+          (Some
+             (fun ev ->
+               let t0 = Sys.time () in
+               (match ev with
+               | Solver.P_input c ->
+                   cs.cc_inputs <- cs.cc_inputs + 1;
+                   Checker.add_clause cs.cc c
+               | Solver.P_add c -> (
+                   cs.cc_lemmas <- cs.cc_lemmas + 1;
+                   match Checker.add_lemma cs.cc c with
+                   | Ok () -> ()
+                   | Error e ->
+                       raise
+                         (Certification_failed
+                            ("Bmc.Session: proof rejected: " ^ e)))
+               | Solver.P_delete c ->
+                   cs.cc_deletes <- cs.cc_deletes + 1;
+                   Checker.delete_clause cs.cc c);
+               cs.cc_time <- cs.cc_time +. (Sys.time () -. t0)));
+        Some cs
+      end
+    in
     let em =
       Cnf.make_emitter
         {
@@ -387,9 +442,34 @@ module Session = struct
       active = None;
       queries = 0;
       qlog = [];
+      cert;
     }
 
   let model sess = sess.model
+  let certified (sess : t) = sess.cert <> None
+
+  (* Certify one Unsat verdict: the negation of the failed-assumption set
+     is the final clause of this query's proof — it must be derivable from
+     the logged events by reverse unit propagation alone. *)
+  let certify_unsat (sess : t) =
+    match sess.cert with
+    | None -> ()
+    | Some cs ->
+        let t0 = Sys.time () in
+        let final =
+          List.rev_map (fun l -> -l)
+            (Solver.failed_assumptions sess.solver)
+        in
+        let ok = Checker.check_rup cs.cc final in
+        cs.cc_time <- cs.cc_time +. (Sys.time () -. t0);
+        if not ok then
+          raise
+            (Certification_failed
+               (Printf.sprintf
+                  "Bmc.Session: Unsat verdict not RUP-certifiable \
+                   (final clause [%s])"
+                  (String.concat " " (List.map string_of_int final))));
+        cs.cc_unsat <- cs.cc_unsat + 1
 
   (* Shared step variables, allocated once and reused by every fault. *)
   let ensure_steps sess tstep =
@@ -619,7 +699,7 @@ module Session = struct
         | Solver.Sat ->
             let witness = if want_witness then decode sess depth else [] in
             result := Some (Accessible depth, witness)
-        | Solver.Unsat -> ());
+        | Solver.Unsat -> certify_unsat sess);
         incr n
       done;
       let em1, ru1 = Cnf.emitter_stats sess.em in
@@ -698,6 +778,13 @@ module Session = struct
           (fun (e, r, cf, sat) ->
             { q_emitted = e; q_reused = r; q_conflicts = cf; q_sat = sat })
           sess.qlog;
+      cert =
+        Option.map
+          (fun cs ->
+            { cert_unsat = cs.cc_unsat; cert_lemmas = cs.cc_lemmas;
+              cert_inputs = cs.cc_inputs; cert_deletes = cs.cc_deletes;
+              cert_time = cs.cc_time })
+          sess.cert;
     }
 end
 

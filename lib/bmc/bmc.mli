@@ -55,8 +55,24 @@ type model = t
 module Session : sig
   type t
 
-  val create : model -> t
+  exception Certification_failed of string
+  (** Raised in certified mode when the independent checker rejects a
+      solver proof event or an [Unsat] verdict's final clause.  Never
+      raised by a correct solver — this surfacing is the point of the
+      certified mode. *)
+
+  val create : ?certify:bool -> model -> t
+  (** [~certify:true] runs the session in certified mode: an independent
+      {!Ftrsn_sat.Checker} mirrors the solver's DRUP proof stream
+      (inputs, RUP-verified lemmas, deletions), and every [Unsat]
+      verdict is additionally certified inline by checking that the
+      negation of the solver's failed-assumption set is RUP with respect
+      to the logged proof.  Default [false] (no proof overhead). *)
+
   val model : t -> model
+
+  val certified : t -> bool
+  (** Whether this session runs in certified mode. *)
 
   val check_write :
     t -> ?fault:Ftrsn_fault.Fault.t -> ?max_steps:int -> target:int ->
@@ -116,6 +132,14 @@ module Session : sig
     q_sat : bool;
   }
 
+  type cert_stats = {
+    cert_unsat : int;    (** [Unsat] verdicts certified *)
+    cert_lemmas : int;   (** solver derivations RUP-verified *)
+    cert_inputs : int;   (** problem clauses mirrored to the checker *)
+    cert_deletes : int;  (** deletion events forwarded *)
+    cert_time : float;   (** CPU seconds spent inside the checker *)
+  }
+
   type stats = {
     queries : int;
     clauses_emitted : int;  (** cumulative, whole session *)
@@ -124,6 +148,7 @@ module Session : sig
     decisions : int;
     propagations : int;
     per_query : query_stat list;  (** chronological *)
+    cert : cert_stats option;  (** [Some] iff the session is certified *)
   }
 
   val stats : t -> stats

@@ -10,6 +10,11 @@ type solver_stats = {
   s_propagations : int;
   s_clauses_emitted : int;
   s_nodes_reused : int;
+  (* certified-mode counters; all zero when certification was off *)
+  s_cert_unsat : int;
+  s_cert_lemmas : int;
+  s_cert_deletes : int;
+  s_cert_time : float;
 }
 
 type reduction_stats = {
@@ -53,6 +58,10 @@ let merge_solver a b =
           s_propagations = x.s_propagations + y.s_propagations;
           s_clauses_emitted = x.s_clauses_emitted + y.s_clauses_emitted;
           s_nodes_reused = x.s_nodes_reused + y.s_nodes_reused;
+          s_cert_unsat = x.s_cert_unsat + y.s_cert_unsat;
+          s_cert_lemmas = x.s_cert_lemmas + y.s_cert_lemmas;
+          s_cert_deletes = x.s_cert_deletes + y.s_cert_deletes;
+          s_cert_time = x.s_cert_time +. y.s_cert_time;
         }
 
 let merge_reduction a b =
@@ -225,6 +234,13 @@ let count_bmc net vs =
 
 let solver_of_session sess =
   let st = Bmc.Session.stats sess in
+  let cu, cl, cd, ct =
+    match st.Bmc.Session.cert with
+    | None -> (0, 0, 0, 0.0)
+    | Some c ->
+        ( c.Bmc.Session.cert_unsat, c.Bmc.Session.cert_lemmas,
+          c.Bmc.Session.cert_deletes, c.Bmc.Session.cert_time )
+  in
   Some
     {
       s_conflicts = st.Bmc.Session.conflicts;
@@ -232,6 +248,10 @@ let solver_of_session sess =
       s_propagations = st.Bmc.Session.propagations;
       s_clauses_emitted = st.Bmc.Session.clauses_emitted;
       s_nodes_reused = st.Bmc.Session.nodes_reused;
+      s_cert_unsat = cu;
+      s_cert_lemmas = cl;
+      s_cert_deletes = cd;
+      s_cert_time = ct;
     }
 
 let evaluate_faults ctx faults =
@@ -340,7 +360,7 @@ let evaluate_reduced_structural ~domains net faults =
    the targets inside its cone ([Session.check_targets ~only]) with the
    fault-free verdict spliced in for the rest.  The structural baseline
    supplies the cones; the SAT solver supplies the verdicts. *)
-let evaluate_reduced_bmc ~domains net faults =
+let evaluate_reduced_bmc ~domains ~certify net faults =
   let ctx = Engine.make_ctx net in
   let base = Engine.baseline ctx in
   let classes = Array.of_list (Fault.collapse net faults) in
@@ -350,7 +370,7 @@ let evaluate_reduced_bmc ~domains net faults =
   let partials =
     steal_map ~domains classes
       ~init:(fun _ ->
-        let sess = Bmc.Session.create (Bmc.create net) in
+        let sess = Bmc.Session.create ~certify (Bmc.create net) in
         let base_vs = Bmc.Session.check_targets sess targets in
         (sess, base_vs, red_state ()))
       ~step:(fun (sess, base_vs, rs) (c : Fault.clas) ->
@@ -403,13 +423,14 @@ let evaluate_brute_structural ~domains net faults =
     ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:None
     ~reduction:None acc
 
-let evaluate_brute_bmc ~domains net faults =
+let evaluate_brute_bmc ~domains ~certify net faults =
   let items = Array.of_list faults in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
   let partials =
     steal_map ~domains items
-      ~init:(fun _ -> (Bmc.Session.create (Bmc.create net), iacc_create ()))
+      ~init:(fun _ ->
+        (Bmc.Session.create ~certify (Bmc.create net), iacc_create ()))
       ~step:(fun (sess, acc) f ->
         let vs = Bmc.Session.check_targets sess ~fault:f targets in
         let segs, bits = count_bmc net vs in
@@ -442,13 +463,15 @@ let sample_faults sample faults =
         faults
 
 let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
-    net =
+    ?(certify = false) net =
+  if certify && engine <> `Bmc then
+    invalid_arg "Metric.evaluate: ~certify:true requires ~engine:`Bmc";
   let faults = sample_faults sample (Fault.universe net) in
   match (engine, reduce) with
   | `Structural, true -> evaluate_reduced_structural ~domains net faults
   | `Structural, false -> evaluate_brute_structural ~domains net faults
-  | `Bmc, true -> evaluate_reduced_bmc ~domains net faults
-  | `Bmc, false -> evaluate_brute_bmc ~domains net faults
+  | `Bmc, true -> evaluate_reduced_bmc ~domains ~certify net faults
+  | `Bmc, false -> evaluate_brute_bmc ~domains ~certify net faults
 
 (* ---- double-fault sweeps ----
 
@@ -494,7 +517,7 @@ let pair_items ~sample faults =
     items
   end
 
-let evaluate_pairs_brute ~sample ~domains ~engine net faults =
+let evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults =
   let faults = Array.of_list faults in
   let items = pair_items ~sample faults in
   if Array.length items = 0 then invalid_arg "Metric.evaluate_pairs: empty";
@@ -526,7 +549,8 @@ let evaluate_pairs_brute ~sample ~domains ~engine net faults =
   | `Bmc ->
       let targets = List.init nsegs Fun.id in
       steal_map ~domains items
-        ~init:(fun _ -> (Bmc.Session.create (Bmc.create net), iacc_create ()))
+        ~init:(fun _ ->
+          (Bmc.Session.create ~certify (Bmc.create net), iacc_create ()))
         ~step:(fun (sess, a) (fi, fj) ->
           let vs =
             Bmc.Session.check_targets_multi sess ~faults:[ fi; fj ] targets
@@ -812,7 +836,7 @@ let evaluate_pairs_reduced_structural ~domains net faults =
   let r = finish_pair_partials ~net ~nclasses:nc partials in
   { r with steals = r.steals + prep_steals }
 
-let evaluate_pairs_reduced_bmc ~domains net faults =
+let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
   let ctx = Engine.make_ctx net in
   let base = Engine.baseline ctx in
   let classes = Array.of_list (Fault.collapse net faults) in
@@ -832,7 +856,7 @@ let evaluate_pairs_reduced_bmc ~domains net faults =
   let prep_partials =
     steal_map ~domains (Array.init nc Fun.id)
       ~init:(fun _ ->
-        let sess = Bmc.Session.create (Bmc.create net) in
+        let sess = Bmc.Session.create ~certify (Bmc.create net) in
         let base_vs = Bmc.Session.check_targets sess targets in
         (sess, base_vs))
       ~step:(fun (sess, base_vs) i ->
@@ -879,7 +903,7 @@ let evaluate_pairs_reduced_bmc ~domains net faults =
   let partials =
     steal_map ~domains (Array.init nc Fun.id)
       ~init:(fun _ ->
-        let sess = Bmc.Session.create (Bmc.create net) in
+        let sess = Bmc.Session.create ~certify (Bmc.create net) in
         let base_vs = Bmc.Session.check_targets sess targets in
         (sess, base_vs, pair_state ()))
       ~step:(fun (sess, base_vs, ps) i ->
@@ -915,21 +939,28 @@ let evaluate_pairs_reduced_bmc ~domains net faults =
   }
 
 let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
-    ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true) net =
+    ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true)
+    ?(certify = false) net =
+  if certify && engine <> `Bmc then
+    invalid_arg "Metric.evaluate_pairs: ~certify:true requires ~engine:`Bmc";
   let faults = sample_faults fault_sample (Fault.universe net) in
   if exhaustive && reduce then
     match engine with
     | `Structural -> evaluate_pairs_reduced_structural ~domains net faults
-    | `Bmc -> evaluate_pairs_reduced_bmc ~domains net faults
+    | `Bmc -> evaluate_pairs_reduced_bmc ~domains ~certify net faults
   else
     let sample = if exhaustive then 1 else max 1 sample in
-    evaluate_pairs_brute ~sample ~domains ~engine net faults
+    evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults
 
 let pp_solver_stats fmt s =
   Format.fprintf fmt
     "@[<h>solver: %d conflicts, %d decisions, %d propagations; %d clauses emitted, %d nodes reused@]"
     s.s_conflicts s.s_decisions s.s_propagations s.s_clauses_emitted
-    s.s_nodes_reused
+    s.s_nodes_reused;
+  if s.s_cert_unsat > 0 || s.s_cert_lemmas > 0 then
+    Format.fprintf fmt
+      "@,@[<h>certified: %d UNSAT verdicts RUP-checked, %d lemmas verified, %d deletions, %.2fs in checker@]"
+      s.s_cert_unsat s.s_cert_lemmas s.s_cert_deletes s.s_cert_time
 
 let pp_reduction_stats fmt r =
   Format.fprintf fmt

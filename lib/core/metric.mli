@@ -35,6 +35,12 @@ type solver_stats = {
   s_propagations : int;
   s_clauses_emitted : int;  (** CNF clauses emitted into the solver(s) *)
   s_nodes_reused : int;     (** emitter memo hits: nodes NOT re-emitted *)
+  s_cert_unsat : int;
+      (** UNSAT verdicts certified by the independent RUP checker
+          (certified mode only; 0 otherwise) *)
+  s_cert_lemmas : int;   (** solver derivations RUP-verified (proof size) *)
+  s_cert_deletes : int;  (** proof deletion events applied *)
+  s_cert_time : float;   (** CPU seconds spent inside the checker *)
 }
 (** Cumulative SAT statistics over every session the evaluation used;
     merging partial results sums them. *)
@@ -96,6 +102,7 @@ val evaluate :
   ?domains:int ->
   ?engine:[ `Structural | `Bmc ] ->
   ?reduce:bool ->
+  ?certify:bool ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** [evaluate net] runs the accessibility analysis over the full single
@@ -111,7 +118,15 @@ val evaluate :
     carries the cumulative {!solver_stats}.  [reduce] (default [true])
     enables equivalence collapsing and cone-of-influence deltas; the
     result fields are bit-identical either way, only [reduction] and the
-    runtime differ. *)
+    runtime differ.
+
+    [certify:true] (BMC engine only; [Invalid_argument] otherwise) runs
+    every session in certified mode: an independent RUP checker verifies
+    the solver's DRUP proof stream and every UNSAT verdict's final
+    clause inline ({!Ftrsn_bmc.Bmc.Session.create}), raising
+    [Ftrsn_bmc.Bmc.Session.Certification_failed] on any rejection; the
+    proof size and checking time land in the [s_cert_*] fields of
+    [result.solver]. *)
 
 val evaluate_faults :
   Ftrsn_access.Engine.ctx -> Ftrsn_fault.Fault.t list -> result
@@ -131,6 +146,7 @@ val evaluate_pairs :
   ?engine:[ `Structural | `Bmc ] ->
   ?exhaustive:bool ->
   ?reduce:bool ->
+  ?certify:bool ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** Double-fault study (beyond the paper's single-fault scope): evaluates
@@ -162,7 +178,9 @@ val evaluate_pairs :
     first-class-row granularity (exhaustive) by the work-stealing queue —
     pair costs are highly skewed (port and trunk faults force whole-graph
     re-analysis), which used to leave the statically-chunked first domain
-    the straggler. *)
+    the straggler.
+
+    [certify] behaves as in {!evaluate} (BMC engine only). *)
 
 val steal_map :
   domains:int ->

@@ -1,0 +1,56 @@
+(** An independent reverse-unit-propagation (RUP) proof checker — the
+    trusted core that certifies the solver's UNSAT verdicts.
+
+    The checker accumulates a clause database from a DRUP trace (problem
+    clauses, verified lemmas, deletions) and decides RUP queries: clause
+    [C] is RUP when unit propagation over the database extended with the
+    negations of [C]'s literals yields a conflict.  It shares no
+    propagation or conflict-analysis code with {!module:Solver}: it uses
+    counter-based propagation with full occurrence lists instead of the
+    solver's two watched literals, so a bug in the solver's propagation
+    cannot hide in its own certificate check.
+
+    All literals are DIMACS ([v] positive phase, [-v] negative phase,
+    never [0]).  Clauses are compared as literal {e sets}: duplicates
+    are ignored and tautologies are accepted but never constrain. *)
+
+type t
+
+val create : unit -> t
+
+val add_clause : t -> int list -> unit
+(** Adds a problem clause (an axiom — not RUP-checked) and propagates.
+    Feed every [Solver.P_input] event here.
+    @raise Invalid_argument on a zero literal. *)
+
+val add_lemma : t -> int list -> (unit, string) result
+(** Verifies that the clause is RUP with respect to the current database
+    and, on success, adds it and propagates.  Feed every [Solver.P_add]
+    event here; [Error _] means the solver emitted an unjustified
+    derivation.  The empty lemma is accepted exactly when
+    [contradiction] already holds.
+    @raise Invalid_argument on a zero literal. *)
+
+val delete_clause : t -> int list -> unit
+(** Deletes one live clause with exactly this literal set, if any; a
+    no-op otherwise (the solver may delete a level-0-strengthened form
+    the checker never attached — keeping the original only strengthens
+    the checker's propagation, which is sound).  Feed every
+    [Solver.P_delete] event here. *)
+
+val check_rup : t -> int list -> bool
+(** [check_rup t c] is [true] iff [c] is RUP with respect to the current
+    database.  Used for final clauses that are consequences but are not
+    added: the negation of a failed-assumption set, or the empty clause
+    for an unconditional UNSAT.  Leaves the database unchanged. *)
+
+val contradiction : t -> bool
+(** The database propagates to a conflict at the root: unconditional
+    unsatisfiability has been established. *)
+
+val num_clauses : t -> int
+(** Live (non-deleted) clauses currently in the database. *)
+
+val stats : t -> int * int * int
+(** [(lemmas verified, deletions applied, propagations)] since
+    creation. *)

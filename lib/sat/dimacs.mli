@@ -16,3 +16,40 @@ val print : cnf -> string
 
 val solve : cnf -> Solver.result
 (** Convenience: loads the CNF into a fresh {!Solver} and decides it. *)
+
+(** {2 DRAT proof traces}
+
+    Interchange formats for the solver's DRUP proof events, compatible
+    with external tooling such as drat-trim: the line-oriented text
+    format ([d] prefix for deletions, 0-terminated lemmas) and the
+    binary format (['a']/['d'] prefix byte, literals as variable-length
+    7-bit little-endian encodings of [2*|l| + (l < 0)], 0x00
+    terminator). *)
+
+type drat_event = Add of int list | Delete of int list
+
+val drat_of_proof : Solver.proof_event list -> drat_event list
+(** Projects a solver trace onto the proof-relevant events: [P_add]
+    becomes [Add], [P_delete] becomes [Delete], and [P_input] clauses
+    are dropped (a DRAT file accompanies the original CNF rather than
+    restating it). *)
+
+val solve_certified : cnf -> Solver.result * Solver.proof_event list
+(** Like {!solve}, but also returns the full proof trace of the run
+    (inputs included), ready for {!drat_of_proof} or replay through
+    {!module:Checker}. *)
+
+val print_drat : drat_event list -> string
+(** Renders the text DRAT form, one lemma per line. *)
+
+val parse_drat : string -> (drat_event list, string) result
+(** Parses text DRAT ([c] comment lines allowed; lemmas may span lines).
+    Errors include a ['d'] appearing inside a clause, non-integer
+    tokens, and a missing 0 terminator on the final lemma. *)
+
+val print_drat_binary : drat_event list -> string
+(** Renders the binary DRAT form. *)
+
+val parse_drat_binary : string -> (drat_event list, string) result
+(** Parses binary DRAT.  Errors include a bad prefix byte, a truncated
+    literal or lemma, and the reserved zero-literal encoding. *)

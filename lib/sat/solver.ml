@@ -16,6 +16,18 @@ type clause = {
   mutable deleted : bool;
 }
 
+(* DRUP-style proof events, in DIMACS literals.  [P_input] is a problem
+   clause exactly as the caller supplied it (before deduplication and
+   level-0 strengthening) so an external checker sees a formula that is a
+   superset of the attached clause database; [P_add] is a clause derivable
+   from the events so far by reverse unit propagation (learnt clauses,
+   root-level implied units, and the empty clause when the instance
+   becomes unsatisfiable); [P_delete] retracts an attached clause. *)
+type proof_event =
+  | P_input of int list
+  | P_add of int list
+  | P_delete of int list
+
 type t = {
   mutable nvars : int;
   mutable assign : int array;        (* -1 undef / 0 false / 1 true, per var *)
@@ -53,6 +65,7 @@ type t = {
          it and the model reports its saved phase.  This is what makes
          retiring a clause group actually cheap — the group's private
          variables stop costing decision and propagation time. *)
+  mutable proof_sink : (proof_event -> unit) option;
 }
 
 let create () =
@@ -87,11 +100,24 @@ let create () =
     failed = [];
     groups = Hashtbl.create 16;
     occurs = Array.make 16 0;
+    proof_sink = None;
   }
 
 let num_vars s = s.nvars
 let num_clauses s = s.n_problem
 let stats s = (s.conflicts, s.decisions, s.propagations)
+let set_proof_sink s sink = s.proof_sink <- sink
+
+let log_proof s ev =
+  match s.proof_sink with None -> () | Some f -> f ev
+
+(* Root unsatisfiability is the proof's terminal fact: the first time it
+   is established, the empty clause is RUP and gets logged once. *)
+let set_root_unsat s =
+  if not s.unsat_at_root then begin
+    s.unsat_at_root <- true;
+    log_proof s (P_add [])
+  end
 
 (* ---- variable order heap (max-heap on activity) ---- *)
 
@@ -203,6 +229,11 @@ let decision_level s = s.n_levels
 (* ---- assignment ---- *)
 
 let enqueue s l reason =
+  (* Every level-0 assignment is a fact implied by unit propagation over
+     the clauses logged so far, so it is RUP; emitting it as a unit lemma
+     keeps the proof sound across level-0 clause strengthening and the
+     later deletion of its reason clause. *)
+  if s.n_levels = 0 then log_proof s (P_add [ dimacs_of_lit l ]);
   s.assign.(lit_var l) <- 1 lxor (l land 1);
   s.level.(lit_var l) <- s.n_levels;
   s.reason.(lit_var l) <- reason;
@@ -273,6 +304,7 @@ let attach s c =
    conflict analysis never resolves on level-0 literals. *)
 let delete_clause s c =
   if not c.deleted then begin
+    log_proof s (P_delete (Array.to_list (Array.map dimacs_of_lit c.lits)));
     c.deleted <- true;
     if c.learnt then s.n_learnt <- s.n_learnt - 1
     else s.n_problem <- s.n_problem - 1;
@@ -464,13 +496,13 @@ let add_clause_internal s lits =
       in
       match lits with
       | [] ->
-          s.unsat_at_root <- true;
+          set_root_unsat s;
           None
       | [ l ] ->
-          if lit_val s l = 0 then s.unsat_at_root <- true
+          if lit_val s l = 0 then set_root_unsat s
           else if lit_val s l = -1 then begin
             enqueue s l None;
-            if propagate s <> None then s.unsat_at_root <- true
+            if propagate s <> None then set_root_unsat s
           end;
           None
       | _ ->
@@ -488,6 +520,7 @@ let add_clause s dimacs_lits =
   cancel_until s 0;
   s.have_model <- false;
   let lits = List.map (lit_of_dimacs s) dimacs_lits in
+  log_proof s (P_input dimacs_lits);
   ignore (add_clause_internal s lits)
 
 (* ---- search ---- *)
@@ -531,6 +564,7 @@ let record_learnt s lits btlevel =
       let t = lits.(1) in
       lits.(1) <- lits.(!best);
       lits.(!best) <- t;
+      log_proof s (P_add (Array.to_list (Array.map dimacs_of_lit lits)));
       let c = { lits; learnt = true; act = 0.0; deleted = false } in
       cla_bump s c;
       s.learnt_clauses <- c :: s.learnt_clauses;
@@ -560,7 +594,7 @@ let solve ?(assumptions = []) s =
             s.conflicts <- s.conflicts + 1;
             incr conflicts_here;
             if decision_level s = 0 then begin
-              s.unsat_at_root <- true;
+              set_root_unsat s;
               answer := Some Unsat
             end
             else begin
@@ -629,7 +663,9 @@ let add_clause_under s act lits =
     invalid_arg "Sat.Solver.add_clause_under: bad activation literal";
   cancel_until s 0;
   s.have_model <- false;
-  let lits = List.map (lit_of_dimacs s) (-act :: lits) in
+  let dimacs_lits = -act :: lits in
+  let lits = List.map (lit_of_dimacs s) dimacs_lits in
+  log_proof s (P_input dimacs_lits);
   match add_clause_internal s lits with
   | None -> ()
   | Some c -> (
@@ -645,7 +681,7 @@ let simplify s =
   cancel_until s 0;
   if not s.unsat_at_root then begin
     (match propagate s with
-    | Some _ -> s.unsat_at_root <- true
+    | Some _ -> set_root_unsat s
     | None -> ());
     if not s.unsat_at_root then begin
       let satisfied c =

@@ -78,3 +78,40 @@ val value : t -> int -> bool
 
 val stats : t -> int * int * int
 (** [(conflicts, decisions, propagations)] since creation. *)
+
+(** {2 DRUP proof logging}
+
+    With a proof sink installed, the solver emits a DRUP-style trace of
+    its clause database: problem clauses as [P_input], derived clauses as
+    [P_add], and forgotten clauses as [P_delete].  All literals are in
+    the DIMACS convention.  The trace satisfies the reverse-unit-
+    propagation invariant checked by {!module:Checker}: every [P_add]
+    clause (including the empty clause, logged once when the instance
+    becomes unsatisfiable at the root) is RUP with respect to the
+    non-deleted clauses logged before it.
+
+    Specifics that make incremental sessions certifiable:
+    - [P_input] carries the clause exactly as the caller gave it (before
+      deduplication and level-0 strengthening), so the checker's formula
+      is always a superset of the attached database — deletions of
+      clauses the checker never attached are no-ops, which only
+      strengthens its propagation.
+    - Every level-0 assignment is also logged as a unit [P_add] lemma, so
+      later deletion of its reason clause cannot invalidate the trace.
+    - [retire_activation a] shows up as the input unit [-a] plus
+      [P_delete] events for the group's clauses; clause revival by a
+      higher layer is a fresh [P_input] — delete/re-add pairs keep the
+      trace aligned with the live database.
+    - An [Unsat] answer under assumptions logs no event by itself: the
+      certificate is that the negation of {!failed_assumptions} is RUP
+      with respect to the trace so far, which a caller checks with
+      {!Checker.check_rup}. *)
+
+type proof_event =
+  | P_input of int list  (** problem clause, exactly as added *)
+  | P_add of int list  (** clause derivable by reverse unit propagation *)
+  | P_delete of int list  (** clause forgotten by the solver *)
+
+val set_proof_sink : t -> (proof_event -> unit) option -> unit
+(** Installs (or removes) the proof sink.  Install it before adding
+    clauses: events are emitted as they happen and are not replayed. *)

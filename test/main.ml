@@ -1,4 +1,7 @@
 let () =
+  (* Printed unconditionally so any CI failure log carries the seed that
+     reproduces this run's QCheck properties (see testseed.ml). *)
+  Printf.printf "qcheck: running with QCHECK_SEED=%d\n%!" Testseed.seed;
   Alcotest.run "ftrsn"
     [
       ("topo", Test_topo.suite);

@@ -445,6 +445,84 @@ let test_emissions_decrease () =
         repeat.Bmc.Session.q_emitted
   | _ -> Alcotest.fail "unexpected log shape"
 
+(* --- certified sessions ---
+
+   [~certify:true] feeds the solver's DRUP proof stream to the
+   independent RUP checker and verifies every UNSAT verdict's
+   failed-assumptions clause inline; any gap in the proof (including in
+   PR 1's activation-group retirement bookkeeping) raises
+   [Certification_failed].  So these tests assert three things at once:
+   no exception (every lemma and every final clause is RUP-derivable),
+   verdict equality with an uncertified session, and non-trivial
+   certification counts. *)
+
+module Itc02 = Ftrsn_itc02.Itc02
+
+let pi_stuck = { Fault.site = Fault.Primary_in; stuck = true }
+
+let cert_stats_of sess =
+  match (Bmc.Session.stats sess).Bmc.Session.cert with
+  | Some c -> c
+  | None -> Alcotest.fail "certified session must report cert stats"
+
+let certified_agrees_on ?(every = 1) ?targets net =
+  let sess = Bmc.Session.create ~certify:true (Bmc.create net) in
+  let plain = Bmc.Session.create (Bmc.create net) in
+  (* PI stuck-at seals everything: guarantees UNSAT verdicts to certify. *)
+  let faults =
+    pi_stuck
+    :: List.filteri (fun i _ -> i mod every = 0) (Fault.universe net)
+  in
+  let targets =
+    match targets with
+    | Some ts -> ts
+    | None -> List.init (Netlist.num_segments net) Fun.id
+  in
+  List.iter
+    (fun target ->
+      let cv = Bmc.Session.check_faults sess ~target faults in
+      let pv = Bmc.Session.check_faults plain ~target faults in
+      List.iteri
+        (fun i (c, p) ->
+          if c <> p then
+            Alcotest.fail
+              (Printf.sprintf "%s: target %d fault %d: certified=%s plain=%s"
+                 net.Netlist.net_name target i (verdict_str c)
+                 (verdict_str p)))
+        (List.combine cv pv))
+    targets;
+  let c = cert_stats_of sess in
+  check bool_t "UNSAT verdicts were certified" true
+    (c.Bmc.Session.cert_unsat > 0);
+  check bool_t "proof lemmas were verified" true
+    (c.Bmc.Session.cert_lemmas > 0);
+  check bool_t "input clauses were mirrored" true
+    (c.Bmc.Session.cert_inputs > 0)
+
+let test_certified_small_sib () = certified_agrees_on (small_sib ())
+let test_certified_fig2 () = certified_agrees_on (fig2 ())
+let test_certified_wide_mux () = certified_agrees_on (wide_mux ())
+
+let prop_certified_random_nets =
+  QCheck.Test.make
+    ~name:"certified session = plain session on random nets (all proofs RUP)"
+    ~count:8
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let net = Ftrsn_rsn.Random_net.generate ~seed ~segments:6 () in
+      certified_agrees_on ~every:4
+        ~targets:(List.init (min 4 (Netlist.num_segments net)) Fun.id)
+        net;
+      true)
+
+let test_certified_u226 () =
+  (* The paper's smallest SoC, certified: a thinned fault slice plus the
+     sealing PI fault, against first / middle / last segments. *)
+  let soc = Option.get (Itc02.find "u226") in
+  let net = Itc02.rsn soc in
+  let n = Netlist.num_segments net in
+  certified_agrees_on ~every:40 ~targets:[ 0; n / 2; n - 1 ] net
+
 let suite =
   [
     Alcotest.test_case "fault-free depths" `Quick test_fault_free_depths;
@@ -485,4 +563,11 @@ let suite =
       test_witness_through_reused_solver;
     Alcotest.test_case "emissions decrease across queries" `Quick
       test_emissions_decrease;
+    Alcotest.test_case "certified = plain (small SIB)" `Quick
+      test_certified_small_sib;
+    Alcotest.test_case "certified = plain (fig2)" `Slow test_certified_fig2;
+    Alcotest.test_case "certified = plain (4:1 mux)" `Slow
+      test_certified_wide_mux;
+    Testseed.to_alcotest prop_certified_random_nets;
+    Alcotest.test_case "certified u226 slice" `Slow test_certified_u226;
   ]

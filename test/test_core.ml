@@ -776,16 +776,16 @@ let suite =
       test_reduction_exact_u226;
     Alcotest.test_case "reduction: BMC exact on SIB nets" `Slow
       test_reduction_exact_bmc_sibs;
-    QCheck_alcotest.to_alcotest prop_reduction_exact_structural;
-    QCheck_alcotest.to_alcotest prop_reduction_exact_bmc;
-    QCheck_alcotest.to_alcotest prop_collapse_weights;
+    Testseed.to_alcotest prop_reduction_exact_structural;
+    Testseed.to_alcotest prop_reduction_exact_bmc;
+    Testseed.to_alcotest prop_collapse_weights;
     Alcotest.test_case "metric: engines agree" `Slow test_metric_engines_agree;
     Alcotest.test_case "metric: BMC parallel exact" `Quick
       test_metric_bmc_parallel;
     Alcotest.test_case "pairs: weighted and parallel" `Quick
       test_pairs_weighted_and_parallel;
-    QCheck_alcotest.to_alcotest prop_pairs_exhaustive_exact_structural;
-    QCheck_alcotest.to_alcotest prop_pairs_exhaustive_exact_bmc;
+    Testseed.to_alcotest prop_pairs_exhaustive_exact_structural;
+    Testseed.to_alcotest prop_pairs_exhaustive_exact_bmc;
     Alcotest.test_case "pairs: exhaustive exact on u226" `Slow
       test_pairs_exhaustive_u226;
     Alcotest.test_case "pairs: non-interacting pointwise AND" `Quick
@@ -797,6 +797,6 @@ let suite =
       test_pre_flavor_pipeline;
     Alcotest.test_case "ablation: mechanisms load-bearing" `Slow
       test_ablation_mechanisms_load_bearing;
-    QCheck_alcotest.to_alcotest prop_pipeline_random_sibs;
-    QCheck_alcotest.to_alcotest prop_ilp_flow_cost_equal;
+    Testseed.to_alcotest prop_pipeline_random_sibs;
+    Testseed.to_alcotest prop_ilp_flow_cost_equal;
   ]

@@ -261,6 +261,6 @@ let suite =
     Alcotest.test_case "lower bounds: basic" `Quick test_lower_bounds_basic;
     Alcotest.test_case "lower bounds: infeasible" `Quick test_lower_bounds_infeasible;
     Alcotest.test_case "lower bounds: cheap cover" `Quick test_lower_bounds_chooses_cheap_cover;
-    QCheck_alcotest.to_alcotest prop_lower_bounds_brute;
-    QCheck_alcotest.to_alcotest prop_maxflow_mincut;
+    Testseed.to_alcotest prop_lower_bounds_brute;
+    Testseed.to_alcotest prop_maxflow_mincut;
   ]

@@ -199,5 +199,5 @@ let suite =
     Alcotest.test_case "ilp: infeasible" `Quick test_ilp_infeasible;
     Alcotest.test_case "ilp: lazy cuts" `Quick test_ilp_lazy_cuts;
     Alcotest.test_case "ilp: initial incumbent" `Quick test_ilp_initial_incumbent;
-    QCheck_alcotest.to_alcotest prop_ilp_brute_force;
+    Testseed.to_alcotest prop_ilp_brute_force;
   ]

@@ -445,6 +445,6 @@ let suite =
       test_text_roundtrip_ft;
     Alcotest.test_case "text parse errors" `Quick test_text_errors;
     Alcotest.test_case "netlist statistics" `Quick test_stats;
-    QCheck_alcotest.to_alcotest prop_random_sib_networks;
-    QCheck_alcotest.to_alcotest prop_shift_transparency;
+    Testseed.to_alcotest prop_random_sib_networks;
+    Testseed.to_alcotest prop_shift_transparency;
   ]

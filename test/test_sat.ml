@@ -417,6 +417,362 @@ let prop_model_is_model =
                  if l > 0 then v else not v))
             clauses)
 
+(* --- DRUP proof logging and the independent RUP checker --- *)
+
+module Checker = Ftrsn_sat.Checker
+
+(* A solver wired to a live checker, session-style: inputs mirrored,
+   derivations RUP-verified, deletions forwarded.  The first rejected
+   lemma is recorded instead of raising, so properties can report it. *)
+let certified_solver () =
+  let chk = Checker.create () in
+  let bad = ref None in
+  let s = Solver.create () in
+  Solver.set_proof_sink s
+    (Some
+       (fun ev ->
+         match ev with
+         | Solver.P_input c -> Checker.add_clause chk c
+         | Solver.P_add c -> (
+             match Checker.add_lemma chk c with
+             | Ok () -> ()
+             | Error e -> if !bad = None then bad := Some e)
+         | Solver.P_delete c -> Checker.delete_clause chk c));
+  (s, chk, bad)
+
+let test_checker_rup () =
+  let chk = Checker.create () in
+  Checker.add_clause chk [ 1; 2 ];
+  Checker.add_clause chk [ -1; 2 ];
+  check bool_t "2 is RUP" true (Checker.check_rup chk [ 2 ]);
+  check bool_t "1 is not RUP" false (Checker.check_rup chk [ 1 ]);
+  check bool_t "tautology trivially RUP" true (Checker.check_rup chk [ 1; -1 ]);
+  check bool_t "no contradiction yet" false (Checker.contradiction chk);
+  check bool_t "empty clause not RUP on a sat formula" false
+    (Checker.check_rup chk []);
+  (match Checker.add_lemma chk [ 2 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check bool_t "bogus lemma rejected" true
+    (match Checker.add_lemma chk [ -2; 3 ] with
+    | Error _ -> true
+    | Ok () -> false);
+  Checker.add_clause chk [ -2 ];
+  check bool_t "contradiction derived" true (Checker.contradiction chk);
+  check bool_t "empty clause RUP once contradictory" true
+    (Checker.check_rup chk [])
+
+let test_checker_deletion () =
+  let chk = Checker.create () in
+  Checker.add_clause chk [ 1; 2 ];
+  Checker.add_clause chk [ 1; 3 ];
+  check bool_t "two live clauses" true (Checker.num_clauses chk = 2);
+  (* Deleting a clause the checker never attached is a no-op. *)
+  Checker.delete_clause chk [ 7; 8 ];
+  check bool_t "unknown deletion ignored" true (Checker.num_clauses chk = 2);
+  Checker.delete_clause chk [ 2; 1 ];
+  check bool_t "set-equal deletion applies" true (Checker.num_clauses chk = 1);
+  (* [1] was RUP only through the deleted clause and [1;3]... with
+     [1;2] gone, ¬1 propagates 3 and stops: no conflict. *)
+  Checker.add_clause chk [ -3; 1 ];
+  check bool_t "1 RUP through the live clauses" true
+    (Checker.check_rup chk [ 1 ]);
+  Checker.delete_clause chk [ 1; 3 ];
+  check bool_t "1 no longer RUP after deletion" false
+    (Checker.check_rup chk [ 1 ])
+
+let test_certified_php () =
+  (* The canonical hard UNSAT family end-to-end: every learnt clause of
+     PHP(4,3) verifies, and the final empty clause is accepted. *)
+  let s, chk, bad = certified_solver () in
+  let v p h = (p * 3) + h + 1 in
+  for p = 0 to 3 do
+    Solver.add_clause s [ v p 0; v p 1; v p 2 ]
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  check bool_t "PHP(4,3) unsat" false (is_sat (Solver.solve s));
+  check bool_t "no lemma rejected" true (!bad = None);
+  check bool_t "refutation certified" true (Checker.contradiction chk);
+  let lemmas, _, _ = Checker.stats chk in
+  check bool_t "proof is non-trivial" true (lemmas > 0)
+
+let test_certified_retirement () =
+  (* The PR-1 lifecycle under certification: activation groups, failed
+     assumptions, retirement (delete events), revival of the literal's
+     clauses as fresh inputs. *)
+  let s, chk, bad = certified_solver () in
+  let a = Solver.new_activation s and b = Solver.new_activation s in
+  let x = Solver.new_var s in
+  Solver.add_clause_under s a [ x ];
+  Solver.add_clause_under s b [ -x ];
+  check bool_t "groups clash" false
+    (is_sat (Solver.solve ~assumptions:[ a; b ] s));
+  let failed = Solver.failed_assumptions s in
+  check bool_t "failed assumptions RUP" true
+    (Checker.check_rup chk (List.map (fun l -> -l) failed));
+  Solver.retire_activation s a;
+  check bool_t "retired activation refuted" false
+    (is_sat (Solver.solve ~assumptions:[ a ] s));
+  check bool_t "retirement certificate RUP" true
+    (Checker.check_rup chk
+       (List.map (fun l -> -l) (Solver.failed_assumptions s)));
+  (* Revival: a fresh group re-asserts x — delete/re-add must line up. *)
+  let a' = Solver.new_activation s in
+  Solver.add_clause_under s a' [ x ];
+  check bool_t "revived group sat" true
+    (is_sat (Solver.solve ~assumptions:[ a' ] s));
+  check bool_t "revived clash certified" false
+    (is_sat (Solver.solve ~assumptions:[ a'; b ] s));
+  check bool_t "final clause RUP after revival" true
+    (Checker.check_rup chk
+       (List.map (fun l -> -l) (Solver.failed_assumptions s)));
+  check bool_t "no lemma rejected" true (!bad = None)
+
+(* --- differential fuzz harness ---
+
+   Random CNF instances (plus random assumption sets and random
+   incremental add/solve sequences) where every SAT answer is validated
+   by evaluating the model against all clauses and every UNSAT answer is
+   validated by the independent RUP checker (and, at these sizes, by
+   brute-force enumeration).  Failures shrink through QCheck's list and
+   integer shrinkers; testseed.ml prints the reproducing seed. *)
+
+(* Fold arbitrary integers into well-formed DIMACS literals over n vars
+   (0 is dropped), so the shrinkers can stay plain list/int shrinkers. *)
+let norm_lit n l =
+  if l = 0 then None
+  else
+    let v = ((abs l - 1) mod n) + 1 in
+    Some (if l < 0 then -v else v)
+
+let norm_clauses n cls = List.map (List.filter_map (norm_lit n)) cls
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun c ->
+      List.exists
+        (fun l ->
+          let v = Solver.value s (abs l) in
+          if l > 0 then v else not v)
+        c)
+    clauses
+
+let arb_cnf =
+  QCheck.(pair (int_range 1 7) (list_of_size Gen.(0 -- 25) (small_list (int_range (-7) 7))))
+
+let prop_fuzz_certified_cnf =
+  QCheck.Test.make ~name:"fuzz: solver vs model-eval / RUP checker / brute force"
+    ~count:250 arb_cnf (fun (n, raw) ->
+      let clauses = norm_clauses n raw in
+      let s, chk, bad = certified_solver () in
+      Solver.ensure_vars s n;
+      List.iter (Solver.add_clause s) clauses;
+      let verdict = Solver.solve s in
+      !bad = None
+      &&
+      match verdict with
+      | Solver.Sat ->
+          model_satisfies s clauses && brute_force_sat n clauses
+      | Solver.Unsat ->
+          Checker.contradiction chk
+          && Checker.check_rup chk []
+          && not (brute_force_sat n clauses))
+
+let arb_cnf_assumptions =
+  QCheck.(
+    triple (int_range 1 7)
+      (list_of_size Gen.(0 -- 20) (small_list (int_range (-7) 7)))
+      (small_list (int_range (-7) 7)))
+
+let prop_fuzz_certified_assumptions =
+  QCheck.Test.make ~name:"fuzz: assumption solves certified by the RUP checker"
+    ~count:150 arb_cnf_assumptions (fun (n, raw, araw) ->
+      let clauses = norm_clauses n raw in
+      let assumptions = List.filter_map (norm_lit n) araw in
+      let s, chk, bad = certified_solver () in
+      Solver.ensure_vars s n;
+      List.iter (Solver.add_clause s) clauses;
+      let verdict = Solver.solve ~assumptions s in
+      let units = List.map (fun l -> [ l ]) assumptions in
+      !bad = None
+      &&
+      match verdict with
+      | Solver.Sat ->
+          model_satisfies s clauses
+          && model_satisfies s units
+          && brute_force_sat n (clauses @ units)
+      | Solver.Unsat ->
+          let failed = Solver.failed_assumptions s in
+          List.for_all (fun l -> List.mem l assumptions) failed
+          && Checker.check_rup chk (List.map (fun l -> -l) failed)
+          && not (brute_force_sat n (clauses @ units)))
+
+let arb_incremental =
+  QCheck.(
+    pair (int_range 1 6)
+      (list_of_size
+         Gen.(1 -- 5)
+         (pair
+            (list_of_size Gen.(0 -- 8) (small_list (int_range (-6) 6)))
+            (small_list (int_range (-6) 6)))))
+
+let prop_fuzz_certified_incremental =
+  QCheck.Test.make
+    ~name:"fuzz: incremental add/solve sequences stay certified" ~count:150
+    arb_incremental (fun (n, steps) ->
+      let s, chk, bad = certified_solver () in
+      Solver.ensure_vars s n;
+      let sofar = ref [] in
+      List.for_all
+        (fun (raw, araw) ->
+          let batch = norm_clauses n raw in
+          let assumptions = List.filter_map (norm_lit n) araw in
+          List.iter (Solver.add_clause s) batch;
+          sofar := !sofar @ batch;
+          let verdict = Solver.solve ~assumptions s in
+          let units = List.map (fun l -> [ l ]) assumptions in
+          !bad = None
+          &&
+          match verdict with
+          | Solver.Sat ->
+              model_satisfies s !sofar
+              && model_satisfies s units
+              && brute_force_sat n (!sofar @ units)
+          | Solver.Unsat ->
+              let failed = Solver.failed_assumptions s in
+              List.for_all (fun l -> List.mem l assumptions) failed
+              && Checker.check_rup chk (List.map (fun l -> -l) failed)
+              && not (brute_force_sat n (!sofar @ units)))
+        steps)
+
+(* --- DRAT text/binary round trips and malformed input --- *)
+
+let drat_events_equal a b = a = b
+
+let test_drat_roundtrip () =
+  let events =
+    [
+      Dimacs.Add [ 1; -2; 3 ];
+      Dimacs.Delete [ -1; 2 ];
+      Dimacs.Add [];
+      Dimacs.Add [ -300; 77 ];
+      Dimacs.Delete [];
+    ]
+  in
+  (match Dimacs.parse_drat (Dimacs.print_drat events) with
+  | Error e -> Alcotest.fail ("text: " ^ e)
+  | Ok back -> check bool_t "text round trip" true (drat_events_equal events back));
+  match Dimacs.parse_drat_binary (Dimacs.print_drat_binary events) with
+  | Error e -> Alcotest.fail ("binary: " ^ e)
+  | Ok back -> check bool_t "binary round trip" true (drat_events_equal events back)
+
+let prop_drat_roundtrip =
+  QCheck.Test.make ~name:"DRAT print/parse identity (text and binary)"
+    ~count:100
+    QCheck.(list (pair bool (small_list (int_range (-40) 40))))
+    (fun raw ->
+      let events =
+        List.map
+          (fun (del, lits) ->
+            let lits = List.filter (( <> ) 0) lits in
+            if del then Dimacs.Delete lits else Dimacs.Add lits)
+          raw
+      in
+      Dimacs.parse_drat (Dimacs.print_drat events) = Ok events
+      && Dimacs.parse_drat_binary (Dimacs.print_drat_binary events)
+         = Ok events)
+
+let test_drat_solver_trace () =
+  (* A real refutation's trace survives both wire formats, and replaying
+     it through a fresh checker re-certifies the refutation. *)
+  let v p h = (p * 2) + h + 1 in
+  let clauses =
+    List.init 3 (fun p -> [ v p 0; v p 1 ])
+    @ List.concat_map
+        (fun h ->
+          List.concat_map
+            (fun p1 ->
+              List.filter_map
+                (fun p2 ->
+                  if p2 > p1 then Some [ -(v p1 h); -(v p2 h) ] else None)
+                [ 0; 1; 2 ])
+            [ 0; 1; 2 ])
+        [ 0; 1 ]
+  in
+  let cnf = { Dimacs.num_vars = 6; clauses } in
+  let verdict, trace = Dimacs.solve_certified cnf in
+  check bool_t "PHP(3,2) unsat" true (verdict = Solver.Unsat);
+  let drat = Dimacs.drat_of_proof trace in
+  check bool_t "trace round trips (text)" true
+    (Dimacs.parse_drat (Dimacs.print_drat drat) = Ok drat);
+  check bool_t "trace round trips (binary)" true
+    (Dimacs.parse_drat_binary (Dimacs.print_drat_binary drat) = Ok drat);
+  let chk = Checker.create () in
+  let ok =
+    List.for_all
+      (fun ev ->
+        match ev with
+        | Solver.P_input c ->
+            Checker.add_clause chk c;
+            true
+        | Solver.P_add c -> Checker.add_lemma chk c = Ok ()
+        | Solver.P_delete c ->
+            Checker.delete_clause chk c;
+            true)
+      trace
+  in
+  check bool_t "replayed proof verifies" true ok;
+  check bool_t "replayed proof refutes" true (Checker.contradiction chk)
+
+let test_drat_malformed () =
+  let bad r = match r with Error _ -> true | Ok _ -> false in
+  check bool_t "missing terminator" true (bad (Dimacs.parse_drat "1 2"));
+  check bool_t "bad token" true (bad (Dimacs.parse_drat "1 x 0"));
+  check bool_t "d inside a clause" true (bad (Dimacs.parse_drat "1 d 2 0"));
+  check bool_t "trailing d" true (bad (Dimacs.parse_drat "1 0\nd"));
+  check bool_t "comments allowed" true
+    (Dimacs.parse_drat "c proof\n1 2 0\nd 1 2 0\n"
+    = Ok [ Dimacs.Add [ 1; 2 ]; Dimacs.Delete [ 1; 2 ] ]);
+  check bool_t "binary: bad prefix" true (bad (Dimacs.parse_drat_binary "q\x00"));
+  check bool_t "binary: missing terminator" true
+    (bad (Dimacs.parse_drat_binary "a\x04"));
+  check bool_t "binary: truncated literal" true
+    (bad (Dimacs.parse_drat_binary "a\x84"));
+  check bool_t "binary: zero literal encoding" true
+    (bad (Dimacs.parse_drat_binary "a\x01\x00"));
+  check bool_t "binary: empty lemma ok" true
+    (Dimacs.parse_drat_binary "a\x00" = Ok [ Dimacs.Add [] ])
+
+let test_dimacs_malformed () =
+  let bad t = match Dimacs.parse t with Error _ -> true | Ok _ -> false in
+  check bool_t "truncated header" true (bad "p cnf 3\n1 0\n");
+  check bool_t "non-numeric header" true (bad "p cnf three 1\n1 0\n");
+  check bool_t "missing terminator" true (bad "p cnf 2 1\n1 2");
+  check bool_t "clause count mismatch" true (bad "p cnf 2 2\n1 2 0\n");
+  check bool_t "zero-literal clause rejected by the solver" true
+    (try
+       let s = Solver.create () in
+       Solver.add_clause s [ 1; 0; 2 ];
+       false
+     with Invalid_argument _ -> true);
+  check bool_t "zero literal rejected by the checker" true
+    (try
+       Checker.add_clause (Checker.create ()) [ 0 ];
+       false
+     with Invalid_argument _ -> true)
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"DIMACS print/parse identity" ~count:100
+    arb_cnf (fun (n, raw) ->
+      let cnf = { Dimacs.num_vars = n; clauses = norm_clauses n raw } in
+      Dimacs.parse (Dimacs.print cnf) = Ok cnf)
+
 let suite =
   [
     Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
@@ -445,6 +801,20 @@ let suite =
     Alcotest.test_case "dimacs round trip" `Quick test_dimacs_roundtrip;
     Alcotest.test_case "dimacs parsing" `Quick test_dimacs_parse;
     Alcotest.test_case "dimacs unsat" `Quick test_dimacs_unsat;
-    QCheck_alcotest.to_alcotest prop_random_3sat;
-    QCheck_alcotest.to_alcotest prop_model_is_model;
+    Testseed.to_alcotest prop_random_3sat;
+    Testseed.to_alcotest prop_model_is_model;
+    Alcotest.test_case "checker: RUP queries" `Quick test_checker_rup;
+    Alcotest.test_case "checker: deletions" `Quick test_checker_deletion;
+    Alcotest.test_case "certified pigeonhole" `Quick test_certified_php;
+    Alcotest.test_case "certified retirement/revival" `Quick
+      test_certified_retirement;
+    Alcotest.test_case "drat round trip" `Quick test_drat_roundtrip;
+    Alcotest.test_case "drat solver trace" `Quick test_drat_solver_trace;
+    Alcotest.test_case "drat malformed input" `Quick test_drat_malformed;
+    Alcotest.test_case "dimacs malformed input" `Quick test_dimacs_malformed;
+    Testseed.to_alcotest prop_fuzz_certified_cnf;
+    Testseed.to_alcotest prop_fuzz_certified_assumptions;
+    Testseed.to_alcotest prop_fuzz_certified_incremental;
+    Testseed.to_alcotest prop_drat_roundtrip;
+    Testseed.to_alcotest prop_dimacs_roundtrip;
   ]

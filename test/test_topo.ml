@@ -340,6 +340,6 @@ let suite =
     Alcotest.test_case "dominators: unreachable" `Quick
       test_dominators_unreachable;
     Alcotest.test_case "dot export" `Quick test_dot_export;
-    QCheck_alcotest.to_alcotest prop_spof_equals_dominators;
-    QCheck_alcotest.to_alcotest prop_menger_bounds;
+    Testseed.to_alcotest prop_spof_equals_dominators;
+    Testseed.to_alcotest prop_menger_bounds;
   ]

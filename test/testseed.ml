@@ -1,0 +1,38 @@
+(* Shared QCheck seeding so CI failures reproduce locally.
+
+   The seed comes from the QCHECK_SEED environment variable when set
+   (CI pins it), otherwise it is drawn fresh per run; either way every
+   property runs from a state derived from this one seed, main.ml
+   prints it at startup, and a failing property prints the
+   QCHECK_SEED=... line to replay it. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> failwith ("QCHECK_SEED is not an integer: " ^ s))
+  | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000
+
+(* Each property gets its own state seeded from [seed] and its name, so
+   properties stay independent of suite order and of each other. *)
+let rand_for name =
+  Random.State.make [| seed; Hashtbl.hash name |]
+
+let to_alcotest test =
+  let (QCheck2.Test.Test cell) = test in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest
+      ~rand:(rand_for (QCheck2.Test.get_name cell))
+      test
+  in
+  ( name,
+    speed,
+    fun () ->
+      try run ()
+      with e ->
+        Printf.eprintf "\n[qcheck] property %S failed; reproduce with QCHECK_SEED=%d\n%!"
+          name seed;
+        raise e )
