@@ -293,6 +293,97 @@ let php_checked () =
   if not (Checker.contradiction chk) then
     failwith "checker did not certify the refutation"
 
+(* CDCL core: pure-SAT workloads isolating the solver inner loop, with a
+   per-feature ablation leg for each switchable feature — learnt-clause
+   minimization and LBD-tiered database reduction.  (The blocker-literal
+   watcher vectors and binary specialization have no off switch; their
+   effect is the BENCH_3 -> BENCH_4 delta on these same workloads.)
+   PHP(6,5) is a learning-heavy pure refutation; the random 3-SAT batch
+   sits near the phase-transition ratio m/n ~ 4.26 on fixed seeds; the
+   session legs re-run the bmc_incremental universes with features
+   ablated, quantifying what each contributes to the BMC sweeps. *)
+let config_solver ~minimize ~lbd s =
+  Solver.set_minimize s minimize;
+  Solver.set_lbd_tiers s lbd
+
+let php65 ~minimize ~lbd () =
+  let s = Solver.create () in
+  config_solver ~minimize ~lbd s;
+  let v p h = (p * 5) + h + 1 in
+  for p = 0 to 5 do
+    Solver.add_clause s [ v p 0; v p 1; v p 2; v p 3; v p 4 ]
+  done;
+  for h = 0 to 4 do
+    for p1 = 0 to 5 do
+      for p2 = p1 + 1 to 5 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat -> failwith "PHP(6,5) must be unsat"
+
+let rand3sat_instances =
+  let n = 34 in
+  let m = 145 in
+  ( n,
+    List.map
+      (fun seed ->
+        let st = Random.State.make [| seed |] in
+        List.init m (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Random.State.int st n in
+                if Random.State.bool st then v else -v)))
+      [ 11; 22; 33; 44; 55 ] )
+
+let rand3sat ~minimize ~lbd () =
+  let n, instances = rand3sat_instances in
+  List.iter
+    (fun clauses ->
+      let s = Solver.create () in
+      config_solver ~minimize ~lbd s;
+      Solver.ensure_vars s n;
+      List.iter (Solver.add_clause s) clauses;
+      ignore (Solver.solve s))
+    instances
+
+let sweep_session_cfg ~minimize ~lbd net faults =
+  let sess = Bmc.Session.create (Bmc.create net) in
+  config_solver ~minimize ~lbd (Bmc.Session.solver sess);
+  ignore (Bmc.Session.check_faults sess ~target:0 faults)
+
+let sat_core =
+  Test.make_grouped ~name:"sat_core"
+    [
+      Test.make ~name:"php65"
+        (Staged.stage (php65 ~minimize:true ~lbd:true));
+      Test.make ~name:"php65_no_minimize"
+        (Staged.stage (php65 ~minimize:false ~lbd:true));
+      Test.make ~name:"php65_no_lbd"
+        (Staged.stage (php65 ~minimize:true ~lbd:false));
+      Test.make ~name:"rand3sat_near_threshold"
+        (Staged.stage (rand3sat ~minimize:true ~lbd:true));
+      Test.make ~name:"rand3sat_no_minimize"
+        (Staged.stage (rand3sat ~minimize:false ~lbd:true));
+      Test.make ~name:"rand3sat_no_lbd"
+        (Staged.stage (rand3sat ~minimize:true ~lbd:false));
+      Test.make ~name:"session_small_no_minimize"
+        (Staged.stage (fun () ->
+             sweep_session_cfg ~minimize:false ~lbd:true small small_universe));
+      Test.make ~name:"session_small_no_lbd"
+        (Staged.stage (fun () ->
+             sweep_session_cfg ~minimize:true ~lbd:false small small_universe));
+      Test.make ~name:"session_u226_no_minimize"
+        (Staged.stage (fun () ->
+             sweep_session_cfg ~minimize:false ~lbd:true u226
+               u226_universe_sample));
+      Test.make ~name:"session_u226_no_lbd"
+        (Staged.stage (fun () ->
+             sweep_session_cfg ~minimize:true ~lbd:false u226
+               u226_universe_sample));
+    ]
+
 let proof_logging =
   let events = ref 0 in
   Test.make_grouped ~name:"proof_logging"
@@ -319,6 +410,7 @@ let all_tests =
       bmc_incremental;
       primitives;
       extensions;
+      sat_core;
       proof_logging;
     ]
 
@@ -433,6 +525,27 @@ let smoke () =
     c.Metric.worst_segments <> p.Metric.worst_segments
     || c.Metric.avg_bits <> p.Metric.avg_bits
   then failwith "smoke: certified BMC metric disagrees with plain BMC";
+  (* sat_core group: each ablation leg must run, and a certified session
+     with a forced learnt limit of 0 must push minimized lemmas AND
+     LBD-tier deletions through the checker (Certification_failed would
+     raise on any rejected step). *)
+  php65 ~minimize:true ~lbd:true ();
+  php65 ~minimize:false ~lbd:true ();
+  php65 ~minimize:true ~lbd:false ();
+  rand3sat ~minimize:true ~lbd:true ();
+  let csess = Bmc.Session.create ~certify:true (Bmc.create small) in
+  Solver.set_learnt_limit (Bmc.Session.solver csess) (Some 0);
+  ignore (Bmc.Session.check_faults csess ~target:0 small_universe);
+  let cst = Bmc.Session.stats csess in
+  (match cst.Bmc.Session.cert with
+  | Some cc
+    when cc.Bmc.Session.cert_unsat > 0 && cc.Bmc.Session.cert_lemmas > 0 ->
+      ()
+  | _ -> failwith "smoke: forced-reduction certified session certified nothing");
+  if cst.Bmc.Session.learnt_lits = 0 then
+    failwith "smoke: certified session learnt nothing";
+  if cst.Bmc.Session.reductions = 0 then
+    failwith "smoke: forced learnt limit did not trigger DB reductions";
   print_endline "bench smoke OK"
 
 let () =
@@ -460,7 +573,7 @@ let () =
     (List.sort compare !rows);
   if Array.exists (( = ) "--json") Sys.argv then
     write_json
-      (Filename.concat (repo_root ()) "BENCH_3.json")
+      (Filename.concat (repo_root ()) "BENCH_4.json")
       (List.sort compare !rows);
   (* Clause-reuse profile of one incremental session sweeping the small
      network's fault universe: after the first query pays for the shared

@@ -78,6 +78,17 @@ let metric_row name m =
              float_of_int r.Metric.r_cone_sum /. float_of_int r.Metric.r_classes)
           r.Metric.r_cone_max
   in
+  let search =
+    match m.Metric.solver with
+    | Some s when s.Metric.s_learnt_lits > 0 ->
+        Printf.sprintf "; %d restarts, %.0f%% lits minimized, %d reductions"
+          s.Metric.s_restarts
+          (100.0
+          *. float_of_int s.Metric.s_minimized_lits
+          /. float_of_int s.Metric.s_learnt_lits)
+          s.Metric.s_reductions
+    | _ -> ""
+  in
   let cert =
     match m.Metric.solver with
     | Some s when s.Metric.s_cert_unsat > 0 || s.Metric.s_cert_lemmas > 0 ->
@@ -85,9 +96,9 @@ let metric_row name m =
           s.Metric.s_cert_unsat s.Metric.s_cert_lemmas s.Metric.s_cert_time
     | _ -> ""
   in
-  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults%s%s)\n" name
+  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults%s%s%s)\n" name
     m.Metric.worst_bits m.Metric.avg_bits m.Metric.worst_segments
-    m.Metric.avg_segments m.Metric.faults red cert
+    m.Metric.avg_segments m.Metric.faults red search cert
 
 let access_header () =
   Printf.printf "%-9s %10s %9s %12s %11s\n" "SoC" "bits-worst" "bits-avg"

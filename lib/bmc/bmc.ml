@@ -380,6 +380,11 @@ module Session = struct
     conflicts : int;
     decisions : int;
     propagations : int;
+    restarts : int;
+    learnt_lits : int;
+    minimized_lits : int;
+    reductions : int;
+    learnt_db : int;
     per_query : query_stat list;
     cert : cert_stats option;
   }
@@ -763,16 +768,23 @@ module Session = struct
       (fun f -> check_access sess ~fault:f ?max_steps ~target ())
       faults
 
+  let solver sess = sess.solver
+
   let stats sess =
     let em, ru = Cnf.emitter_stats sess.em in
-    let c, d, p = Solver.stats sess.solver in
+    let ss = Solver.search_stats sess.solver in
     {
       queries = sess.queries;
       clauses_emitted = em;
       nodes_reused = ru;
-      conflicts = c;
-      decisions = d;
-      propagations = p;
+      conflicts = ss.Solver.st_conflicts;
+      decisions = ss.Solver.st_decisions;
+      propagations = ss.Solver.st_propagations;
+      restarts = ss.Solver.st_restarts;
+      learnt_lits = ss.Solver.st_learnt_lits;
+      minimized_lits = ss.Solver.st_minimized_lits;
+      reductions = ss.Solver.st_reductions;
+      learnt_db = ss.Solver.st_learnt_db;
       per_query =
         List.rev_map
           (fun (e, r, cf, sat) ->

@@ -147,11 +147,21 @@ module Session : sig
     conflicts : int;
     decisions : int;
     propagations : int;
+    restarts : int;
+    learnt_lits : int;      (** learnt literals before minimization *)
+    minimized_lits : int;   (** literals removed by minimization *)
+    reductions : int;       (** learnt-DB reduction passes *)
+    learnt_db : int;        (** live learnt clauses (after reductions) *)
     per_query : query_stat list;  (** chronological *)
     cert : cert_stats option;  (** [Some] iff the session is certified *)
   }
 
   val stats : t -> stats
+
+  val solver : t -> Ftrsn_sat.Solver.t
+  (** The session's underlying solver — exposed for tests and benchmark
+      ablations (e.g. {!Ftrsn_sat.Solver.set_learnt_limit}); mutating it
+      other than through the feature switches voids the warranty. *)
 end
 
 val session : t -> Session.t

@@ -8,6 +8,11 @@ type solver_stats = {
   s_conflicts : int;
   s_decisions : int;
   s_propagations : int;
+  s_restarts : int;
+  s_learnt_lits : int;
+  s_minimized_lits : int;
+  s_reductions : int;
+  s_learnt_db : int;
   s_clauses_emitted : int;
   s_nodes_reused : int;
   (* certified-mode counters; all zero when certification was off *)
@@ -56,6 +61,11 @@ let merge_solver a b =
           s_conflicts = x.s_conflicts + y.s_conflicts;
           s_decisions = x.s_decisions + y.s_decisions;
           s_propagations = x.s_propagations + y.s_propagations;
+          s_restarts = x.s_restarts + y.s_restarts;
+          s_learnt_lits = x.s_learnt_lits + y.s_learnt_lits;
+          s_minimized_lits = x.s_minimized_lits + y.s_minimized_lits;
+          s_reductions = x.s_reductions + y.s_reductions;
+          s_learnt_db = x.s_learnt_db + y.s_learnt_db;
           s_clauses_emitted = x.s_clauses_emitted + y.s_clauses_emitted;
           s_nodes_reused = x.s_nodes_reused + y.s_nodes_reused;
           s_cert_unsat = x.s_cert_unsat + y.s_cert_unsat;
@@ -246,6 +256,11 @@ let solver_of_session sess =
       s_conflicts = st.Bmc.Session.conflicts;
       s_decisions = st.Bmc.Session.decisions;
       s_propagations = st.Bmc.Session.propagations;
+      s_restarts = st.Bmc.Session.restarts;
+      s_learnt_lits = st.Bmc.Session.learnt_lits;
+      s_minimized_lits = st.Bmc.Session.minimized_lits;
+      s_reductions = st.Bmc.Session.reductions;
+      s_learnt_db = st.Bmc.Session.learnt_db;
       s_clauses_emitted = st.Bmc.Session.clauses_emitted;
       s_nodes_reused = st.Bmc.Session.nodes_reused;
       s_cert_unsat = cu;
@@ -957,6 +972,13 @@ let pp_solver_stats fmt s =
     "@[<h>solver: %d conflicts, %d decisions, %d propagations; %d clauses emitted, %d nodes reused@]"
     s.s_conflicts s.s_decisions s.s_propagations s.s_clauses_emitted
     s.s_nodes_reused;
+  if s.s_learnt_lits > 0 then
+    Format.fprintf fmt
+      "@,@[<h>search: %d restarts; learnt lits %d -> %d (%.1f%% minimized); %d DB reductions, %d learnts live@]"
+      s.s_restarts s.s_learnt_lits
+      (s.s_learnt_lits - s.s_minimized_lits)
+      (100.0 *. float_of_int s.s_minimized_lits /. float_of_int s.s_learnt_lits)
+      s.s_reductions s.s_learnt_db;
   if s.s_cert_unsat > 0 || s.s_cert_lemmas > 0 then
     Format.fprintf fmt
       "@,@[<h>certified: %d UNSAT verdicts RUP-checked, %d lemmas verified, %d deletions, %.2fs in checker@]"

@@ -33,6 +33,11 @@ type solver_stats = {
   s_conflicts : int;
   s_decisions : int;
   s_propagations : int;
+  s_restarts : int;         (** restart-budget exhaustions *)
+  s_learnt_lits : int;      (** learnt literals before minimization *)
+  s_minimized_lits : int;   (** literals removed by clause minimization *)
+  s_reductions : int;       (** learnt-DB reduction passes *)
+  s_learnt_db : int;        (** live learnt clauses at session end (summed) *)
   s_clauses_emitted : int;  (** CNF clauses emitted into the solver(s) *)
   s_nodes_reused : int;     (** emitter memo hits: nodes NOT re-emitted *)
   s_cert_unsat : int;

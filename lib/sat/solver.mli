@@ -1,6 +1,9 @@
-(** A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
-    analysis with non-chronological backjumping, VSIDS-style variable
-    activities, phase saving and Luby restarts.
+(** A CDCL SAT solver: two-watched-literal propagation over flat watcher
+    vectors with blocker literals, dedicated binary-clause watch lists,
+    first-UIP conflict analysis with recursive learnt-clause minimization
+    and non-chronological backjumping, VSIDS-style variable activities,
+    phase saving, Luby restarts, and an LBD-tiered learnt-clause
+    database.
 
     The external literal convention is DIMACS: variables are positive
     integers [1, 2, ...]; literal [v] is the positive phase, [-v] the
@@ -78,6 +81,44 @@ val value : t -> int -> bool
 
 val stats : t -> int * int * int
 (** [(conflicts, decisions, propagations)] since creation. *)
+
+type search_stats = {
+  st_conflicts : int;
+  st_decisions : int;
+  st_propagations : int;
+  st_restarts : int;  (** restart-budget exhaustions *)
+  st_learnt_lits : int;
+      (** literals of learnt clauses, before minimization *)
+  st_minimized_lits : int;
+      (** literals removed by learnt-clause minimization *)
+  st_reductions : int;  (** learnt-database reduction passes *)
+  st_learnt_db : int;  (** live learnt clauses right now *)
+}
+
+val search_stats : t -> search_stats
+(** Cumulative search counters since creation ([st_learnt_db] is the
+    current live learnt-clause count, i.e. the database size after the
+    last reduction and subsequent learning). *)
+
+(** {2 Feature switches}
+
+    Test and benchmark-ablation hooks; the defaults are the fast
+    configuration and there is no reason to change them in normal use.
+    All three are sound to flip at any point between [solve] calls. *)
+
+val set_minimize : t -> bool -> unit
+(** Enables/disables learnt-clause minimization (default [true]).
+    Minimized clauses remain RUP, so proof logging is unaffected. *)
+
+val set_lbd_tiers : t -> bool -> unit
+(** Enables/disables the LBD-tiered reduction policy (default [true]);
+    disabled, [reduce_db] falls back to activity-only ranking. *)
+
+val set_learnt_limit : t -> int option -> unit
+(** Overrides the learnt-database size that triggers a reduction
+    ([Some n]); [None] (default) restores the adaptive limit of
+    [2 * problem clauses + 1000].  [Some 0] forces a reduction after
+    every root-level return — useful to exercise reduction in tests. *)
 
 (** {2 DRUP proof logging}
 

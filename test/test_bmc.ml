@@ -465,9 +465,16 @@ let cert_stats_of sess =
   | Some c -> c
   | None -> Alcotest.fail "certified session must report cert stats"
 
-let certified_agrees_on ?(every = 1) ?targets net =
+let certified_agrees_on ?(every = 1) ?targets ?learnt_limit net =
   let sess = Bmc.Session.create ~certify:true (Bmc.create net) in
   let plain = Bmc.Session.create (Bmc.create net) in
+  (* A forced-small learnt limit makes the sessions go through LBD-tiered
+     reduce_db passes (deletions included in the certified trace). *)
+  (match learnt_limit with
+  | None -> ()
+  | Some _ ->
+      Ftrsn_sat.Solver.set_learnt_limit (Bmc.Session.solver sess) learnt_limit;
+      Ftrsn_sat.Solver.set_learnt_limit (Bmc.Session.solver plain) learnt_limit);
   (* PI stuck-at seals everything: guarantees UNSAT verdicts to certify. *)
   let faults =
     pi_stuck
@@ -517,11 +524,15 @@ let prop_certified_random_nets =
 
 let test_certified_u226 () =
   (* The paper's smallest SoC, certified: a thinned fault slice plus the
-     sealing PI fault, against first / middle / last segments. *)
+     sealing PI fault, against first / middle / last segments.  The
+     learnt limit of 0 forces a clause-database reduction after every
+     query, so the trace certifies minimized lemmas AND their LBD-tier
+     deletions on a real SoC. *)
   let soc = Option.get (Itc02.find "u226") in
   let net = Itc02.rsn soc in
   let n = Netlist.num_segments net in
-  certified_agrees_on ~every:40 ~targets:[ 0; n / 2; n - 1 ] net
+  certified_agrees_on ~every:40 ~targets:[ 0; n / 2; n - 1 ] ~learnt_limit:0
+    net
 
 let suite =
   [

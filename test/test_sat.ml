@@ -423,11 +423,16 @@ module Checker = Ftrsn_sat.Checker
 
 (* A solver wired to a live checker, session-style: inputs mirrored,
    derivations RUP-verified, deletions forwarded.  The first rejected
-   lemma is recorded instead of raising, so properties can report it. *)
+   lemma is recorded instead of raising, so properties can report it.
+   The learnt limit is forced to 0 so that EVERY instance that learns a
+   clause also goes through an LBD-tiered reduce_db pass — the checker
+   then sees the corresponding deletions too; minimization is on by
+   default, so the checked lemmas are the minimized clauses. *)
 let certified_solver () =
   let chk = Checker.create () in
   let bad = ref None in
   let s = Solver.create () in
+  Solver.set_learnt_limit s (Some 0);
   Solver.set_proof_sink s
     (Some
        (fun ev ->
@@ -651,6 +656,87 @@ let prop_fuzz_certified_incremental =
               && not (brute_force_sat n (!sofar @ units)))
         steps)
 
+(* All four feature configurations (minimization x LBD tiers) must agree
+   with brute force and stay certified; the learnt limit is forced to 0
+   either way, so disabled-tier runs exercise the activity-only fallback
+   reduction path too. *)
+let prop_fuzz_ablations =
+  QCheck.Test.make
+    ~name:"fuzz: minimize/LBD-tier ablations agree with brute force"
+    ~count:150 arb_cnf_assumptions (fun (n, raw, araw) ->
+      let clauses = norm_clauses n raw in
+      let assumptions = List.filter_map (norm_lit n) araw in
+      let units = List.map (fun l -> [ l ]) assumptions in
+      let expect = brute_force_sat n (clauses @ units) in
+      List.for_all
+        (fun (minimize, tiers) ->
+          let s, chk, bad = certified_solver () in
+          Solver.set_minimize s minimize;
+          Solver.set_lbd_tiers s tiers;
+          Solver.ensure_vars s n;
+          List.iter (Solver.add_clause s) clauses;
+          let verdict = Solver.solve ~assumptions s in
+          !bad = None
+          &&
+          match verdict with
+          | Solver.Sat ->
+              expect && model_satisfies s clauses && model_satisfies s units
+          | Solver.Unsat ->
+              let failed = Solver.failed_assumptions s in
+              (not expect)
+              && List.for_all (fun l -> List.mem l assumptions) failed
+              && Checker.check_rup chk (List.map (fun l -> -l) failed))
+        [ (true, true); (true, false); (false, true); (false, false) ])
+
+(* Regression: duplicated assumptions used to open one decision level
+   each, overflowing trail_lim (sized by variable count, indexed per
+   level).  200 copies over 3 variables crashed the old push_level. *)
+let test_duplicate_assumptions () =
+  let s = Solver.create () in
+  Solver.add_clause s [ 1; 2 ];
+  Solver.add_clause s [ -1; 3 ];
+  let assumptions =
+    List.concat (List.init 200 (fun _ -> [ 1; 2; 3; 1; 1 ]))
+  in
+  check bool_t "sat under 1000 duplicated assumptions" true
+    (is_sat (Solver.solve ~assumptions s));
+  check bool_t "assumed 1" true (Solver.value s 1);
+  check bool_t "forced 3" true (Solver.value s 3);
+  (* And the failed-assumption subset stays duplicate-free and correct. *)
+  Solver.add_clause s [ -3 ];
+  let assumptions = List.concat (List.init 100 (fun _ -> [ 1; 2 ])) in
+  check bool_t "unsat: assumption 1 forces retired 3" false
+    (is_sat (Solver.solve ~assumptions s));
+  check bool_t "failed subset is [1]" true
+    (Solver.failed_assumptions s = [ 1 ])
+
+(* The new search counters actually move on a learning-heavy instance,
+   and a forced learnt limit of 0 triggers reductions. *)
+let test_search_stats_counters () =
+  let s = Solver.create () in
+  Solver.set_learnt_limit s (Some 0);
+  let v p h = (p * 4) + h + 1 in
+  for p = 0 to 4 do
+    Solver.add_clause s [ v p 0; v p 1; v p 2; v p 3 ]
+  done;
+  for h = 0 to 3 do
+    for p1 = 0 to 4 do
+      for p2 = p1 + 1 to 4 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  check bool_t "PHP(5,4) unsat" false (is_sat (Solver.solve s));
+  let st = Solver.search_stats s in
+  check bool_t "conflicts counted" true (st.Solver.st_conflicts > 0);
+  check bool_t "learnt literals counted" true (st.Solver.st_learnt_lits > 0);
+  check bool_t "minimization never inflates" true
+    (st.Solver.st_minimized_lits >= 0
+    && st.Solver.st_minimized_lits < st.Solver.st_learnt_lits);
+  check bool_t "forced limit triggers reductions" true
+    (st.Solver.st_reductions > 0);
+  check bool_t "learnt DB size is sane" true (st.Solver.st_learnt_db >= 0)
+
 (* --- DRAT text/binary round trips and malformed input --- *)
 
 let drat_events_equal a b = a = b
@@ -812,9 +898,14 @@ let suite =
     Alcotest.test_case "drat solver trace" `Quick test_drat_solver_trace;
     Alcotest.test_case "drat malformed input" `Quick test_drat_malformed;
     Alcotest.test_case "dimacs malformed input" `Quick test_dimacs_malformed;
+    Alcotest.test_case "duplicate assumptions (trail_lim)" `Quick
+      test_duplicate_assumptions;
+    Alcotest.test_case "search stats counters" `Quick
+      test_search_stats_counters;
     Testseed.to_alcotest prop_fuzz_certified_cnf;
     Testseed.to_alcotest prop_fuzz_certified_assumptions;
     Testseed.to_alcotest prop_fuzz_certified_incremental;
+    Testseed.to_alcotest prop_fuzz_ablations;
     Testseed.to_alcotest prop_drat_roundtrip;
     Testseed.to_alcotest prop_dimacs_roundtrip;
   ]
