@@ -401,6 +401,82 @@ let proof_logging =
              ignore (Metric.evaluate ~engine:`Bmc ~certify:true small)));
     ]
 
+(* Service layer: what the warm pool amortizes.  The "cold" legs spawn a
+   fresh pool per run, so every query pays netlist construction, engine
+   context, baseline and class collapse again — the one-shot CLI cost.
+   The "warm" legs share one pre-warmed pool, so a run costs only the
+   query itself plus a pool hit.  The mixed legs replay a small
+   interleaved stream over two SoCs, the serve-loop steady state. *)
+module SQuery = Ftrsn_service.Query
+module SPool = Ftrsn_service.Pool
+module SExec = Ftrsn_service.Exec
+module SResponse = Ftrsn_service.Response
+
+let svc_spec name = { SQuery.ns_source = `Itc02 name; SQuery.ns_ft = false }
+
+let svc_metric ?sample name =
+  SQuery.Metric
+    {
+      SQuery.mq_net = svc_spec name;
+      mq_sample = sample;
+      mq_domains = 1;
+      mq_engine = `Structural;
+      mq_reduce = true;
+      mq_with_stats = false;
+    }
+
+let svc_probe name target =
+  SQuery.Probe
+    {
+      SQuery.pb_net = svc_spec name;
+      pb_target = target;
+      pb_fault = None;
+      pb_svf = false;
+    }
+
+let svc_stream =
+  [
+    svc_metric ~sample:16 "u226";
+    svc_probe "u226" (Netlist.segment_name u226 5);
+    SQuery.Netinfo (svc_spec "d695");
+    svc_metric ~sample:16 "d695";
+    svc_probe "d695" (Netlist.segment_name d695 3);
+    svc_metric ~sample:16 "u226";
+  ]
+
+let svc_pool = SPool.create ()
+
+(* Pre-warm so the warm legs measure the steady state, not the first
+   miss. *)
+let () = List.iter (fun q -> ignore (SExec.run svc_pool q)) svc_stream
+
+let svc_cold q () = ignore (SExec.run (SPool.create ()) q)
+let svc_warm q () = ignore (SExec.run svc_pool q)
+
+let service =
+  Test.make_grouped ~name:"service"
+    [
+      Test.make ~name:"metric_u226_cold"
+        (Staged.stage (svc_cold (svc_metric ~sample:16 "u226")));
+      Test.make ~name:"metric_u226_warm"
+        (Staged.stage (svc_warm (svc_metric ~sample:16 "u226")));
+      Test.make ~name:"metric_d695_cold"
+        (Staged.stage (svc_cold (svc_metric ~sample:16 "d695")));
+      Test.make ~name:"metric_d695_warm"
+        (Staged.stage (svc_warm (svc_metric ~sample:16 "d695")));
+      Test.make ~name:"probe_u226_cold"
+        (Staged.stage (svc_cold (List.nth svc_stream 1)));
+      Test.make ~name:"probe_u226_warm"
+        (Staged.stage (svc_warm (List.nth svc_stream 1)));
+      Test.make ~name:"mixed_stream_cold"
+        (Staged.stage (fun () ->
+             let pool = SPool.create () in
+             List.iter (fun q -> ignore (SExec.run pool q)) svc_stream));
+      Test.make ~name:"mixed_stream_warm"
+        (Staged.stage (fun () ->
+             List.iter (fun q -> ignore (SExec.run svc_pool q)) svc_stream));
+    ]
+
 let all_tests =
   Test.make_grouped ~name:"ftrsn"
     [
@@ -412,6 +488,7 @@ let all_tests =
       extensions;
       sat_core;
       proof_logging;
+      service;
     ]
 
 (* Benched under its own, larger quota: the full d695 and u226 pair
@@ -546,6 +623,13 @@ let smoke () =
     failwith "smoke: certified session learnt nothing";
   if cst.Bmc.Session.reductions = 0 then
     failwith "smoke: forced learnt limit did not trigger DB reductions";
+  (* service group: a warm pooled response must be bit-identical to a
+     cold one-shot response (the serve-vs-CLI contract). *)
+  let q = svc_metric ~sample:16 "u226" in
+  let cold = SResponse.to_string (SExec.run (SPool.create ()) q) in
+  let warm = SResponse.to_string (SExec.run svc_pool q) in
+  if cold <> warm then
+    failwith "smoke: warm service response differs from cold one-shot";
   print_endline "bench smoke OK"
 
 let () =
@@ -573,7 +657,7 @@ let () =
     (List.sort compare !rows);
   if Array.exists (( = ) "--json") Sys.argv then
     write_json
-      (Filename.concat (repo_root ()) "BENCH_4.json")
+      (Filename.concat (repo_root ()) "BENCH_5.json")
       (List.sort compare !rows);
   (* Clause-reuse profile of one incremental session sweeping the small
      network's fault universe: after the first query pays for the shared

@@ -1,312 +1,485 @@
 (* ftrsn-tool: command-line utilities over RSN netlists.
 
-   Subcommands:
-     stats      — parse a netlist (text or ICL) and print its statistics
-     dot        — emit the dataflow graph as Graphviz DOT (optionally with
-                  the augmenting edge set highlighted)
-     harden     — run the fault-tolerant synthesis and write the result in
-                  the flat text format
-     metric     — evaluate the fault-tolerance metric
-     certify    — the metric through the BMC engine with every UNSAT
-                  verdict verified by an independent RUP proof checker
-     access     — plan an access to a segment (optionally under a fault)
-                  and print the CSU schedule or SVF vectors
-     diagnose   — read an observed signature (bit lines) and list candidate
-                  faults
+   Every subcommand (except the graphviz export) is a thin front-end over
+   the service query layer (Ftrsn_service): it builds a typed Query.t,
+   executes it against a process-local warm pool and renders the typed
+   Response.t — exactly the code path a long-running `serve` daemon runs,
+   so `--json` output here is byte-identical to the corresponding serve
+   response (CI diffs the two).
 
-   Input format is chosen by extension: .icl is parsed by the ICL
-   front-end, anything else by the flat text format. *)
+   Subcommands:
+     stats      — netlist characteristics (netinfo query)
+     dot        — emit the dataflow graph as Graphviz DOT
+     harden     — fault-tolerant synthesis; prints the hardened netlist
+     metric     — the fault-tolerance metric (single faults or pairs)
+     certify    — the metric through the certified BMC engine
+     access     — plan an access to a segment (optionally under a fault)
+     diagnose   — list faults matching an observed signature
+     serve      — newline-delimited JSON query loop (stdio or socket)
+
+   Netlists are given as file paths (.icl parsed as ICL, anything else as
+   the flat text format) or as "itc02:NAME" for a benchmark SoC.
+
+   Exit codes: 0 success, 1 bad request (parse/usage/unknown name),
+   2 target inaccessible, 3 certification failed, 4 admission/deadline. *)
 
 module Netlist = Ftrsn_rsn.Netlist
-module Text = Ftrsn_rsn.Text
-module Icl = Ftrsn_rsn.Icl
-module Stats = Ftrsn_rsn.Stats
 module Dot = Ftrsn_topo.Dot
-module Fault = Ftrsn_fault.Fault
-module Engine = Ftrsn_access.Engine
-module Retarget = Ftrsn_access.Retarget
-module Vectors = Ftrsn_access.Vectors
-module Diagnose = Ftrsn_access.Diagnose
 module Augment = Ftrsn_core.Augment
-module Pipeline = Ftrsn_core.Pipeline
 module Metric = Ftrsn_core.Metric
+module Json = Ftrsn_service.Json
+module Query = Ftrsn_service.Query
+module Response = Ftrsn_service.Response
+module Pool = Ftrsn_service.Pool
+module Exec = Ftrsn_service.Exec
+module Server = Ftrsn_service.Server
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let pool = lazy (Pool.create ())
 
-let load path =
-  let text = read_file path in
-  let result =
-    if Filename.check_suffix path ".icl" then Icl.parse text
-    else Text.parse text
-  in
-  match result with
-  | Ok net -> net
-  | Error e ->
-      Printf.eprintf "%s: %s\n" path e;
-      exit 1
+(* Renders a response (human form), returns the exit code.  [render] only
+   sees success payloads; errors are reported uniformly on stderr. *)
+let finish ?(json = false) ~render resp =
+  (if json then print_endline (Response.to_string resp)
+   else
+     match resp with
+     | Response.Error_r (_, msg) -> Printf.eprintf "%s\n" msg
+     | ok -> render ok);
+  Response.exit_code resp
 
-(* Name -> index table, built once per loaded netlist; replaces the O(n)
-   scan-per-lookup over segment names. *)
-let seg_table net =
-  let tbl = Hashtbl.create (max 16 (Netlist.num_segments net)) in
-  for i = 0 to Netlist.num_segments net - 1 do
-    Hashtbl.replace tbl (Netlist.segment_name net i) i
-  done;
-  tbl
+let run ?json ~render q = finish ?json ~render (Exec.run (Lazy.force pool) q)
 
-let edit_distance a b =
-  let la = String.length a and lb = String.length b in
-  let prev = Array.init (lb + 1) Fun.id in
-  let cur = Array.make (lb + 1) 0 in
-  for i = 1 to la do
-    cur.(0) <- i;
-    for j = 1 to lb do
-      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
-      cur.(j) <-
-        min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
-    done;
-    Array.blit cur 0 prev 0 (lb + 1)
-  done;
-  prev.(lb)
+let unexpected _ = prerr_endline "unexpected response payload"
 
-let seg_by_name tbl name =
-  match Hashtbl.find_opt tbl name with
-  | Some i -> i
-  | None ->
-      let near =
-        Hashtbl.fold (fun n _ acc -> (edit_distance name n, n) :: acc) tbl []
-        |> List.filter (fun (d, _) -> d <= max 2 (String.length name / 3))
-        |> List.sort compare
-        |> List.filteri (fun i _ -> i < 3)
-        |> List.map snd
+(* ------------------------------------------------------------------ *)
+(* Subcommand actions                                                  *)
+
+let cmd_stats spec json =
+  run ~json
+    ~render:(function
+      | Response.Netinfo_r n ->
+          Printf.printf
+            "%s: %d segments, %d muxes, %d scan bits, %d shadow bits\n\
+             %d control bits, %d primary controls, %d levels\n\
+             reset path %d bits, full path %d bits\n"
+            n.Response.ni_name n.Response.ni_segments n.Response.ni_muxes
+            n.Response.ni_scan_bits n.Response.ni_shadow_bits
+            n.Response.ni_control_bits n.Response.ni_primary_controls
+            n.Response.ni_levels n.Response.ni_reset_path_bits
+            n.Response.ni_full_path_bits
+      | r -> unexpected r)
+    (Query.Netinfo (Query.net_spec_of_cli spec))
+
+(* The graphviz export has no service counterpart (it is a developer
+   visualisation, not a netlist query); it loads directly. *)
+let cmd_dot spec augmented =
+  match Pool.acquire (Lazy.force pool) (Query.net_spec_of_cli spec) with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  | Ok entry ->
+      let net = Pool.net entry in
+      let g, _ = Netlist.dataflow_graph net in
+      let label v =
+        if v = 0 then "scan-in"
+        else if v = 1 then "scan-out"
+        else Netlist.segment_name net (v - 2)
       in
-      Printf.eprintf "no segment named %s%s\n" name
-        (match near with
-        | [] -> ""
-        | _ ->
-            Printf.sprintf " (did you mean %s?)" (String.concat ", " near));
-      exit 1
+      let highlight =
+        if not augmented then []
+        else (Augment.solve (Augment.of_netlist net)).Augment.new_edges
+      in
+      print_string
+        (Dot.to_dot ~name:net.Netlist.net_name ~vertex_label:label
+           ~highlight_edges:highlight g);
+      Pool.release (Lazy.force pool) entry;
+      0
 
-let cmd_stats path =
-  let net = load path in
-  Format.printf "%a@.%a@." Netlist.pp_summary net Stats.pp (Stats.compute net)
+let cmd_harden spec json =
+  run ~json
+    ~render:(function
+      | Response.Synth_r s ->
+          Option.iter print_string s.Response.sy_netlist;
+          Printf.eprintf "added %d muxes, %d control bits; area x%.2f\n"
+            s.Response.sy_added_muxes s.Response.sy_added_ctrl_bits
+            s.Response.sy_area_ratio
+      | r -> unexpected r)
+    (Query.Synthesize
+       { Query.sq_net = Query.net_spec_of_cli spec; sq_emit = not json })
 
-let cmd_dot path augmented =
-  let net = load path in
-  let g, _ = Netlist.dataflow_graph net in
-  let label v =
-    if v = 0 then "scan-in"
-    else if v = 1 then "scan-out"
-    else Netlist.segment_name net (v - 2)
-  in
-  let highlight =
-    if not augmented then []
-    else begin
-      let p = Augment.of_netlist net in
-      (Augment.solve p).Augment.new_edges
-    end
-  in
-  print_string
-    (Dot.to_dot ~name:net.Netlist.net_name ~vertex_label:label
-       ~highlight_edges:highlight g)
+let render_metric = function
+  | Response.Metric_r m ->
+      Format.printf "%a@." Metric.pp (Response.result_of_metric_r m)
+  | r -> unexpected r
 
-let cmd_harden path =
-  let net = load path in
-  let r = Pipeline.synthesize net in
-  print_string (Text.to_string r.Pipeline.ft);
-  Printf.eprintf "added %d muxes, %d control bits; area x%.2f\n"
-    r.Pipeline.syn_stats.Ftrsn_core.Synthesis.added_muxes
-    r.Pipeline.syn_stats.Ftrsn_core.Synthesis.added_ctrl_bits
-    r.Pipeline.area_ratios.Ftrsn_core.Area.r_area
+let pool_stats_line () =
+  let p = Pool.stats (Lazy.force pool) in
+  Printf.eprintf "pool: %d hits, %d misses, %d evictions, %d entries (%d KiB)\n"
+    p.Response.po_hits p.Response.po_misses p.Response.po_evictions
+    p.Response.po_entries
+    (p.Response.po_bytes / 1024)
 
-let cmd_metric path sample domains brute pairs =
-  let net = load path in
-  let r =
+let cmd_metric spec sample domains engine brute pairs json with_stats =
+  let net = Query.net_spec_of_cli spec in
+  (* Human output renders the full Metric.pp line (steals, solver stats),
+     so it needs the volatile block; JSON keeps the deterministic default
+     unless --with-stats asks otherwise. *)
+  let ws = if json then with_stats else true in
+  let q =
     if pairs then
-      Metric.evaluate_pairs ?fault_sample:sample ~domains ~exhaustive:true
-        ~reduce:(not brute) net
-    else Metric.evaluate ?sample ~domains ~reduce:(not brute) net
+      Query.Pairs
+        {
+          Query.pq_net = net;
+          pq_fault_sample = sample;
+          pq_pair_sample = None;
+          pq_domains = domains;
+          pq_engine = engine;
+          pq_reduce = not brute;
+          pq_with_stats = ws;
+        }
+    else
+      Query.Metric
+        {
+          Query.mq_net = net;
+          mq_sample = sample;
+          mq_domains = domains;
+          mq_engine = engine;
+          mq_reduce = not brute;
+          mq_with_stats = ws;
+        }
   in
-  Format.printf "%a@." Metric.pp r
+  let code = run ~json ~render:render_metric q in
+  pool_stats_line ();
+  code
 
-let cmd_certify path sample domains pairs =
-  let net = load path in
-  match
-    if pairs then
-      Metric.evaluate_pairs ?fault_sample:sample ~domains ~exhaustive:true
-        ~engine:`Bmc ~certify:true net
-    else Metric.evaluate ?sample ~domains ~engine:`Bmc ~certify:true net
-  with
-  | r ->
-      Format.printf "%a@." Metric.pp r;
-      let s = Option.get r.Metric.solver in
-      Printf.printf
-        "certification: OK (%d UNSAT verdicts RUP-checked, %d lemmas, %d \
-         deletions, %.2fs in checker)\n"
-        s.Metric.s_cert_unsat s.Metric.s_cert_lemmas s.Metric.s_cert_deletes
-        s.Metric.s_cert_time
-  | exception Ftrsn_bmc.Bmc.Session.Certification_failed msg ->
-      Printf.eprintf "certification: FAILED: %s\n" msg;
-      exit 3
-
-let parse_fault net spec =
-  (* "<segment or mux name>.<site>/sa<0|1>", matching Fault.to_string. *)
-  match
-    List.find_opt
-      (fun f -> Fault.to_string net f = spec)
-      (Fault.universe net)
-  with
-  | Some f -> f
-  | None ->
-      Printf.eprintf
-        "unknown fault %s (use names as printed by the universe, e.g. \
-         mysib.shadow[0]/sa0)\n"
-        spec;
-      exit 1
-
-let cmd_access path target fault svf =
-  let net = load path in
-  let ctx = Engine.make_ctx net in
-  let target = seg_by_name (seg_table net) target in
-  let fault = Option.map (parse_fault net) fault in
-  match Retarget.plan_write ctx ?fault ~target () with
-  | None ->
-      Printf.eprintf "target not writable under this fault\n";
-      exit 2
-  | Some plan ->
-      if svf then begin
-        match fault with
-        | Some _ ->
-            Printf.eprintf "vector export is for fault-free plans\n";
-            exit 1
-        | None -> (
-            let pattern =
-              List.init (Netlist.seg_len net target) (fun i -> i mod 2 = 0)
-            in
-            match Vectors.of_plan net plan ~pattern with
-            | Ok svf -> print_string svf
-            | Error e ->
-                Printf.eprintf "%s\n" e;
-                exit 1)
-      end
-      else begin
-        List.iter
-          (fun (p, v) ->
-            Printf.printf "assert primary %s := %b\n" p v)
-          plan.Retarget.primaries;
-        List.iteri
-          (fun i step ->
-            Printf.printf "CSU %d: path [%s] writes [%s]\n" i
-              (String.concat "; "
-                 (List.map (Netlist.segment_name net) step.Retarget.path))
-              (String.concat "; "
-                 (List.map
-                    (fun (s, b, v) ->
-                      Printf.sprintf "%s[%d]:=%b"
-                        (Netlist.segment_name net s) b v)
-                    step.Retarget.writes)))
-          plan.Retarget.steps;
-        Printf.printf "CSU %d: access via [%s], %d cycles total\n"
-          (List.length plan.Retarget.steps)
-          (String.concat "; "
-             (List.map (Netlist.segment_name net) plan.Retarget.access_path))
-          plan.Retarget.cycles
-      end
-
-let cmd_diagnose path sig_file =
-  let net = load path in
-  let observed =
-    read_file sig_file |> String.split_on_char '\n'
-    |> List.filter (fun l -> String.trim l <> "")
-    |> List.map (fun line ->
-           List.init (String.length (String.trim line)) (fun i ->
-               (String.trim line).[i] = '1'))
+let cmd_certify spec sample domains pairs json with_stats =
+  let q =
+    Query.Certify
+      {
+        Query.cq_net = Query.net_spec_of_cli spec;
+        cq_sample = sample;
+        cq_domains = domains;
+        cq_pairs = pairs;
+        cq_with_stats = (if json then with_stats else true);
+      }
   in
-  let candidates = Diagnose.diagnose net ~observed in
-  if candidates = [] then print_endline "no single stuck-at fault matches"
-  else
-    List.iter
-      (fun f -> print_endline (Fault.to_string net f))
-      candidates
+  run ~json
+    ~render:(function
+      | Response.Metric_r m ->
+          let r = Response.result_of_metric_r m in
+          Format.printf "%a@." Metric.pp r;
+          (match r.Metric.solver with
+          | Some s ->
+              Printf.printf
+                "certification: OK (%d UNSAT verdicts RUP-checked, %d \
+                 lemmas, %d deletions, %.2fs in checker)\n"
+                s.Metric.s_cert_unsat s.Metric.s_cert_lemmas
+                s.Metric.s_cert_deletes s.Metric.s_cert_time
+          | None -> ())
+      | r -> unexpected r)
+    q
+
+let cmd_access spec target fault svf json =
+  run ~json
+    ~render:(function
+      | Response.Svf_r svf -> print_string svf
+      | Response.Plan_r p ->
+          List.iter
+            (fun (name, v) -> Printf.printf "assert primary %s := %b\n" name v)
+            p.Response.pl_primaries;
+          List.iteri
+            (fun i (path, writes) ->
+              Printf.printf "CSU %d: path [%s] writes [%s]\n" i
+                (String.concat "; " path)
+                (String.concat "; "
+                   (List.map
+                      (fun (s, b, v) -> Printf.sprintf "%s[%d]:=%b" s b v)
+                      writes)))
+            p.Response.pl_steps;
+          Printf.printf "CSU %d: access via [%s], %d cycles total\n"
+            (List.length p.Response.pl_steps)
+            (String.concat "; " p.Response.pl_access_path)
+            p.Response.pl_cycles
+      | r -> unexpected r)
+    (Query.Probe
+       {
+         Query.pb_net = Query.net_spec_of_cli spec;
+         pb_target = target;
+         pb_fault = fault;
+         pb_svf = svf;
+       })
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      really_input_string ic (in_channel_length ic)
+      |> String.split_on_char '\n')
+
+let cmd_diagnose spec sig_file healthy limit json =
+  let signature =
+    if healthy then Ok None
+    else
+      match sig_file with
+      | None -> Error "a SIGNATURE file is required unless --healthy is given"
+      | Some path -> (
+          match read_lines path with
+          | lines -> Ok (Some lines)
+          | exception Sys_error e -> Error e)
+  in
+  match signature with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+  | Ok signature ->
+      run ~json
+        ~render:(function
+          | Response.Diagnose_r [] ->
+              print_endline "no single stuck-at fault matches"
+          | Response.Diagnose_r fs -> List.iter print_endline fs
+          | r -> unexpected r)
+        (Query.Diagnose
+           {
+             Query.dq_net = Query.net_spec_of_cli spec;
+             dq_signature = signature;
+             dq_limit = limit;
+           })
+
+let cmd_serve socket workers heavy_workers queue_cap deadline_ms budget_mb =
+  let cfg =
+    {
+      Server.workers;
+      heavy_workers;
+      queue_cap;
+      deadline =
+        Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms;
+    }
+  in
+  let pool = Pool.create ~budget_bytes:(budget_mb * 1024 * 1024) () in
+  (match socket with
+  | Some path -> Server.serve_socket cfg pool path
+  | None -> Server.serve_stdio cfg pool);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
 
 let () =
   let open Cmdliner in
-  let path =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST")
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NETLIST"
+          ~doc:"Netlist file (.icl parsed as ICL) or itc02:NAME.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the service-layer JSON response (one line), identical to \
+             the $(b,serve) response for the same query.")
+  in
+  let with_stats =
+    Arg.(
+      value & flag
+      & info [ "with-stats" ]
+          ~doc:
+            "Include volatile statistics (steals, solver counters) in the \
+             JSON response.  Off by default so responses are deterministic \
+             and warm results diff clean against cold ones.")
   in
   let stats_cmd =
     Cmd.v (Cmd.info "stats" ~doc:"Netlist statistics")
-      Term.(const cmd_stats $ path)
+      Term.(const cmd_stats $ spec $ json)
   in
   let dot_cmd =
     let augmented =
-      Arg.(value & flag & info [ "augmented" ] ~doc:"Highlight the augmenting edge set.")
+      Arg.(
+        value & flag
+        & info [ "augmented" ] ~doc:"Highlight the augmenting edge set.")
     in
     Cmd.v (Cmd.info "dot" ~doc:"Dataflow graph as Graphviz DOT")
-      Term.(const cmd_dot $ path $ augmented)
+      Term.(const cmd_dot $ spec $ augmented)
   in
   let harden_cmd =
-    Cmd.v (Cmd.info "harden" ~doc:"Fault-tolerant synthesis; prints the hardened netlist")
-      Term.(const cmd_harden $ path)
+    Cmd.v
+      (Cmd.info "harden"
+         ~doc:"Fault-tolerant synthesis; prints the hardened netlist")
+      Term.(const cmd_harden $ spec $ json)
+  in
+  let sample =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample" ] ~doc:"Every k-th fault only.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~doc:"Evaluation domains (work-stealing queue).")
   in
   let metric_cmd =
-    let sample =
-      Arg.(value & opt (some int) None & info [ "sample" ] ~doc:"Every k-th fault only.")
-    in
-    let domains =
-      Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Evaluation domains (work-stealing queue).")
+    let engine =
+      Arg.(
+        value
+        & opt (enum [ ("structural", `Structural); ("bmc", `Bmc) ]) `Structural
+        & info [ "engine" ] ~doc:"Verdict engine: $(b,structural) or $(b,bmc).")
     in
     let brute =
-      Arg.(value & flag & info [ "brute" ] ~doc:"Disable fault-universe reduction (collapsing + cone deltas); results are identical, only slower.")
+      Arg.(
+        value & flag
+        & info [ "brute" ]
+            ~doc:
+              "Disable fault-universe reduction (collapsing + cone deltas); \
+               results are identical, only slower.")
     in
     let pairs =
-      Arg.(value & flag & info [ "pairs" ] ~doc:"Exhaustive double-fault sweep: every unordered fault pair, exactly, via class-pair collapsing, disjoint-cone splicing and stacked deltas.  $(b,--sample) then thins the fault universe (not the pairs); $(b,--brute) enumerates all pairs one by one.")
+      Arg.(
+        value & flag
+        & info [ "pairs" ]
+            ~doc:
+              "Exhaustive double-fault sweep: every unordered fault pair, \
+               exactly, via class-pair collapsing, disjoint-cone splicing \
+               and stacked deltas.  $(b,--sample) then thins the fault \
+               universe (not the pairs); $(b,--brute) enumerates all pairs \
+               one by one.")
     in
     Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
-      Term.(const cmd_metric $ path $ sample $ domains $ brute $ pairs)
+      Term.(
+        const cmd_metric $ spec $ sample $ domains $ engine $ brute $ pairs
+        $ json $ with_stats)
   in
   let certify_cmd =
-    let sample =
-      Arg.(value & opt (some int) None & info [ "sample" ] ~doc:"Every k-th fault only.")
-    in
-    let domains =
-      Arg.(value & opt int 1 & info [ "domains" ] ~doc:"Evaluation domains (work-stealing queue).")
-    in
     let pairs =
-      Arg.(value & flag & info [ "pairs" ] ~doc:"Certify the exhaustive double-fault sweep instead of the single-fault metric.")
+      Arg.(
+        value & flag
+        & info [ "pairs" ]
+            ~doc:
+              "Certify the exhaustive double-fault sweep instead of the \
+               single-fault metric.")
     in
     Cmd.v
       (Cmd.info "certify"
-         ~doc:"Fault-tolerance metric through the BMC engine in certified \
-               mode: every solver derivation and every UNSAT verdict is \
-               verified inline by an independent RUP proof checker.  Exits \
-               3 if any proof step is rejected.")
-      Term.(const cmd_certify $ path $ sample $ domains $ pairs)
+         ~doc:
+           "Fault-tolerance metric through the BMC engine in certified \
+            mode: every solver derivation and every UNSAT verdict is \
+            verified inline by an independent RUP proof checker.  Exits 3 \
+            if any proof step is rejected.")
+      Term.(
+        const cmd_certify $ spec $ sample $ domains $ pairs $ json
+        $ with_stats)
   in
   let access_cmd =
     let target =
       Arg.(required & pos 1 (some string) None & info [] ~docv:"SEGMENT")
     in
     let fault =
-      Arg.(value & opt (some string) None & info [ "fault" ] ~doc:"Plan around this fault (e.g. 'core.sib.shadow[0]/sa0').")
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "fault" ]
+            ~doc:"Plan around this fault (e.g. 'core.sib.shadow[0]/sa0').")
     in
-    let svf = Arg.(value & flag & info [ "svf" ] ~doc:"Emit SVF vectors instead of a schedule.") in
+    let svf =
+      Arg.(
+        value & flag
+        & info [ "svf" ] ~doc:"Emit SVF vectors instead of a schedule.")
+    in
     Cmd.v (Cmd.info "access" ~doc:"Plan a write access to a segment")
-      Term.(const cmd_access $ path $ target $ fault $ svf)
+      Term.(const cmd_access $ spec $ target $ fault $ svf $ json)
   in
   let diagnose_cmd =
     let sig_file =
-      Arg.(required & pos 1 (some file) None & info [] ~docv:"SIGNATURE")
+      Arg.(value & pos 1 (some string) None & info [] ~docv:"SIGNATURE")
+    in
+    let healthy =
+      Arg.(
+        value & flag
+        & info [ "healthy" ]
+            ~doc:
+              "Diagnose the fault-free reference signature instead of a \
+               file (self-test; lists the faults indistinguishable from a \
+               healthy network).")
+    in
+    let limit =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "limit" ] ~doc:"Report at most this many candidates.")
     in
     Cmd.v
       (Cmd.info "diagnose"
-         ~doc:"List faults matching an observed signature (one 0/1 line per diagnostic CSU)")
-      Term.(const cmd_diagnose $ path $ sig_file)
+         ~doc:
+           "List faults matching an observed signature (one 0/1 line per \
+            diagnostic CSU)")
+      Term.(const cmd_diagnose $ spec $ sig_file $ healthy $ limit $ json)
+  in
+  let serve_cmd =
+    let socket =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "socket" ] ~docv:"PATH"
+            ~doc:
+              "Listen on a Unix-domain socket instead of serving \
+               stdin/stdout.")
+    in
+    let workers =
+      Arg.(
+        value & opt int 2
+        & info [ "workers" ]
+            ~doc:
+              "Worker threads for light queries; 1 processes everything \
+               serially in request order (deterministic transcripts).")
+    in
+    let heavy_workers =
+      Arg.(
+        value & opt int 1
+        & info [ "heavy-workers" ]
+            ~doc:
+              "Worker threads for heavy queries (pair sweeps, unsampled \
+               BMC, synthesis) — a separate queue so they cannot starve \
+               light ones.")
+    in
+    let queue_cap =
+      Arg.(
+        value & opt int 64
+        & info [ "queue-cap" ]
+            ~doc:
+              "Admission bound per queue; requests beyond it are rejected \
+               immediately with an admission error.")
+    in
+    let deadline_ms =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "deadline-ms" ]
+            ~doc:
+              "Default queueing deadline: a request still waiting after \
+               this many milliseconds is rejected instead of executed \
+               (per-request \"deadline_ms\" overrides).")
+    in
+    let budget_mb =
+      Arg.(
+        value & opt int 256
+        & info [ "budget-mb" ]
+            ~doc:
+              "Warm-pool byte budget; least-recently-used netlist state is \
+               evicted beyond it.")
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Serve newline-delimited JSON queries against a shared warm \
+            pool.  Each request is an object with an \"op\" field \
+            (metric, pairs, certify, probe, diagnose, synthesize, \
+            netinfo, stats); each response is one JSON line, \"id\" \
+            echoed if given.")
+      Term.(
+        const cmd_serve $ socket $ workers $ heavy_workers $ queue_cap
+        $ deadline_ms $ budget_mb)
   in
   let group =
     Cmd.group
@@ -319,6 +492,9 @@ let () =
         certify_cmd;
         access_cmd;
         diagnose_cmd;
+        serve_cmd;
       ]
   in
-  exit (Cmd.eval group)
+  (* cmdliner reports usage errors as 124; fold them into the documented
+     "bad request" code so scripts see one stable value. *)
+  exit (match Cmd.eval' group with 124 -> 1 | c -> c)

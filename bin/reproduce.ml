@@ -13,6 +13,45 @@ module Area = Ftrsn_core.Area
 module Augment = Ftrsn_core.Augment
 module Engine = Ftrsn_access.Engine
 module Retarget = Ftrsn_access.Retarget
+module Query = Ftrsn_service.Query
+module Response = Ftrsn_service.Response
+module Pool = Ftrsn_service.Pool
+module Exec = Ftrsn_service.Exec
+
+(* The accessibility sweeps run through the service query layer against a
+   process-wide warm pool: one SoC's synthesis, structural context and
+   collapsed fault universe are built once and shared by every part that
+   touches that network (sib-access, ft-access, double-faults), exactly
+   as a `ftrsn-tool serve` daemon would share them between requests. *)
+let pool = lazy (Pool.create ())
+
+let soc_spec ?(ft = false) soc =
+  { Query.ns_source = `Itc02 soc.Itc02.soc_name; Query.ns_ft = ft }
+
+let net_of spec =
+  match Pool.acquire (Lazy.force pool) spec with
+  | Ok e ->
+      let net = Pool.net e in
+      Pool.release (Lazy.force pool) e;
+      net
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* Runs one metric-class query; certification failures abort the run
+   with the documented exit code. *)
+let metric_query q =
+  match Exec.run (Lazy.force pool) q with
+  | Response.Metric_r m -> Response.result_of_metric_r m
+  | Response.Error_r (Response.Cert_failed, msg) ->
+      Printf.eprintf "certification: FAILED: %s\n" msg;
+      exit 3
+  | Response.Error_r (_, msg) ->
+      prerr_endline msg;
+      exit 1
+  | _ ->
+      prerr_endline "unexpected response payload";
+      exit 1
 
 type part =
   | Characteristics
@@ -49,7 +88,11 @@ let soc_list socs =
         (fun n ->
           match Itc02.find n with
           | Some s -> s
-          | None -> failwith ("unknown SoC: " ^ n))
+          | None ->
+              Printf.eprintf "unknown SoC: %s (known: %s)\n" n
+                (String.concat ", "
+                   (List.map (fun s -> s.Itc02.soc_name) Itc02.all));
+              exit 1)
         names
 
 let characteristics socs =
@@ -109,15 +152,32 @@ let access_header () =
    checker and every UNSAT verdict's final clause is verified inline;
    Bmc.Session.Certification_failed aborts the run (exit 3). *)
 
+let access_query ?sample ~certify spec =
+  if certify then
+    Query.Certify
+      {
+        Query.cq_net = spec;
+        cq_sample = sample;
+        cq_domains = 1;
+        cq_pairs = false;
+        cq_with_stats = true;
+      }
+  else
+    Query.Metric
+      {
+        Query.mq_net = spec;
+        mq_sample = sample;
+        mq_domains = 1;
+        mq_engine = `Structural;
+        mq_reduce = true;
+        mq_with_stats = true;
+      }
+
 let sib_access ?sample ?(certify = false) socs =
   access_header ();
   List.iter
     (fun soc ->
-      let net = Itc02.rsn soc in
-      let m =
-        if certify then Metric.evaluate ?sample ~engine:`Bmc ~certify net
-        else Metric.evaluate ?sample net
-      in
+      let m = metric_query (access_query ?sample ~certify (soc_spec soc)) in
       metric_row soc.Itc02.soc_name m)
     socs
 
@@ -125,12 +185,8 @@ let ft_access ?sample ?(certify = false) socs =
   access_header ();
   List.iter
     (fun soc ->
-      let net = Itc02.rsn soc in
-      let r = Pipeline.synthesize net in
       let m =
-        if certify then
-          Metric.evaluate ?sample ~engine:`Bmc ~certify r.Pipeline.ft
-        else Metric.evaluate ?sample r.Pipeline.ft
+        metric_query (access_query ?sample ~certify (soc_spec ~ft:true soc))
       in
       metric_row soc.Itc02.soc_name m)
     socs
@@ -263,17 +319,27 @@ let double_faults ?sample socs =
     "segs-worst" "segs-avg" "bits-worst" "bits-avg";
   List.iter
     (fun soc ->
-      let run name net =
-        let n = List.length (Ftrsn_fault.Fault.universe net) in
+      let run name spec =
+        let n = List.length (Ftrsn_fault.Fault.universe (net_of spec)) in
         let exact = sample = None && n <= exhaustive_pair_limit in
-        let m =
-          if exact then Metric.evaluate_pairs ~exhaustive:true net
+        let pair_sample =
+          if exact then None
           else
             (* keep roughly 10k pairs *)
-            let pair_sample =
-              Option.value sample ~default:(max 37 (n * n / 2 / 10_000))
-            in
-            Metric.evaluate_pairs ~sample:pair_sample net
+            Some (Option.value sample ~default:(max 37 (n * n / 2 / 10_000)))
+        in
+        let m =
+          metric_query
+            (Query.Pairs
+               {
+                 Query.pq_net = spec;
+                 pq_fault_sample = None;
+                 pq_pair_sample = pair_sample;
+                 pq_domains = 1;
+                 pq_engine = `Structural;
+                 pq_reduce = true;
+                 pq_with_stats = true;
+               })
         in
         Printf.printf "%-9s %9s %8s %12.3f %11.4f %12.3f %11.4f\n%!"
           soc.Itc02.soc_name name
@@ -294,9 +360,8 @@ let double_faults ?sample socs =
               /. float_of_int (max 1 p.Metric.p_class_pairs))
               p.Metric.p_stacked
       in
-      let net = Itc02.rsn soc in
-      run "original" net;
-      run "ft" (Pipeline.synthesize net).Pipeline.ft)
+      run "original" (soc_spec soc);
+      run "ft" (soc_spec ~ft:true soc))
     socs
 
 module Report = Ftrsn_core.Report

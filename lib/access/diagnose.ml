@@ -6,6 +6,19 @@ module Fault = Ftrsn_fault.Fault
 type stimulus = bool list list
 type signature = bool list list
 
+(* Textual signature format shared by the CLI and the service layer: one
+   0/1 line per diagnostic CSU, blank lines ignored. *)
+let signature_of_lines lines =
+  lines
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l -> List.init (String.length l) (fun i -> l.[i] = '1'))
+
+let lines_of_signature sg =
+  List.map
+    (fun bits -> String.concat "" (List.map (fun b -> if b then "1" else "0") bits))
+    sg
+
 let alternating len = List.init len (fun i -> i mod 2 = 0)
 
 (* A stream that leaves the path registers holding [flat] AND pushes four

@@ -20,6 +20,14 @@ type stimulus = bool list list
 type signature = bool list list
 (** The scan-out stream observed for each CSU of the stimulus. *)
 
+val signature_of_lines : string list -> signature
+(** Parses the textual signature format shared by the CLI and the service
+    layer: one 0/1 line per diagnostic CSU ('1' = true, anything else =
+    false); surrounding whitespace and blank lines are ignored. *)
+
+val lines_of_signature : signature -> string list
+(** The inverse of {!signature_of_lines} (modulo dropped blank lines). *)
+
 val stimulus : Ftrsn_rsn.Netlist.t -> stimulus
 (** The deterministic diagnostic stimulus for a netlist: one configuration
     CSU per hierarchy level (opening every select bit reachable so far,

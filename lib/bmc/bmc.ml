@@ -82,6 +82,11 @@ and session = {
   mutable queries : int;
   (* newest first: (emitted, reused, conflicts, sat) per query *)
   mutable qlog : (int * int * int * bool) list;
+  (* fault-free verdicts of the last base-target list queried through
+     [check_targets_base]; verdicts are deterministic per model, so a
+     long-lived (pooled) session answers repeated baseline sweeps from
+     this cache instead of re-solving one query per segment *)
+  mutable base_cache : (int list * verdict array) option;
   cert : cert_state option;  (* Some = certified mode *)
 }
 
@@ -447,6 +452,7 @@ module Session = struct
       active = None;
       queries = 0;
       qlog = [];
+      base_cache = None;
       cert;
     }
 
@@ -767,6 +773,16 @@ module Session = struct
     List.map
       (fun f -> check_access sess ~fault:f ?max_steps ~target ())
       faults
+
+  let check_targets_base sess targets =
+    match sess.base_cache with
+    | Some (ts, vs) when ts = targets -> vs
+    | _ ->
+        let vs = check_targets sess targets in
+        sess.base_cache <- Some (targets, vs);
+        vs
+
+  let netlist sess = sess.model.net
 
   let solver sess = sess.solver
 

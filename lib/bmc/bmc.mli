@@ -121,6 +121,16 @@ module Session : sig
       encoded and retired sequentially; Tseitin cones shared between
       faults stay memoized, so later faults emit strictly fewer clauses. *)
 
+  val check_targets_base : t -> int list -> verdict array
+  (** Fault-free {!check_targets}, memoized on the target list: the
+      verdicts are deterministic per model, so a long-lived session (e.g.
+      one held in a service pool) answers repeated baseline sweeps from
+      the cache instead of re-solving one query per segment.  The
+      returned array is shared — treat it as immutable. *)
+
+  val netlist : t -> Ftrsn_rsn.Netlist.t
+  (** The netlist of the session's model ([netlist (model sess)]). *)
+
   val retire_fault : t -> Ftrsn_fault.Fault.t option -> unit
   (** Explicitly retire a fault's clause groups (normally automatic when
       the next query concerns a different fault). *)

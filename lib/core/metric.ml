@@ -269,6 +269,162 @@ let solver_of_session sess =
       s_cert_time = ct;
     }
 
+(* Per-class data shared by both exhaustive pair engines (filled by their
+   phase 1; the full definition is documented at the pair sweep below).
+   Declared here so the warm per-netlist state can cache it. *)
+type pair_prep = {
+  pq_sms : Fault.summary array;
+  pq_cones : Bitset.t array;
+  pq_regions : Bitset.t array;
+  pq_wlost : Bitset.t array;
+  pq_fragile : Bitset.t array;
+  pq_supp : Bitset.t array;
+  pq_supp_edges : Bitset.t array;
+  pq_dead_edges : Bitset.t array;
+  pq_dmg : Bitset.t array;
+  pq_rhosts : Bitset.t array;
+  pq_members : int array;
+  pq_weight : int array;
+  pq_sq : int array;
+  pq_segs : int array;
+  pq_bits : int array;
+  pq_acc : Bitset.t array;
+  pq_lost : int array array;
+  pq_len : int array;
+}
+
+(* ---- warm per-netlist state ----
+
+   The unit of reuse behind the service pool (Ftrsn_service.Pool): the
+   expensive per-netlist artifacts — structural context, fault-free
+   baseline, the full-universe class collapse, the exhaustive-pair
+   phase-1 probe tables, and idle incremental BMC sessions — built once
+   and shared by every subsequent evaluation of the same netlist.  All
+   cached artifacts are deterministic functions of the netlist, so warm
+   results are bit-identical to cold ones; only solver statistics (which
+   accumulate across the queries a reused session served) differ.
+
+   Thread-safe: one mutex guards construction and the session free list,
+   so concurrent evaluations of the same netlist share artifacts instead
+   of racing to rebuild them.  Sessions are checked out exclusively and
+   returned when the evaluation finishes. *)
+type warm = {
+  w_net : Netlist.t;
+  w_lock : Mutex.t;
+  mutable w_ctx : Engine.ctx option;
+  mutable w_base : Engine.baseline option;
+  mutable w_model : Bmc.t option;
+  mutable w_classes : Fault.clas array option;
+  mutable w_pair_prep : (Fault.clas array * pair_prep) option;
+  mutable w_idle : (bool * Bmc.Session.t) list;  (* (certified, session) *)
+}
+
+let warm net =
+  {
+    w_net = net;
+    w_lock = Mutex.create ();
+    w_ctx = None;
+    w_base = None;
+    w_model = None;
+    w_classes = None;
+    w_pair_prep = None;
+    w_idle = [];
+  }
+
+let locked w f =
+  Mutex.lock w.w_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.w_lock) f
+
+let warm_netlist w = w.w_net
+
+let warm_ctx w =
+  locked w (fun () ->
+      match w.w_ctx with
+      | Some c -> c
+      | None ->
+          let c = Engine.make_ctx w.w_net in
+          w.w_ctx <- Some c;
+          c)
+
+let warm_baseline w =
+  let ctx = warm_ctx w in
+  locked w (fun () ->
+      match w.w_base with
+      | Some b -> b
+      | None ->
+          let b = Engine.baseline ctx in
+          w.w_base <- Some b;
+          b)
+
+let warm_classes w =
+  locked w (fun () ->
+      match w.w_classes with
+      | Some c -> c
+      | None ->
+          let c =
+            Array.of_list (Fault.collapse w.w_net (Fault.universe w.w_net))
+          in
+          w.w_classes <- Some c;
+          c)
+
+let warm_model w =
+  locked w (fun () ->
+      match w.w_model with
+      | Some m -> m
+      | None ->
+          let m = Bmc.create w.w_net in
+          w.w_model <- Some m;
+          m)
+
+let warm_session w ~certify =
+  let model = warm_model w in
+  locked w (fun () ->
+      let rec take acc = function
+        | [] -> (None, List.rev acc)
+        | (c, s) :: rest when c = certify -> (Some s, List.rev_append acc rest)
+        | x :: rest -> take (x :: acc) rest
+      in
+      match take [] w.w_idle with
+      | Some s, rest ->
+          w.w_idle <- rest;
+          s
+      | None, _ -> Bmc.Session.create ~certify model)
+
+let warm_release w sess =
+  locked w (fun () ->
+      w.w_idle <- (Bmc.Session.certified sess, sess) :: w.w_idle)
+
+let warm_session_stats w =
+  locked w (fun () ->
+      List.map (fun (cert, s) -> (cert, Bmc.Session.stats s)) w.w_idle)
+
+(* Resolution of per-evaluation resources against an optional warm state:
+   without one, behave exactly as before (build fresh, discard). *)
+let ctx_of warm net =
+  match warm with Some w -> warm_ctx w | None -> Engine.make_ctx net
+
+let base_of warm ctx =
+  match warm with Some w -> warm_baseline w | None -> Engine.baseline ctx
+
+let classes_of warm ~full net faults =
+  match warm with
+  | Some w when full -> warm_classes w
+  | _ -> Array.of_list (Fault.collapse net faults)
+
+let session_of warm ~certify net =
+  match warm with
+  | Some w -> warm_session w ~certify
+  | None -> Bmc.Session.create ~certify (Bmc.create net)
+
+let release_session warm sess =
+  match warm with Some w -> warm_release w sess | None -> ()
+
+let check_warm warm net what =
+  match warm with
+  | Some w when w.w_net != net ->
+      invalid_arg (what ^ ": warm state built for a different netlist")
+  | _ -> ()
+
 let evaluate_faults ctx faults =
   let net = Engine.netlist ctx in
   let acc = iacc_create () in
@@ -350,10 +506,10 @@ let class_counts classes =
    {!Fault.collapse}) and each class verdict is a cone-of-influence delta
    against the shared fault-free baseline.  Context and baseline are
    immutable after construction, so all domains share them. *)
-let evaluate_reduced_structural ~domains net faults =
-  let ctx = Engine.make_ctx net in
-  let base = Engine.baseline ctx in
-  let classes = Array.of_list (Fault.collapse net faults) in
+let evaluate_reduced_structural ~domains ?warm ~full net faults =
+  let ctx = ctx_of warm net in
+  let base = base_of warm ctx in
+  let classes = classes_of warm ~full net faults in
   let universe, benign = class_counts classes in
   let partials =
     steal_map ~domains classes
@@ -375,18 +531,18 @@ let evaluate_reduced_structural ~domains net faults =
    the targets inside its cone ([Session.check_targets ~only]) with the
    fault-free verdict spliced in for the rest.  The structural baseline
    supplies the cones; the SAT solver supplies the verdicts. *)
-let evaluate_reduced_bmc ~domains ~certify net faults =
-  let ctx = Engine.make_ctx net in
-  let base = Engine.baseline ctx in
-  let classes = Array.of_list (Fault.collapse net faults) in
+let evaluate_reduced_bmc ~domains ~certify ?warm ~full net faults =
+  let ctx = ctx_of warm net in
+  let base = base_of warm ctx in
+  let classes = classes_of warm ~full net faults in
   let universe, benign = class_counts classes in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
   let partials =
     steal_map ~domains classes
       ~init:(fun _ ->
-        let sess = Bmc.Session.create ~certify (Bmc.create net) in
-        let base_vs = Bmc.Session.check_targets sess targets in
+        let sess = session_of warm ~certify net in
+        let base_vs = Bmc.Session.check_targets_base sess targets in
         (sess, base_vs, red_state ()))
       ~step:(fun (sess, base_vs, rs) (c : Fault.clas) ->
         let n = List.length c.Fault.cls_members in
@@ -411,16 +567,24 @@ let evaluate_reduced_bmc ~domains ~certify net faults =
           let segs, bits = count_bmc net vs in
           iacc_add rs.rs_acc ~w:c.Fault.cls_weight ~n ~segs ~bits
         end)
-      ~finish:(fun (sess, _, rs) -> (rs, solver_of_session sess))
+      ~finish:(fun (sess, _, rs) ->
+        let sv = solver_of_session sess in
+        release_session warm sess;
+        (rs, sv))
   in
   finish_partials ~what:"Metric.evaluate" ~net ~universe
     ~classes:(Array.length classes) ~benign partials
 
-let evaluate_brute_structural ~domains net faults =
+let evaluate_brute_structural ~domains ?warm net faults =
   let items = Array.of_list faults in
+  (* With a warm state the (read-only during analysis) context is shared
+     across domains instead of rebuilt per domain. *)
+  let shared = Option.map warm_ctx warm in
   let partials =
     steal_map ~domains items
-      ~init:(fun _ -> (Engine.make_ctx net, iacc_create ()))
+      ~init:(fun _ ->
+        ( (match shared with Some c -> c | None -> Engine.make_ctx net),
+          iacc_create () ))
       ~step:(fun (ctx, acc) f ->
         let v = Engine.analyze ctx (Some f) in
         let segs, bits = count_verdict net v in
@@ -438,19 +602,21 @@ let evaluate_brute_structural ~domains net faults =
     ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:None
     ~reduction:None acc
 
-let evaluate_brute_bmc ~domains ~certify net faults =
+let evaluate_brute_bmc ~domains ~certify ?warm net faults =
   let items = Array.of_list faults in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
   let partials =
     steal_map ~domains items
-      ~init:(fun _ ->
-        (Bmc.Session.create ~certify (Bmc.create net), iacc_create ()))
+      ~init:(fun _ -> (session_of warm ~certify net, iacc_create ()))
       ~step:(fun (sess, acc) f ->
         let vs = Bmc.Session.check_targets sess ~fault:f targets in
         let segs, bits = count_bmc net vs in
         iacc_add acc ~w:(Fault.weight net f) ~n:1 ~segs ~bits)
-      ~finish:(fun (sess, acc) -> (acc, solver_of_session sess))
+      ~finish:(fun (sess, acc) ->
+        let sv = solver_of_session sess in
+        release_session warm sess;
+        (acc, sv))
   in
   let acc = iacc_create () in
   let steals = ref 0 and solver = ref None in
@@ -478,15 +644,18 @@ let sample_faults sample faults =
         faults
 
 let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
-    ?(certify = false) net =
+    ?(certify = false) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate: ~certify:true requires ~engine:`Bmc";
+  check_warm warm net "Metric.evaluate";
+  let full = match sample with None -> true | Some k -> k <= 1 in
   let faults = sample_faults sample (Fault.universe net) in
   match (engine, reduce) with
-  | `Structural, true -> evaluate_reduced_structural ~domains net faults
-  | `Structural, false -> evaluate_brute_structural ~domains net faults
-  | `Bmc, true -> evaluate_reduced_bmc ~domains ~certify net faults
-  | `Bmc, false -> evaluate_brute_bmc ~domains ~certify net faults
+  | `Structural, true ->
+      evaluate_reduced_structural ~domains ?warm ~full net faults
+  | `Structural, false -> evaluate_brute_structural ~domains ?warm net faults
+  | `Bmc, true -> evaluate_reduced_bmc ~domains ~certify ?warm ~full net faults
+  | `Bmc, false -> evaluate_brute_bmc ~domains ~certify ?warm net faults
 
 (* ---- double-fault sweeps ----
 
@@ -532,7 +701,7 @@ let pair_items ~sample faults =
     items
   end
 
-let evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults =
+let evaluate_pairs_brute ~sample ~domains ~engine ~certify ?warm net faults =
   let faults = Array.of_list faults in
   let items = pair_items ~sample faults in
   if Array.length items = 0 then invalid_arg "Metric.evaluate_pairs: empty";
@@ -550,7 +719,7 @@ let evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults =
   | `Structural ->
       (* The context is read-only during analysis, so the domains share
          it. *)
-      let ctx = Engine.make_ctx net in
+      let ctx = ctx_of warm net in
       steal_map ~domains items
         ~init:(fun _ -> iacc_create ())
         ~step:(fun a (fi, fj) ->
@@ -564,8 +733,7 @@ let evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults =
   | `Bmc ->
       let targets = List.init nsegs Fun.id in
       steal_map ~domains items
-        ~init:(fun _ ->
-          (Bmc.Session.create ~certify (Bmc.create net), iacc_create ()))
+        ~init:(fun _ -> (session_of warm ~certify net, iacc_create ()))
         ~step:(fun (sess, a) (fi, fj) ->
           let vs =
             Bmc.Session.check_targets_multi sess ~faults:[ fi; fj ] targets
@@ -574,7 +742,10 @@ let evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults =
           iacc_add a
             ~w:(Fault.weight net fi * Fault.weight net fj)
             ~n:1 ~segs ~bits)
-        ~finish:(fun (sess, a) -> (a, solver_of_session sess))
+        ~finish:(fun (sess, a) ->
+          let sv = solver_of_session sess in
+          release_session warm sess;
+          (a, sv))
       |> collect (fun (a, sv) ->
              iacc_merge acc a;
              solver := merge_solver !solver sv));
@@ -582,51 +753,19 @@ let evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults =
     ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:!solver
     ~reduction:None acc
 
-(* Per-class data shared by both exhaustive engines: summaries, member
+(* [pair_prep] (declared above, next to the warm state that caches it):
+   per-class data shared by both exhaustive engines — summaries, member
    counts, weights, the sum of squared member weights (for the diagonal
    pair weight), and — filled in by phase 1, to disjoint indices, so the
-   domains share the arrays — cones, interaction regions, accessibility
-   counts/bitsets and lost-segment lists. *)
-type pair_prep = {
-  pq_sms : Fault.summary array;
-  pq_cones : Bitset.t array;
-  pq_regions : Bitset.t array;
-      (* interaction regions (dataflow vertices); region-disjoint classes
-         compose pointwise (see Engine.probe) provided the fragility gate
-         below also passes *)
-  pq_wlost : Bitset.t array;
-      (* baseline-writable segments no longer writable under the class
-         fault *)
-  pq_fragile : Bitset.t array;
-      (* segments writable under the class fault only through a re-routed
-         (non-canonical) derivation *)
-  pq_supp : Bitset.t array;
-      (* vertex footprint of the class's re-route certificates *)
-  pq_supp_edges : Bitset.t array;
-      (* edge footprint of the class's re-route certificates *)
-  pq_dead_edges : Bitset.t array;
-      (* baseline-live edges the class fault kills or corrupts *)
-  pq_dmg : Bitset.t array;
-      (* vertices the class fault blocks or turns corrupting *)
-  pq_rhosts : Bitset.t array;
-      (* steering hosts the class's re-route certificates rest on.  A
-         pair composes pointwise iff the regions are disjoint, each
-         side's supp_edges avoid the other's dead_edges, each side's
-         supp avoids the other's dmg, and each side's rhosts avoid the
-         other's fragile set and writability losses (see Engine.probe) *)
-  pq_members : int array;
-  pq_weight : int array;
-  pq_sq : int array;
-  pq_segs : int array;  (* accessible segments under the class fault *)
-  pq_bits : int array;
-  pq_acc : Bitset.t array;  (* accessible segments, as a bitset *)
-  pq_lost : int array array;
-      (* baseline-accessible segments no longer accessible under the
-         class fault (every non-coarse class's accessible set is a subset
-         of the baseline's — effects only remove capabilities) *)
-  pq_len : int array;  (* per-segment scan length *)
-}
-
+   domains share the arrays — cones, interaction regions ([pq_regions];
+   region-disjoint classes compose pointwise per Engine.probe provided
+   the fragility gate also passes), writability losses ([pq_wlost]),
+   fragile segments and their re-route certificate footprints
+   ([pq_fragile] / [pq_supp] / [pq_supp_edges] / [pq_rhosts]), the class
+   damage ([pq_dead_edges] / [pq_dmg]), accessibility counts/bitsets and
+   lost-segment lists ([pq_lost]: baseline-accessible segments no longer
+   accessible — every non-coarse class's accessible set is a subset of
+   the baseline's, effects only remove capabilities). *)
 let pair_prep_static net classes =
   let nc = Array.length classes in
   let none = Bitset.create 0 in
@@ -786,46 +925,69 @@ let finish_pair_partials ~net ~nclasses partials =
     ~nsegs:(Netlist.num_segments net) ~nbits:(Netlist.total_bits net)
     ~steals:!steals ~solver:!solver ~reduction:None acc
 
-let evaluate_pairs_reduced_structural ~domains net faults =
-  let ctx = Engine.make_ctx net in
-  let base = Engine.baseline ctx in
-  let classes = Array.of_list (Fault.collapse net faults) in
-  let nc = Array.length classes in
-  let nsegs = Netlist.num_segments net in
-  let pq = pair_prep_static net classes in
-  let base_v = Engine.baseline_verdict base in
-  let base_acc s = base_v.Engine.accessible.(s) in
-  (* Phase 1: per-class probes — single-fault verdict counts plus the
-     exact cones and interaction regions.  Writes go to disjoint indices,
-     so the domains share the arrays. *)
-  let prep_partials =
-    steal_map ~domains (Array.init nc Fun.id)
-      ~init:(fun _ -> ())
-      ~step:(fun () i ->
-        let p = Engine.probe ctx base pq.pq_sms.(i) in
-        pq.pq_cones.(i) <- p.Engine.pr_cone;
-        pq.pq_regions.(i) <- p.Engine.pr_region;
-        pq.pq_fragile.(i) <- p.Engine.pr_fragile;
-        pq.pq_supp.(i) <- p.Engine.pr_supp;
-        pq.pq_supp_edges.(i) <- p.Engine.pr_supp_edges;
-        pq.pq_dead_edges.(i) <- p.Engine.pr_dead_edges;
-        pq.pq_dmg.(i) <- p.Engine.pr_dmg;
-        pq.pq_rhosts.(i) <- p.Engine.pr_rhosts;
-        let v = p.Engine.pr_verdict in
-        let wlost = Bitset.create nsegs in
-        for s = 0 to nsegs - 1 do
-          if base_v.Engine.writable.(s) && not v.Engine.writable.(s) then
-            Bitset.add wlost s
-        done;
-        pq.pq_wlost.(i) <- wlost;
-        let segs, bits = count_verdict net v in
-        pq.pq_segs.(i) <- segs;
-        pq.pq_bits.(i) <- bits;
-        pair_prep_note pq i ~nsegs ~base_acc
-          ~acc_of:(fun s -> v.Engine.accessible.(s)))
-      ~finish:(fun () -> ())
+let evaluate_pairs_reduced_structural ~domains ?warm ~full net faults =
+  let ctx = ctx_of warm net in
+  let base = base_of warm ctx in
+  (* The phase-1 probe tables are a deterministic function of the netlist
+     (for the full universe), so a warm state serves them from cache and
+     repeated exhaustive sweeps skip phase 1 entirely. *)
+  let cached =
+    match warm with
+    | Some w when full -> locked w (fun () -> w.w_pair_prep)
+    | _ -> None
   in
-  let prep_steals = List.fold_left (fun a ((), s) -> a + s) 0 prep_partials in
+  let classes, pq, prep_steals =
+    match cached with
+    | Some (classes, pq) -> (classes, pq, 0)
+    | None ->
+        let classes = classes_of warm ~full net faults in
+        let nc = Array.length classes in
+        let nsegs = Netlist.num_segments net in
+        let pq = pair_prep_static net classes in
+        let base_v = Engine.baseline_verdict base in
+        let base_acc s = base_v.Engine.accessible.(s) in
+        (* Phase 1: per-class probes — single-fault verdict counts plus
+           the exact cones and interaction regions.  Writes go to
+           disjoint indices, so the domains share the arrays. *)
+        let prep_partials =
+          steal_map ~domains (Array.init nc Fun.id)
+            ~init:(fun _ -> ())
+            ~step:(fun () i ->
+              let p = Engine.probe ctx base pq.pq_sms.(i) in
+              pq.pq_cones.(i) <- p.Engine.pr_cone;
+              pq.pq_regions.(i) <- p.Engine.pr_region;
+              pq.pq_fragile.(i) <- p.Engine.pr_fragile;
+              pq.pq_supp.(i) <- p.Engine.pr_supp;
+              pq.pq_supp_edges.(i) <- p.Engine.pr_supp_edges;
+              pq.pq_dead_edges.(i) <- p.Engine.pr_dead_edges;
+              pq.pq_dmg.(i) <- p.Engine.pr_dmg;
+              pq.pq_rhosts.(i) <- p.Engine.pr_rhosts;
+              let v = p.Engine.pr_verdict in
+              let wlost = Bitset.create nsegs in
+              for s = 0 to nsegs - 1 do
+                if base_v.Engine.writable.(s) && not v.Engine.writable.(s)
+                then Bitset.add wlost s
+              done;
+              pq.pq_wlost.(i) <- wlost;
+              let segs, bits = count_verdict net v in
+              pq.pq_segs.(i) <- segs;
+              pq.pq_bits.(i) <- bits;
+              pair_prep_note pq i ~nsegs ~base_acc
+                ~acc_of:(fun s -> v.Engine.accessible.(s)))
+            ~finish:(fun () -> ())
+        in
+        let prep_steals =
+          List.fold_left (fun a ((), s) -> a + s) 0 prep_partials
+        in
+        (match warm with
+        | Some w when full ->
+            locked w (fun () ->
+                if w.w_pair_prep = None then
+                  w.w_pair_prep <- Some (classes, pq))
+        | _ -> ());
+        (classes, pq, prep_steals)
+  in
+  let nc = Array.length classes in
   (* Phase 2: row-granular sweep over first classes; each row lazily
      builds its secondary baseline the first time it meets an interacting
      partner. *)
@@ -851,10 +1013,10 @@ let evaluate_pairs_reduced_structural ~domains net faults =
   let r = finish_pair_partials ~net ~nclasses:nc partials in
   { r with steals = r.steals + prep_steals }
 
-let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
-  let ctx = Engine.make_ctx net in
-  let base = Engine.baseline ctx in
-  let classes = Array.of_list (Fault.collapse net faults) in
+let evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults =
+  let ctx = ctx_of warm net in
+  let base = base_of warm ctx in
+  let classes = classes_of warm ~full net faults in
   let nc = Array.length classes in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
@@ -871,8 +1033,8 @@ let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
   let prep_partials =
     steal_map ~domains (Array.init nc Fun.id)
       ~init:(fun _ ->
-        let sess = Bmc.Session.create ~certify (Bmc.create net) in
-        let base_vs = Bmc.Session.check_targets sess targets in
+        let sess = session_of warm ~certify net in
+        let base_vs = Bmc.Session.check_targets_base sess targets in
         (sess, base_vs))
       ~step:(fun (sess, base_vs) i ->
         let p = Engine.probe ctx base pq.pq_sms.(i) in
@@ -905,7 +1067,10 @@ let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
         pq.pq_bits.(i) <- bits;
         pair_prep_note pq i ~nsegs ~base_acc:(bmc_acc base_vs)
           ~acc_of:(bmc_acc vs))
-      ~finish:(fun (sess, _) -> solver_of_session sess)
+      ~finish:(fun (sess, _) ->
+        let sv = solver_of_session sess in
+        release_session warm sess;
+        sv)
   in
   let prep_steals = ref 0 and prep_solver = ref None in
   List.iter
@@ -918,8 +1083,8 @@ let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
   let partials =
     steal_map ~domains (Array.init nc Fun.id)
       ~init:(fun _ ->
-        let sess = Bmc.Session.create ~certify (Bmc.create net) in
-        let base_vs = Bmc.Session.check_targets sess targets in
+        let sess = session_of warm ~certify net in
+        let base_vs = Bmc.Session.check_targets_base sess targets in
         (sess, base_vs, pair_state ()))
       ~step:(fun (sess, base_vs, ps) i ->
         pair_row pq ps i ~interact:(fun j ->
@@ -944,7 +1109,10 @@ let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
                 targets
             in
             count_bmc net vs))
-      ~finish:(fun (sess, _, ps) -> (ps, solver_of_session sess))
+      ~finish:(fun (sess, _, ps) ->
+        let sv = solver_of_session sess in
+        release_session warm sess;
+        (ps, sv))
   in
   let r = finish_pair_partials ~net ~nclasses:nc partials in
   {
@@ -955,17 +1123,20 @@ let evaluate_pairs_reduced_bmc ~domains ~certify net faults =
 
 let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
     ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true)
-    ?(certify = false) net =
+    ?(certify = false) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate_pairs: ~certify:true requires ~engine:`Bmc";
+  check_warm warm net "Metric.evaluate_pairs";
+  let full = match fault_sample with None -> true | Some k -> k <= 1 in
   let faults = sample_faults fault_sample (Fault.universe net) in
   if exhaustive && reduce then
     match engine with
-    | `Structural -> evaluate_pairs_reduced_structural ~domains net faults
-    | `Bmc -> evaluate_pairs_reduced_bmc ~domains ~certify net faults
+    | `Structural ->
+        evaluate_pairs_reduced_structural ~domains ?warm ~full net faults
+    | `Bmc -> evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults
   else
     let sample = if exhaustive then 1 else max 1 sample in
-    evaluate_pairs_brute ~sample ~domains ~engine ~certify net faults
+    evaluate_pairs_brute ~sample ~domains ~engine ~certify ?warm net faults
 
 let pp_solver_stats fmt s =
   Format.fprintf fmt

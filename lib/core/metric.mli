@@ -102,12 +102,57 @@ type result = {
       (** [Some] iff the exhaustive reduced pair sweep produced the result *)
 }
 
+(** {2 Warm per-netlist state}
+
+    The unit of reuse behind the service pool
+    ({!Ftrsn_service.Pool}, which keys one [warm] per netlist): the
+    expensive per-netlist artifacts — structural context, fault-free
+    baseline, the full-universe class collapse, the exhaustive-pair
+    phase-1 probe tables, and idle incremental BMC sessions — built once
+    and shared by every subsequent evaluation of the same netlist.  All
+    cached artifacts are deterministic functions of the netlist, so warm
+    results are bit-identical to cold ones in every verdict-derived
+    field; only [result.solver] differs (a reused session's statistics
+    accumulate over every query it served).
+
+    Thread-safe: construction and the session free list are guarded by a
+    mutex, so concurrent evaluations of the same netlist share artifacts
+    instead of racing to rebuild them. *)
+
+type warm
+
+val warm : Ftrsn_rsn.Netlist.t -> warm
+(** An empty warm state; artifacts are built lazily on first use. *)
+
+val warm_netlist : warm -> Ftrsn_rsn.Netlist.t
+
+val warm_ctx : warm -> Ftrsn_access.Engine.ctx
+(** The shared structural context (built on first call). *)
+
+val warm_baseline : warm -> Ftrsn_access.Engine.baseline
+(** The shared fault-free baseline (built on first call). *)
+
+val warm_session : warm -> certify:bool -> Ftrsn_bmc.Bmc.Session.t
+(** Checks an idle incremental session out of the free list (sessions
+    created certified are only handed to [certify:true] callers), or
+    creates one against the shared model.  The caller has exclusive use
+    until {!warm_release}. *)
+
+val warm_release : warm -> Ftrsn_bmc.Bmc.Session.t -> unit
+(** Returns a checked-out session to the free list. *)
+
+val warm_session_stats :
+  warm -> (bool * Ftrsn_bmc.Bmc.Session.stats) list
+(** [(certified, stats)] of each currently idle session — the service
+    [stats] query's per-session solver health. *)
+
 val evaluate :
   ?sample:int ->
   ?domains:int ->
   ?engine:[ `Structural | `Bmc ] ->
   ?reduce:bool ->
   ?certify:bool ->
+  ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** [evaluate net] runs the accessibility analysis over the full single
@@ -152,6 +197,7 @@ val evaluate_pairs :
   ?exhaustive:bool ->
   ?reduce:bool ->
   ?certify:bool ->
+  ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** Double-fault study (beyond the paper's single-fault scope): evaluates

@@ -1,0 +1,613 @@
+module Metric = Ftrsn_core.Metric
+
+type error_code = Bad_request | Inaccessible | Cert_failed | Admission | Internal
+
+type solver_r = {
+  so_conflicts : int;
+  so_decisions : int;
+  so_propagations : int;
+  so_restarts : int;
+  so_learnt_lits : int;
+  so_minimized_lits : int;
+  so_reductions : int;
+  so_learnt_db : int;
+  so_clauses_emitted : int;
+  so_nodes_reused : int;
+  so_cert_unsat : int;
+  so_cert_lemmas : int;
+  so_cert_deletes : int;
+  so_cert_time : float;
+}
+
+type reduction_r = {
+  rd_universe : int;
+  rd_classes : int;
+  rd_benign : int;
+  rd_cone_sum : int;
+  rd_cone_max : int;
+}
+
+type pairdisp_r = {
+  pd_classes : int;
+  pd_class_pairs : int;
+  pd_diagonal : int;
+  pd_disjoint : int;
+  pd_stacked : int;
+}
+
+type metric_stats_r = {
+  ms_steals : int;
+  ms_stacks : int option;
+  ms_solver : solver_r option;
+}
+
+type metric_r = {
+  mr_worst_segments : float;
+  mr_avg_segments : float;
+  mr_worst_bits : float;
+  mr_avg_bits : float;
+  mr_faults : int;
+  mr_weight : int;
+  mr_reduction : reduction_r option;
+  mr_pairs : pairdisp_r option;
+  mr_stats : metric_stats_r option;
+}
+
+let solver_r_of_stats (s : Metric.solver_stats) =
+  {
+    so_conflicts = s.Metric.s_conflicts;
+    so_decisions = s.Metric.s_decisions;
+    so_propagations = s.Metric.s_propagations;
+    so_restarts = s.Metric.s_restarts;
+    so_learnt_lits = s.Metric.s_learnt_lits;
+    so_minimized_lits = s.Metric.s_minimized_lits;
+    so_reductions = s.Metric.s_reductions;
+    so_learnt_db = s.Metric.s_learnt_db;
+    so_clauses_emitted = s.Metric.s_clauses_emitted;
+    so_nodes_reused = s.Metric.s_nodes_reused;
+    so_cert_unsat = s.Metric.s_cert_unsat;
+    so_cert_lemmas = s.Metric.s_cert_lemmas;
+    so_cert_deletes = s.Metric.s_cert_deletes;
+    so_cert_time = s.Metric.s_cert_time;
+  }
+
+let stats_of_solver_r s =
+  {
+    Metric.s_conflicts = s.so_conflicts;
+    s_decisions = s.so_decisions;
+    s_propagations = s.so_propagations;
+    s_restarts = s.so_restarts;
+    s_learnt_lits = s.so_learnt_lits;
+    s_minimized_lits = s.so_minimized_lits;
+    s_reductions = s.so_reductions;
+    s_learnt_db = s.so_learnt_db;
+    s_clauses_emitted = s.so_clauses_emitted;
+    s_nodes_reused = s.so_nodes_reused;
+    s_cert_unsat = s.so_cert_unsat;
+    s_cert_lemmas = s.so_cert_lemmas;
+    s_cert_deletes = s.so_cert_deletes;
+    s_cert_time = s.so_cert_time;
+  }
+
+let metric_r_of_result ~with_stats (r : Metric.result) =
+  {
+    mr_worst_segments = r.Metric.worst_segments;
+    mr_avg_segments = r.Metric.avg_segments;
+    mr_worst_bits = r.Metric.worst_bits;
+    mr_avg_bits = r.Metric.avg_bits;
+    mr_faults = r.Metric.faults;
+    mr_weight = r.Metric.total_weight;
+    mr_reduction =
+      Option.map
+        (fun (red : Metric.reduction_stats) ->
+          {
+            rd_universe = red.Metric.r_universe;
+            rd_classes = red.Metric.r_classes;
+            rd_benign = red.Metric.r_benign;
+            rd_cone_sum = red.Metric.r_cone_sum;
+            rd_cone_max = red.Metric.r_cone_max;
+          })
+        r.Metric.reduction;
+    mr_pairs =
+      Option.map
+        (fun (p : Metric.pair_stats) ->
+          {
+            pd_classes = p.Metric.p_classes;
+            pd_class_pairs = p.Metric.p_class_pairs;
+            pd_diagonal = p.Metric.p_diagonal;
+            pd_disjoint = p.Metric.p_disjoint;
+            pd_stacked = p.Metric.p_stacked;
+          })
+        r.Metric.pairs;
+    mr_stats =
+      (if not with_stats then None
+       else
+         Some
+           {
+             ms_steals = r.Metric.steals;
+             ms_stacks =
+               Option.map (fun (p : Metric.pair_stats) -> p.Metric.p_stacks)
+                 r.Metric.pairs;
+             ms_solver = Option.map solver_r_of_stats r.Metric.solver;
+           });
+  }
+
+let result_of_metric_r m =
+  {
+    Metric.worst_segments = m.mr_worst_segments;
+    avg_segments = m.mr_avg_segments;
+    worst_bits = m.mr_worst_bits;
+    avg_bits = m.mr_avg_bits;
+    faults = m.mr_faults;
+    total_weight = m.mr_weight;
+    steals = (match m.mr_stats with Some s -> s.ms_steals | None -> 0);
+    solver =
+      (match m.mr_stats with
+      | Some { ms_solver = Some s; _ } -> Some (stats_of_solver_r s)
+      | _ -> None);
+    reduction =
+      Option.map
+        (fun rd ->
+          {
+            Metric.r_universe = rd.rd_universe;
+            r_classes = rd.rd_classes;
+            r_benign = rd.rd_benign;
+            r_cone_sum = rd.rd_cone_sum;
+            r_cone_max = rd.rd_cone_max;
+          })
+        m.mr_reduction;
+    pairs =
+      Option.map
+        (fun pd ->
+          {
+            Metric.p_classes = pd.pd_classes;
+            p_class_pairs = pd.pd_class_pairs;
+            p_diagonal = pd.pd_diagonal;
+            p_disjoint = pd.pd_disjoint;
+            p_stacked = pd.pd_stacked;
+            p_stacks =
+              (match m.mr_stats with
+              | Some { ms_stacks = Some s; _ } -> s
+              | _ -> 0);
+          })
+        m.mr_pairs;
+  }
+
+type plan_r = {
+  pl_target : string;
+  pl_primaries : (string * bool) list;
+  pl_steps : (string list * (string * int * bool) list) list;
+  pl_access_path : string list;
+  pl_cycles : int;
+}
+
+type netinfo_r = {
+  ni_name : string;
+  ni_segments : int;
+  ni_muxes : int;
+  ni_scan_bits : int;
+  ni_shadow_bits : int;
+  ni_control_bits : int;
+  ni_primary_controls : int;
+  ni_levels : int;
+  ni_reset_path_bits : int;
+  ni_full_path_bits : int;
+}
+
+type synth_r = {
+  sy_added_muxes : int;
+  sy_port_muxes : int;
+  sy_added_ctrl_bits : int;
+  sy_added_primary_ctrls : int;
+  sy_area_ratio : float;
+  sy_netlist : string option;
+}
+
+type pool_r = {
+  po_entries : int;
+  po_bytes : int;
+  po_budget : int;
+  po_hits : int;
+  po_misses : int;
+  po_evictions : int;
+}
+
+type session_r = {
+  se_net : string;
+  se_certified : bool;
+  se_queries : int;
+  se_solver : solver_r;
+}
+
+type stats_r = { st_pool : pool_r; st_sessions : session_r list }
+
+type payload =
+  | Metric_r of metric_r
+  | Plan_r of plan_r
+  | Svf_r of string
+  | Diagnose_r of string list
+  | Synth_r of synth_r
+  | Netinfo_r of netinfo_r
+  | Stats_r of stats_r
+  | Error_r of error_code * string
+
+type t = payload
+
+let error code msg = Error_r (code, msg)
+
+let exit_code = function
+  | Error_r (Bad_request, _) | Error_r (Internal, _) -> 1
+  | Error_r (Inaccessible, _) -> 2
+  | Error_r (Cert_failed, _) -> 3
+  | Error_r (Admission, _) -> 4
+  | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let code_str = function
+  | Bad_request -> "bad_request"
+  | Inaccessible -> "inaccessible"
+  | Cert_failed -> "certification_failed"
+  | Admission -> "admission"
+  | Internal -> "internal"
+
+let code_of_str = function
+  | "bad_request" -> Bad_request
+  | "inaccessible" -> Inaccessible
+  | "certification_failed" -> Cert_failed
+  | "admission" -> Admission
+  | "internal" -> Internal
+  | s -> raise (Json.Parse_error (Printf.sprintf "unknown error code %S" s))
+
+let enc_solver s =
+  Json.Obj
+    [
+      ("conflicts", Json.Int s.so_conflicts);
+      ("decisions", Json.Int s.so_decisions);
+      ("propagations", Json.Int s.so_propagations);
+      ("restarts", Json.Int s.so_restarts);
+      ("learnt_lits", Json.Int s.so_learnt_lits);
+      ("minimized_lits", Json.Int s.so_minimized_lits);
+      ("reductions", Json.Int s.so_reductions);
+      ("learnt_db", Json.Int s.so_learnt_db);
+      ("clauses_emitted", Json.Int s.so_clauses_emitted);
+      ("nodes_reused", Json.Int s.so_nodes_reused);
+      ("cert_unsat", Json.Int s.so_cert_unsat);
+      ("cert_lemmas", Json.Int s.so_cert_lemmas);
+      ("cert_deletes", Json.Int s.so_cert_deletes);
+      ("cert_time", Json.Float s.so_cert_time);
+    ]
+
+let dec_solver v =
+  {
+    so_conflicts = Json.get_int "conflicts" v;
+    so_decisions = Json.get_int "decisions" v;
+    so_propagations = Json.get_int "propagations" v;
+    so_restarts = Json.get_int "restarts" v;
+    so_learnt_lits = Json.get_int "learnt_lits" v;
+    so_minimized_lits = Json.get_int "minimized_lits" v;
+    so_reductions = Json.get_int "reductions" v;
+    so_learnt_db = Json.get_int "learnt_db" v;
+    so_clauses_emitted = Json.get_int "clauses_emitted" v;
+    so_nodes_reused = Json.get_int "nodes_reused" v;
+    so_cert_unsat = Json.get_int "cert_unsat" v;
+    so_cert_lemmas = Json.get_int "cert_lemmas" v;
+    so_cert_deletes = Json.get_int "cert_deletes" v;
+    so_cert_time = Json.to_float (Json.get "cert_time" v);
+  }
+
+let enc_metric m =
+  let base =
+    [
+      ("worst_segments", Json.Float m.mr_worst_segments);
+      ("avg_segments", Json.Float m.mr_avg_segments);
+      ("worst_bits", Json.Float m.mr_worst_bits);
+      ("avg_bits", Json.Float m.mr_avg_bits);
+      ("faults", Json.Int m.mr_faults);
+      ("weight", Json.Int m.mr_weight);
+    ]
+  in
+  let reduction =
+    match m.mr_reduction with
+    | None -> []
+    | Some r ->
+        [
+          ( "reduction",
+            Json.Obj
+              [
+                ("universe", Json.Int r.rd_universe);
+                ("classes", Json.Int r.rd_classes);
+                ("benign", Json.Int r.rd_benign);
+                ("cone_sum", Json.Int r.rd_cone_sum);
+                ("cone_max", Json.Int r.rd_cone_max);
+              ] );
+        ]
+  in
+  let pairs =
+    match m.mr_pairs with
+    | None -> []
+    | Some p ->
+        [
+          ( "pairs",
+            Json.Obj
+              [
+                ("classes", Json.Int p.pd_classes);
+                ("class_pairs", Json.Int p.pd_class_pairs);
+                ("diagonal", Json.Int p.pd_diagonal);
+                ("disjoint", Json.Int p.pd_disjoint);
+                ("stacked", Json.Int p.pd_stacked);
+              ] );
+        ]
+  in
+  let stats =
+    match m.mr_stats with
+    | None -> []
+    | Some s ->
+        [
+          ( "stats",
+            Json.Obj
+              (("steals", Json.Int s.ms_steals)
+               ::
+               (match s.ms_stacks with
+               | None -> []
+               | Some st -> [ ("stacks", Json.Int st) ])
+              @
+              match s.ms_solver with
+              | None -> []
+              | Some so -> [ ("solver", enc_solver so) ]) );
+        ]
+  in
+  Json.Obj (base @ reduction @ pairs @ stats)
+
+let dec_metric v =
+  {
+    mr_worst_segments = Json.to_float (Json.get "worst_segments" v);
+    mr_avg_segments = Json.to_float (Json.get "avg_segments" v);
+    mr_worst_bits = Json.to_float (Json.get "worst_bits" v);
+    mr_avg_bits = Json.to_float (Json.get "avg_bits" v);
+    mr_faults = Json.get_int "faults" v;
+    mr_weight = Json.get_int "weight" v;
+    mr_reduction =
+      Option.map
+        (fun r ->
+          {
+            rd_universe = Json.get_int "universe" r;
+            rd_classes = Json.get_int "classes" r;
+            rd_benign = Json.get_int "benign" r;
+            rd_cone_sum = Json.get_int "cone_sum" r;
+            rd_cone_max = Json.get_int "cone_max" r;
+          })
+        (Json.get_opt "reduction" v);
+    mr_pairs =
+      Option.map
+        (fun p ->
+          {
+            pd_classes = Json.get_int "classes" p;
+            pd_class_pairs = Json.get_int "class_pairs" p;
+            pd_diagonal = Json.get_int "diagonal" p;
+            pd_disjoint = Json.get_int "disjoint" p;
+            pd_stacked = Json.get_int "stacked" p;
+          })
+        (Json.get_opt "pairs" v);
+    mr_stats =
+      Option.map
+        (fun s ->
+          {
+            ms_steals = Json.get_int "steals" s;
+            ms_stacks = Json.get_int_opt "stacks" s;
+            ms_solver = Option.map dec_solver (Json.get_opt "solver" s);
+          })
+        (Json.get_opt "stats" v);
+  }
+
+let enc_plan p =
+  Json.Obj
+    [
+      ("target", Json.Str p.pl_target);
+      ( "primaries",
+        Json.List
+          (List.map
+             (fun (n, v) -> Json.Obj [ ("name", Json.Str n); ("value", Json.Bool v) ])
+             p.pl_primaries) );
+      ( "steps",
+        Json.List
+          (List.map
+             (fun (path, writes) ->
+               Json.Obj
+                 [
+                   ("path", Json.List (List.map (fun s -> Json.Str s) path));
+                   ( "writes",
+                     Json.List
+                       (List.map
+                          (fun (s, b, v) ->
+                            Json.Obj
+                              [
+                                ("segment", Json.Str s);
+                                ("bit", Json.Int b);
+                                ("value", Json.Bool v);
+                              ])
+                          writes) );
+                 ])
+             p.pl_steps) );
+      ( "access_path",
+        Json.List (List.map (fun s -> Json.Str s) p.pl_access_path) );
+      ("cycles", Json.Int p.pl_cycles);
+    ]
+
+let dec_plan v =
+  {
+    pl_target = Json.get_str "target" v;
+    pl_primaries =
+      List.map
+        (fun o -> (Json.get_str "name" o, Json.get_bool "value" o))
+        (Json.to_list (Json.get "primaries" v));
+    pl_steps =
+      List.map
+        (fun o ->
+          ( List.map Json.to_str (Json.to_list (Json.get "path" o)),
+            List.map
+              (fun w ->
+                ( Json.get_str "segment" w,
+                  Json.get_int "bit" w,
+                  Json.get_bool "value" w ))
+              (Json.to_list (Json.get "writes" o)) ))
+        (Json.to_list (Json.get "steps" v));
+    pl_access_path =
+      List.map Json.to_str (Json.to_list (Json.get "access_path" v));
+    pl_cycles = Json.get_int "cycles" v;
+  }
+
+let enc_netinfo n =
+  Json.Obj
+    [
+      ("name", Json.Str n.ni_name);
+      ("segments", Json.Int n.ni_segments);
+      ("muxes", Json.Int n.ni_muxes);
+      ("scan_bits", Json.Int n.ni_scan_bits);
+      ("shadow_bits", Json.Int n.ni_shadow_bits);
+      ("control_bits", Json.Int n.ni_control_bits);
+      ("primary_controls", Json.Int n.ni_primary_controls);
+      ("levels", Json.Int n.ni_levels);
+      ("reset_path_bits", Json.Int n.ni_reset_path_bits);
+      ("full_path_bits", Json.Int n.ni_full_path_bits);
+    ]
+
+let dec_netinfo v =
+  {
+    ni_name = Json.get_str "name" v;
+    ni_segments = Json.get_int "segments" v;
+    ni_muxes = Json.get_int "muxes" v;
+    ni_scan_bits = Json.get_int "scan_bits" v;
+    ni_shadow_bits = Json.get_int "shadow_bits" v;
+    ni_control_bits = Json.get_int "control_bits" v;
+    ni_primary_controls = Json.get_int "primary_controls" v;
+    ni_levels = Json.get_int "levels" v;
+    ni_reset_path_bits = Json.get_int "reset_path_bits" v;
+    ni_full_path_bits = Json.get_int "full_path_bits" v;
+  }
+
+let enc_synth s =
+  Json.Obj
+    ([
+       ("added_muxes", Json.Int s.sy_added_muxes);
+       ("port_muxes", Json.Int s.sy_port_muxes);
+       ("added_ctrl_bits", Json.Int s.sy_added_ctrl_bits);
+       ("added_primary_ctrls", Json.Int s.sy_added_primary_ctrls);
+       ("area_ratio", Json.Float s.sy_area_ratio);
+     ]
+    @
+    match s.sy_netlist with
+    | None -> []
+    | Some t -> [ ("netlist", Json.Str t) ])
+
+let dec_synth v =
+  {
+    sy_added_muxes = Json.get_int "added_muxes" v;
+    sy_port_muxes = Json.get_int "port_muxes" v;
+    sy_added_ctrl_bits = Json.get_int "added_ctrl_bits" v;
+    sy_added_primary_ctrls = Json.get_int "added_primary_ctrls" v;
+    sy_area_ratio = Json.to_float (Json.get "area_ratio" v);
+    sy_netlist = Json.get_str_opt "netlist" v;
+  }
+
+let enc_stats s =
+  Json.Obj
+    [
+      ( "pool",
+        Json.Obj
+          [
+            ("entries", Json.Int s.st_pool.po_entries);
+            ("bytes", Json.Int s.st_pool.po_bytes);
+            ("budget", Json.Int s.st_pool.po_budget);
+            ("hits", Json.Int s.st_pool.po_hits);
+            ("misses", Json.Int s.st_pool.po_misses);
+            ("evictions", Json.Int s.st_pool.po_evictions);
+          ] );
+      ( "sessions",
+        Json.List
+          (List.map
+             (fun se ->
+               Json.Obj
+                 [
+                   ("net", Json.Str se.se_net);
+                   ("certified", Json.Bool se.se_certified);
+                   ("queries", Json.Int se.se_queries);
+                   ("solver", enc_solver se.se_solver);
+                 ])
+             s.st_sessions) );
+    ]
+
+let dec_stats v =
+  let p = Json.get "pool" v in
+  {
+    st_pool =
+      {
+        po_entries = Json.get_int "entries" p;
+        po_bytes = Json.get_int "bytes" p;
+        po_budget = Json.get_int "budget" p;
+        po_hits = Json.get_int "hits" p;
+        po_misses = Json.get_int "misses" p;
+        po_evictions = Json.get_int "evictions" p;
+      };
+    st_sessions =
+      List.map
+        (fun se ->
+          {
+            se_net = Json.get_str "net" se;
+            se_certified = Json.get_bool "certified" se;
+            se_queries = Json.get_int "queries" se;
+            se_solver = dec_solver (Json.get "solver" se);
+          })
+        (Json.to_list (Json.get "sessions" v));
+  }
+
+let encode ?id t =
+  let id_field = match id with None -> [] | Some v -> [ ("id", v) ] in
+  let ok, ty, data =
+    match t with
+    | Metric_r m -> (true, "metric", enc_metric m)
+    | Plan_r p -> (true, "plan", enc_plan p)
+    | Svf_r s -> (true, "svf", Json.Obj [ ("svf", Json.Str s) ])
+    | Diagnose_r fs ->
+        ( true,
+          "diagnose",
+          Json.Obj
+            [ ("candidates", Json.List (List.map (fun f -> Json.Str f) fs)) ] )
+    | Synth_r s -> (true, "synth", enc_synth s)
+    | Netinfo_r n -> (true, "netinfo", enc_netinfo n)
+    | Stats_r s -> (true, "stats", enc_stats s)
+    | Error_r (code, msg) ->
+        ( false,
+          "error",
+          Json.Obj
+            [
+              ("code", Json.Str (code_str code));
+              ("msg", Json.Str msg);
+              ("exit", Json.Int (exit_code (Error_r (code, msg))));
+            ] )
+  in
+  Json.Obj
+    (id_field @ [ ("ok", Json.Bool ok); ("type", Json.Str ty); ("data", data) ])
+
+let decode v =
+  let id = Json.member "id" v in
+  let data = Json.get "data" v in
+  let payload =
+    match Json.get_str "type" v with
+    | "metric" -> Metric_r (dec_metric data)
+    | "plan" -> Plan_r (dec_plan data)
+    | "svf" -> Svf_r (Json.get_str "svf" data)
+    | "diagnose" ->
+        Diagnose_r
+          (List.map Json.to_str (Json.to_list (Json.get "candidates" data)))
+    | "synth" -> Synth_r (dec_synth data)
+    | "netinfo" -> Netinfo_r (dec_netinfo data)
+    | "stats" -> Stats_r (dec_stats data)
+    | "error" ->
+        Error_r (code_of_str (Json.get_str "code" data), Json.get_str "msg" data)
+    | ty -> raise (Json.Parse_error (Printf.sprintf "unknown response type %S" ty))
+  in
+  (payload, id)
+
+let to_string ?id t = Json.to_string (encode ?id t)

@@ -1,0 +1,191 @@
+type config = {
+  workers : int;
+  heavy_workers : int;
+  queue_cap : int;
+  deadline : float option;
+}
+
+let default_config =
+  { workers = 2; heavy_workers = 1; queue_cap = 64; deadline = None }
+
+type item = {
+  it_query : Query.t;
+  it_id : Json.t option;
+  it_enqueued : float;
+  it_deadline : float option;  (* seconds of queueing budget *)
+}
+
+type outp = { oc : out_channel; omx : Mutex.t }
+
+let respond outp ?id resp =
+  Mutex.lock outp.omx;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock outp.omx)
+    (fun () ->
+      output_string outp.oc (Response.to_string ?id resp);
+      output_char outp.oc '\n';
+      flush outp.oc)
+
+(* Parses one request line into (query, id, deadline). *)
+let parse_line cfg line =
+  match Json.of_string line with
+  | exception Json.Parse_error msg -> Error (msg, None)
+  | v -> (
+      let id = Json.member "id" v in
+      match Query.decode v with
+      | exception Json.Parse_error msg -> Error (msg, id)
+      | q ->
+          let deadline =
+            match Json.get_int_opt "deadline_ms" v with
+            | Some ms -> Some (float_of_int ms /. 1000.0)
+            | None -> cfg.deadline
+            | exception Json.Parse_error _ -> cfg.deadline
+          in
+          Ok (q, id, deadline))
+
+(* ------------------------------------------------------------------ *)
+(* Serial mode: everything on the reader thread, in request order.     *)
+
+let serve_serial cfg pool ic outp =
+  try
+    while true do
+      let line = input_line ic in
+      if String.trim line <> "" then
+        match parse_line cfg line with
+        | Error (msg, id) ->
+            respond outp ?id (Response.error Response.Bad_request msg)
+        | Ok (q, id, _deadline) -> respond outp ?id (Exec.run pool q)
+    done
+  with End_of_file -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Threaded mode: bounded light/heavy queues, dedicated workers.       *)
+
+type shared = {
+  cfg : config;
+  pool : Pool.t;
+  outp : outp;
+  mx : Mutex.t;
+  nonempty : Condition.t;
+  light : item Queue.t;
+  heavy : item Queue.t;
+  mutable eof : bool;
+}
+
+let worker sh queue () =
+  let rec loop () =
+    Mutex.lock sh.mx;
+    let rec next () =
+      if not (Queue.is_empty queue) then Some (Queue.pop queue)
+      else if sh.eof then None
+      else begin
+        Condition.wait sh.nonempty sh.mx;
+        next ()
+      end
+    in
+    let item = next () in
+    Mutex.unlock sh.mx;
+    match item with
+    | None -> ()
+    | Some it ->
+        let expired =
+          match it.it_deadline with
+          | Some d -> Unix.gettimeofday () -. it.it_enqueued > d
+          | None -> false
+        in
+        let resp =
+          if expired then
+            Response.error Response.Admission
+              "deadline expired before execution"
+          else Exec.run sh.pool it.it_query
+        in
+        respond sh.outp ?id:it.it_id resp;
+        loop ()
+  in
+  loop ()
+
+let serve_threaded cfg pool ic outp =
+  let sh =
+    {
+      cfg;
+      pool;
+      outp;
+      mx = Mutex.create ();
+      nonempty = Condition.create ();
+      light = Queue.create ();
+      heavy = Queue.create ();
+      eof = false;
+    }
+  in
+  let threads =
+    List.init cfg.workers (fun _ -> Thread.create (worker sh sh.light) ())
+    @ List.init (max 1 cfg.heavy_workers) (fun _ ->
+          Thread.create (worker sh sh.heavy) ())
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match parse_line cfg line with
+         | Error (msg, id) ->
+             respond outp ?id (Response.error Response.Bad_request msg)
+         | Ok (q, id, deadline) ->
+             let queue =
+               match Exec.classify q with
+               | `Light -> sh.light
+               | `Heavy -> sh.heavy
+             in
+             let admitted =
+               Mutex.lock sh.mx;
+               let ok = Queue.length queue < cfg.queue_cap in
+               if ok then begin
+                 Queue.push
+                   {
+                     it_query = q;
+                     it_id = id;
+                     it_enqueued = Unix.gettimeofday ();
+                     it_deadline = deadline;
+                   }
+                   queue;
+                 Condition.broadcast sh.nonempty
+               end;
+               Mutex.unlock sh.mx;
+               ok
+             in
+             if not admitted then
+               respond outp ?id
+                 (Response.error Response.Admission "queue full, try later")
+     done
+   with End_of_file -> ());
+  Mutex.lock sh.mx;
+  sh.eof <- true;
+  Condition.broadcast sh.nonempty;
+  Mutex.unlock sh.mx;
+  List.iter Thread.join threads
+
+let serve_channels cfg pool ic oc =
+  let outp = { oc; omx = Mutex.create () } in
+  if cfg.workers <= 1 then serve_serial cfg pool ic outp
+  else serve_threaded cfg pool ic outp
+
+let serve_stdio cfg pool = serve_channels cfg pool stdin stdout
+
+let serve_socket cfg pool path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  while true do
+    let fd, _ = Unix.accept sock in
+    let (_ : Thread.t) =
+      Thread.create
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> serve_channels cfg pool ic oc))
+        ()
+    in
+    ()
+  done

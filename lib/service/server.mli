@@ -1,0 +1,42 @@
+(** The [serve] loop: newline-delimited JSON queries in, one JSON
+    response line per query out, executed against a shared warm pool.
+
+    Admission control: requests are classified ({!Exec.classify}) into a
+    light and a heavy bounded queue with separate worker threads, so an
+    exhaustive pair sweep in flight never starves cheap netinfo/metric
+    queries.  A request arriving at a full queue is answered immediately
+    with an [admission] error (exit code 4); a request whose deadline
+    (["deadline_ms"] field, or the configured default) has already
+    expired when a worker picks it up is likewise rejected — queries are
+    pure OCaml compute and cannot be preempted mid-run, so the deadline
+    is enforced at dequeue.
+
+    With [workers <= 1] the loop runs serially on the reader thread:
+    responses appear in request order, queues are bypassed (every
+    request is processed immediately), and the transcript is fully
+    deterministic — the mode CI diffs against one-shot CLI runs. *)
+
+type config = {
+  workers : int;        (** light worker threads; [<= 1] = serial mode *)
+  heavy_workers : int;  (** threads draining the heavy queue *)
+  queue_cap : int;      (** per-queue admission bound *)
+  deadline : float option;
+      (** default per-request deadline in seconds ([None] = unbounded);
+          a request's ["deadline_ms"] overrides it *)
+}
+
+val default_config : config
+(** 2 light workers, 1 heavy worker, 64-deep queues, no deadline. *)
+
+val serve_channels : config -> Pool.t -> in_channel -> out_channel -> unit
+(** Serves until end-of-input, then drains the queues and returns.
+    Response lines are mutex-serialized on the output channel and
+    flushed per response. *)
+
+val serve_stdio : config -> Pool.t -> unit
+
+val serve_socket : config -> Pool.t -> string -> unit
+(** Listens on a Unix-domain socket at the given path (an existing
+    socket file is replaced), serving each accepted connection with
+    {!serve_channels} on its own thread against the shared pool.  Does
+    not return. *)

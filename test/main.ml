@@ -14,4 +14,5 @@ let () =
       ("core", Test_core.suite);
       ("bmc", Test_bmc.suite);
       ("itc02", Test_itc02.suite);
+      ("service", Test_service.suite);
     ]
