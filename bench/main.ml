@@ -84,25 +84,66 @@ let ablation_solvers =
              ignore (Augment.solve_flow (Augment.of_netlist u226))));
     ]
 
-(* Ablation: structural engine vs BMC on one fault. *)
+(* Ablation: structural engine vs BMC on one fault.
+
+   The structural_per_fault_* entries measure what the structural engine
+   charges per fault verdict under its production configuration: the
+   lane-parallel batch sweep, where up to [Engine.lane_width] classes
+   share one fixpoint.  Each bench run consumes one verdict from a
+   rotating queue over the network's lane batches; a refill pays one
+   shared batch fixpoint for a whole batch of verdicts, so the OLS slope
+   is sweep-cost / batch-width — the honest amortized per-fault cost,
+   directly comparable to the scalar entries of earlier BENCH_*.json
+   (which ran one full [Engine.analyze] per fault).  The
+   structural_scalar_per_fault_* entries keep that scalar cost visible,
+   and lane_sweep_all_u226 prices one full class-universe lane sweep. *)
 let small_fault = { Fault.site = Fault.Seg_shadow_reg (0, 0); stuck = false }
 let small_ctx = Engine.make_ctx small
+
+let lane_per_fault net ctx =
+  let base = Engine.baseline ctx in
+  let classes = Array.of_list (Fault.collapse net (Fault.universe net)) in
+  let sms = Array.map (fun c -> c.Fault.cls_summary) classes in
+  let _, batches = Engine.lane_plan base sms in
+  let batches =
+    Array.of_list (List.map (Array.map (fun i -> sms.(i))) batches)
+  in
+  if Array.length batches = 0 then fun () -> ()
+  else
+    let next = ref 0 and pending = ref 0 in
+    fun () ->
+      if !pending = 0 then begin
+        let b = batches.(!next) in
+        next := (!next + 1) mod Array.length batches;
+        ignore (Engine.analyze_lane_batch ctx base b);
+        pending := Array.length b
+      end;
+      decr pending
+
+let u226_classes =
+  lazy (Array.of_list (Fault.collapse u226 (Fault.universe u226)))
 
 let ablation_engines =
   Test.make_grouped ~name:"access_engine"
     [
       Test.make ~name:"structural_per_fault_small"
+        (Staged.stage (lane_per_fault small small_ctx));
+      Test.make ~name:"structural_scalar_per_fault_small"
         (Staged.stage (fun () ->
              ignore (Engine.analyze small_ctx (Some small_fault))));
       Test.make ~name:"bmc_per_fault_small"
         (Staged.stage (fun () ->
              ignore (Bmc.check_access small_bmc ~fault:small_fault ~target:2 ())));
       Test.make ~name:"structural_per_fault_u226"
+        (Staged.stage (lane_per_fault u226 u226_ctx));
+      Test.make ~name:"structural_scalar_per_fault_u226"
         (Staged.stage (fun () ->
              ignore (Engine.analyze u226_ctx (Some u226_fault))));
       Test.make ~name:"structural_per_fault_u226_ft"
+        (Staged.stage (lane_per_fault u226_ft u226_ft_ctx));
+      Test.make ~name:"lane_sweep_all_u226"
         (Staged.stage (fun () ->
-             ignore (Engine.analyze u226_ft_ctx (Some u226_fault))));
+             ignore (Engine.analyze_lanes u226_ctx (Lazy.force u226_classes))));
     ]
 
 (* Ablation: one incremental session sweeping a fault universe vs
@@ -295,20 +336,22 @@ let php_checked () =
 
 (* CDCL core: pure-SAT workloads isolating the solver inner loop, with a
    per-feature ablation leg for each switchable feature — learnt-clause
-   minimization and LBD-tiered database reduction.  (The blocker-literal
-   watcher vectors and binary specialization have no off switch; their
-   effect is the BENCH_3 -> BENCH_4 delta on these same workloads.)
-   PHP(6,5) is a learning-heavy pure refutation; the random 3-SAT batch
-   sits near the phase-transition ratio m/n ~ 4.26 on fixed seeds; the
-   session legs re-run the bmc_incremental universes with features
-   ablated, quantifying what each contributes to the BMC sweeps. *)
-let config_solver ~minimize ~lbd s =
+   minimization, LBD-tiered database reduction and phase saving.  (The
+   blocker-literal watcher vectors and binary specialization have no off
+   switch; their effect is the BENCH_3 -> BENCH_4 delta on these same
+   workloads.)  PHP(6,5) is a learning-heavy pure refutation; the random
+   3-SAT batch sits near the phase-transition ratio m/n ~ 4.26 on fixed
+   seeds; the session legs re-run the bmc_incremental universes with
+   features ablated, quantifying what each contributes to the BMC
+   sweeps. *)
+let config_solver ?(phase = true) ~minimize ~lbd s =
   Solver.set_minimize s minimize;
-  Solver.set_lbd_tiers s lbd
+  Solver.set_lbd_tiers s lbd;
+  Solver.set_phase_saving s phase
 
-let php65 ~minimize ~lbd () =
+let php65 ?phase ~minimize ~lbd () =
   let s = Solver.create () in
-  config_solver ~minimize ~lbd s;
+  config_solver ?phase ~minimize ~lbd s;
   let v p h = (p * 5) + h + 1 in
   for p = 0 to 5 do
     Solver.add_clause s [ v p 0; v p 1; v p 2; v p 3; v p 4 ]
@@ -337,37 +380,41 @@ let rand3sat_instances =
                 if Random.State.bool st then v else -v)))
       [ 11; 22; 33; 44; 55 ] )
 
-let rand3sat ~minimize ~lbd () =
+let rand3sat ?phase ~minimize ~lbd () =
   let n, instances = rand3sat_instances in
   List.iter
     (fun clauses ->
       let s = Solver.create () in
-      config_solver ~minimize ~lbd s;
+      config_solver ?phase ~minimize ~lbd s;
       Solver.ensure_vars s n;
       List.iter (Solver.add_clause s) clauses;
       ignore (Solver.solve s))
     instances
 
-let sweep_session_cfg ~minimize ~lbd net faults =
+let sweep_session_cfg ?phase ~minimize ~lbd net faults =
   let sess = Bmc.Session.create (Bmc.create net) in
-  config_solver ~minimize ~lbd (Bmc.Session.solver sess);
+  config_solver ?phase ~minimize ~lbd (Bmc.Session.solver sess);
   ignore (Bmc.Session.check_faults sess ~target:0 faults)
 
 let sat_core =
   Test.make_grouped ~name:"sat_core"
     [
       Test.make ~name:"php65"
-        (Staged.stage (php65 ~minimize:true ~lbd:true));
+        (Staged.stage (fun () -> php65 ~minimize:true ~lbd:true ()));
       Test.make ~name:"php65_no_minimize"
-        (Staged.stage (php65 ~minimize:false ~lbd:true));
+        (Staged.stage (fun () -> php65 ~minimize:false ~lbd:true ()));
       Test.make ~name:"php65_no_lbd"
-        (Staged.stage (php65 ~minimize:true ~lbd:false));
+        (Staged.stage (fun () -> php65 ~minimize:true ~lbd:false ()));
+      Test.make ~name:"php65_no_phase_saving"
+        (Staged.stage (php65 ~phase:false ~minimize:true ~lbd:true));
       Test.make ~name:"rand3sat_near_threshold"
-        (Staged.stage (rand3sat ~minimize:true ~lbd:true));
+        (Staged.stage (fun () -> rand3sat ~minimize:true ~lbd:true ()));
       Test.make ~name:"rand3sat_no_minimize"
-        (Staged.stage (rand3sat ~minimize:false ~lbd:true));
+        (Staged.stage (fun () -> rand3sat ~minimize:false ~lbd:true ()));
       Test.make ~name:"rand3sat_no_lbd"
-        (Staged.stage (rand3sat ~minimize:true ~lbd:false));
+        (Staged.stage (fun () -> rand3sat ~minimize:true ~lbd:false ()));
+      Test.make ~name:"rand3sat_no_phase_saving"
+        (Staged.stage (rand3sat ~phase:false ~minimize:true ~lbd:true));
       Test.make ~name:"session_small_no_minimize"
         (Staged.stage (fun () ->
              sweep_session_cfg ~minimize:false ~lbd:true small small_universe));
@@ -381,6 +428,10 @@ let sat_core =
       Test.make ~name:"session_u226_no_lbd"
         (Staged.stage (fun () ->
              sweep_session_cfg ~minimize:true ~lbd:false u226
+               u226_universe_sample));
+      Test.make ~name:"session_u226_no_phase_saving"
+        (Staged.stage (fun () ->
+             sweep_session_cfg ~phase:false ~minimize:true ~lbd:true u226
                u226_universe_sample));
     ]
 
@@ -518,10 +569,12 @@ let benchmark () =
     (Analyze.all ols (List.hd instances) raw);
   results
 
-(* --json: per-bench ns/run estimates as a flat JSON object, for trend
-   tracking across commits.  Written to the repo root (nearest ancestor
-   directory holding a dune-project) — `dune exec` runs from _build
-   otherwise and the file silently lands outside the checkout. *)
+(* --json: per-bench ns/run estimates plus a "_meta" provenance object,
+   for trend tracking across commits.  Written to the repo root (nearest
+   ancestor directory holding a dune-project) — `dune exec` runs from
+   _build otherwise.  A root that cannot be resolved, or resolves to a
+   directory without a dune-project, is a hard error: the file must
+   never silently land outside the checkout. *)
 let repo_root () =
   let rec up dir =
     if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
@@ -529,14 +582,70 @@ let repo_root () =
       let parent = Filename.dirname dir in
       if parent = dir then None else up parent
   in
-  match Sys.getenv_opt "DUNE_SOURCEROOT" with
-  | Some d -> d
-  | None -> (
-      match up (Sys.getcwd ()) with Some d -> d | None -> Sys.getcwd ())
+  let root =
+    match Sys.getenv_opt "DUNE_SOURCEROOT" with
+    | Some d -> Some d
+    | None -> up (Sys.getcwd ())
+  in
+  match root with
+  | Some d when Sys.file_exists (Filename.concat d "dune-project") -> d
+  | Some d ->
+      failwith
+        (Printf.sprintf
+           "bench: %s has no dune-project; refusing to write outside the \
+            repo root"
+           d)
+  | None ->
+      failwith
+        "bench: no dune-project ancestor and DUNE_SOURCEROOT unset; refusing \
+         to write outside the repo root"
 
-let write_json path rows =
+(* Current commit, read straight from .git (no subprocess): HEAD is
+   either a detached hash or "ref: <name>", resolved through the loose
+   ref file or packed-refs. *)
+let git_commit root =
+  let git = Filename.concat root ".git" in
+  let line_of path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)
+  in
+  try
+    let head = line_of (Filename.concat git "HEAD") in
+    if String.length head >= 5 && String.sub head 0 5 = "ref: " then begin
+      let r = String.sub head 5 (String.length head - 5) in
+      try Some (line_of (Filename.concat git r))
+      with _ -> (
+        let ic = open_in (Filename.concat git "packed-refs") in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec scan () =
+              match input_line ic with
+              | l when String.length l > 41 && l.[40] = ' '
+                       && String.sub l 41 (String.length l - 41) = r ->
+                  Some (String.sub l 0 40)
+              | _ -> scan ()
+              | exception End_of_file -> None
+            in
+            scan ()))
+    end
+    else Some head
+  with _ -> None
+
+(* Run metadata that identifies the build without breaking reproducible
+   diffs: commit, compiler, word geometry — deliberately no timestamps. *)
+let meta_json root =
+  Printf.sprintf
+    "{\"commit\": %s, \"ocaml\": \"%s\", \"int_size\": %d, \"lane_width\": %d}"
+    (match git_commit root with
+    | Some c -> Printf.sprintf "%S" c
+    | None -> "null")
+    Sys.ocaml_version Sys.int_size Engine.lane_width
+
+let write_json ~root path rows =
   let oc = open_out path in
   output_string oc "{\n";
+  Printf.fprintf oc "  \"_meta\": %s,\n" (meta_json root);
   let n = List.length rows in
   List.iteri
     (fun i (name, ols) ->
@@ -553,8 +662,27 @@ let write_json path rows =
 
 (* --smoke: one pass through each bench family, no timing — a CI guard
    that the harness and everything it exercises still run.  Also asserts
-   the reduced metric agrees with brute force on u226. *)
+   the reduced metric agrees with brute force on u226, and the
+   lane-parallel engine agrees with the scalar engine class by class on
+   d695 and u226. *)
+let lane_agree name net =
+  let ctx = Engine.make_ctx net in
+  let classes = Array.of_list (Fault.collapse net (Fault.universe net)) in
+  let vs = Engine.analyze_lanes ctx classes in
+  Array.iteri
+    (fun i c ->
+      if vs.(i) <> Engine.analyze ctx (Some c.Fault.cls_rep) then
+        failwith
+          (Printf.sprintf
+             "smoke: lane verdict disagrees with Engine.analyze on %s" name))
+    classes
+
 let smoke () =
+  (* the --json writer must be pointed inside the checkout, even though
+     the smoke run itself writes nothing *)
+  ignore (repo_root ());
+  lane_agree "d695" d695;
+  lane_agree "u226" u226;
   let r = Metric.evaluate ~sample:16 u226 in
   let b = Metric.evaluate ~sample:16 ~reduce:false u226 in
   if
@@ -609,7 +737,9 @@ let smoke () =
   php65 ~minimize:true ~lbd:true ();
   php65 ~minimize:false ~lbd:true ();
   php65 ~minimize:true ~lbd:false ();
+  php65 ~phase:false ~minimize:true ~lbd:true ();
   rand3sat ~minimize:true ~lbd:true ();
+  rand3sat ~phase:false ~minimize:true ~lbd:true ();
   let csess = Bmc.Session.create ~certify:true (Bmc.create small) in
   Solver.set_learnt_limit (Bmc.Session.solver csess) (Some 0);
   ignore (Bmc.Session.check_faults csess ~target:0 small_universe);
@@ -655,10 +785,12 @@ let () =
       in
       Printf.printf "%-50s %s %s\n" name estimate r2)
     (List.sort compare !rows);
-  if Array.exists (( = ) "--json") Sys.argv then
-    write_json
-      (Filename.concat (repo_root ()) "BENCH_5.json")
-      (List.sort compare !rows);
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    let root = repo_root () in
+    write_json ~root
+      (Filename.concat root "BENCH_6.json")
+      (List.sort compare !rows)
+  end;
   (* Clause-reuse profile of one incremental session sweeping the small
      network's fault universe: after the first query pays for the shared
      cones, later queries re-emit only their fault-specific clauses. *)

@@ -17,6 +17,7 @@ module Query = Ftrsn_service.Query
 module Response = Ftrsn_service.Response
 module Pool = Ftrsn_service.Pool
 module Exec = Ftrsn_service.Exec
+module Json = Ftrsn_service.Json
 
 (* The accessibility sweeps run through the service query layer against a
    process-wide warm pool: one SoC's synthesis, structural context and
@@ -173,23 +174,72 @@ let access_query ?sample ~certify spec =
         mq_with_stats = true;
       }
 
+let access_sweep ?sample ~certify ~ft socs =
+  List.map
+    (fun soc ->
+      let m = metric_query (access_query ?sample ~certify (soc_spec ~ft soc)) in
+      (soc.Itc02.soc_name, m))
+    socs
+
+(* One machine-readable row per SoC: the Table I accessibility numbers
+   plus the reduction and lane-batch counters of the structural sweep
+   that produced them (absent under --certify, which runs the BMC
+   engine and has no lane batches). *)
+let json_access_row (name, m) =
+  let base =
+    [
+      ("soc", Json.Str name);
+      ("worst_bits", Json.Float m.Metric.worst_bits);
+      ("avg_bits", Json.Float m.Metric.avg_bits);
+      ("worst_segments", Json.Float m.Metric.worst_segments);
+      ("avg_segments", Json.Float m.Metric.avg_segments);
+      ("faults", Json.Int m.Metric.faults);
+      ("weight", Json.Int m.Metric.total_weight);
+    ]
+  in
+  let reduction =
+    match m.Metric.reduction with
+    | None -> []
+    | Some r ->
+        [
+          ( "reduction",
+            Json.Obj
+              [
+                ("universe", Json.Int r.Metric.r_universe);
+                ("classes", Json.Int r.Metric.r_classes);
+                ("benign", Json.Int r.Metric.r_benign);
+              ] );
+        ]
+  in
+  let lanes =
+    match m.Metric.lanes with
+    | None -> []
+    | Some l ->
+        [
+          ( "lanes",
+            Json.Obj
+              [
+                ("batches", Json.Int l.Engine.ls_batches);
+                ("lanes", Json.Int l.Engine.ls_lanes);
+                ("masked", Json.Int l.Engine.ls_masked);
+                ("fast", Json.Int l.Engine.ls_fast);
+                ("rounds", Json.Int l.Engine.ls_rounds);
+              ] );
+        ]
+  in
+  Json.Obj (base @ reduction @ lanes)
+
 let sib_access ?sample ?(certify = false) socs =
   access_header ();
   List.iter
-    (fun soc ->
-      let m = metric_query (access_query ?sample ~certify (soc_spec soc)) in
-      metric_row soc.Itc02.soc_name m)
-    socs
+    (fun (name, m) -> metric_row name m)
+    (access_sweep ?sample ~certify ~ft:false socs)
 
 let ft_access ?sample ?(certify = false) socs =
   access_header ();
   List.iter
-    (fun soc ->
-      let m =
-        metric_query (access_query ?sample ~certify (soc_spec ~ft:true soc))
-      in
-      metric_row soc.Itc02.soc_name m)
-    socs
+    (fun (name, m) -> metric_row name m)
+    (access_sweep ?sample ~certify ~ft:true socs)
 
 let area socs =
   Printf.printf "%-9s %6s %6s %6s %6s\n" "SoC" "mux" "bits" "nets" "area";
@@ -391,6 +441,30 @@ let coverage socs =
         n)
     socs
 
+(* --json output: one object, one array of per-SoC rows per access part.
+   Only the accessibility sweeps have a machine-readable form — they are
+   what CI and EXPERIMENTS.md consume; the other parts stay human. *)
+let run_json part socs sample certify =
+  let parts =
+    (match part with Sib_access | All -> [ ("sib_access", false) ] | _ -> [])
+    @ match part with Ft_access | All -> [ ("ft_access", true) ] | _ -> []
+  in
+  if parts = [] then begin
+    prerr_endline
+      "--json supports only --part sib-access, ft-access or all";
+    exit 1
+  end;
+  let doc =
+    List.map
+      (fun (key, ft) ->
+        ( key,
+          Json.List
+            (List.map json_access_row (access_sweep ?sample ~certify ~ft socs))
+        ))
+      parts
+  in
+  print_endline (Json.to_string (Json.Obj doc))
+
 let run part socs sample certify =
   let socs = soc_list socs in
   let banner title =
@@ -445,8 +519,10 @@ let run part socs sample certify =
   if certify then
     print_endline "\ncertification: OK (all UNSAT verdicts RUP-checked)"
 
-let run part socs sample certify =
-  try run part socs sample certify
+let run part socs sample certify json =
+  try
+    if json then run_json part (soc_list socs) sample certify
+    else run part socs sample certify
   with Ftrsn_bmc.Bmc.Session.Certification_failed msg ->
     Printf.eprintf "certification: FAILED: %s\n" msg;
     exit 3
@@ -468,9 +544,12 @@ let () =
   let certify =
     Arg.(value & flag & info [ "certify" ] ~doc:"Run the accessibility sweeps (sib-access, ft-access) through the BMC engine in certified mode: an independent RUP checker verifies the solver's proof of every UNSAT verdict inline.  Exits 3 on any rejected proof step.")
   in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the accessibility sweeps (sib-access, ft-access) as one JSON object instead of tables; each per-SoC row carries the metric values plus the reduction and lane-batch counters of the structural sweep.  Only valid with --part sib-access, ft-access or all.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "reproduce" ~doc:"Regenerate Table I of 'Synthesis of Fault-Tolerant Reconfigurable Scan Networks' (DATE'20)")
-      Term.(const run $ part $ socs $ sample $ certify)
+      Term.(const run $ part $ socs $ sample $ certify $ json)
   in
   exit (Cmd.eval cmd)

@@ -1,6 +1,7 @@
 module Netlist = Ftrsn_rsn.Netlist
 module Fault = Ftrsn_fault.Fault
 module Bitset = Ftrsn_topo.Bitset
+module Lanes = Ftrsn_topo.Lanes
 module Digraph = Ftrsn_topo.Digraph
 module Order = Ftrsn_topo.Order
 
@@ -1165,6 +1166,445 @@ let analyze_delta_on ctx stk (sm : Fault.summary) =
   end
 
 let analyze_delta ctx base sm = analyze_delta_on ctx (of_baseline base) sm
+
+(* ---- lane-parallel batch sweeps ----
+
+   The metric evaluates thousands of collapsed classes against one
+   context; [analyze_delta] already cuts each class to its cone, but
+   still pays one fixpoint per class.  The lane sweep transposes the
+   computation: up to [Lanes.width] classes share ONE fixpoint, every
+   per-vertex / per-edge predicate becomes a machine word whose bit L
+   answers lane L, and word-level AND/OR/ANDN replace the per-class
+   boolean evaluation.  The word operations act lane-wise
+   independently, so each lane runs exactly the scalar semantics:
+
+   - the per-lane static effect masks below are the word transposition
+     of [effects] ([add_summary_effects] projected onto segments,
+     edges and the two port flags);
+   - [steer_word] is [edge_steerable] lane-wise: a wrong lock or a
+     constant contradiction kills the lane's edge outright, a lock on
+     the required value waives the hosted requirement, a wrong pin
+     defeats it even when the reset matches, a right pin satisfies it,
+     and an untouched requirement falls back to the host's writability
+     (or the reset value) — the pin/lock masks live in a sparse
+     per-(edge, requirement) table materialized only for the edges the
+     batch actually touches;
+   - each lane's writability is seeded with the baseline writable set
+     minus the lane's coarse cone ([probe_coarse] — the same cone
+     [analyze_delta] restricts its fixpoint to).  Outside the cone the
+     faulty least fixpoint provably equals the baseline, so each seed
+     starts at or below its lane's least fixpoint, and the monotone
+     word iteration (writability and steerability only grow) converges
+     to exactly the per-lane least fixpoints — lanes whose seed is
+     already settled simply never promote (counted as [ls_masked]);
+   - one word-parallel traversal pass per round (clean forward reach,
+     any-data backward co-reach) replaces [Lanes.width] scalar BFS
+     passes, and the two final traversals produce all lanes' readable
+     sets at once.
+
+   The per-lane verdicts are bit-identical to [analyze_delta]'s (hence
+   to [analyze]'s) — property-tested against both. *)
+
+let lane_width = Lanes.width
+
+type lane_stats = {
+  ls_batches : int;  (* batch sweeps run *)
+  ls_lanes : int;    (* lanes occupied across all batches *)
+  ls_masked : int;   (* lanes settled at their cone seed: no promotion *)
+  ls_fast : int;     (* classes answered by the O(1) fast paths instead *)
+  ls_rounds : int;   (* fixpoint rounds across all batches *)
+}
+
+let lane_stats_zero =
+  { ls_batches = 0; ls_lanes = 0; ls_masked = 0; ls_fast = 0; ls_rounds = 0 }
+
+let lane_stats_add a b =
+  {
+    ls_batches = a.ls_batches + b.ls_batches;
+    ls_lanes = a.ls_lanes + b.ls_lanes;
+    ls_masked = a.ls_masked + b.ls_masked;
+    ls_fast = a.ls_fast + b.ls_fast;
+    ls_rounds = a.ls_rounds + b.ls_rounds;
+  }
+
+(* Classes [analyze_delta] answers without any traversal; they never
+   occupy a lane. *)
+let lane_fast base sm =
+  Fault.summary_benign sm || only_kill_read sm || local_kill_write base sm
+
+(* Batch formation: fast classes aside, the rest grouped by summary
+   shape so the dead-port classes (full-network cones, extra fixpoint
+   rounds) don't drag the shallow batches, then chunked [lane_width]
+   wide in input order (deterministic). *)
+let lane_plan base (sms : Fault.summary array) =
+  let fast = ref [] and general = ref [] and port = ref [] in
+  Array.iteri
+    (fun i sm ->
+      if lane_fast base sm then fast := i :: !fast
+      else
+        match Fault.summary_shape sm with
+        | Fault.Port_dead -> port := i :: !port
+        | _ -> general := i :: !general)
+    sms;
+  let chunk l =
+    let rec go acc cur n = function
+      | [] -> if cur = [] then acc else List.rev cur :: acc
+      | x :: rest ->
+          if n = lane_width then go (List.rev cur :: acc) [ x ] 1 rest
+          else go acc (x :: cur) (n + 1) rest
+    in
+    List.rev_map Array.of_list (go [] [] 0 (List.rev l))
+  in
+  (List.rev !fast, chunk !general @ chunk !port)
+
+let analyze_lane_batch ctx base (sms : Fault.summary array) =
+  let k = Array.length sms in
+  if k = 0 || k > lane_width then
+    invalid_arg "Engine.analyze_lane_batch: batch size";
+  let occ = Lanes.lane_mask k in
+  let nsegs = ctx.nsegs and nv = ctx.nv in
+  let nedges = Array.length ctx.edges in
+  (* Per-lane static effect masks: bit L set = the effect holds in lane
+     L (the word transposition of [effects]). *)
+  let hard_block_w = Array.make nsegs 0 in
+  let corrupt_vertex_w = Array.make nsegs 0 in
+  let kill_write_w = Array.make nsegs 0 in
+  let kill_read_w = Array.make nsegs 0 in
+  let corrupt_e = Array.make nedges 0 in
+  let dead_e = Array.make nedges 0 in
+  let pi_dead_w = ref 0 and po_dead_w = ref 0 in
+  for ei = 0 to nedges - 1 do
+    if ctx.edges.(ei).e_dead then dead_e.(ei) <- occ
+  done;
+  (* Sparse per-(edge, requirement) pin/lock masks, materialized only
+     for the edges the batch's locks or pins touch. *)
+  let req_masks = Array.make nedges None in
+  let touch ei =
+    match req_masks.(ei) with
+    | Some m -> m
+    | None ->
+        let nr = Array.length ctx.edges.(ei).e_shadow_reqs in
+        let m = (Array.make nr 0, Array.make nr 0, Array.make nr 0) in
+        req_masks.(ei) <- Some m;
+        m
+  in
+  Array.iteri
+    (fun l (sm : Fault.summary) ->
+      let bit = 1 lsl l in
+      let set_w a i = a.(i) <- a.(i) lor bit in
+      List.iter (set_w hard_block_w) sm.Fault.sm_hard_block;
+      List.iter (set_w corrupt_vertex_w) sm.Fault.sm_corrupt_vertex;
+      List.iter (set_w kill_write_w) sm.Fault.sm_kill_write;
+      List.iter (set_w kill_read_w) sm.Fault.sm_kill_read;
+      List.iter
+        (fun i -> List.iter (set_w corrupt_e) ctx.in_edges.(v_of_seg i))
+        sm.Fault.sm_corrupt_in;
+      List.iter
+        (fun i -> List.iter (set_w corrupt_e) ctx.out_edges.(v_of_seg i))
+        sm.Fault.sm_corrupt_out;
+      List.iter
+        (fun m -> List.iter (set_w corrupt_e) base.b_mux_edges.(m))
+        sm.Fault.sm_mux_out;
+      List.iter
+        (fun (m, kk) ->
+          List.iter
+            (fun ei ->
+              if
+                Array.exists
+                  (fun (m', k') -> m' = m && k' = kk)
+                  ctx.edges.(ei).e_muxes
+              then set_w corrupt_e ei)
+            base.b_mux_edges.(m))
+        sm.Fault.sm_mux_in;
+      List.iter
+        (fun (m, b, v) ->
+          List.iter
+            (fun ei ->
+              let e = ctx.edges.(ei) in
+              (* A lock to the wrong value kills the lane's edge
+                 outright (the scalar check scans every addressed
+                 port, shadow-driven or not). *)
+              if
+                Array.exists
+                  (fun (m', b', required) -> m' = m && b' = b && required <> v)
+                  e.e_addr_ports
+              then set_w dead_e ei;
+              (* A lock to the required value waives the hosted
+                 requirement on that port. *)
+              let lockr, _, _ = touch ei in
+              Array.iteri
+                (fun r ((m', b'), _, _, required, _) ->
+                  if m' = m && b' = b && required = v then
+                    lockr.(r) <- lockr.(r) lor bit)
+                e.e_shadow_reqs)
+            base.b_mux_edges.(m))
+        sm.Fault.sm_locked_addr;
+      List.iter
+        (fun (cseg, cbit, v) ->
+          List.iter
+            (fun ei ->
+              let e = ctx.edges.(ei) in
+              let _, pinw, pinr = touch ei in
+              Array.iteri
+                (fun r (_, cseg', cbit', required, _) ->
+                  if cseg' = cseg && cbit' = cbit then
+                    if v <> required then pinw.(r) <- pinw.(r) lor bit
+                    else pinr.(r) <- pinr.(r) lor bit)
+                e.e_shadow_reqs)
+            base.b_host_edges_all.(cseg))
+        sm.Fault.sm_stuck_shadow;
+      if sm.Fault.sm_pi_dead then pi_dead_w := !pi_dead_w lor bit;
+      if sm.Fault.sm_po_dead then po_dead_w := !po_dead_w lor bit)
+    sms;
+  (* Writability seeds: baseline writable everywhere, each lane's cone
+     cleared.  [probe_coarse] is the same cone [analyze_delta]
+     restricts its fixpoint to, so each seed is at or below its lane's
+     least fixpoint. *)
+  let writable_w = Array.make nsegs 0 in
+  let base_writable = base.b_verdict.writable in
+  for i = 0 to nsegs - 1 do
+    if base_writable.(i) then writable_w.(i) <- occ
+  done;
+  let cone_lens = Array.make k 0 in
+  Array.iteri
+    (fun l sm ->
+      let bit = 1 lsl l in
+      let cv, _, _ = probe_coarse ctx base sm in
+      let cl = cone_seg_list ctx cv in
+      cone_lens.(l) <- List.length cl;
+      List.iter (fun i -> writable_w.(i) <- writable_w.(i) land lnot bit) cl)
+    sms;
+  (* [edge_steerable] lane-wise, under the current writability words. *)
+  let steer = Array.make nedges 0 in
+  let steer_word ei =
+    let e = ctx.edges.(ei) in
+    let s = ref (occ land lnot dead_e.(ei)) in
+    (match req_masks.(ei) with
+    | None ->
+        Array.iter
+          (fun (_, cseg, _, _, reset_matches) ->
+            if not reset_matches then s := !s land writable_w.(cseg))
+          e.e_shadow_reqs
+    | Some (lockr, pinw, pinr) ->
+        Array.iteri
+          (fun r (_, cseg, _, _, reset_matches) ->
+            let sat =
+              lockr.(r)
+              lor (lnot pinw.(r)
+                  land
+                  if reset_matches then occ else pinr.(r) lor writable_w.(cseg))
+            in
+            s := !s land sat)
+          e.e_shadow_reqs);
+    !s
+  in
+  for ei = 0 to nedges - 1 do
+    steer.(ei) <- steer_word ei
+  done;
+  (* Word-parallel worklist traversals.  A vertex re-enters the queue
+     whenever its word grows, so each pass settles all lanes at once. *)
+  let stack = Array.make nv 0 in
+  let sp = ref 0 in
+  let inq = Array.make nv false in
+  let push v =
+    if not inq.(v) then begin
+      inq.(v) <- true;
+      stack.(!sp) <- v;
+      incr sp
+    end
+  in
+  let rw = Lanes.create nv in
+  let s_any = Lanes.create nv in
+  let shift_mask v =
+    if v >= 2 then lnot hard_block_w.(seg_of_v v) else -1
+  in
+  (* Clean forward reach from scan-in ([reach_from_pi ~clean:true]):
+     membership needs clean data INTO the vertex and its shiftability;
+     extension beyond a vertex additionally needs its through-
+     cleanness. *)
+  let fwd_clean () =
+    Lanes.clear rw;
+    sp := 0;
+    let start = occ land lnot !pi_dead_w in
+    if start <> 0 then begin
+      ignore (Lanes.or_in rw v_pi start);
+      push v_pi
+    end;
+    while !sp > 0 do
+      decr sp;
+      let u = stack.(!sp) in
+      inq.(u) <- false;
+      let through =
+        let x = Lanes.get rw u in
+        if u >= 2 then x land lnot corrupt_vertex_w.(seg_of_v u) else x
+      in
+      if through <> 0 then
+        List.iter
+          (fun ei ->
+            let v = ctx.edges.(ei).e_dst in
+            if v <> v_po then begin
+              let add =
+                through land steer.(ei)
+                land lnot corrupt_e.(ei)
+                land shift_mask v
+              in
+              if add <> 0 && Lanes.or_in rw v add <> 0 then push v
+            end)
+          ctx.out_edges.(u)
+    done
+  in
+  (* Any-data backward co-reach to scan-out ([coreach_to_po
+     ~clean:false]): steering is the only gate. *)
+  let bwd_any () =
+    Lanes.clear s_any;
+    sp := 0;
+    ignore (Lanes.or_in s_any v_po occ);
+    push v_po;
+    while !sp > 0 do
+      decr sp;
+      let v = stack.(!sp) in
+      inq.(v) <- false;
+      let x = Lanes.get s_any v in
+      List.iter
+        (fun ei ->
+          let u = ctx.edges.(ei).e_src in
+          if u <> v_pi then begin
+            let add = x land steer.(ei) in
+            if add <> 0 && Lanes.or_in s_any u add <> 0 then push u
+          end)
+        ctx.in_edges.(v)
+    done
+  in
+  let promoted = ref 0 in
+  let rounds = ref 0 in
+  let not_pi = lnot !pi_dead_w in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    incr rounds;
+    fwd_clean ();
+    bwd_any ();
+    for i = 0 to nsegs - 1 do
+      let nw =
+        Lanes.get rw (v_of_seg i)
+        land Lanes.get s_any (v_of_seg i)
+        land lnot kill_write_w.(i)
+        land not_pi
+        land lnot writable_w.(i)
+        land occ
+      in
+      if nw <> 0 then begin
+        writable_w.(i) <- writable_w.(i) lor nw;
+        promoted := !promoted lor nw;
+        (* Only the not-reset-matching hosted requirements consult the
+           host's writability — refresh exactly their edges. *)
+        List.iter
+          (fun ei -> steer.(ei) <- steer_word ei)
+          base.b_host_edges_nonreset.(i);
+        changed := true
+      end
+    done
+  done;
+  (* Final traversals under the settled steering: any-data forward
+     reach (ignores dead ports), clean backward co-reach. *)
+  let r_any = Lanes.create nv in
+  sp := 0;
+  ignore (Lanes.or_in r_any v_pi occ);
+  push v_pi;
+  while !sp > 0 do
+    decr sp;
+    let u = stack.(!sp) in
+    inq.(u) <- false;
+    let x = Lanes.get r_any u in
+    List.iter
+      (fun ei ->
+        let v = ctx.edges.(ei).e_dst in
+        if v <> v_po then begin
+          let add = x land steer.(ei) in
+          if add <> 0 && Lanes.or_in r_any v add <> 0 then push v
+        end)
+      ctx.out_edges.(u)
+  done;
+  let s_clean = Lanes.create nv in
+  let start = occ land lnot !po_dead_w in
+  if start <> 0 then begin
+    ignore (Lanes.or_in s_clean v_po start);
+    push v_po
+  end;
+  while !sp > 0 do
+    decr sp;
+    let v = stack.(!sp) in
+    inq.(v) <- false;
+    let x = Lanes.get s_clean v in
+    List.iter
+      (fun ei ->
+        let u = ctx.edges.(ei).e_src in
+        if u <> v_pi then begin
+          let add =
+            x land steer.(ei)
+            land lnot corrupt_e.(ei)
+            land shift_mask u
+            land (if u >= 2 then lnot corrupt_vertex_w.(seg_of_v u) else -1)
+          in
+          if add <> 0 && Lanes.or_in s_clean u add <> 0 then push u
+        end)
+      ctx.in_edges.(v)
+  done;
+  let not_po = lnot !po_dead_w in
+  let results =
+    Array.init k (fun l ->
+        let bit = 1 lsl l in
+        let writable =
+          Array.init nsegs (fun i -> writable_w.(i) land bit <> 0)
+        in
+        let readable =
+          Array.init nsegs (fun i ->
+              Lanes.get r_any (v_of_seg i)
+              land Lanes.get s_clean (v_of_seg i)
+              land lnot kill_read_w.(i)
+              land lnot corrupt_vertex_w.(i)
+              land not_po land bit
+              <> 0)
+        in
+        let accessible =
+          Array.init nsegs (fun i -> writable.(i) && readable.(i))
+        in
+        ({ writable; readable; accessible }, cone_lens.(l)))
+  in
+  let stats =
+    {
+      ls_batches = 1;
+      ls_lanes = k;
+      ls_masked = Lanes.popcount (occ land lnot !promoted);
+      ls_fast = 0;
+      ls_rounds = !rounds;
+    }
+  in
+  (results, stats)
+
+let analyze_lanes_stats ctx ?base (classes : Fault.clas array) =
+  let base = match base with Some b -> b | None -> baseline ctx in
+  let sms = Array.map (fun c -> c.Fault.cls_summary) classes in
+  let fast, batches = lane_plan base sms in
+  let out = Array.make (Array.length classes) base.b_verdict in
+  let stats = ref lane_stats_zero in
+  List.iter
+    (fun i ->
+      let v, _ = analyze_delta ctx base sms.(i) in
+      out.(i) <- v;
+      stats := { !stats with ls_fast = !stats.ls_fast + 1 })
+    fast;
+  List.iter
+    (fun idxs ->
+      let batch = Array.map (fun i -> sms.(i)) idxs in
+      let vs, st = analyze_lane_batch ctx base batch in
+      Array.iteri (fun j i -> out.(i) <- fst vs.(j)) idxs;
+      stats := lane_stats_add !stats st)
+    batches;
+  (out, !stats)
+
+let analyze_lanes ctx ?base classes =
+  fst (analyze_lanes_stats ctx ?base classes)
 
 (* ---- pair probes: exact taints and interaction regions ----
 

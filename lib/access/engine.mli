@@ -158,6 +158,69 @@ val analyze_delta :
     returned verdict may share arrays with {!baseline_verdict}; treat it
     as immutable. *)
 
+(** {2 Lane-parallel batch sweeps}
+
+    [analyze_delta] still pays one fixpoint per class.  The lane sweep
+    transposes the computation: up to {!lane_width} classes share ONE
+    fixpoint — every per-vertex / per-edge predicate becomes a machine
+    word whose bit L answers lane L, and word-level AND/OR/ANDN replace
+    per-class boolean evaluation.  Each lane's writability is seeded
+    with the baseline minus the lane's cone, so the sweep composes with
+    the cone reduction; lanes whose seed is already settled never
+    promote.  The per-lane verdicts are bit-identical to
+    {!analyze_delta}'s, hence to {!analyze}'s. *)
+
+val lane_width : int
+(** Classes per batch: [Ftrsn_topo.Lanes.width] = [Sys.int_size] (63 on
+    64-bit OCaml — the native int drops one tag bit). *)
+
+type lane_stats = {
+  ls_batches : int;  (** batch sweeps run *)
+  ls_lanes : int;    (** lanes occupied across all batches *)
+  ls_masked : int;   (** lanes settled at their cone seed (no promotion) *)
+  ls_fast : int;     (** classes answered by the O(1) fast paths instead *)
+  ls_rounds : int;   (** fixpoint rounds across all batches *)
+}
+
+val lane_stats_zero : lane_stats
+val lane_stats_add : lane_stats -> lane_stats -> lane_stats
+
+val lane_fast : baseline -> Ftrsn_fault.Fault.summary -> bool
+(** Classes {!analyze_delta} answers without any traversal (benign,
+    pure kill-read, local kill-write); they never occupy a lane. *)
+
+val lane_plan :
+  baseline -> Ftrsn_fault.Fault.summary array -> int list * int array list
+(** [lane_plan base sms] splits the summaries into the fast indices
+    (input order) and the lane batches: non-fast indices grouped by
+    {!Ftrsn_fault.Fault.summary_shape} — dead-port classes, whose cones
+    are the whole network, batch separately — then chunked
+    {!lane_width} wide in input order.  Deterministic. *)
+
+val analyze_lane_batch :
+  ctx ->
+  baseline ->
+  Ftrsn_fault.Fault.summary array ->
+  (verdict * int) array * lane_stats
+(** One batch of [1 .. lane_width] non-fast summaries, one shared
+    fixpoint: per summary the verdict and cone size, bit-identical to
+    {!analyze_delta} on the same summary.  The returned stats cover
+    this batch alone ([ls_batches = 1]). *)
+
+val analyze_lanes :
+  ctx -> ?base:baseline -> Ftrsn_fault.Fault.clas array -> verdict array
+(** [analyze_lanes ctx classes] is the per-class verdict array,
+    bit-identical to [analyze_delta ctx base cls_summary] for each
+    class (fast classes via the fast paths, the rest in lane batches).
+    [base] defaults to a freshly computed {!baseline}. *)
+
+val analyze_lanes_stats :
+  ctx ->
+  ?base:baseline ->
+  Ftrsn_fault.Fault.clas array ->
+  verdict array * lane_stats
+(** {!analyze_lanes} plus the accumulated batch statistics. *)
+
 (** {2 Stacked secondary baselines (double-fault deltas)}
 
     The exhaustive double-fault sweep groups pairs by first fault class:

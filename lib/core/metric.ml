@@ -49,6 +49,7 @@ type result = {
   steals : int;
   solver : solver_stats option;
   reduction : reduction_stats option;
+  lanes : Engine.lane_stats option;
   pairs : pair_stats option;
 }
 
@@ -87,6 +88,11 @@ let merge_reduction a b =
           r_cone_max = max x.r_cone_max y.r_cone_max;
         }
 
+let merge_lanes a b =
+  match (a, b) with
+  | None, l | l, None -> l
+  | Some x, Some y -> Some (Engine.lane_stats_add x y)
+
 let merge_pairs a b =
   match (a, b) with
   | None, p | p, None -> p
@@ -123,6 +129,7 @@ let merge a b =
     steals = a.steals + b.steals;
     solver = merge_solver a.solver b.solver;
     reduction = merge_reduction a.reduction b.reduction;
+    lanes = merge_lanes a.lanes b.lanes;
     pairs = merge_pairs a.pairs b.pairs;
   }
 
@@ -167,8 +174,8 @@ let iacc_merge a b =
   a.a_weight <- a.a_weight + b.a_weight;
   a.a_count <- a.a_count + b.a_count
 
-let iacc_result ?(pairs = None) ~what ~nsegs ~nbits ~steals ~solver ~reduction
-    acc =
+let iacc_result ?(pairs = None) ?(lanes = None) ~what ~nsegs ~nbits ~steals
+    ~solver ~reduction acc =
   if acc.a_count = 0 then invalid_arg (what ^ ": empty fault list");
   let fsegs = float_of_int nsegs and fbits = float_of_int nbits in
   let fweight = float_of_int acc.a_weight in
@@ -182,6 +189,7 @@ let iacc_result ?(pairs = None) ~what ~nsegs ~nbits ~steals ~solver ~reduction
     steals;
     solver;
     reduction;
+    lanes;
     pairs;
   }
 
@@ -458,24 +466,31 @@ type red_state = {
   rs_acc : iacc;
   mutable rs_cone_sum : int;
   mutable rs_cone_max : int;
+  mutable rs_lanes : Engine.lane_stats option;
+      (* lane-batch statistics this domain observed; [None] on the
+         evaluation paths that don't run lane sweeps (BMC) *)
 }
 
-let red_state () = { rs_acc = iacc_create (); rs_cone_sum = 0; rs_cone_max = 0 }
+let red_state () =
+  { rs_acc = iacc_create (); rs_cone_sum = 0; rs_cone_max = 0; rs_lanes = None }
 
 let red_note rs cone =
   rs.rs_cone_sum <- rs.rs_cone_sum + cone;
   if cone > rs.rs_cone_max then rs.rs_cone_max <- cone
 
+let red_lanes rs st = rs.rs_lanes <- merge_lanes rs.rs_lanes (Some st)
+
 let finish_partials ~what ~net ~universe ~classes ~benign partials =
   let acc = iacc_create () in
   let steals = ref 0 and cone_sum = ref 0 and cone_max = ref 0 in
-  let solver = ref None in
+  let solver = ref None and lanes = ref None in
   List.iter
     (fun ((rs, sv), st) ->
       iacc_merge acc rs.rs_acc;
       steals := !steals + st;
       cone_sum := !cone_sum + rs.rs_cone_sum;
       if rs.rs_cone_max > !cone_max then cone_max := rs.rs_cone_max;
+      lanes := merge_lanes !lanes rs.rs_lanes;
       solver := merge_solver !solver sv)
     partials;
   let reduction =
@@ -488,7 +503,7 @@ let finish_partials ~what ~net ~universe ~classes ~benign partials =
         r_cone_max = !cone_max;
       }
   in
-  iacc_result ~what ~nsegs:(Netlist.num_segments net)
+  iacc_result ~lanes:!lanes ~what ~nsegs:(Netlist.num_segments net)
     ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:!solver ~reduction
     acc
 
@@ -503,24 +518,76 @@ let class_counts classes =
 
 (* Full-universe evaluation through the reduction layer: equivalence
    classes stand in for their members (weights already summed by
-   {!Fault.collapse}) and each class verdict is a cone-of-influence delta
-   against the shared fault-free baseline.  Context and baseline are
-   immutable after construction, so all domains share them. *)
+   {!Fault.collapse}) and the class verdicts come from lane-parallel
+   batch sweeps — up to [Engine.lane_width] classes share one seeded
+   fixpoint ([Engine.analyze_lane_batch], bit-identical per lane to the
+   scalar [Engine.analyze_delta]); the classes the scalar fast paths
+   answer in O(1) never occupy a lane and are folded in chunks.  One
+   batch (or one fast chunk) is one steal unit of the work-stealing
+   queue, and the accumulators are integers, so the result stays
+   bit-identical however the items land on domains.  Context and
+   baseline are immutable after construction, so all domains share
+   them. *)
+type lane_item = L_fast of int array | L_batch of int array
+
+let lane_fast_chunk = 256
+
+let lane_items base sms =
+  let fast, batches = Engine.lane_plan base sms in
+  let rec chunks acc l =
+    if l = [] then List.rev acc
+    else
+      let rec take n acc' l =
+        match l with
+        | x :: rest when n > 0 -> take (n - 1) (x :: acc') rest
+        | _ -> (List.rev acc', l)
+      in
+      let c, rest = take lane_fast_chunk [] l in
+      chunks (L_fast (Array.of_list c) :: acc) rest
+  in
+  Array.of_list
+    (List.map (fun b -> L_batch b) batches @ chunks [] fast)
+
+let lane_step ctx base net classes sms rs = function
+  | L_fast idxs ->
+      red_lanes rs
+        { Engine.lane_stats_zero with Engine.ls_fast = Array.length idxs };
+      Array.iter
+        (fun i ->
+          let c : Fault.clas = classes.(i) in
+          let v, cone = Engine.analyze_delta ctx base sms.(i) in
+          red_note rs cone;
+          let segs, bits = count_verdict net v in
+          iacc_add rs.rs_acc ~w:c.Fault.cls_weight
+            ~n:(List.length c.Fault.cls_members)
+            ~segs ~bits)
+        idxs
+  | L_batch idxs ->
+      let batch = Array.map (fun i -> sms.(i)) idxs in
+      let vs, st = Engine.analyze_lane_batch ctx base batch in
+      red_lanes rs st;
+      Array.iteri
+        (fun j i ->
+          let c : Fault.clas = classes.(i) in
+          let v, cone = vs.(j) in
+          red_note rs cone;
+          let segs, bits = count_verdict net v in
+          iacc_add rs.rs_acc ~w:c.Fault.cls_weight
+            ~n:(List.length c.Fault.cls_members)
+            ~segs ~bits)
+        idxs
+
 let evaluate_reduced_structural ~domains ?warm ~full net faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
   let classes = classes_of warm ~full net faults in
   let universe, benign = class_counts classes in
+  let sms = Array.map (fun c -> c.Fault.cls_summary) classes in
+  let items = lane_items base sms in
   let partials =
-    steal_map ~domains classes
+    steal_map ~domains items
       ~init:(fun _ -> red_state ())
-      ~step:(fun rs (c : Fault.clas) ->
-        let v, cone = Engine.analyze_delta ctx base c.Fault.cls_summary in
-        red_note rs cone;
-        let segs, bits = count_verdict net v in
-        iacc_add rs.rs_acc ~w:c.Fault.cls_weight
-          ~n:(List.length c.Fault.cls_members)
-          ~segs ~bits)
+      ~step:(lane_step ctx base net classes sms)
       ~finish:(fun rs -> (rs, None))
   in
   finish_partials ~what:"Metric.evaluate" ~net ~universe
@@ -1163,6 +1230,14 @@ let pp_reduction_stats fmt r =
      else float_of_int r.r_cone_sum /. float_of_int r.r_classes)
     r.r_cone_max
 
+let pp_lane_stats fmt (l : Engine.lane_stats) =
+  Format.fprintf fmt
+    "@[<h>lanes: %d batches (width %d), %d lanes (avg occupancy %.1f), %d settled at seed, %d fast-path classes, %d rounds@]"
+    l.Engine.ls_batches Engine.lane_width l.Engine.ls_lanes
+    (if l.Engine.ls_batches = 0 then 0.0
+     else float_of_int l.Engine.ls_lanes /. float_of_int l.Engine.ls_batches)
+    l.Engine.ls_masked l.Engine.ls_fast l.Engine.ls_rounds
+
 let pp_pair_stats fmt p =
   Format.fprintf fmt
     "@[<h>pairs: %d classes -> %d class pairs (%d diagonal, %d disjoint, %d stacked); %d secondary baselines@]"
@@ -1177,6 +1252,9 @@ let pp fmt r =
   (match r.reduction with
   | None -> ()
   | Some red -> Format.fprintf fmt "@,%a" pp_reduction_stats red);
+  (match r.lanes with
+  | None -> ()
+  | Some l -> Format.fprintf fmt "@,%a" pp_lane_stats l);
   (match r.pairs with
   | None -> ()
   | Some p -> Format.fprintf fmt "@,%a" pp_pair_stats p);

@@ -98,6 +98,12 @@ type result = {
       (** [Some] iff the BMC engine produced the verdicts *)
   reduction : reduction_stats option;
       (** [Some] iff the reduction layer was used ([reduce = true]) *)
+  lanes : Ftrsn_access.Engine.lane_stats option;
+      (** [Some] iff the lane-parallel structural path produced the
+          verdicts (structural engine, [reduce = true]): batches swept,
+          lanes occupied, lanes settled at their cone seed, fast-path
+          classes, fixpoint rounds.  Deterministic — a function of the
+          class universe, not of scheduling. *)
   pairs : pair_stats option;
       (** [Some] iff the exhaustive reduced pair sweep produced the result *)
 }
@@ -263,3 +269,6 @@ val pp : Format.formatter -> result -> unit
 val pp_reduction_stats : Format.formatter -> reduction_stats -> unit
 
 val pp_pair_stats : Format.formatter -> pair_stats -> unit
+
+val pp_lane_stats :
+  Format.formatter -> Ftrsn_access.Engine.lane_stats -> unit

@@ -125,6 +125,10 @@ type t = {
   mutable cfg_minimize : bool;
   mutable cfg_lbd_tiers : bool;
   mutable cfg_learnt_limit : int option;
+  mutable cfg_phase_saving : bool;
+      (* When off, decisions ignore [polarity] and always pick the
+         default (false) phase.  [cancel_until] keeps writing [polarity]
+         regardless: the model contract of [value] depends on it. *)
 }
 
 let create () =
@@ -170,6 +174,7 @@ let create () =
     cfg_minimize = true;
     cfg_lbd_tiers = true;
     cfg_learnt_limit = None;
+    cfg_phase_saving = true;
   }
 
 let num_vars s = s.nvars
@@ -202,6 +207,7 @@ let search_stats s =
 let set_minimize s b = s.cfg_minimize <- b
 let set_lbd_tiers s b = s.cfg_lbd_tiers <- b
 let set_learnt_limit s n = s.cfg_learnt_limit <- n
+let set_phase_saving s b = s.cfg_phase_saving <- b
 let set_proof_sink s sink = s.proof_sink <- sink
 
 let log_proof s ev =
@@ -1010,7 +1016,10 @@ let solve ?(assumptions = []) s =
                 else begin
                   s.decisions <- s.decisions + 1;
                   push_level s;
-                  enqueue s ((2 * v) + if s.polarity.(v) then 0 else 1) dummy_clause
+                  enqueue s
+                    ((2 * v)
+                    + if s.cfg_phase_saving && s.polarity.(v) then 0 else 1)
+                    dummy_clause
                 end
               end
             end

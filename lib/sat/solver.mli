@@ -104,7 +104,7 @@ val search_stats : t -> search_stats
 
     Test and benchmark-ablation hooks; the defaults are the fast
     configuration and there is no reason to change them in normal use.
-    All three are sound to flip at any point between [solve] calls. *)
+    All four are sound to flip at any point between [solve] calls. *)
 
 val set_minimize : t -> bool -> unit
 (** Enables/disables learnt-clause minimization (default [true]).
@@ -119,6 +119,14 @@ val set_learnt_limit : t -> int option -> unit
     ([Some n]); [None] (default) restores the adaptive limit of
     [2 * problem clauses + 1000].  [Some 0] forces a reduction after
     every root-level return — useful to exercise reduction in tests. *)
+
+val set_phase_saving : t -> bool -> unit
+(** Enables/disables phase saving (default [true]).  Disabled, every
+    decision picks the default (negative) phase instead of the variable's
+    last assigned value.  Answers and proofs stay sound either way — only
+    the search trajectory changes.  Models of unconstrained variables
+    still report the saved phase; the save itself is never switched off
+    (the {!value} contract depends on it). *)
 
 (** {2 DRUP proof logging}
 

@@ -35,10 +35,19 @@ type pairdisp_r = {
   pd_stacked : int;
 }
 
+type lanes_r = {
+  la_batches : int;
+  la_lanes : int;
+  la_masked : int;
+  la_fast : int;
+  la_rounds : int;
+}
+
 type metric_stats_r = {
   ms_steals : int;
   ms_stacks : int option;
   ms_solver : solver_r option;
+  ms_lanes : lanes_r option;
 }
 
 type metric_r = {
@@ -129,6 +138,17 @@ let metric_r_of_result ~with_stats (r : Metric.result) =
                Option.map (fun (p : Metric.pair_stats) -> p.Metric.p_stacks)
                  r.Metric.pairs;
              ms_solver = Option.map solver_r_of_stats r.Metric.solver;
+             ms_lanes =
+               Option.map
+                 (fun (l : Ftrsn_access.Engine.lane_stats) ->
+                   {
+                     la_batches = l.Ftrsn_access.Engine.ls_batches;
+                     la_lanes = l.Ftrsn_access.Engine.ls_lanes;
+                     la_masked = l.Ftrsn_access.Engine.ls_masked;
+                     la_fast = l.Ftrsn_access.Engine.ls_fast;
+                     la_rounds = l.Ftrsn_access.Engine.ls_rounds;
+                   })
+                 r.Metric.lanes;
            });
   }
 
@@ -144,6 +164,18 @@ let result_of_metric_r m =
     solver =
       (match m.mr_stats with
       | Some { ms_solver = Some s; _ } -> Some (stats_of_solver_r s)
+      | _ -> None);
+    lanes =
+      (match m.mr_stats with
+      | Some { ms_lanes = Some l; _ } ->
+          Some
+            {
+              Ftrsn_access.Engine.ls_batches = l.la_batches;
+              ls_lanes = l.la_lanes;
+              ls_masked = l.la_masked;
+              ls_fast = l.la_fast;
+              ls_rounds = l.la_rounds;
+            }
       | _ -> None);
     reduction =
       Option.map
@@ -352,10 +384,24 @@ let enc_metric m =
                (match s.ms_stacks with
                | None -> []
                | Some st -> [ ("stacks", Json.Int st) ])
+              @ (match s.ms_solver with
+                | None -> []
+                | Some so -> [ ("solver", enc_solver so) ])
               @
-              match s.ms_solver with
+              match s.ms_lanes with
               | None -> []
-              | Some so -> [ ("solver", enc_solver so) ]) );
+              | Some l ->
+                  [
+                    ( "lanes",
+                      Json.Obj
+                        [
+                          ("batches", Json.Int l.la_batches);
+                          ("lanes", Json.Int l.la_lanes);
+                          ("masked", Json.Int l.la_masked);
+                          ("fast", Json.Int l.la_fast);
+                          ("rounds", Json.Int l.la_rounds);
+                        ] );
+                  ]) );
         ]
   in
   Json.Obj (base @ reduction @ pairs @ stats)
@@ -397,6 +443,17 @@ let dec_metric v =
             ms_steals = Json.get_int "steals" s;
             ms_stacks = Json.get_int_opt "stacks" s;
             ms_solver = Option.map dec_solver (Json.get_opt "solver" s);
+            ms_lanes =
+              Option.map
+                (fun l ->
+                  {
+                    la_batches = Json.get_int "batches" l;
+                    la_lanes = Json.get_int "lanes" l;
+                    la_masked = Json.get_int "masked" l;
+                    la_fast = Json.get_int "fast" l;
+                    la_rounds = Json.get_int "rounds" l;
+                  })
+                (Json.get_opt "lanes" s);
           })
         (Json.get_opt "stats" v);
   }

@@ -63,10 +63,23 @@ type pairdisp_r = {
     ([p_stacks]) depends on the domain split and is reported in
     {!metric_stats_r} instead. *)
 
+type lanes_r = {
+  la_batches : int;
+  la_lanes : int;
+  la_masked : int;
+  la_fast : int;
+  la_rounds : int;
+}
+(** Mirror of {!Ftrsn_access.Engine.lane_stats}: lane-parallel batch
+    counters of the structural engine.  Deterministic — a function of
+    the class universe, not of scheduling — but reported under
+    [with_stats] alongside the other engine internals. *)
+
 type metric_stats_r = {
   ms_steals : int;
   ms_stacks : int option;  (** secondary baselines built (pair sweeps) *)
   ms_solver : solver_r option;
+  ms_lanes : lanes_r option;  (** lane batches (structural engine only) *)
 }
 
 type metric_r = {

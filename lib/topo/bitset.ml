@@ -61,6 +61,10 @@ let union_into dst src =
   same_capacity dst src "union_into";
   Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
 
+let andn_into dst src =
+  same_capacity dst src "andn_into";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
 let iter f s =
   for i = 0 to s.n - 1 do
     if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0

@@ -33,6 +33,10 @@ val inter_into : t -> t -> unit
 val union_into : t -> t -> unit
 (** [union_into dst src] replaces [dst] with [dst ∪ src]. *)
 
+val andn_into : t -> t -> unit
+(** [andn_into dst src] replaces [dst] with [dst \ src].
+    @raise Invalid_argument on capacity mismatch. *)
+
 val iter : (int -> unit) -> t -> unit
 (** [iter f s] applies [f] to every member in increasing order. *)
 

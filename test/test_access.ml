@@ -579,6 +579,28 @@ let test_vectors_roundtrip_consistent () =
       | Ok a, Ok b -> check bool_t "deterministic" true (a = b)
       | _ -> Alcotest.fail "trace failed")
 
+(* Property: the lane-parallel batch sweep returns, class for class, the
+   verdict of the scalar engine — on random nets, which exercise partial
+   batches, mixed shapes and the fast paths together. *)
+let prop_lanes_equal_scalar =
+  QCheck.Test.make
+    ~name:"lane verdicts = per-class Engine.analyze (random nets)" ~count:12
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Ftrsn_rsn.Random_net.generate ~seed ~segments:(5 + (seed mod 6)) ()
+      in
+      let ctx = Engine.make_ctx net in
+      let classes =
+        Array.of_list (Fault.collapse net (Fault.universe net))
+      in
+      let vs, st = Engine.analyze_lanes_stats ctx classes in
+      Array.length vs = Array.length classes
+      && st.Engine.ls_fast + st.Engine.ls_lanes = Array.length classes
+      && Array.for_all2
+           (fun v c -> v = Engine.analyze ctx (Some c.Fault.cls_rep))
+           vs classes)
+
 let suite =
   [
     Alcotest.test_case "fault-free: all accessible" `Quick
@@ -640,4 +662,5 @@ let suite =
     Alcotest.test_case "vectors: SVF of plan" `Quick test_vectors_of_plan;
     Alcotest.test_case "vectors: deterministic" `Quick
       test_vectors_roundtrip_consistent;
+    Testseed.to_alcotest prop_lanes_equal_scalar;
   ]

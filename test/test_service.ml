@@ -232,6 +232,15 @@ let sample_responses () =
               Response.ms_steals = 5;
               ms_stacks = Some 17;
               ms_solver = Some sample_solver;
+              ms_lanes =
+                Some
+                  {
+                    Response.la_batches = 13;
+                    la_lanes = 710;
+                    la_masked = 4;
+                    la_fast = 90;
+                    la_rounds = 56;
+                  };
             };
       };
     Response.Metric_r

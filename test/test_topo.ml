@@ -197,6 +197,89 @@ let test_bitset () =
   Bitset.fill u;
   check int_t "fill" 100 (Bitset.cardinal u)
 
+(* Word-boundary behavior: 100 is not a multiple of the 63-bit word, so
+   the second word is partial — fill must not set ghost bits beyond [n],
+   and andn_into must clear exactly the lanes of its argument. *)
+let test_bitset_andn () =
+  let n = 100 in
+  let s = Bitset.create n in
+  Bitset.fill s;
+  check int_t "fill stops at n" n (Bitset.cardinal s);
+  let mask = Bitset.of_list n [ 0; 62; 63; 64; 99 ] in
+  Bitset.andn_into s mask;
+  check int_t "andn cardinal" (n - 5) (Bitset.cardinal s);
+  List.iter
+    (fun i -> check bool_t (Printf.sprintf "bit %d cleared" i) false (Bitset.mem s i))
+    [ 0; 62; 63; 64; 99 ];
+  List.iter
+    (fun i -> check bool_t (Printf.sprintf "bit %d kept" i) true (Bitset.mem s i))
+    [ 1; 61; 65; 98 ];
+  (* clearing the same bits again is a no-op *)
+  Bitset.andn_into s mask;
+  check int_t "andn idempotent" (n - 5) (Bitset.cardinal s);
+  (* andn against a full set empties *)
+  let full = Bitset.create n in
+  Bitset.fill full;
+  Bitset.andn_into s full;
+  check bool_t "andn full empties" true (Bitset.is_empty s)
+
+module Lanes = Ftrsn_topo.Lanes
+
+let test_lanes () =
+  check bool_t "width is Sys.int_size" true (Lanes.width = Sys.int_size);
+  let v = Lanes.create 5 in
+  check int_t "length" 5 (Lanes.length v);
+  check int_t "zero init" 0 (Lanes.get v 3);
+  (* or_in returns only the newly set lanes *)
+  check int_t "or_in fresh" 0b101 (Lanes.or_in v 2 0b101);
+  check int_t "or_in repeat" 0 (Lanes.or_in v 2 0b101);
+  check int_t "or_in partial" 0b010 (Lanes.or_in v 2 0b111);
+  check int_t "word after or_in" 0b111 (Lanes.get v 2);
+  (* word ops act lane-wise *)
+  let w = Lanes.create 5 in
+  Lanes.fill w 0b110;
+  Lanes.and_into w v;
+  check int_t "and_into" 0b110 (Lanes.get w 2);
+  check int_t "and_into zero elsewhere" 0 (Lanes.get w 0);
+  Lanes.or_into w v;
+  check int_t "or_into" 0b111 (Lanes.get w 2);
+  Lanes.andn_into w v;
+  check int_t "andn_into clears" 0 (Lanes.get w 2);
+  (* popcount, including the negative (sign lane set) word *)
+  check int_t "popcount 0" 0 (Lanes.popcount 0);
+  check int_t "popcount 0b1011" 3 (Lanes.popcount 0b1011);
+  check int_t "popcount all-ones" Lanes.width (Lanes.popcount (-1));
+  check int_t "popcount min_int" 1 (Lanes.popcount min_int);
+  (* cardinal over a copied vector; equal/copy round-trip *)
+  let c = Lanes.copy v in
+  check bool_t "copy equal" true (Lanes.equal c v);
+  check int_t "cardinal" 3 (Lanes.cardinal c);
+  Lanes.clear c;
+  check int_t "clear" 0 (Lanes.cardinal c);
+  check bool_t "cleared differs" false (Lanes.equal c v);
+  (* lane_mask at and beyond the word width *)
+  check int_t "lane_mask 0" 0 (Lanes.lane_mask 0);
+  check int_t "lane_mask 3" 0b111 (Lanes.lane_mask 3);
+  check int_t "lane_mask width" (-1) (Lanes.lane_mask Lanes.width);
+  check int_t "lane_mask beyond" (-1) (Lanes.lane_mask (Lanes.width + 7));
+  check bool_t "lane_mask negative raises" true
+    (try
+       ignore (Lanes.lane_mask (-1));
+       false
+     with Invalid_argument _ -> true);
+  (* iter_lanes ascending, sign lane included *)
+  let seen = ref [] in
+  Lanes.iter_lanes (fun l -> seen := l :: !seen) 0b1011;
+  check (Alcotest.list int_t) "iter_lanes ascending" [ 0; 1; 3 ]
+    (List.rev !seen);
+  seen := [];
+  Lanes.iter_lanes (fun l -> seen := l :: !seen) min_int;
+  check (Alcotest.list int_t) "iter_lanes sign lane" [ Lanes.width - 1 ]
+    (List.rev !seen);
+  seen := [];
+  Lanes.iter_lanes (fun l -> seen := l :: !seen) (-1);
+  check int_t "iter_lanes all lanes" Lanes.width (List.length !seen)
+
 module Dominator = Ftrsn_topo.Dominator
 module Dot = Ftrsn_topo.Dot
 
@@ -335,6 +418,8 @@ let suite =
     Alcotest.test_case "single points of failure" `Quick test_spof;
     Alcotest.test_case "two-connected predicate" `Quick test_two_connected;
     Alcotest.test_case "bitset operations" `Quick test_bitset;
+    Alcotest.test_case "bitset andn / word boundaries" `Quick test_bitset_andn;
+    Alcotest.test_case "lane vectors" `Quick test_lanes;
     Alcotest.test_case "dominators: diamond" `Quick test_dominators_diamond;
     Alcotest.test_case "dominators: chain" `Quick test_dominators_chain;
     Alcotest.test_case "dominators: unreachable" `Quick
