@@ -344,12 +344,13 @@ let php_checked () =
    seeds; the session legs re-run the bmc_incremental universes with
    features ablated, quantifying what each contributes to the BMC
    sweeps. *)
-let config_solver ?(phase = true) ~minimize ~lbd s =
+let config_solver ?(phase = true) ?(inprocess = true) ~minimize ~lbd s =
   Solver.set_minimize s minimize;
   Solver.set_lbd_tiers s lbd;
-  Solver.set_phase_saving s phase
+  Solver.set_phase_saving s phase;
+  Solver.set_inprocess s inprocess
 
-let php65 ?phase ~minimize ~lbd () =
+let php65 ?phase ?(preprocess = false) ~minimize ~lbd () =
   let s = Solver.create () in
   config_solver ?phase ~minimize ~lbd s;
   let v p h = (p * 5) + h + 1 in
@@ -363,6 +364,7 @@ let php65 ?phase ~minimize ~lbd () =
       done
     done
   done;
+  if preprocess then Solver.inprocess s;
   match Solver.solve s with
   | Solver.Unsat -> ()
   | Solver.Sat -> failwith "PHP(6,5) must be unsat"
@@ -380,7 +382,7 @@ let rand3sat_instances =
                 if Random.State.bool st then v else -v)))
       [ 11; 22; 33; 44; 55 ] )
 
-let rand3sat ?phase ~minimize ~lbd () =
+let rand3sat ?phase ?(preprocess = false) ~minimize ~lbd () =
   let n, instances = rand3sat_instances in
   List.iter
     (fun clauses ->
@@ -388,12 +390,13 @@ let rand3sat ?phase ~minimize ~lbd () =
       config_solver ?phase ~minimize ~lbd s;
       Solver.ensure_vars s n;
       List.iter (Solver.add_clause s) clauses;
+      if preprocess then Solver.inprocess s;
       ignore (Solver.solve s))
     instances
 
-let sweep_session_cfg ?phase ~minimize ~lbd net faults =
+let sweep_session_cfg ?phase ?inprocess ~minimize ~lbd net faults =
   let sess = Bmc.Session.create (Bmc.create net) in
-  config_solver ?phase ~minimize ~lbd (Bmc.Session.solver sess);
+  config_solver ?phase ?inprocess ~minimize ~lbd (Bmc.Session.solver sess);
   ignore (Bmc.Session.check_faults sess ~target:0 faults)
 
 let sat_core =
@@ -406,7 +409,7 @@ let sat_core =
       Test.make ~name:"php65_no_lbd"
         (Staged.stage (fun () -> php65 ~minimize:true ~lbd:false ()));
       Test.make ~name:"php65_no_phase_saving"
-        (Staged.stage (php65 ~phase:false ~minimize:true ~lbd:true));
+        (Staged.stage (fun () -> php65 ~phase:false ~minimize:true ~lbd:true ()));
       Test.make ~name:"rand3sat_near_threshold"
         (Staged.stage (fun () -> rand3sat ~minimize:true ~lbd:true ()));
       Test.make ~name:"rand3sat_no_minimize"
@@ -414,7 +417,22 @@ let sat_core =
       Test.make ~name:"rand3sat_no_lbd"
         (Staged.stage (fun () -> rand3sat ~minimize:true ~lbd:false ()));
       Test.make ~name:"rand3sat_no_phase_saving"
-        (Staged.stage (rand3sat ~phase:false ~minimize:true ~lbd:true));
+        (Staged.stage (fun () -> rand3sat ~phase:false ~minimize:true ~lbd:true ()));
+      (* Inprocessing ablation.  The one-shot legs pay an explicit
+         SatELite-style preprocessing pass before solving (what
+         [Dimacs.solve] now does); the session leg disables the
+         between-batch schedule — on this quiet sweep the conflict gap
+         never fires, so any delta is pure scheduling overhead. *)
+      Test.make ~name:"php65_preprocessed"
+        (Staged.stage (fun () ->
+             php65 ~preprocess:true ~minimize:true ~lbd:true ()));
+      Test.make ~name:"rand3sat_preprocessed"
+        (Staged.stage (fun () ->
+             rand3sat ~preprocess:true ~minimize:true ~lbd:true ()));
+      Test.make ~name:"session_u226_no_inprocess"
+        (Staged.stage (fun () ->
+             sweep_session_cfg ~inprocess:false ~minimize:true ~lbd:true u226
+               u226_universe_sample));
       Test.make ~name:"session_small_no_minimize"
         (Staged.stage (fun () ->
              sweep_session_cfg ~minimize:false ~lbd:true small small_universe));
@@ -473,6 +491,7 @@ let svc_metric ?sample name =
       mq_domains = 1;
       mq_engine = `Structural;
       mq_reduce = true;
+      mq_inprocess = true;
       mq_with_stats = false;
     }
 
@@ -632,13 +651,34 @@ let git_commit root =
     else Some head
   with _ -> None
 
+(* Whether the working tree differs from HEAD: a benchmark captured from
+   a dirty checkout measures code no commit identifies, so the flag is
+   part of the provenance.  This is the one place a subprocess is
+   justified — replicating index/worktree comparison by hand is exactly
+   the kind of subtle reimplementation provenance must not depend on.
+   [None] when git is unavailable or errors. *)
+let git_dirty root =
+  match
+    Sys.command
+      (Printf.sprintf
+         "git -C %s diff-index --quiet HEAD -- >/dev/null 2>&1"
+         (Filename.quote root))
+  with
+  | 0 -> Some false
+  | 1 -> Some true
+  | _ -> None
+
 (* Run metadata that identifies the build without breaking reproducible
    diffs: commit, compiler, word geometry — deliberately no timestamps. *)
 let meta_json root =
   Printf.sprintf
-    "{\"commit\": %s, \"ocaml\": \"%s\", \"int_size\": %d, \"lane_width\": %d}"
+    "{\"commit\": %s, \"dirty\": %s, \"ocaml\": \"%s\", \"int_size\": %d, \
+     \"lane_width\": %d}"
     (match git_commit root with
     | Some c -> Printf.sprintf "%S" c
+    | None -> "null")
+    (match git_dirty root with
+    | Some b -> string_of_bool b
     | None -> "null")
     Sys.ocaml_version Sys.int_size Engine.lane_width
 
@@ -659,6 +699,61 @@ let write_json ~root path rows =
   output_string oc "}\n";
   close_out oc;
   Printf.printf "\nwrote %s (%d benches)\n" path n
+
+(* --compare OLD.json NEW.json: side-by-side ratio table of two bench
+   JSON dumps (as written by --json).  Ratio is old/new, so >1 is a
+   speedup in NEW; entries slower by more than 10% are flagged, entries
+   present in only one file are listed separately.  Exit status 0 either
+   way — the table is a review aid, not a gate. *)
+module Json = Ftrsn_service.Json
+
+let read_bench_json path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic len)
+  in
+  match Json.of_string text with
+  | Json.Obj fields ->
+      List.filter_map
+        (fun (k, v) ->
+          if k = "_meta" then None
+          else match v with Json.Int _ | Json.Float _ -> Some (k, Json.to_float v) | _ -> None)
+        fields
+  | _ -> failwith (path ^ ": not a JSON object")
+
+let compare_benches old_path new_path =
+  let old_rows = read_bench_json old_path in
+  let new_rows = read_bench_json new_path in
+  Printf.printf "%-50s %12s %12s %8s\n" "benchmark"
+    (Filename.remove_extension (Filename.basename old_path))
+    (Filename.remove_extension (Filename.basename new_path))
+    "old/new";
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, o) ->
+      match List.assoc_opt name new_rows with
+      | None -> ()
+      | Some n ->
+          let ratio = o /. n in
+          let flag = if ratio < 1.0 /. 1.10 then "  REGRESSED" else "" in
+          if flag <> "" then incr regressions;
+          Printf.printf "%-50s %12.0f %12.0f %7.2fx%s\n" name o n ratio flag)
+    old_rows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name new_rows) then
+        Printf.printf "%-50s (only in %s)\n" name (Filename.basename old_path))
+    old_rows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name old_rows) then
+        Printf.printf "%-50s (only in %s)\n" name (Filename.basename new_path))
+    new_rows;
+  if !regressions > 0 then
+    Printf.printf "\n%d benchmark(s) regressed by more than 10%%\n" !regressions
 
 (* --smoke: one pass through each bench family, no timing — a CI guard
    that the harness and everything it exercises still run.  Also asserts
@@ -753,6 +848,73 @@ let smoke () =
     failwith "smoke: certified session learnt nothing";
   if cst.Bmc.Session.reductions = 0 then
     failwith "smoke: forced learnt limit did not trigger DB reductions";
+  (* Checker acceptance with simplification active: a checker-mirrored
+     PHP(6,5) refutation behind an explicit preprocessing pass.  The
+     pass must actually simplify (otherwise the leg asserts nothing),
+     every derived clause must be accepted as a RUP lemma, and the final
+     refutation must still be certified. *)
+  let chk = Checker.create () in
+  let s = Solver.create () in
+  Solver.set_proof_sink s
+    (Some
+       (fun ev ->
+         match ev with
+         | Solver.P_input cl -> Checker.add_clause chk cl
+         | Solver.P_add cl -> (
+             match Checker.add_lemma chk cl with
+             | Ok () -> ()
+             | Error e ->
+                 failwith ("smoke: simplification proof rejected: " ^ e))
+         | Solver.P_delete cl -> Checker.delete_clause chk cl));
+  let v p h = (p * 5) + h + 1 in
+  for p = 0 to 5 do
+    Solver.add_clause s [ v p 0; v p 1; v p 2; v p 3; v p 4 ]
+  done;
+  for h = 0 to 4 do
+    for p1 = 0 to 5 do
+      for p2 = p1 + 1 to 5 do
+        Solver.add_clause s [ -(v p1 h); -(v p2 h) ]
+      done
+    done
+  done;
+  Solver.inprocess s;
+  let sst = Solver.search_stats s in
+  if sst.Solver.st_simp_passes < 1 then
+    failwith "smoke: forced preprocessing pass did not run";
+  if
+    sst.Solver.st_eliminated_vars = 0
+    && sst.Solver.st_subsumed = 0
+    && sst.Solver.st_strengthened_lits = 0
+    && sst.Solver.st_vivified_lits = 0
+  then failwith "smoke: preprocessing pass simplified nothing";
+  (match Solver.solve s with
+  | Solver.Unsat -> ()
+  | Solver.Sat -> failwith "smoke: PHP(6,5) must be unsat");
+  if not (Checker.contradiction chk) then
+    failwith "smoke: checker did not certify the preprocessed refutation";
+  (* Certified == plain must hold with an inprocessing pass forced
+     mid-session: sweep half the universe, force a pass (the schedule
+     would not fire on this small instance), sweep the rest, and compare
+     every verdict against an uncertified, unsimplified session. *)
+  let half = List.length small_universe / 2 in
+  let first_half = List.filteri (fun i _ -> i < half) small_universe in
+  let second_half = List.filteri (fun i _ -> i >= half) small_universe in
+  let isess = Bmc.Session.create ~certify:true (Bmc.create small) in
+  let iv1 = Bmc.Session.check_faults isess ~target:0 first_half in
+  Solver.inprocess (Bmc.Session.solver isess);
+  let iv2 = Bmc.Session.check_faults isess ~target:0 second_half in
+  let psess = Bmc.Session.create (Bmc.create small) in
+  Solver.set_inprocess (Bmc.Session.solver psess) false;
+  let pv1 = Bmc.Session.check_faults psess ~target:0 first_half in
+  let pv2 = Bmc.Session.check_faults psess ~target:0 second_half in
+  if iv1 <> pv1 || iv2 <> pv2 then
+    failwith "smoke: certified verdicts changed under forced inprocessing";
+  let ist = Bmc.Session.stats isess in
+  if ist.Bmc.Session.simp_passes < 1 then
+    failwith "smoke: mid-session inprocessing pass did not run";
+  (match ist.Bmc.Session.cert with
+  | Some cc when cc.Bmc.Session.cert_unsat > 0 -> ()
+  | _ -> failwith "smoke: inprocessed certified session certified nothing");
   (* service group: a warm pooled response must be bit-identical to a
      cold one-shot response (the serve-vs-CLI contract). *)
   let q = svc_metric ~sample:16 "u226" in
@@ -763,6 +925,14 @@ let smoke () =
   print_endline "bench smoke OK"
 
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--compare" :: old_path :: new_path :: _ ->
+      compare_benches old_path new_path;
+      exit 0
+  | _ :: "--compare" :: _ ->
+      prerr_endline "usage: bench --compare OLD.json NEW.json";
+      exit 2
+  | _ -> ());
   if Array.exists (( = ) "--smoke") Sys.argv then begin
     smoke ();
     exit 0
@@ -788,7 +958,7 @@ let () =
   if Array.exists (( = ) "--json") Sys.argv then begin
     let root = repo_root () in
     write_json ~root
-      (Filename.concat root "BENCH_6.json")
+      (Filename.concat root "BENCH_7.json")
       (List.sort compare !rows)
   end;
   (* Clause-reuse profile of one incremental session sweeping the small

@@ -118,7 +118,8 @@ let pool_stats_line () =
     p.Response.po_entries
     (p.Response.po_bytes / 1024)
 
-let cmd_metric spec sample domains engine brute pairs json with_stats =
+let cmd_metric spec sample domains engine brute pairs no_inprocess json
+    with_stats =
   let net = Query.net_spec_of_cli spec in
   (* Human output renders the full Metric.pp line (steals, solver stats),
      so it needs the volatile block; JSON keeps the deterministic default
@@ -134,6 +135,7 @@ let cmd_metric spec sample domains engine brute pairs json with_stats =
           pq_domains = domains;
           pq_engine = engine;
           pq_reduce = not brute;
+          pq_inprocess = not no_inprocess;
           pq_with_stats = ws;
         }
     else
@@ -144,6 +146,7 @@ let cmd_metric spec sample domains engine brute pairs json with_stats =
           mq_domains = domains;
           mq_engine = engine;
           mq_reduce = not brute;
+          mq_inprocess = not no_inprocess;
           mq_with_stats = ws;
         }
   in
@@ -151,7 +154,7 @@ let cmd_metric spec sample domains engine brute pairs json with_stats =
   pool_stats_line ();
   code
 
-let cmd_certify spec sample domains pairs json with_stats =
+let cmd_certify spec sample domains pairs no_inprocess json with_stats =
   let q =
     Query.Certify
       {
@@ -159,6 +162,7 @@ let cmd_certify spec sample domains pairs json with_stats =
         cq_sample = sample;
         cq_domains = domains;
         cq_pairs = pairs;
+        cq_inprocess = not no_inprocess;
         cq_with_stats = (if json then with_stats else true);
       }
   in
@@ -320,6 +324,15 @@ let () =
       value & opt int 1
       & info [ "domains" ] ~doc:"Evaluation domains (work-stealing queue).")
   in
+  let no_inprocess =
+    Arg.(
+      value & flag
+      & info [ "no-inprocess" ]
+          ~doc:
+            "Disable SAT inprocessing (subsumption, vivification, bounded \
+             variable elimination) on the BMC sessions; results are \
+             identical, only slower.  Ablation switch.")
+  in
   let metric_cmd =
     let engine =
       Arg.(
@@ -349,7 +362,7 @@ let () =
     Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
       Term.(
         const cmd_metric $ spec $ sample $ domains $ engine $ brute $ pairs
-        $ json $ with_stats)
+        $ no_inprocess $ json $ with_stats)
   in
   let certify_cmd =
     let pairs =
@@ -368,8 +381,8 @@ let () =
             verified inline by an independent RUP proof checker.  Exits 3 \
             if any proof step is rejected.")
       Term.(
-        const cmd_certify $ spec $ sample $ domains $ pairs $ json
-        $ with_stats)
+        const cmd_certify $ spec $ sample $ domains $ pairs $ no_inprocess
+        $ json $ with_stats)
   in
   let access_cmd =
     let target =

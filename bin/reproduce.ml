@@ -133,6 +133,15 @@ let metric_row name m =
           s.Metric.s_reductions
     | _ -> ""
   in
+  let simp =
+    match m.Metric.solver with
+    | Some s when s.Metric.s_simp_passes > 0 ->
+        Printf.sprintf
+          "; simplify: %d passes, %d subsumed, %d elim, %d viv lits"
+          s.Metric.s_simp_passes s.Metric.s_subsumed s.Metric.s_eliminated_vars
+          s.Metric.s_vivified_lits
+    | _ -> ""
+  in
   let cert =
     match m.Metric.solver with
     | Some s when s.Metric.s_cert_unsat > 0 || s.Metric.s_cert_lemmas > 0 ->
@@ -140,9 +149,9 @@ let metric_row name m =
           s.Metric.s_cert_unsat s.Metric.s_cert_lemmas s.Metric.s_cert_time
     | _ -> ""
   in
-  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults%s%s%s)\n" name
+  Printf.printf "%-9s %10.2f %9.3f %12.3f %11.3f   (%d faults%s%s%s%s)\n" name
     m.Metric.worst_bits m.Metric.avg_bits m.Metric.worst_segments
-    m.Metric.avg_segments m.Metric.faults red search cert
+    m.Metric.avg_segments m.Metric.faults red search simp cert
 
 let access_header () =
   Printf.printf "%-9s %10s %9s %12s %11s\n" "SoC" "bits-worst" "bits-avg"
@@ -153,7 +162,7 @@ let access_header () =
    checker and every UNSAT verdict's final clause is verified inline;
    Bmc.Session.Certification_failed aborts the run (exit 3). *)
 
-let access_query ?sample ~certify spec =
+let access_query ?sample ~certify ~inprocess spec =
   if certify then
     Query.Certify
       {
@@ -161,6 +170,7 @@ let access_query ?sample ~certify spec =
         cq_sample = sample;
         cq_domains = 1;
         cq_pairs = false;
+        cq_inprocess = inprocess;
         cq_with_stats = true;
       }
   else
@@ -171,13 +181,17 @@ let access_query ?sample ~certify spec =
         mq_domains = 1;
         mq_engine = `Structural;
         mq_reduce = true;
+        mq_inprocess = inprocess;
         mq_with_stats = true;
       }
 
-let access_sweep ?sample ~certify ~ft socs =
+let access_sweep ?sample ~certify ~inprocess ~ft socs =
   List.map
     (fun soc ->
-      let m = metric_query (access_query ?sample ~certify (soc_spec ~ft soc)) in
+      let m =
+        metric_query
+          (access_query ?sample ~certify ~inprocess (soc_spec ~ft soc))
+      in
       (soc.Itc02.soc_name, m))
     socs
 
@@ -227,19 +241,35 @@ let json_access_row (name, m) =
               ] );
         ]
   in
-  Json.Obj (base @ reduction @ lanes)
+  let simp =
+    match m.Metric.solver with
+    | Some s when s.Metric.s_simp_passes > 0 ->
+        [
+          ( "simp",
+            Json.Obj
+              [
+                ("passes", Json.Int s.Metric.s_simp_passes);
+                ("subsumed", Json.Int s.Metric.s_subsumed);
+                ("strengthened", Json.Int s.Metric.s_strengthened_lits);
+                ("eliminated", Json.Int s.Metric.s_eliminated_vars);
+                ("vivified", Json.Int s.Metric.s_vivified_lits);
+              ] );
+        ]
+    | _ -> []
+  in
+  Json.Obj (base @ reduction @ lanes @ simp)
 
-let sib_access ?sample ?(certify = false) socs =
+let sib_access ?sample ?(certify = false) ?(inprocess = true) socs =
   access_header ();
   List.iter
     (fun (name, m) -> metric_row name m)
-    (access_sweep ?sample ~certify ~ft:false socs)
+    (access_sweep ?sample ~certify ~inprocess ~ft:false socs)
 
-let ft_access ?sample ?(certify = false) socs =
+let ft_access ?sample ?(certify = false) ?(inprocess = true) socs =
   access_header ();
   List.iter
     (fun (name, m) -> metric_row name m)
-    (access_sweep ?sample ~certify ~ft:true socs)
+    (access_sweep ?sample ~certify ~inprocess ~ft:true socs)
 
 let area socs =
   Printf.printf "%-9s %6s %6s %6s %6s\n" "SoC" "mux" "bits" "nets" "area";
@@ -388,6 +418,7 @@ let double_faults ?sample socs =
                  pq_domains = 1;
                  pq_engine = `Structural;
                  pq_reduce = true;
+                 pq_inprocess = true;
                  pq_with_stats = true;
                })
         in
@@ -444,7 +475,7 @@ let coverage socs =
 (* --json output: one object, one array of per-SoC rows per access part.
    Only the accessibility sweeps have a machine-readable form — they are
    what CI and EXPERIMENTS.md consume; the other parts stay human. *)
-let run_json part socs sample certify =
+let run_json part socs sample certify inprocess =
   let parts =
     (match part with Sib_access | All -> [ ("sib_access", false) ] | _ -> [])
     @ match part with Ft_access | All -> [ ("ft_access", true) ] | _ -> []
@@ -459,13 +490,14 @@ let run_json part socs sample certify =
       (fun (key, ft) ->
         ( key,
           Json.List
-            (List.map json_access_row (access_sweep ?sample ~certify ~ft socs))
+            (List.map json_access_row
+               (access_sweep ?sample ~certify ~inprocess ~ft socs))
         ))
       parts
   in
   print_endline (Json.to_string (Json.Obj doc))
 
-let run part socs sample certify =
+let run part socs sample certify inprocess =
   let socs = soc_list socs in
   let banner title =
     Printf.printf "\n== %s ==\n" title
@@ -478,12 +510,12 @@ let run part socs sample certify =
   (match part with
   | Sib_access | All ->
       banner "Table I: accessibility in SIB-based RSNs";
-      sib_access ?sample ~certify socs
+      sib_access ?sample ~certify ~inprocess socs
   | _ -> ());
   (match part with
   | Ft_access | All ->
       banner "Table I: accessibility in fault-tolerant RSNs";
-      ft_access ?sample ~certify socs
+      ft_access ?sample ~certify ~inprocess socs
   | _ -> ());
   (match part with
   | Area_overhead | All ->
@@ -519,10 +551,11 @@ let run part socs sample certify =
   if certify then
     print_endline "\ncertification: OK (all UNSAT verdicts RUP-checked)"
 
-let run part socs sample certify json =
+let run part socs sample certify no_inprocess json =
+  let inprocess = not no_inprocess in
   try
-    if json then run_json part (soc_list socs) sample certify
-    else run part socs sample certify
+    if json then run_json part (soc_list socs) sample certify inprocess
+    else run part socs sample certify inprocess
   with Ftrsn_bmc.Bmc.Session.Certification_failed msg ->
     Printf.eprintf "certification: FAILED: %s\n" msg;
     exit 3
@@ -544,12 +577,15 @@ let () =
   let certify =
     Arg.(value & flag & info [ "certify" ] ~doc:"Run the accessibility sweeps (sib-access, ft-access) through the BMC engine in certified mode: an independent RUP checker verifies the solver's proof of every UNSAT verdict inline.  Exits 3 on any rejected proof step.")
   in
+  let no_inprocess =
+    Arg.(value & flag & info [ "no-inprocess" ] ~doc:"Disable SAT inprocessing (subsumption, vivification, bounded variable elimination) on the BMC sessions of certified sweeps; verdicts are identical, only slower.")
+  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the accessibility sweeps (sib-access, ft-access) as one JSON object instead of tables; each per-SoC row carries the metric values plus the reduction and lane-batch counters of the structural sweep.  Only valid with --part sib-access, ft-access or all.")
   in
   let cmd =
     Cmd.v
       (Cmd.info "reproduce" ~doc:"Regenerate Table I of 'Synthesis of Fault-Tolerant Reconfigurable Scan Networks' (DATE'20)")
-      Term.(const run $ part $ socs $ sample $ certify $ json)
+      Term.(const run $ part $ socs $ sample $ certify $ no_inprocess $ json)
   in
   exit (Cmd.eval cmd)

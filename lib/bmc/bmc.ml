@@ -33,12 +33,31 @@ type fsum = {
   kill_read : int -> bool;
 }
 
-(* Per-step circuits of one unrolling step. *)
+(* Per-step circuits of one unrolling step.  [dirty_out] is only read
+   when a fault encoding rebuilds its tainted cone on top of these
+   circuits (see {!step_taint}); queries use [on]/[dirty_in]/[after]. *)
 type step_exprs = {
   on : Expr.t array;        (* per element: lies on the active path *)
   dirty_in : Expr.t array;  (* per segment: write data corrupted *)
+  dirty_out : Expr.t array; (* per element: corruption leaving it *)
   after : Expr.t array;     (* per element: corruption between its output
                                and the scan-out *)
+}
+
+(* Fault-cone taint: which per-step expressions can differ from the
+   fault-free skeleton's.  The flags are step-independent — every
+   unrolling step reads the same shared shadow/primary input expressions —
+   so one set per fault serves all depths.  Conservative over-
+   approximation: a flagged element is recomputed (and hash-conses onto
+   the skeleton wherever it happens to be equal); an unflagged element
+   provably reconstructs the identical expression node, so the skeleton's
+   is reused without traversal.  Computed by {!step_taint}. *)
+type taint = {
+  t_on : bool array;  (* indexed by element: on-path cone may differ *)
+  t_dirty : bool array;  (* indexed by element: write-corruption cone *)
+  t_dirty_in : bool array;  (* indexed by segment *)
+  t_after : bool array;  (* indexed by element: read-corruption cone *)
+  t_any : bool;  (* false: the fault never perturbs any step circuit *)
 }
 
 type verdict = Accessible of int | Inaccessible
@@ -87,6 +106,14 @@ and session = {
      long-lived (pooled) session answers repeated baseline sweeps from
      this cache instead of re-solving one query per segment *)
   mutable base_cache : (int list * verdict array) option;
+  (* Inprocessing schedule: solver conflict/propagation counts at the
+     last simplification pass; a new pass runs between query batches
+     once enough search has happened since.  The conflict gap grows
+     geometrically — early passes catch the easy simplifications, and a
+     session that has already been simplified pays ever less often. *)
+  mutable ip_conflicts : int;
+  mutable ip_props : int;
+  mutable ip_gap : int;
   cert : cert_state option;  (* Some = certified mode *)
 }
 
@@ -105,6 +132,7 @@ and cert_state = {
 and fault_enc = {
   fe_act : int;                       (* activation gating this fault *)
   fe_fs : fsum;
+  fe_taint : taint;                   (* cone that differs from the base *)
   mutable fe_circuits : step_exprs array;  (* per step, grown *)
   mutable fe_depth : int;             (* transitions emitted for steps
                                          [0 .. fe_depth - 1] *)
@@ -239,10 +267,103 @@ let summarize_faults t faults =
 
 (* ---- per-step circuit construction ---- *)
 
+let step_taint t fs =
+  let net = t.net in
+  let n = Netlist.Elt.count net in
+  (* A mux select cone differs when any address bit is locked, pinned
+     (through its controlling shadow bit), or in conflict. *)
+  let sel_taint = Array.make (Array.length net.Netlist.muxes) false in
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      let width = Array.length mx.mux_addr in
+      let rec diff b =
+        b < width
+        && (fs.bit_conflict m b
+           || fs.locked m b <> None
+           || (match mx.mux_addr.(b) with
+              | Netlist.Ctrl_shadow { cseg; cbit } ->
+                  fs.pinned cseg cbit <> None
+              | _ -> false)
+           || diff (b + 1))
+      in
+      sel_taint.(m) <- diff 0)
+    net.Netlist.muxes;
+  let cond_taint = function
+    | C_true -> false
+    | C_sel (m, _) -> sel_taint.(m)
+  in
+  (* on: flows from scan-out toward producers (reverse topological). *)
+  let t_on = Array.make n false in
+  for idx = Array.length t.order - 1 downto 0 do
+    let e = t.order.(idx) in
+    if e <> Netlist.Elt.scan_out then
+      t_on.(e) <-
+        List.exists
+          (fun (c, cond) -> t_on.(c) || cond_taint cond)
+          t.consumers.(e)
+  done;
+  (* dirty: flows from scan-in toward consumers (topological). *)
+  let t_dirty = Array.make n false in
+  let t_dirty_in = Array.make (Netlist.num_segments net) false in
+  Array.iter
+    (fun e ->
+      match Netlist.Elt.to_node net e with
+      | Netlist.Scan_in -> t_dirty.(e) <- fs.pi_dead
+      | Netlist.Scan_out -> ()
+      | Netlist.Seg i ->
+          t_dirty_in.(i) <- t_dirty.(t.drivers.(i)) || fs.seg_scan_in i;
+          t_dirty.(e) <-
+            t_dirty_in.(i) || fs.seg_shift i || fs.seg_scan_out i
+            || fs.seg_sel0 i
+      | Netlist.Mux m ->
+          let mx = net.Netlist.muxes.(m) in
+          let rec diff k =
+            k < Array.length mx.mux_inputs
+            && (t_dirty.(Netlist.Elt.of_node net mx.mux_inputs.(k))
+               || fs.mux_in m k
+               || diff (k + 1))
+          in
+          t_dirty.(e) <- sel_taint.(m) || fs.mux_out m || diff 0)
+    t.order;
+  (* after: backward again, but the damage constants live on the consumer
+     side of each interconnect, and the path condition reads [on]. *)
+  let local_taint c cond =
+    match Netlist.Elt.to_node net c with
+    | Netlist.Scan_out -> fs.po_dead
+    | Netlist.Seg i ->
+        fs.seg_scan_in i || fs.seg_shift i || fs.seg_scan_out i
+        || fs.seg_sel0 i
+    | Netlist.Mux m ->
+        let k = match cond with C_sel (_, k) -> k | C_true -> 0 in
+        fs.mux_in m k || fs.mux_out m
+    | Netlist.Scan_in -> false
+  in
+  let t_after = Array.make n false in
+  for idx = Array.length t.order - 1 downto 0 do
+    let e = t.order.(idx) in
+    if e <> Netlist.Elt.scan_out then
+      t_after.(e) <-
+        List.exists
+          (fun (c, cond) ->
+            t_on.(c) || t_after.(c) || cond_taint cond || local_taint c cond)
+          t.consumers.(e)
+  done;
+  let any = Array.exists Fun.id in
+  {
+    t_on;
+    t_dirty;
+    t_dirty_in;
+    t_after;
+    t_any = any t_on || any t_dirty || any t_dirty_in || any t_after;
+  }
+
 (* Build the circuits of one unrolling step.  [shadow] gives the boolean
    expression of each shadow bit at this step, [primary] of each primary
-   control input. *)
-let step_circuits t ctx fs ~shadow ~primary =
+   control input.  With [reuse], only the expressions flagged by the
+   taint are rebuilt; the rest are copied from the fault-free skeleton's
+   circuits for the same step (provably the identical hash-consed node,
+   see {!step_taint}). *)
+let step_circuits t ctx fs ?reuse ~shadow ~primary () =
   let net = t.net in
   let n = Netlist.Elt.count net in
   let bit_expr m b =
@@ -273,12 +394,24 @@ let step_circuits t ctx fs ~shadow ~primary =
     | C_true -> Expr.etrue ctx
     | C_sel (m, k) -> sel_expr m k
   in
+  let need_on, need_dirty, need_dirty_in, need_after =
+    match reuse with
+    | None ->
+        let all _ = true in
+        (all, all, all, all)
+    | Some (tt, _) ->
+        ( (fun e -> tt.t_on.(e)),
+          (fun e -> tt.t_dirty.(e)),
+          (fun s -> tt.t_dirty_in.(s)),
+          (fun e -> tt.t_after.(e)) )
+  in
   (* on: reverse topological order. *)
   let on = Array.make n (Expr.efalse ctx) in
+  (match reuse with Some (_, b) -> Array.blit b.on 0 on 0 n | None -> ());
   on.(Netlist.Elt.scan_out) <- Expr.etrue ctx;
   for idx = Array.length t.order - 1 downto 0 do
     let e = t.order.(idx) in
-    if e <> Netlist.Elt.scan_out then
+    if e <> Netlist.Elt.scan_out && need_on e then
       on.(e) <-
         Expr.or_list ctx
           (List.map
@@ -288,45 +421,57 @@ let step_circuits t ctx fs ~shadow ~primary =
   (* dirty (write-side), topological order. *)
   let dirty_out = Array.make n (Expr.efalse ctx) in
   let dirty_in = Array.make (Netlist.num_segments net) (Expr.efalse ctx) in
+  (match reuse with
+  | Some (_, b) ->
+      Array.blit b.dirty_in 0 dirty_in 0 (Array.length dirty_in);
+      Array.blit b.dirty_out 0 dirty_out 0 n
+  | None -> ());
   Array.iter
     (fun e ->
       match Netlist.Elt.to_node net e with
       | Netlist.Scan_in ->
-          dirty_out.(e) <- Expr.const ctx fs.pi_dead
+          if need_dirty e then dirty_out.(e) <- Expr.const ctx fs.pi_dead
       | Netlist.Scan_out -> ()
       | Netlist.Seg i ->
-          let din =
-            Expr.or_ ctx
-              dirty_out.(t.drivers.(i))
-              (Expr.const ctx (fs.seg_scan_in i))
-          in
-          dirty_in.(i) <- din;
-          dirty_out.(e) <-
-            Expr.or_list ctx
-              [
-                din;
-                Expr.const ctx (fs.seg_shift i);
-                Expr.const ctx (fs.seg_scan_out i);
-                Expr.const ctx (fs.seg_sel0 i);
-              ]
+          if need_dirty e || need_dirty_in i then begin
+            let din =
+              Expr.or_ ctx
+                dirty_out.(t.drivers.(i))
+                (Expr.const ctx (fs.seg_scan_in i))
+            in
+            dirty_in.(i) <- din;
+            dirty_out.(e) <-
+              Expr.or_list ctx
+                [
+                  din;
+                  Expr.const ctx (fs.seg_shift i);
+                  Expr.const ctx (fs.seg_scan_out i);
+                  Expr.const ctx (fs.seg_sel0 i);
+                ]
+          end
       | Netlist.Mux m ->
-          let mx = net.Netlist.muxes.(m) in
-          let choices =
-            List.init (Array.length mx.mux_inputs) (fun k ->
-                let src = Netlist.Elt.of_node net mx.mux_inputs.(k) in
-                Expr.and_ ctx (sel_expr m k)
-                  (Expr.or_ ctx dirty_out.(src)
-                     (Expr.const ctx (fs.mux_in m k))))
-          in
-          dirty_out.(e) <-
-            Expr.or_ ctx (Expr.or_list ctx choices)
-              (Expr.const ctx (fs.mux_out m)))
+          if need_dirty e then begin
+            let mx = net.Netlist.muxes.(m) in
+            let choices =
+              List.init (Array.length mx.mux_inputs) (fun k ->
+                  let src = Netlist.Elt.of_node net mx.mux_inputs.(k) in
+                  Expr.and_ ctx (sel_expr m k)
+                    (Expr.or_ ctx dirty_out.(src)
+                       (Expr.const ctx (fs.mux_in m k))))
+            in
+            dirty_out.(e) <-
+              Expr.or_ ctx (Expr.or_list ctx choices)
+                (Expr.const ctx (fs.mux_out m))
+          end)
     t.order;
   (* after (read-side), reverse topological order. *)
   let after = Array.make n (Expr.efalse ctx) in
+  (match reuse with
+  | Some (_, b) -> Array.blit b.after 0 after 0 n
+  | None -> ());
   for idx = Array.length t.order - 1 downto 0 do
     let e = t.order.(idx) in
-    if e <> Netlist.Elt.scan_out then
+    if e <> Netlist.Elt.scan_out && need_after e then
       after.(e) <-
         Expr.or_list ctx
           (List.map
@@ -350,7 +495,7 @@ let step_circuits t ctx fs ~shadow ~primary =
                  [ on.(c); cond_expr cond; Expr.or_ ctx local after.(c) ])
              t.consumers.(e))
   done;
-  { on; dirty_in; after }
+  { on; dirty_in; dirty_out; after }
 
 let default_steps t = t.max_hier + 2
 
@@ -390,6 +535,11 @@ module Session = struct
     minimized_lits : int;
     reductions : int;
     learnt_db : int;
+    subsumed : int;
+    strengthened_lits : int;
+    eliminated_vars : int;
+    vivified_lits : int;
+    simp_passes : int;
     per_query : query_stat list;
     cert : cert_stats option;
   }
@@ -405,17 +555,23 @@ module Session = struct
           { cc = Checker.create (); cc_inputs = 0; cc_lemmas = 0;
             cc_deletes = 0; cc_unsat = 0; cc_time = 0.0 }
         in
+        (* Only RUP verification is timed: [Sys.time] is a real syscall
+           (~250 ns here), and wrapping the thousands of cheap mirror /
+           delete events measurably slowed the certified sweeps — the
+           timer would have cost more than the work it measured. *)
         Solver.set_proof_sink solver
           (Some
              (fun ev ->
-               let t0 = Sys.time () in
-               (match ev with
+               match ev with
                | Solver.P_input c ->
                    cs.cc_inputs <- cs.cc_inputs + 1;
                    Checker.add_clause cs.cc c
                | Solver.P_add c -> (
                    cs.cc_lemmas <- cs.cc_lemmas + 1;
-                   match Checker.add_lemma cs.cc c with
+                   let t0 = Sys.time () in
+                   let r = Checker.add_lemma cs.cc c in
+                   cs.cc_time <- cs.cc_time +. (Sys.time () -. t0);
+                   match r with
                    | Ok () -> ()
                    | Error e ->
                        raise
@@ -423,8 +579,7 @@ module Session = struct
                             ("Bmc.Session: proof rejected: " ^ e)))
                | Solver.P_delete c ->
                    cs.cc_deletes <- cs.cc_deletes + 1;
-                   Checker.delete_clause cs.cc c);
-               cs.cc_time <- cs.cc_time +. (Sys.time () -. t0)));
+                   Checker.delete_clause cs.cc c));
         Some cs
       end
     in
@@ -453,6 +608,9 @@ module Session = struct
       queries = 0;
       qlog = [];
       base_cache = None;
+      ip_conflicts = 0;
+      ip_props = 0;
+      ip_gap = 2_000;
       cert;
     }
 
@@ -544,10 +702,12 @@ module Session = struct
     match Hashtbl.find_opt sess.fenc faults with
     | Some fe -> fe
     | None ->
+        let fs = summarize_faults sess.model faults in
         let fe =
           {
             fe_act = Solver.new_activation sess.solver;
-            fe_fs = summarize_faults sess.model faults;
+            fe_fs = fs;
+            fe_taint = step_taint sess.model fs;
             fe_circuits = [||];
             fe_depth = 0;
             fe_goals = Hashtbl.create 8;
@@ -555,20 +715,6 @@ module Session = struct
         in
         Hashtbl.add sess.fenc faults fe;
         fe
-
-  let circuits_at sess fe tstep =
-    while Array.length fe.fe_circuits <= tstep do
-      let t0 = Array.length fe.fe_circuits in
-      ensure_steps sess t0;
-      let sh = sess.shadows.(t0) in
-      let c =
-        step_circuits sess.model sess.sctx fe.fe_fs
-          ~shadow:(fun s b -> sh.(s).(b))
-          ~primary:(primary_var sess t0)
-      in
-      fe.fe_circuits <- Array.append fe.fe_circuits [| c |]
-    done;
-    fe.fe_circuits.(tstep)
 
   let base_circuits_at sess tstep =
     while Array.length sess.base_circuits <= tstep do
@@ -578,11 +724,32 @@ module Session = struct
       let c =
         step_circuits sess.model sess.sctx sess.base_fs
           ~shadow:(fun s b -> sh.(s).(b))
-          ~primary:(primary_var sess t0)
+          ~primary:(primary_var sess t0) ()
       in
       sess.base_circuits <- Array.append sess.base_circuits [| c |]
     done;
     sess.base_circuits.(tstep)
+
+  (* A fault's circuits are rebuilt only inside its taint cone, on top of
+     the fault-free skeleton's circuits for the same step; a fault whose
+     cone is empty (a benign fault set) shares the skeleton outright. *)
+  let circuits_at sess fe tstep =
+    while Array.length fe.fe_circuits <= tstep do
+      let t0 = Array.length fe.fe_circuits in
+      let base = base_circuits_at sess t0 in
+      let c =
+        if not fe.fe_taint.t_any then base
+        else begin
+          let sh = sess.shadows.(t0) in
+          step_circuits sess.model sess.sctx fe.fe_fs
+            ~reuse:(fe.fe_taint, base)
+            ~shadow:(fun s b -> sh.(s).(b))
+            ~primary:(primary_var sess t0) ()
+        end
+      in
+      fe.fe_circuits <- Array.append fe.fe_circuits [| c |]
+    done;
+    fe.fe_circuits.(tstep)
 
   (* Transition relation between consecutive steps (eq. 1 extended): a
      shadow bit changes only when its segment is on the active path with
@@ -740,8 +907,31 @@ module Session = struct
     | Accessible n, configs -> Some (n, configs)
     | Inaccessible, _ -> None
 
+  (* Between query batches, once enough search has accumulated since the
+     last pass, let the solver simplify its clause database.  Activation
+     and assumption variables are frozen inside the solver, so anything
+     a later query may assume survives; the conflict gap doubles after
+     every pass (capped), so a long-lived session converges to paying
+     almost nothing, and a quiet session never pays at all. *)
+  let ip_gap_max = 32_000
+  let ip_prop_gap = 20_000_000
+
+  let maybe_inprocess sess =
+    let cf, _, pr = Solver.stats sess.solver in
+    if
+      cf - sess.ip_conflicts >= sess.ip_gap
+      || pr - sess.ip_props >= ip_prop_gap
+    then begin
+      Solver.inprocess ~budget:1_000_000 sess.solver;
+      let cf, _, pr = Solver.stats sess.solver in
+      sess.ip_conflicts <- cf;
+      sess.ip_props <- pr;
+      sess.ip_gap <- min ip_gap_max (2 * sess.ip_gap)
+    end
+
   let access_multi sess ~faults ?max_steps ~target () =
     let max_steps = steps_for sess max_steps in
+    maybe_inprocess sess;
     match fst (check_goal sess faults G_write ~max_steps ~target) with
     | Inaccessible -> Inaccessible
     | Accessible w -> (
@@ -801,6 +991,11 @@ module Session = struct
       minimized_lits = ss.Solver.st_minimized_lits;
       reductions = ss.Solver.st_reductions;
       learnt_db = ss.Solver.st_learnt_db;
+      subsumed = ss.Solver.st_subsumed;
+      strengthened_lits = ss.Solver.st_strengthened_lits;
+      eliminated_vars = ss.Solver.st_eliminated_vars;
+      vivified_lits = ss.Solver.st_vivified_lits;
+      simp_passes = ss.Solver.st_simp_passes;
       per_query =
         List.rev_map
           (fun (e, r, cf, sat) ->

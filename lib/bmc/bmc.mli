@@ -147,7 +147,10 @@ module Session : sig
     cert_lemmas : int;   (** solver derivations RUP-verified *)
     cert_inputs : int;   (** problem clauses mirrored to the checker *)
     cert_deletes : int;  (** deletion events forwarded *)
-    cert_time : float;   (** CPU seconds spent inside the checker *)
+    cert_time : float;
+        (** CPU seconds spent RUP-verifying (lemma checks and UNSAT
+            certifications; the cheap clause mirror/delete events are
+            not timed — the timer syscall would dominate them) *)
   }
 
   type stats = {
@@ -162,6 +165,11 @@ module Session : sig
     minimized_lits : int;   (** literals removed by minimization *)
     reductions : int;       (** learnt-DB reduction passes *)
     learnt_db : int;        (** live learnt clauses (after reductions) *)
+    subsumed : int;         (** clauses deleted by subsumption *)
+    strengthened_lits : int;  (** literals removed by strengthening *)
+    eliminated_vars : int;  (** variables eliminated by BVE *)
+    vivified_lits : int;    (** literals removed by vivification *)
+    simp_passes : int;      (** completed inprocessing passes *)
     per_query : query_stat list;  (** chronological *)
     cert : cert_stats option;  (** [Some] iff the session is certified *)
   }

@@ -2,6 +2,7 @@ module Netlist = Ftrsn_rsn.Netlist
 module Fault = Ftrsn_fault.Fault
 module Engine = Ftrsn_access.Engine
 module Bmc = Ftrsn_bmc.Bmc
+module Solver = Ftrsn_sat.Solver
 module Bitset = Ftrsn_topo.Bitset
 
 type solver_stats = {
@@ -15,6 +16,12 @@ type solver_stats = {
   s_learnt_db : int;
   s_clauses_emitted : int;
   s_nodes_reused : int;
+  (* inprocessing counters; all zero with --no-inprocess *)
+  s_subsumed : int;
+  s_strengthened_lits : int;
+  s_eliminated_vars : int;
+  s_vivified_lits : int;
+  s_simp_passes : int;
   (* certified-mode counters; all zero when certification was off *)
   s_cert_unsat : int;
   s_cert_lemmas : int;
@@ -69,6 +76,11 @@ let merge_solver a b =
           s_learnt_db = x.s_learnt_db + y.s_learnt_db;
           s_clauses_emitted = x.s_clauses_emitted + y.s_clauses_emitted;
           s_nodes_reused = x.s_nodes_reused + y.s_nodes_reused;
+          s_subsumed = x.s_subsumed + y.s_subsumed;
+          s_strengthened_lits = x.s_strengthened_lits + y.s_strengthened_lits;
+          s_eliminated_vars = x.s_eliminated_vars + y.s_eliminated_vars;
+          s_vivified_lits = x.s_vivified_lits + y.s_vivified_lits;
+          s_simp_passes = x.s_simp_passes + y.s_simp_passes;
           s_cert_unsat = x.s_cert_unsat + y.s_cert_unsat;
           s_cert_lemmas = x.s_cert_lemmas + y.s_cert_lemmas;
           s_cert_deletes = x.s_cert_deletes + y.s_cert_deletes;
@@ -271,6 +283,11 @@ let solver_of_session sess =
       s_learnt_db = st.Bmc.Session.learnt_db;
       s_clauses_emitted = st.Bmc.Session.clauses_emitted;
       s_nodes_reused = st.Bmc.Session.nodes_reused;
+      s_subsumed = st.Bmc.Session.subsumed;
+      s_strengthened_lits = st.Bmc.Session.strengthened_lits;
+      s_eliminated_vars = st.Bmc.Session.eliminated_vars;
+      s_vivified_lits = st.Bmc.Session.vivified_lits;
+      s_simp_passes = st.Bmc.Session.simp_passes;
       s_cert_unsat = cu;
       s_cert_lemmas = cl;
       s_cert_deletes = cd;
@@ -419,10 +436,16 @@ let classes_of warm ~full net faults =
   | Some w when full -> warm_classes w
   | _ -> Array.of_list (Fault.collapse net faults)
 
-let session_of warm ~certify net =
-  match warm with
-  | Some w -> warm_session w ~certify
-  | None -> Bmc.Session.create ~certify (Bmc.create net)
+let session_of ?(inprocess = true) warm ~certify net =
+  let sess =
+    match warm with
+    | Some w -> warm_session w ~certify
+    | None -> Bmc.Session.create ~certify (Bmc.create net)
+  in
+  (* Pooled sessions may carry the previous caller's setting; (re)apply
+     the ablation switch on every checkout so it is per-evaluation. *)
+  Solver.set_inprocess (Bmc.Session.solver sess) inprocess;
+  sess
 
 let release_session warm sess =
   match warm with Some w -> warm_release w sess | None -> ()
@@ -598,7 +621,7 @@ let evaluate_reduced_structural ~domains ?warm ~full net faults =
    the targets inside its cone ([Session.check_targets ~only]) with the
    fault-free verdict spliced in for the rest.  The structural baseline
    supplies the cones; the SAT solver supplies the verdicts. *)
-let evaluate_reduced_bmc ~domains ~certify ?warm ~full net faults =
+let evaluate_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
   let classes = classes_of warm ~full net faults in
@@ -608,7 +631,7 @@ let evaluate_reduced_bmc ~domains ~certify ?warm ~full net faults =
   let partials =
     steal_map ~domains classes
       ~init:(fun _ ->
-        let sess = session_of warm ~certify net in
+        let sess = session_of ~inprocess warm ~certify net in
         let base_vs = Bmc.Session.check_targets_base sess targets in
         (sess, base_vs, red_state ()))
       ~step:(fun (sess, base_vs, rs) (c : Fault.clas) ->
@@ -669,13 +692,14 @@ let evaluate_brute_structural ~domains ?warm net faults =
     ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:None
     ~reduction:None acc
 
-let evaluate_brute_bmc ~domains ~certify ?warm net faults =
+let evaluate_brute_bmc ~domains ~certify ~inprocess ?warm net faults =
   let items = Array.of_list faults in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
   let partials =
     steal_map ~domains items
-      ~init:(fun _ -> (session_of warm ~certify net, iacc_create ()))
+      ~init:(fun _ ->
+        (session_of ~inprocess warm ~certify net, iacc_create ()))
       ~step:(fun (sess, acc) f ->
         let vs = Bmc.Session.check_targets sess ~fault:f targets in
         let segs, bits = count_bmc net vs in
@@ -711,7 +735,7 @@ let sample_faults sample faults =
         faults
 
 let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
-    ?(certify = false) ?warm net =
+    ?(certify = false) ?(inprocess = true) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate: ~certify:true requires ~engine:`Bmc";
   check_warm warm net "Metric.evaluate";
@@ -721,8 +745,10 @@ let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
   | `Structural, true ->
       evaluate_reduced_structural ~domains ?warm ~full net faults
   | `Structural, false -> evaluate_brute_structural ~domains ?warm net faults
-  | `Bmc, true -> evaluate_reduced_bmc ~domains ~certify ?warm ~full net faults
-  | `Bmc, false -> evaluate_brute_bmc ~domains ~certify ?warm net faults
+  | `Bmc, true ->
+      evaluate_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net faults
+  | `Bmc, false ->
+      evaluate_brute_bmc ~domains ~certify ~inprocess ?warm net faults
 
 (* ---- double-fault sweeps ----
 
@@ -768,7 +794,8 @@ let pair_items ~sample faults =
     items
   end
 
-let evaluate_pairs_brute ~sample ~domains ~engine ~certify ?warm net faults =
+let evaluate_pairs_brute ~sample ~domains ~engine ~certify ~inprocess ?warm
+    net faults =
   let faults = Array.of_list faults in
   let items = pair_items ~sample faults in
   if Array.length items = 0 then invalid_arg "Metric.evaluate_pairs: empty";
@@ -800,7 +827,8 @@ let evaluate_pairs_brute ~sample ~domains ~engine ~certify ?warm net faults =
   | `Bmc ->
       let targets = List.init nsegs Fun.id in
       steal_map ~domains items
-        ~init:(fun _ -> (session_of warm ~certify net, iacc_create ()))
+        ~init:(fun _ ->
+          (session_of ~inprocess warm ~certify net, iacc_create ()))
         ~step:(fun (sess, a) (fi, fj) ->
           let vs =
             Bmc.Session.check_targets_multi sess ~faults:[ fi; fj ] targets
@@ -1080,7 +1108,8 @@ let evaluate_pairs_reduced_structural ~domains ?warm ~full net faults =
   let r = finish_pair_partials ~net ~nclasses:nc partials in
   { r with steals = r.steals + prep_steals }
 
-let evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults =
+let evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net
+    faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
   let classes = classes_of warm ~full net faults in
@@ -1100,7 +1129,7 @@ let evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults =
   let prep_partials =
     steal_map ~domains (Array.init nc Fun.id)
       ~init:(fun _ ->
-        let sess = session_of warm ~certify net in
+        let sess = session_of ~inprocess warm ~certify net in
         let base_vs = Bmc.Session.check_targets_base sess targets in
         (sess, base_vs))
       ~step:(fun (sess, base_vs) i ->
@@ -1150,7 +1179,7 @@ let evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults =
   let partials =
     steal_map ~domains (Array.init nc Fun.id)
       ~init:(fun _ ->
-        let sess = session_of warm ~certify net in
+        let sess = session_of ~inprocess warm ~certify net in
         let base_vs = Bmc.Session.check_targets_base sess targets in
         (sess, base_vs, pair_state ()))
       ~step:(fun (sess, base_vs, ps) i ->
@@ -1190,7 +1219,7 @@ let evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults =
 
 let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
     ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true)
-    ?(certify = false) ?warm net =
+    ?(certify = false) ?(inprocess = true) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate_pairs: ~certify:true requires ~engine:`Bmc";
   check_warm warm net "Metric.evaluate_pairs";
@@ -1200,10 +1229,13 @@ let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
     match engine with
     | `Structural ->
         evaluate_pairs_reduced_structural ~domains ?warm ~full net faults
-    | `Bmc -> evaluate_pairs_reduced_bmc ~domains ~certify ?warm ~full net faults
+    | `Bmc ->
+        evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full
+          net faults
   else
     let sample = if exhaustive then 1 else max 1 sample in
-    evaluate_pairs_brute ~sample ~domains ~engine ~certify ?warm net faults
+    evaluate_pairs_brute ~sample ~domains ~engine ~certify ~inprocess ?warm
+      net faults
 
 let pp_solver_stats fmt s =
   Format.fprintf fmt
@@ -1217,6 +1249,11 @@ let pp_solver_stats fmt s =
       (s.s_learnt_lits - s.s_minimized_lits)
       (100.0 *. float_of_int s.s_minimized_lits /. float_of_int s.s_learnt_lits)
       s.s_reductions s.s_learnt_db;
+  if s.s_simp_passes > 0 then
+    Format.fprintf fmt
+      "@,@[<h>simplify: %d passes; %d subsumed, %d lits strengthened, %d vars eliminated, %d lits vivified@]"
+      s.s_simp_passes s.s_subsumed s.s_strengthened_lits s.s_eliminated_vars
+      s.s_vivified_lits;
   if s.s_cert_unsat > 0 || s.s_cert_lemmas > 0 then
     Format.fprintf fmt
       "@,@[<h>certified: %d UNSAT verdicts RUP-checked, %d lemmas verified, %d deletions, %.2fs in checker@]"

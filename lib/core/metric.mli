@@ -40,12 +40,20 @@ type solver_stats = {
   s_learnt_db : int;        (** live learnt clauses at session end (summed) *)
   s_clauses_emitted : int;  (** CNF clauses emitted into the solver(s) *)
   s_nodes_reused : int;     (** emitter memo hits: nodes NOT re-emitted *)
+  s_subsumed : int;         (** clauses deleted by subsumption *)
+  s_strengthened_lits : int;
+      (** literals removed by self-subsuming strengthening *)
+  s_eliminated_vars : int;  (** variables eliminated by BVE *)
+  s_vivified_lits : int;    (** literals removed by vivification *)
+  s_simp_passes : int;      (** inprocessing passes (0 with [~inprocess:false]) *)
   s_cert_unsat : int;
       (** UNSAT verdicts certified by the independent RUP checker
           (certified mode only; 0 otherwise) *)
   s_cert_lemmas : int;   (** solver derivations RUP-verified (proof size) *)
   s_cert_deletes : int;  (** proof deletion events applied *)
-  s_cert_time : float;   (** CPU seconds spent inside the checker *)
+  s_cert_time : float;
+      (** CPU seconds spent RUP-verifying (lemma checks + UNSAT
+          certifications; cheap mirror/delete events are untimed) *)
 }
 (** Cumulative SAT statistics over every session the evaluation used;
     merging partial results sums them. *)
@@ -158,6 +166,7 @@ val evaluate :
   ?engine:[ `Structural | `Bmc ] ->
   ?reduce:bool ->
   ?certify:bool ->
+  ?inprocess:bool ->
   ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result
@@ -182,7 +191,14 @@ val evaluate :
     clause inline ({!Ftrsn_bmc.Bmc.Session.create}), raising
     [Ftrsn_bmc.Bmc.Session.Certification_failed] on any rejection; the
     proof size and checking time land in the [s_cert_*] fields of
-    [result.solver]. *)
+    [result.solver].
+
+    [inprocess:false] (BMC engine; ablation) disables SAT inprocessing on
+    every session the evaluation checks out — the sessions' solvers run
+    without subsumption / vivification / variable elimination, and the
+    [s_simp_*] / [s_subsumed] counters stay zero.  Default on.  Verdicts
+    and metric values are identical either way; only speed and the
+    volatile solver counters change. *)
 
 val evaluate_faults :
   Ftrsn_access.Engine.ctx -> Ftrsn_fault.Fault.t list -> result
@@ -203,6 +219,7 @@ val evaluate_pairs :
   ?exhaustive:bool ->
   ?reduce:bool ->
   ?certify:bool ->
+  ?inprocess:bool ->
   ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result

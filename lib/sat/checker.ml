@@ -20,9 +20,29 @@ type cls = {
   mutable dead : bool; (* deleted: ignored by propagation *)
 }
 
+(* Occurrence list of one literal, stored densely: propagation and
+   unwinding walk these for every trail literal, so a flat array beats a
+   cons list on locality without changing the counter-based design. *)
+type occ = {
+  mutable oa : cls array;
+  mutable on : int; (* live prefix length of [oa] *)
+}
+
+let dummy_cls = { lits = [||]; free = 0; dead = true }
+let occ_make () = { oa = [||]; on = 0 }
+
+let occ_push o c =
+  if o.on = Array.length o.oa then begin
+    let na = Array.make (max 4 (2 * o.on)) dummy_cls in
+    Array.blit o.oa 0 na 0 o.on;
+    o.oa <- na
+  end;
+  o.oa.(o.on) <- c;
+  o.on <- o.on + 1
+
 type t = {
   mutable value : int array; (* per var (1-based): 0 unknown, 1 true, -1 false *)
-  mutable occ : cls list array; (* per literal index: clauses containing it *)
+  mutable occ : occ array; (* per literal index: clauses containing it *)
   mutable nvars : int;
   mutable trail : int array; (* assigned literals, in assignment order *)
   mutable trail_len : int;
@@ -40,7 +60,7 @@ type t = {
 let create () =
   {
     value = Array.make 16 0;
-    occ = Array.make 32 [];
+    occ = Array.init 32 (fun _ -> occ_make ());
     nvars = 0;
     trail = Array.make 16 0;
     trail_len = 0;
@@ -69,8 +89,11 @@ let grow t v =
       let nv = Array.make ncap 0 in
       Array.blit t.value 0 nv 0 cap;
       t.value <- nv;
-      let nocc = Array.make (2 * ncap) [] in
-      Array.blit t.occ 0 nocc 0 (Array.length t.occ);
+      let old = t.occ in
+      let nocc =
+        Array.init (2 * ncap) (fun i ->
+            if i < Array.length old then old.(i) else occ_make ())
+      in
       t.occ <- nocc;
       let ntr = Array.make ncap 0 in
       Array.blit t.trail 0 ntr 0 t.trail_len;
@@ -104,24 +127,25 @@ let propagate t =
     let l = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
     t.n_props <- t.n_props + 1;
-    List.iter
-      (fun c ->
-        if not c.dead then begin
-          c.free <- c.free - 1;
-          if c.free = 0 then ok := false
-          else if c.free = 1 && !ok then begin
-            (* locate the single non-false literal *)
-            let n = Array.length c.lits in
-            let rec find i =
-              if i >= n then 0
-              else if lval t c.lits.(i) >= 0 then c.lits.(i)
-              else find (i + 1)
-            in
-            let u = find 0 in
-            if u <> 0 && lval t u = 0 then assign t u
-          end
-        end)
-      t.occ.(lidx (-l))
+    let o = t.occ.(lidx (-l)) in
+    for i = 0 to o.on - 1 do
+      let c = o.oa.(i) in
+      if not c.dead then begin
+        c.free <- c.free - 1;
+        if c.free = 0 then ok := false
+        else if c.free = 1 && !ok then begin
+          (* locate the single non-false literal *)
+          let n = Array.length c.lits in
+          let rec find i =
+            if i >= n then 0
+            else if lval t c.lits.(i) >= 0 then c.lits.(i)
+            else find (i + 1)
+          in
+          let u = find 0 in
+          if u <> 0 && lval t u = 0 then assign t u
+        end
+      end
+    done
   done;
   !ok
 
@@ -132,9 +156,13 @@ let undo_to t mark =
   for i = t.trail_len - 1 downto mark do
     let l = t.trail.(i) in
     t.value.(abs l) <- 0;
-    if i < t.qhead then
-      List.iter (fun c -> if not c.dead then c.free <- c.free + 1)
-        t.occ.(lidx (-l))
+    if i < t.qhead then begin
+      let o = t.occ.(lidx (-l)) in
+      for j = 0 to o.on - 1 do
+        let c = o.oa.(j) in
+        if not c.dead then c.free <- c.free + 1
+      done
+    end
   done;
   t.trail_len <- mark;
   t.qhead <- mark
@@ -143,10 +171,22 @@ let undo_to t mark =
    long incremental sessions (which retire whole clause groups) do not
    slow propagation down forever. *)
 let compact t =
-  for i = 0 to Array.length t.occ - 1 do
-    if t.occ.(i) <> [] then
-      t.occ.(i) <- List.filter (fun c -> not c.dead) t.occ.(i)
-  done;
+  Array.iter
+    (fun o ->
+      let k = ref 0 in
+      for i = 0 to o.on - 1 do
+        let c = o.oa.(i) in
+        if not c.dead then begin
+          o.oa.(!k) <- c;
+          incr k
+        end
+      done;
+      (* clear the slack so deleted clauses can be collected *)
+      for i = !k to o.on - 1 do
+        o.oa.(i) <- dummy_cls
+      done;
+      o.on <- !k)
+    t.occ;
   t.dead_count <- 0
 
 let key_of lits = List.sort_uniq compare lits
@@ -167,7 +207,7 @@ let register t lits =
     let free = ref 0 in
     Array.iter (fun l -> if lval t l >= 0 then incr free) arr;
     let c = { lits = arr; free = !free; dead = false } in
-    Array.iter (fun l -> t.occ.(lidx l) <- c :: t.occ.(lidx l)) arr;
+    Array.iter (fun l -> occ_push t.occ.(lidx l) c) arr;
     (match Hashtbl.find_opt t.index key with
     | Some r -> r := c :: !r
     | None -> Hashtbl.add t.index key (ref [ c ]));

@@ -73,6 +73,41 @@ val simplify : t -> unit
     (learnt and problem clauses alike); sound at any point between
     [solve] calls. *)
 
+(** {2 Inprocessing}
+
+    [inprocess] runs one bounded simplification pass over the live clause
+    database: level-0 cleanup, backward subsumption with self-subsuming
+    literal strengthening, clause vivification, and bounded variable
+    elimination (BVE) with witness recording.  Every derived clause is
+    emitted as [P_add] and every removed clause as [P_delete] through the
+    proof sink, so certified sessions keep verifying unchanged.
+
+    Incremental safety: variables are {e frozen} (never eliminated) when
+    they are activation literals, have ever appeared in an assumption, or
+    were frozen explicitly with {!freeze_var}.  If a later clause,
+    assumption, or freeze mentions an eliminated variable, the variable is
+    {e revived}: its deleted clauses are re-added as fresh inputs (they
+    are consequences of the original formula) before the mention takes
+    effect.  [solve] replays the elimination witnesses before returning
+    [Sat], so {!value} always reports a model of the original formula. *)
+
+val inprocess : ?budget:int -> t -> unit
+(** One simplification pass, bounded by [budget] abstract work steps
+    (candidate checks plus propagation during vivification); a no-op when
+    inprocessing is disabled with {!set_inprocess} or the instance is
+    already unsatisfiable at the root.  Sound at any point between
+    [solve] calls; invalidates the current model. *)
+
+val freeze_var : t -> int -> unit
+(** Marks the (DIMACS, positive) variable as never eliminable, reviving
+    it first if a previous pass eliminated it.  Activation literals and
+    assumption variables are frozen automatically.
+    @raise Invalid_argument if the variable is not allocated. *)
+
+val var_eliminated : t -> int -> bool
+(** Whether the variable is currently eliminated (test hook; [false] for
+    out-of-range variables). *)
+
 val value : t -> int -> bool
 (** [value s v] is the phase of variable [v] in the model found by the last
     [solve] call that returned [Sat].
@@ -93,6 +128,14 @@ type search_stats = {
       (** literals removed by learnt-clause minimization *)
   st_reductions : int;  (** learnt-database reduction passes *)
   st_learnt_db : int;  (** live learnt clauses right now *)
+  st_subsumed : int;  (** clauses deleted by subsumption *)
+  st_strengthened_lits : int;
+      (** literals removed by self-subsuming strengthening *)
+  st_eliminated_vars : int;
+      (** variables eliminated by BVE (cumulative; revival does not
+          decrement) *)
+  st_vivified_lits : int;  (** literals removed by vivification *)
+  st_simp_passes : int;  (** completed inprocessing passes *)
 }
 
 val search_stats : t -> search_stats
@@ -128,6 +171,12 @@ val set_phase_saving : t -> bool -> unit
     still report the saved phase; the save itself is never switched off
     (the {!value} contract depends on it). *)
 
+val set_inprocess : t -> bool -> unit
+(** Enables/disables inprocessing (default [true]).  Disabled,
+    {!inprocess} is a no-op — callers schedule passes unconditionally and
+    this switch is the single ablation point, mirroring the phase-saving
+    hook. *)
+
 (** {2 DRUP proof logging}
 
     With a proof sink installed, the solver emits a DRUP-style trace of
@@ -151,6 +200,15 @@ val set_phase_saving : t -> bool -> unit
       [P_delete] events for the group's clauses; clause revival by a
       higher layer is a fresh [P_input] — delete/re-add pairs keep the
       trace aligned with the live database.
+    - Simplification ({!inprocess}) logs every derived clause
+      (strengthenings, vivified clauses, BVE resolvents) as [P_add]
+      {e before} the [P_delete] of the clauses it replaces, so each is
+      RUP against a database that still contains its antecedents.
+      Deletions need no justification in DRUP, which is what makes
+      variable elimination certifiable.  Reviving an eliminated variable
+      re-adds its deleted clauses as fresh [P_input]s — each is a
+      consequence of the original formula, so the certificate that every
+      verdict follows from the inputs is preserved.
     - An [Unsat] answer under assumptions logs no event by itself: the
       certificate is that the negation of {!failed_assumptions} is RUP
       with respect to the trace so far, which a caller checks with

@@ -122,7 +122,8 @@ let run_exn pool = function
           let r =
             Metric.evaluate ?sample:q.Query.mq_sample
               ~domains:q.Query.mq_domains ~engine:q.Query.mq_engine
-              ~reduce:q.Query.mq_reduce ~warm:(Pool.warm e) (Pool.net e)
+              ~reduce:q.Query.mq_reduce ~inprocess:q.Query.mq_inprocess
+              ~warm:(Pool.warm e) (Pool.net e)
           in
           Response.Metric_r
             (Response.metric_r_of_result ~with_stats:q.Query.mq_with_stats r))
@@ -133,7 +134,8 @@ let run_exn pool = function
               ?fault_sample:q.Query.pq_fault_sample
               ~domains:q.Query.pq_domains ~engine:q.Query.pq_engine
               ~exhaustive:(q.Query.pq_pair_sample = None)
-              ~reduce:q.Query.pq_reduce ~warm:(Pool.warm e) (Pool.net e)
+              ~reduce:q.Query.pq_reduce ~inprocess:q.Query.pq_inprocess
+              ~warm:(Pool.warm e) (Pool.net e)
           in
           Response.Metric_r
             (Response.metric_r_of_result ~with_stats:q.Query.pq_with_stats r))
@@ -145,11 +147,11 @@ let run_exn pool = function
             if q.Query.cq_pairs then
               Metric.evaluate_pairs ?fault_sample:q.Query.cq_sample
                 ~domains:q.Query.cq_domains ~engine:`Bmc ~exhaustive:true
-                ~certify:true ~warm net
+                ~certify:true ~inprocess:q.Query.cq_inprocess ~warm net
             else
               Metric.evaluate ?sample:q.Query.cq_sample
-                ~domains:q.Query.cq_domains ~engine:`Bmc ~certify:true ~warm
-                net
+                ~domains:q.Query.cq_domains ~engine:`Bmc ~certify:true
+                ~inprocess:q.Query.cq_inprocess ~warm net
           with
           | r ->
               Response.Metric_r

@@ -298,6 +298,11 @@ let session_stats t =
                      s_learnt_db = st.learnt_db;
                      s_clauses_emitted = st.clauses_emitted;
                      s_nodes_reused = st.nodes_reused;
+                     s_subsumed = st.subsumed;
+                     s_strengthened_lits = st.strengthened_lits;
+                     s_eliminated_vars = st.eliminated_vars;
+                     s_vivified_lits = st.vivified_lits;
+                     s_simp_passes = st.simp_passes;
                      s_cert_unsat =
                        (match st.cert with Some c -> c.cert_unsat | None -> 0);
                      s_cert_lemmas =

@@ -28,6 +28,7 @@ type metric_q = {
   mq_domains : int;
   mq_engine : engine;
   mq_reduce : bool;
+  mq_inprocess : bool;
   mq_with_stats : bool;
 }
 
@@ -38,6 +39,7 @@ type pairs_q = {
   pq_domains : int;
   pq_engine : engine;
   pq_reduce : bool;
+  pq_inprocess : bool;
   pq_with_stats : bool;
 }
 
@@ -46,6 +48,7 @@ type certify_q = {
   cq_sample : int option;
   cq_domains : int;
   cq_pairs : bool;
+  cq_inprocess : bool;
   cq_with_stats : bool;
 }
 
@@ -101,6 +104,7 @@ let encode = function
             ("domains", Json.Int q.mq_domains);
             ("engine", Json.Str (engine_str q.mq_engine));
             ("reduce", Json.Bool q.mq_reduce);
+            ("inprocess", Json.Bool q.mq_inprocess);
             ("with_stats", Json.Bool q.mq_with_stats);
           ])
   | Pairs q ->
@@ -112,6 +116,7 @@ let encode = function
             ("domains", Json.Int q.pq_domains);
             ("engine", Json.Str (engine_str q.pq_engine));
             ("reduce", Json.Bool q.pq_reduce);
+            ("inprocess", Json.Bool q.pq_inprocess);
             ("with_stats", Json.Bool q.pq_with_stats);
           ])
   | Certify q ->
@@ -121,6 +126,7 @@ let encode = function
         @ [
             ("domains", Json.Int q.cq_domains);
             ("pairs", Json.Bool q.cq_pairs);
+            ("inprocess", Json.Bool q.cq_inprocess);
             ("with_stats", Json.Bool q.cq_with_stats);
           ])
   | Probe q ->
@@ -198,6 +204,7 @@ let decode v =
           mq_domains = Json.get_int_default "domains" 1 v;
           mq_engine = decode_engine v;
           mq_reduce = Json.get_bool_default "reduce" true v;
+          mq_inprocess = Json.get_bool_default "inprocess" true v;
           mq_with_stats = Json.get_bool_default "with_stats" false v;
         }
   | Some "pairs" ->
@@ -209,6 +216,7 @@ let decode v =
           pq_domains = Json.get_int_default "domains" 1 v;
           pq_engine = decode_engine v;
           pq_reduce = Json.get_bool_default "reduce" true v;
+          pq_inprocess = Json.get_bool_default "inprocess" true v;
           pq_with_stats = Json.get_bool_default "with_stats" false v;
         }
   | Some "certify" ->
@@ -218,6 +226,7 @@ let decode v =
           cq_sample = Json.get_int_opt "sample" v;
           cq_domains = Json.get_int_default "domains" 1 v;
           cq_pairs = Json.get_bool_default "pairs" false v;
+          cq_inprocess = Json.get_bool_default "inprocess" true v;
           cq_with_stats = Json.get_bool_default "with_stats" false v;
         }
   | Some "probe" ->

@@ -32,6 +32,8 @@ type metric_q = {
   mq_domains : int;
   mq_engine : engine;
   mq_reduce : bool;
+  mq_inprocess : bool;
+      (** SAT inprocessing on the sessions (BMC engine; default on) *)
   mq_with_stats : bool;
       (** include the volatile statistics (steals, solver counters) in
           the response; off by default so that warm responses are
@@ -47,6 +49,7 @@ type pairs_q = {
   pq_domains : int;
   pq_engine : engine;
   pq_reduce : bool;
+  pq_inprocess : bool;
   pq_with_stats : bool;
 }
 
@@ -55,6 +58,7 @@ type certify_q = {
   cq_sample : int option;
   cq_domains : int;
   cq_pairs : bool;  (** certify the exhaustive pair sweep instead *)
+  cq_inprocess : bool;
   cq_with_stats : bool;
 }
 

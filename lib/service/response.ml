@@ -13,6 +13,11 @@ type solver_r = {
   so_learnt_db : int;
   so_clauses_emitted : int;
   so_nodes_reused : int;
+  so_subsumed : int;
+  so_strengthened : int;
+  so_eliminated : int;
+  so_vivified : int;
+  so_simp_passes : int;
   so_cert_unsat : int;
   so_cert_lemmas : int;
   so_cert_deletes : int;
@@ -74,6 +79,11 @@ let solver_r_of_stats (s : Metric.solver_stats) =
     so_learnt_db = s.Metric.s_learnt_db;
     so_clauses_emitted = s.Metric.s_clauses_emitted;
     so_nodes_reused = s.Metric.s_nodes_reused;
+    so_subsumed = s.Metric.s_subsumed;
+    so_strengthened = s.Metric.s_strengthened_lits;
+    so_eliminated = s.Metric.s_eliminated_vars;
+    so_vivified = s.Metric.s_vivified_lits;
+    so_simp_passes = s.Metric.s_simp_passes;
     so_cert_unsat = s.Metric.s_cert_unsat;
     so_cert_lemmas = s.Metric.s_cert_lemmas;
     so_cert_deletes = s.Metric.s_cert_deletes;
@@ -92,6 +102,11 @@ let stats_of_solver_r s =
     s_learnt_db = s.so_learnt_db;
     s_clauses_emitted = s.so_clauses_emitted;
     s_nodes_reused = s.so_nodes_reused;
+    s_subsumed = s.so_subsumed;
+    s_strengthened_lits = s.so_strengthened;
+    s_eliminated_vars = s.so_eliminated;
+    s_vivified_lits = s.so_vivified;
+    s_simp_passes = s.so_simp_passes;
     s_cert_unsat = s.so_cert_unsat;
     s_cert_lemmas = s.so_cert_lemmas;
     s_cert_deletes = s.so_cert_deletes;
@@ -305,6 +320,11 @@ let enc_solver s =
       ("learnt_db", Json.Int s.so_learnt_db);
       ("clauses_emitted", Json.Int s.so_clauses_emitted);
       ("nodes_reused", Json.Int s.so_nodes_reused);
+      ("subsumed", Json.Int s.so_subsumed);
+      ("strengthened", Json.Int s.so_strengthened);
+      ("eliminated", Json.Int s.so_eliminated);
+      ("vivified", Json.Int s.so_vivified);
+      ("simp_passes", Json.Int s.so_simp_passes);
       ("cert_unsat", Json.Int s.so_cert_unsat);
       ("cert_lemmas", Json.Int s.so_cert_lemmas);
       ("cert_deletes", Json.Int s.so_cert_deletes);
@@ -323,6 +343,11 @@ let dec_solver v =
     so_learnt_db = Json.get_int "learnt_db" v;
     so_clauses_emitted = Json.get_int "clauses_emitted" v;
     so_nodes_reused = Json.get_int "nodes_reused" v;
+    so_subsumed = Json.get_int "subsumed" v;
+    so_strengthened = Json.get_int "strengthened" v;
+    so_eliminated = Json.get_int "eliminated" v;
+    so_vivified = Json.get_int "vivified" v;
+    so_simp_passes = Json.get_int "simp_passes" v;
     so_cert_unsat = Json.get_int "cert_unsat" v;
     so_cert_lemmas = Json.get_int "cert_lemmas" v;
     so_cert_deletes = Json.get_int "cert_deletes" v;

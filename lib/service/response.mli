@@ -33,6 +33,11 @@ type solver_r = {
   so_learnt_db : int;
   so_clauses_emitted : int;
   so_nodes_reused : int;
+  so_subsumed : int;
+  so_strengthened : int;
+  so_eliminated : int;
+  so_vivified : int;
+  so_simp_passes : int;
   so_cert_unsat : int;
   so_cert_lemmas : int;
   so_cert_deletes : int;

@@ -110,6 +110,7 @@ let sample_queries () =
         mq_domains = 2;
         mq_engine = `Bmc;
         mq_reduce = false;
+        mq_inprocess = false;
         mq_with_stats = true;
       };
     Query.Metric
@@ -119,6 +120,7 @@ let sample_queries () =
         mq_domains = 1;
         mq_engine = `Structural;
         mq_reduce = true;
+        mq_inprocess = true;
         mq_with_stats = false;
       };
     Query.Pairs
@@ -129,6 +131,7 @@ let sample_queries () =
         pq_domains = 4;
         pq_engine = `Structural;
         pq_reduce = true;
+        pq_inprocess = true;
         pq_with_stats = false;
       };
     Query.Pairs
@@ -139,6 +142,7 @@ let sample_queries () =
         pq_domains = 1;
         pq_engine = `Bmc;
         pq_reduce = false;
+        pq_inprocess = false;
         pq_with_stats = true;
       };
     Query.Certify
@@ -147,6 +151,7 @@ let sample_queries () =
         cq_sample = Some 29;
         cq_domains = 2;
         cq_pairs = true;
+        cq_inprocess = false;
         cq_with_stats = false;
       };
     Query.Probe
@@ -192,6 +197,11 @@ let sample_solver =
     so_learnt_db = 9;
     so_clauses_emitted = 500;
     so_nodes_reused = 123;
+    so_subsumed = 11;
+    so_strengthened = 17;
+    so_eliminated = 5;
+    so_vivified = 13;
+    so_simp_passes = 2;
     so_cert_unsat = 7;
     so_cert_lemmas = 77;
     so_cert_deletes = 3;
@@ -367,6 +377,7 @@ let metric_q ?(with_stats = false) ?(engine = `Structural) ?sample spec =
       mq_domains = 1;
       mq_engine = engine;
       mq_reduce = true;
+      mq_inprocess = true;
       mq_with_stats = with_stats;
     }
 
@@ -446,6 +457,7 @@ let test_warm_equals_cold () =
           pq_domains = 1;
           pq_engine = `Structural;
           pq_reduce = true;
+          pq_inprocess = true;
           pq_with_stats = false;
         };
       Query.Certify
@@ -454,6 +466,7 @@ let test_warm_equals_cold () =
           cq_sample = None;
           cq_domains = 1;
           cq_pairs = false;
+          cq_inprocess = true;
           cq_with_stats = false;
         };
     ]
@@ -495,6 +508,7 @@ let prop_concurrent_interleaving =
              pq_domains = 1;
              pq_engine = `Structural;
              pq_reduce = true;
+             pq_inprocess = true;
              pq_with_stats = false;
            };
          Query.Probe
