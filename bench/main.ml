@@ -291,6 +291,31 @@ let double_fault =
              ignore (Metric.evaluate_pairs ~exhaustive:true u226)));
     ]
 
+(* Non-stuck fault universes through the same reduction machinery: what
+   a bridge / select / transient sweep costs relative to the stuck-at
+   sweeps of fault_reduction above.  The transient legs price the
+   full-fixpoint scalar path its glitch classes take (no seeded delta);
+   the universe leg isolates enumeration (adjacency discovery) itself. *)
+let fault_models_bench =
+  Test.make_grouped ~name:"fault_models"
+    [
+      Test.make ~name:"bridge_u226"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate ~model:Fault.Bridge u226)));
+      Test.make ~name:"select_u226"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate ~model:Fault.Select u226)));
+      Test.make ~name:"transient_u226"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate ~model:Fault.Transient u226)));
+      Test.make ~name:"transient_u226_ft"
+        (Staged.stage (fun () ->
+             ignore (Metric.evaluate ~model:Fault.Transient u226_ft)));
+      Test.make ~name:"bridge_universe_u226"
+        (Staged.stage (fun () ->
+             ignore (Fault.universe ~model:Fault.Bridge u226)));
+    ]
+
 (* Proof logging: what DRUP emission costs on top of plain solving, and
    what inline RUP checking costs on top of emission.  The solver legs
    refute PHP(5,4) — a learning-heavy pure-SAT workload — three ways:
@@ -483,7 +508,7 @@ module SResponse = Ftrsn_service.Response
 
 let svc_spec name = { SQuery.ns_source = `Itc02 name; SQuery.ns_ft = false }
 
-let svc_metric ?sample name =
+let svc_metric ?sample ?(model = Fault.Stuck) name =
   SQuery.Metric
     {
       SQuery.mq_net = svc_spec name;
@@ -492,6 +517,7 @@ let svc_metric ?sample name =
       mq_engine = `Structural;
       mq_reduce = true;
       mq_inprocess = true;
+      mq_model = model;
       mq_with_stats = false;
     }
 
@@ -501,6 +527,7 @@ let svc_probe name target =
       SQuery.pb_net = svc_spec name;
       pb_target = target;
       pb_fault = None;
+      pb_model = Fault.Stuck;
       pb_svf = false;
     }
 
@@ -556,6 +583,7 @@ let all_tests =
       bmc_incremental;
       primitives;
       extensions;
+      fault_models_bench;
       sat_core;
       proof_logging;
       service;
@@ -958,7 +986,7 @@ let () =
   if Array.exists (( = ) "--json") Sys.argv then begin
     let root = repo_root () in
     write_json ~root
-      (Filename.concat root "BENCH_7.json")
+      (Filename.concat root "BENCH_8.json")
       (List.sort compare !rows)
   end;
   (* Clause-reuse profile of one incremental session sweeping the small

@@ -24,6 +24,7 @@
    2 target inaccessible, 3 certification failed, 4 admission/deadline. *)
 
 module Netlist = Ftrsn_rsn.Netlist
+module Fault = Ftrsn_fault.Fault
 module Dot = Ftrsn_topo.Dot
 module Augment = Ftrsn_core.Augment
 module Metric = Ftrsn_core.Metric
@@ -118,7 +119,7 @@ let pool_stats_line () =
     p.Response.po_entries
     (p.Response.po_bytes / 1024)
 
-let cmd_metric spec sample domains engine brute pairs no_inprocess json
+let cmd_metric spec sample domains engine model brute pairs no_inprocess json
     with_stats =
   let net = Query.net_spec_of_cli spec in
   (* Human output renders the full Metric.pp line (steals, solver stats),
@@ -136,6 +137,7 @@ let cmd_metric spec sample domains engine brute pairs no_inprocess json
           pq_engine = engine;
           pq_reduce = not brute;
           pq_inprocess = not no_inprocess;
+          pq_model = model;
           pq_with_stats = ws;
         }
     else
@@ -147,6 +149,7 @@ let cmd_metric spec sample domains engine brute pairs no_inprocess json
           mq_engine = engine;
           mq_reduce = not brute;
           mq_inprocess = not no_inprocess;
+          mq_model = model;
           mq_with_stats = ws;
         }
   in
@@ -154,7 +157,7 @@ let cmd_metric spec sample domains engine brute pairs no_inprocess json
   pool_stats_line ();
   code
 
-let cmd_certify spec sample domains pairs no_inprocess json with_stats =
+let cmd_certify spec sample domains model pairs no_inprocess json with_stats =
   let q =
     Query.Certify
       {
@@ -163,6 +166,7 @@ let cmd_certify spec sample domains pairs no_inprocess json with_stats =
         cq_domains = domains;
         cq_pairs = pairs;
         cq_inprocess = not no_inprocess;
+        cq_model = model;
         cq_with_stats = (if json then with_stats else true);
       }
   in
@@ -182,7 +186,7 @@ let cmd_certify spec sample domains pairs no_inprocess json with_stats =
       | r -> unexpected r)
     q
 
-let cmd_access spec target fault svf json =
+let cmd_access spec target fault model svf json =
   run ~json
     ~render:(function
       | Response.Svf_r svf -> print_string svf
@@ -209,6 +213,7 @@ let cmd_access spec target fault svf json =
          Query.pb_net = Query.net_spec_of_cli spec;
          pb_target = target;
          pb_fault = fault;
+         pb_model = model;
          pb_svf = svf;
        })
 
@@ -333,6 +338,23 @@ let () =
              variable elimination) on the BMC sessions; results are \
              identical, only slower.  Ablation switch.")
   in
+  let model =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map
+                (fun m -> (Fault.model_to_string m, m))
+                Fault.all_models))
+          Fault.Stuck
+      & info [ "model" ]
+          ~doc:
+            "Fault model: $(b,stuck) (single stuck-at, the default), \
+             $(b,bridge) (wired-AND/OR bridges between adjacent scan \
+             segments), $(b,select) (selection-control faults incl. broken \
+             TMR voters), or $(b,transient) (single-event upsets of shadow \
+             bits; accessibility = recoverability after the glitch).")
+  in
   let metric_cmd =
     let engine =
       Arg.(
@@ -361,8 +383,8 @@ let () =
     in
     Cmd.v (Cmd.info "metric" ~doc:"Fault-tolerance metric")
       Term.(
-        const cmd_metric $ spec $ sample $ domains $ engine $ brute $ pairs
-        $ no_inprocess $ json $ with_stats)
+        const cmd_metric $ spec $ sample $ domains $ engine $ model $ brute
+        $ pairs $ no_inprocess $ json $ with_stats)
   in
   let certify_cmd =
     let pairs =
@@ -381,8 +403,8 @@ let () =
             verified inline by an independent RUP proof checker.  Exits 3 \
             if any proof step is rejected.")
       Term.(
-        const cmd_certify $ spec $ sample $ domains $ pairs $ no_inprocess
-        $ json $ with_stats)
+        const cmd_certify $ spec $ sample $ domains $ model $ pairs
+        $ no_inprocess $ json $ with_stats)
   in
   let access_cmd =
     let target =
@@ -401,7 +423,7 @@ let () =
         & info [ "svf" ] ~doc:"Emit SVF vectors instead of a schedule.")
     in
     Cmd.v (Cmd.info "access" ~doc:"Plan a write access to a segment")
-      Term.(const cmd_access $ spec $ target $ fault $ svf $ json)
+      Term.(const cmd_access $ spec $ target $ fault $ model $ svf $ json)
   in
   let diagnose_cmd =
     let sig_file =

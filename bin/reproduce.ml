@@ -7,6 +7,7 @@
 
 module Itc02 = Ftrsn_itc02.Itc02
 module Netlist = Ftrsn_rsn.Netlist
+module Fault = Ftrsn_fault.Fault
 module Pipeline = Ftrsn_core.Pipeline
 module Metric = Ftrsn_core.Metric
 module Area = Ftrsn_core.Area
@@ -63,6 +64,7 @@ type part =
   | Latency
   | Ablation
   | Double_faults
+  | Fault_models
   | Coverage
   | Csv
   | All
@@ -76,6 +78,7 @@ let part_of_string = function
   | "latency" -> Ok Latency
   | "ablation" -> Ok Ablation
   | "double-faults" -> Ok Double_faults
+  | "fault-models" -> Ok Fault_models
   | "coverage" -> Ok Coverage
   | "csv" -> Ok Csv
   | "all" -> Ok All
@@ -171,6 +174,7 @@ let access_query ?sample ~certify ~inprocess spec =
         cq_domains = 1;
         cq_pairs = false;
         cq_inprocess = inprocess;
+        cq_model = Fault.Stuck;
         cq_with_stats = true;
       }
   else
@@ -182,6 +186,7 @@ let access_query ?sample ~certify ~inprocess spec =
         mq_engine = `Structural;
         mq_reduce = true;
         mq_inprocess = inprocess;
+        mq_model = Fault.Stuck;
         mq_with_stats = true;
       }
 
@@ -419,6 +424,7 @@ let double_faults ?sample socs =
                  pq_engine = `Structural;
                  pq_reduce = true;
                  pq_inprocess = true;
+                 pq_model = Fault.Stuck;
                  pq_with_stats = true;
                })
         in
@@ -440,6 +446,51 @@ let double_faults ?sample socs =
               *. float_of_int p.Metric.p_disjoint
               /. float_of_int (max 1 p.Metric.p_class_pairs))
               p.Metric.p_stacked
+      in
+      run "original" (soc_spec soc);
+      run "ft" (soc_spec ~ft:true soc))
+    socs
+
+(* Accessibility under the non-stuck fault universes (extension beyond
+   the paper): per SoC and network, one metric row per fault model with
+   its universe / class-collapse counters.  All three models ride the
+   same reduction machinery as the stuck-at sweep, warm-pooled per
+   network, so this part exercises the per-model keying end to end. *)
+let fault_models ?sample socs =
+  Printf.printf "%-9s %9s %-9s %12s %11s %12s %11s %9s %8s\n" "SoC" "network"
+    "model" "segs-worst" "segs-avg" "bits-worst" "bits-avg" "universe"
+    "classes";
+  List.iter
+    (fun soc ->
+      let run name spec =
+        List.iter
+          (fun model ->
+            let m =
+              metric_query
+                (Query.Metric
+                   {
+                     Query.mq_net = spec;
+                     mq_sample = sample;
+                     mq_domains = 1;
+                     mq_engine = `Structural;
+                     mq_reduce = true;
+                     mq_inprocess = true;
+                     mq_model = model;
+                     mq_with_stats = true;
+                   })
+            in
+            let universe, classes =
+              match m.Metric.reduction with
+              | Some r -> (r.Metric.r_universe, r.Metric.r_classes)
+              | None -> (m.Metric.faults, 0)
+            in
+            Printf.printf
+              "%-9s %9s %-9s %12.3f %11.4f %12.3f %11.4f %9d %8d\n%!"
+              soc.Itc02.soc_name name
+              (Fault.model_to_string model)
+              m.Metric.worst_segments m.Metric.avg_segments
+              m.Metric.worst_bits m.Metric.avg_bits universe classes)
+          Fault.all_models
       in
       run "original" (soc_spec soc);
       run "ft" (soc_spec ~ft:true soc))
@@ -543,6 +594,11 @@ let run part socs sample certify inprocess =
       double_faults ?sample socs
   | _ -> ());
   (match part with
+  | Fault_models ->
+      banner "Accessibility per fault model (extension beyond the paper)";
+      fault_models ?sample socs
+  | _ -> ());
+  (match part with
   | Coverage ->
       banner "Diagnostic stimulus fault coverage (extension)";
       coverage socs
@@ -566,7 +622,7 @@ let () =
     Arg.conv ~docv:"PART" (part_of_string, fun fmt _ -> Fmt.string fmt "part")
   in
   let part =
-    Arg.(value & opt part_conv All & info [ "part" ] ~doc:"Which experiment part to run: characteristics, sib-access, ft-access, area, ilp-stats, latency, ablation, double-faults, coverage, csv or all.")
+    Arg.(value & opt part_conv All & info [ "part" ] ~doc:"Which experiment part to run: characteristics, sib-access, ft-access, area, ilp-stats, latency, ablation, double-faults, fault-models, coverage, csv or all.")
   in
   let socs =
     Arg.(value & opt_all string [] & info [ "soc" ] ~doc:"Restrict to a SoC (repeatable), e.g. --soc u226 --soc p93791.")

@@ -123,6 +123,11 @@ type effects = {
   mutable mux_in_bad : (int * int) list;  (* (mux, input) data faults *)
   mutable locked_addr : (int * int * bool) list; (* mux addr bits forced *)
   mutable stuck_shadow : (int * int * bool) list; (* shadow bits pinned *)
+  mutable glitch_shadow : (int * int * bool) list;
+      (* shadow bits whose INITIAL value is upset (transient faults): the
+         bit starts at the given value instead of its reset state but
+         remains rewritable — it only changes [edge_steerable]'s
+         reset-value fallback, never pins *)
   mutable pi_dead : bool;
   mutable po_dead : bool;
 }
@@ -139,6 +144,7 @@ let no_effects ctx =
     mux_in_bad = [];
     locked_addr = [];
     stuck_shadow = [];
+    glitch_shadow = [];
     pi_dead = false;
     po_dead = false;
   }
@@ -158,6 +164,7 @@ let effects_copy e =
     mux_in_bad = e.mux_in_bad;
     locked_addr = e.locked_addr;
     stuck_shadow = e.stuck_shadow;
+    glitch_shadow = e.glitch_shadow;
     pi_dead = e.pi_dead;
     po_dead = e.po_dead;
   }
@@ -194,6 +201,7 @@ let add_summary_effects e (sm : Fault.summary) =
   e.mux_in_bad <- sm.Fault.sm_mux_in @ e.mux_in_bad;
   e.locked_addr <- sm.Fault.sm_locked_addr @ e.locked_addr;
   e.stuck_shadow <- sm.Fault.sm_stuck_shadow @ e.stuck_shadow;
+  e.glitch_shadow <- sm.Fault.sm_glitch_shadow @ e.glitch_shadow;
   if sm.Fault.sm_pi_dead then e.pi_dead <- true;
   if sm.Fault.sm_po_dead then e.po_dead <- true;
   e
@@ -265,8 +273,21 @@ let edge_steerable _ctx eff writable edge =
             end)
           eff.stuck_shadow;
         if !wrong then ok := false
-        else if (not !pinned) && (not writable.(cseg)) && not reset_matches
-        then ok := false
+        else if not !pinned then begin
+          (* A transient upset replaces the bit's INITIAL value: a
+             not-yet-writable host satisfies the requirement iff the
+             value the bit actually starts at matches (the glitched
+             value if upset, the reset value otherwise). *)
+          let starts_right = ref reset_matches in
+          (match eff.glitch_shadow with
+          | [] -> ()
+          | gl ->
+              List.iter
+                (fun (s', b', v) ->
+                  if s' = cseg && b' = cbit then starts_right := v = required)
+                gl);
+          if (not writable.(cseg)) && not !starts_right then ok := false
+        end
       end)
     edge.e_shadow_reqs;
   !ok
@@ -371,8 +392,7 @@ let fixpoint_writable ctx eff =
   done;
   writable
 
-let analyze_multi ctx faults =
-  let eff = effects_of_faults ctx faults in
+let verdict_of_effects ctx eff =
   let writable = fixpoint_writable ctx eff in
   let r_any = reach_from_pi ctx eff writable ~clean:false in
   let s_clean = coreach_to_po ctx eff writable ~clean:true in
@@ -387,6 +407,9 @@ let analyze_multi ctx faults =
   done;
   let accessible = Array.init ctx.nsegs (fun i -> writable.(i) && readable.(i)) in
   { writable; readable; accessible }
+
+let analyze_multi ctx faults =
+  verdict_of_effects ctx (effects_of_faults ctx faults)
 
 let analyze ctx fault = analyze_multi ctx (Option.to_list fault)
 
@@ -1127,7 +1150,31 @@ let stacked_eff ctx stk sm =
    verdict.  Exact: the combined verdict is bit-identical to
    [analyze_multi] over the union of the stacked and delta summaries. *)
 let analyze_delta_on ctx stk (sm : Fault.summary) =
+  let glitchy =
+    sm.Fault.sm_glitch_shadow <> []
+    || (match stk.s_sm with
+       | Some s0 -> s0.Fault.sm_glitch_shadow <> []
+       | None -> false)
+  in
   if Fault.summary_benign sm then (stk.s_verdict, 0)
+  else if glitchy then begin
+    (* Transient upsets can produce steering GAINS (a bit starting at the
+       required value with an unwritable host) that the cone tables and
+       the seeded delta below do not model — they were built for faults
+       that only ever degrade steering.  Fall back to the full fixpoint;
+       the reported cone is the exact verdict diff.  The transient
+       universes are small (one class per shadow bit), so the fallback
+       never dominates a sweep. *)
+    let v = verdict_of_effects ctx (stacked_eff ctx stk sm) in
+    let n = ref 0 in
+    for i = 0 to ctx.nsegs - 1 do
+      if
+        v.writable.(i) <> stk.s_verdict.writable.(i)
+        || v.readable.(i) <> stk.s_verdict.readable.(i)
+      then incr n
+    done;
+    (v, !n)
+  end
   else if only_kill_read sm then begin
     (* kill_read is consulted only by the readable formula: no traversal
        changes, so flip the affected segments in place. *)
@@ -1240,7 +1287,11 @@ let lane_plan base (sms : Fault.summary array) =
   let fast = ref [] and general = ref [] and port = ref [] in
   Array.iteri
     (fun i sm ->
-      if lane_fast base sm then fast := i :: !fast
+      (* Glitch (transient) summaries go to the scalar delta path: the
+         word-parallel steering rule below has no notion of an upset
+         initial value ([analyze_delta] handles them by full fixpoint). *)
+      if lane_fast base sm || sm.Fault.sm_glitch_shadow <> [] then
+        fast := i :: !fast
       else
         match Fault.summary_shape sm with
         | Fault.Port_dead -> port := i :: !port
@@ -1261,6 +1312,11 @@ let analyze_lane_batch ctx base (sms : Fault.summary array) =
   let k = Array.length sms in
   if k = 0 || k > lane_width then
     invalid_arg "Engine.analyze_lane_batch: batch size";
+  Array.iter
+    (fun (sm : Fault.summary) ->
+      if sm.Fault.sm_glitch_shadow <> [] then
+        invalid_arg "Engine.analyze_lane_batch: glitch summary (scalar only)")
+    sms;
   let occ = Lanes.lane_mask k in
   let nsegs = ctx.nsegs and nv = ctx.nv in
   let nedges = Array.length ctx.edges in
@@ -1763,6 +1819,34 @@ let probe ctx base (sm : Fault.summary) =
       pr_dmg = Bitset.create ctx.nv;
       pr_coarse = false;
     }
+  else if sm.Fault.sm_glitch_shadow <> [] then begin
+    (* Transient upsets: the verdict comes from the full fixpoint (exact
+       — [analyze_delta] routes glitches there), the cone is the exact
+       verdict diff, and the interaction machinery is conservatively
+       voided (full region/footprints): upsets may create steering gains
+       the no-gain certificate reasoning below assumes away.  Pair sweeps
+       reject the transient model anyway ([Metric.evaluate_pairs]). *)
+    let v, _ = analyze_delta ctx base sm in
+    let cs = Bitset.create ctx.nsegs in
+    let v0 = base.b_verdict in
+    for i = 0 to ctx.nsegs - 1 do
+      if v.writable.(i) <> v0.writable.(i) || v.readable.(i) <> v0.readable.(i)
+      then Bitset.add cs i
+    done;
+    let full n =
+      let b = Bitset.create n in
+      Bitset.fill b;
+      b
+    in
+    { pr_verdict = v; pr_cone = cs;
+      pr_region = full ctx.nv; pr_fragile = full ctx.nsegs;
+      pr_supp = full ctx.nv;
+      pr_supp_edges = full (Array.length ctx.edges);
+      pr_rhosts = full ctx.nsegs;
+      pr_dead_edges = full (Array.length ctx.edges);
+      pr_dmg = full ctx.nv;
+      pr_coarse = true }
+  end
   else if only_kill_read sm then local sm.Fault.sm_kill_read
   else if local_kill_write base sm then local sm.Fault.sm_kill_write
   else if sm.Fault.sm_pi_dead || sm.Fault.sm_po_dead || base.b_cyclic then
@@ -2193,6 +2277,19 @@ let stack ctx base (sm : Fault.summary) =
   then
     let v, _ = analyze_delta_on ctx stk0 sm in
     { stk0 with s_sm = Some sm; s_eff = Some eff; s_verdict = v }
+  else if sm.Fault.sm_glitch_shadow <> [] then
+    (* Full fixpoint (no seeded delta — see [analyze_delta_on]); the
+       steer/corruption caches are recomputed for every edge under the
+       settled writability, so the stacked state stays exact. *)
+    let v = verdict_of_effects ctx eff in
+    {
+      s_base = base;
+      s_sm = Some sm;
+      s_eff = Some eff;
+      s_verdict = v;
+      s_steer = Array.map (edge_steerable ctx eff v.writable) ctx.edges;
+      s_corrupt = Array.map (edge_corrupt eff) ctx.edges;
+    }
   else
     let v, _, steer, corrupt = delta_full ctx stk0 sm eff in
     {

@@ -31,6 +31,13 @@ type fsum = {
          engine's order-independent pin/lock checks. *)
   kill_write : int -> bool;
   kill_read : int -> bool;
+  glitch : int -> int -> bool option;
+      (* seg, shadow bit: transiently upset INITIAL value (transient
+         fault model).  Only the step-0 state is affected: the unrolling
+         starts from reset-with-these-bits-flipped, and the bits stay
+         rewritable — the verdict is "does a reconfiguration sequence
+         recover access after the glitch", the fault-active/fault-cleared
+         phase split of the transient model. *)
 }
 
 (* Per-step circuits of one unrolling step.  [dirty_out] is only read
@@ -184,6 +191,7 @@ let no_fault =
     bit_conflict = (fun _ _ -> false);
     kill_write = (fun _ -> false);
     kill_read = (fun _ -> false);
+    glitch = (fun _ _ -> None);
   }
 
 (* The predicates are derived from the fault's canonical semantic summary
@@ -247,6 +255,11 @@ let of_summary (net : Netlist.t) (sm : Fault.summary) =
         (fun i -> mem sm.Fault.sm_kill_write i || mem sm.Fault.sm_hard_block i);
       kill_read =
         (fun i -> mem sm.Fault.sm_kill_read i || mem sm.Fault.sm_hard_block i);
+      glitch =
+        (fun s b ->
+          List.find_map
+            (fun (s', b', v) -> if s' = s && b' = b then Some v else None)
+            sm.Fault.sm_glitch_shadow);
     }
 
 (* Predicates of a SET of simultaneous faults ([[]] = fault-free): the
@@ -282,7 +295,12 @@ let step_taint t fs =
            || fs.locked m b <> None
            || (match mx.mux_addr.(b) with
               | Netlist.Ctrl_shadow { cseg; cbit } ->
-                  fs.pinned cseg cbit <> None
+                  (* A glitch perturbs only the step-0 circuits, but the
+                     taint flags are per fault, not per step: flagging the
+                     cone for every step is sound (steps >= 1 recompute
+                     from the same shared variables and hash-cons onto
+                     the identical skeleton nodes). *)
+                  fs.pinned cseg cbit <> None || fs.glitch cseg cbit <> None
               | _ -> false)
            || diff (b + 1))
       in
@@ -741,9 +759,21 @@ module Session = struct
         if not fe.fe_taint.t_any then base
         else begin
           let sh = sess.shadows.(t0) in
+          (* Transient faults start from the glitched state: the step-0
+             circuits read the upset constants instead of the shared
+             reset constants; every later step reads the shared
+             variables unchanged (the glitch has cleared — recovery is
+             an ordinary fault-free reconfiguration). *)
+          let shadow s b =
+            if t0 = 0 then
+              match fe.fe_fs.glitch s b with
+              | Some v -> Expr.const sess.sctx v
+              | None -> sh.(s).(b)
+            else sh.(s).(b)
+          in
           step_circuits sess.model sess.sctx fe.fe_fs
             ~reuse:(fe.fe_taint, base)
-            ~shadow:(fun s b -> sh.(s).(b))
+            ~shadow
             ~primary:(primary_var sess t0) ()
         end
       in
@@ -784,9 +814,21 @@ module Session = struct
           ignore
             (Cnf.lit sess.em
                (Expr.or_ sess.sctx (writable_of sess.base_fs bc s) keep));
+          (* A glitched bit's step-0 value is the upset constant, not the
+             shared reset constant: substitute it in this fault's gated
+             keep (the ungrouped skeleton literal above is a Tseitin
+             definition only — it asserts nothing). *)
+          let keep_f =
+            if tstep = 0 then
+              match fe.fe_fs.glitch s b with
+              | Some v ->
+                  Expr.iff_ sess.sctx next.(s).(b) (Expr.const sess.sctx v)
+              | None -> keep
+            else keep
+          in
           let l =
             Cnf.lit ~under:fe.fe_act sess.em
-              (Expr.or_ sess.sctx (writable_of fe.fe_fs c s) keep)
+              (Expr.or_ sess.sctx (writable_of fe.fe_fs c s) keep_f)
           in
           Cnf.emit_clause ~under:fe.fe_act sess.em [ l ]
         done

@@ -339,8 +339,10 @@ type warm = {
   mutable w_ctx : Engine.ctx option;
   mutable w_base : Engine.baseline option;
   mutable w_model : Bmc.t option;
-  mutable w_classes : Fault.clas array option;
-  mutable w_pair_prep : (Fault.clas array * pair_prep) option;
+  mutable w_classes : (Fault.model * Fault.clas array) list;
+      (* one collapsed full universe per fault model; models never share a
+         slot, so a bridge evaluation can't serve select classes *)
+  mutable w_pair_prep : (Fault.model * (Fault.clas array * pair_prep)) list;
   mutable w_idle : (bool * Bmc.Session.t) list;  (* (certified, session) *)
 }
 
@@ -351,8 +353,8 @@ let warm net =
     w_ctx = None;
     w_base = None;
     w_model = None;
-    w_classes = None;
-    w_pair_prep = None;
+    w_classes = [];
+    w_pair_prep = [];
     w_idle = [];
   }
 
@@ -381,15 +383,16 @@ let warm_baseline w =
           w.w_base <- Some b;
           b)
 
-let warm_classes w =
+let warm_classes w ~model =
   locked w (fun () ->
-      match w.w_classes with
+      match List.assoc_opt model w.w_classes with
       | Some c -> c
       | None ->
           let c =
-            Array.of_list (Fault.collapse w.w_net (Fault.universe w.w_net))
+            Array.of_list
+              (Fault.collapse w.w_net (Fault.universe ~model w.w_net))
           in
-          w.w_classes <- Some c;
+          w.w_classes <- (model, c) :: w.w_classes;
           c)
 
 let warm_model w =
@@ -431,9 +434,9 @@ let ctx_of warm net =
 let base_of warm ctx =
   match warm with Some w -> warm_baseline w | None -> Engine.baseline ctx
 
-let classes_of warm ~full net faults =
+let classes_of warm ~full ~model net faults =
   match warm with
-  | Some w when full -> warm_classes w
+  | Some w when full -> warm_classes w ~model
   | _ -> Array.of_list (Fault.collapse net faults)
 
 let session_of ?(inprocess = true) warm ~certify net =
@@ -600,10 +603,10 @@ let lane_step ctx base net classes sms rs = function
             ~segs ~bits)
         idxs
 
-let evaluate_reduced_structural ~domains ?warm ~full net faults =
+let evaluate_reduced_structural ~domains ?warm ~full ~model net faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
-  let classes = classes_of warm ~full net faults in
+  let classes = classes_of warm ~full ~model net faults in
   let universe, benign = class_counts classes in
   let sms = Array.map (fun c -> c.Fault.cls_summary) classes in
   let items = lane_items base sms in
@@ -621,10 +624,11 @@ let evaluate_reduced_structural ~domains ?warm ~full net faults =
    the targets inside its cone ([Session.check_targets ~only]) with the
    fault-free verdict spliced in for the rest.  The structural baseline
    supplies the cones; the SAT solver supplies the verdicts. *)
-let evaluate_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net faults =
+let evaluate_reduced_bmc ~domains ~certify ~inprocess ?warm ~full ~model net
+    faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
-  let classes = classes_of warm ~full net faults in
+  let classes = classes_of warm ~full ~model net faults in
   let universe, benign = class_counts classes in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
@@ -735,18 +739,19 @@ let sample_faults sample faults =
         faults
 
 let evaluate ?sample ?(domains = 1) ?(engine = `Structural) ?(reduce = true)
-    ?(certify = false) ?(inprocess = true) ?warm net =
+    ?(certify = false) ?(inprocess = true) ?(model = Fault.Stuck) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate: ~certify:true requires ~engine:`Bmc";
   check_warm warm net "Metric.evaluate";
   let full = match sample with None -> true | Some k -> k <= 1 in
-  let faults = sample_faults sample (Fault.universe net) in
+  let faults = sample_faults sample (Fault.universe ~model net) in
   match (engine, reduce) with
   | `Structural, true ->
-      evaluate_reduced_structural ~domains ?warm ~full net faults
+      evaluate_reduced_structural ~domains ?warm ~full ~model net faults
   | `Structural, false -> evaluate_brute_structural ~domains ?warm net faults
   | `Bmc, true ->
-      evaluate_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net faults
+      evaluate_reduced_bmc ~domains ~certify ~inprocess ?warm ~full ~model net
+        faults
   | `Bmc, false ->
       evaluate_brute_bmc ~domains ~certify ~inprocess ?warm net faults
 
@@ -1020,22 +1025,24 @@ let finish_pair_partials ~net ~nclasses partials =
     ~nsegs:(Netlist.num_segments net) ~nbits:(Netlist.total_bits net)
     ~steals:!steals ~solver:!solver ~reduction:None acc
 
-let evaluate_pairs_reduced_structural ~domains ?warm ~full net faults =
+let evaluate_pairs_reduced_structural ~domains ?warm ~full ~model net faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
   (* The phase-1 probe tables are a deterministic function of the netlist
-     (for the full universe), so a warm state serves them from cache and
-     repeated exhaustive sweeps skip phase 1 entirely. *)
+     and the fault model (for the full universe), so a warm state serves
+     them from a per-model cache and repeated exhaustive sweeps skip
+     phase 1 entirely. *)
   let cached =
     match warm with
-    | Some w when full -> locked w (fun () -> w.w_pair_prep)
+    | Some w when full ->
+        locked w (fun () -> List.assoc_opt model w.w_pair_prep)
     | _ -> None
   in
   let classes, pq, prep_steals =
     match cached with
     | Some (classes, pq) -> (classes, pq, 0)
     | None ->
-        let classes = classes_of warm ~full net faults in
+        let classes = classes_of warm ~full ~model net faults in
         let nc = Array.length classes in
         let nsegs = Netlist.num_segments net in
         let pq = pair_prep_static net classes in
@@ -1077,8 +1084,8 @@ let evaluate_pairs_reduced_structural ~domains ?warm ~full net faults =
         (match warm with
         | Some w when full ->
             locked w (fun () ->
-                if w.w_pair_prep = None then
-                  w.w_pair_prep <- Some (classes, pq))
+                if not (List.mem_assoc model w.w_pair_prep) then
+                  w.w_pair_prep <- (model, (classes, pq)) :: w.w_pair_prep)
         | _ -> ());
         (classes, pq, prep_steals)
   in
@@ -1108,11 +1115,11 @@ let evaluate_pairs_reduced_structural ~domains ?warm ~full net faults =
   let r = finish_pair_partials ~net ~nclasses:nc partials in
   { r with steals = r.steals + prep_steals }
 
-let evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net
-    faults =
+let evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full
+    ~model net faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
-  let classes = classes_of warm ~full net faults in
+  let classes = classes_of warm ~full ~model net faults in
   let nc = Array.length classes in
   let nsegs = Netlist.num_segments net in
   let targets = List.init nsegs Fun.id in
@@ -1219,19 +1226,24 @@ let evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full net
 
 let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
     ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true)
-    ?(certify = false) ?(inprocess = true) ?warm net =
+    ?(certify = false) ?(inprocess = true) ?(model = Fault.Stuck) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate_pairs: ~certify:true requires ~engine:`Bmc";
+  if model = Fault.Transient then
+    invalid_arg
+      "Metric.evaluate_pairs: transient pairs are unsupported (two glitches \
+       are not a set-wise union of summaries)";
   check_warm warm net "Metric.evaluate_pairs";
   let full = match fault_sample with None -> true | Some k -> k <= 1 in
-  let faults = sample_faults fault_sample (Fault.universe net) in
+  let faults = sample_faults fault_sample (Fault.universe ~model net) in
   if exhaustive && reduce then
     match engine with
     | `Structural ->
-        evaluate_pairs_reduced_structural ~domains ?warm ~full net faults
+        evaluate_pairs_reduced_structural ~domains ?warm ~full ~model net
+          faults
     | `Bmc ->
         evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full
-          net faults
+          ~model net faults
   else
     let sample = if exhaustive then 1 else max 1 sample in
     evaluate_pairs_brute ~sample ~domains ~engine ~certify ~inprocess ?warm

@@ -121,8 +121,10 @@ type result = {
     The unit of reuse behind the service pool
     ({!Ftrsn_service.Pool}, which keys one [warm] per netlist): the
     expensive per-netlist artifacts — structural context, fault-free
-    baseline, the full-universe class collapse, the exhaustive-pair
-    phase-1 probe tables, and idle incremental BMC sessions — built once
+    baseline, the full-universe class collapse and exhaustive-pair
+    phase-1 probe tables (both keyed per fault model, so evaluations of
+    different models never share a slot), and idle incremental BMC
+    sessions — built once
     and shared by every subsequent evaluation of the same netlist.  All
     cached artifacts are deterministic functions of the netlist, so warm
     results are bit-identical to cold ones in every verdict-derived
@@ -167,11 +169,16 @@ val evaluate :
   ?reduce:bool ->
   ?certify:bool ->
   ?inprocess:bool ->
+  ?model:Ftrsn_fault.Fault.model ->
   ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result
-(** [evaluate net] runs the accessibility analysis over the full single
-    stuck-at fault universe.  [sample:k] keeps every [k]-th fault site
+(** [evaluate net] runs the accessibility analysis over the full fault
+    universe of [model] (default [Stuck], the paper's single stuck-at
+    universe; see {!Ftrsn_fault.Fault.model} for the bridging,
+    selection-control and transient universes — all of them flow through
+    the same collapse / cone / lane reduction machinery and both
+    engines).  [sample:k] keeps every [k]-th fault site
     (deterministically) to bound runtime on very large networks; the
     primary scan-port faults are always retained, so the worst case of
     port-dominated networks is exact.  Sampling is applied {e before}
@@ -220,11 +227,15 @@ val evaluate_pairs :
   ?reduce:bool ->
   ?certify:bool ->
   ?inprocess:bool ->
+  ?model:Ftrsn_fault.Fault.model ->
   ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** Double-fault study (beyond the paper's single-fault scope): evaluates
-    accessibility under PAIRS of simultaneous stuck-at faults, each pair
+    accessibility under PAIRS of simultaneous faults of the given
+    [model] (default [Stuck]; [Transient] raises [Invalid_argument] —
+    two glitches are not the set-wise union of their summaries, which
+    the pair factorization rests on), each pair
     weighted by the product of its faults' weights.
 
     With [exhaustive:true] (and the default [reduce:true]) the FULL pair

@@ -1,5 +1,23 @@
 module Netlist = Ftrsn_rsn.Netlist
 module Sim = Ftrsn_rsn.Sim
+module Digraph = Ftrsn_topo.Digraph
+
+type model = Stuck | Bridge | Select | Transient
+
+let all_models = [ Stuck; Bridge; Select; Transient ]
+
+let model_to_string = function
+  | Stuck -> "stuck"
+  | Bridge -> "bridge"
+  | Select -> "select"
+  | Transient -> "transient"
+
+let model_of_string = function
+  | "stuck" -> Some Stuck
+  | "bridge" -> Some Bridge
+  | "select" -> Some Select
+  | "transient" -> Some Transient
+  | _ -> None
 
 type site =
   | Seg_scan_in of int
@@ -15,10 +33,13 @@ type site =
   | Mux_out of int
   | Primary_in
   | Primary_out
+  | Bridge_segs of int * int
+  | Mux_voter of int * int * int
+  | Glitch_shadow of int * int
 
 type t = { site : site; stuck : bool }
 
-let universe (net : Netlist.t) =
+let stuck_universe (net : Netlist.t) =
   let sites = ref [] in
   let push s = sites := s :: !sites in
   Array.iteri
@@ -70,7 +91,9 @@ let universe (net : Netlist.t) =
     (List.rev !sites)
 
 let is_masked (_net : Netlist.t) f =
-  match f.site with Mux_addr_replica _ -> true | _ -> false
+  match f.site with
+  | Mux_addr_replica _ | Mux_voter _ -> true
+  | _ -> false
 
 (* Muxes addressed by the given shadow bit. *)
 let driven_muxes (net : Netlist.t) seg bit =
@@ -90,6 +113,134 @@ let tmr_protected_shadow (net : Netlist.t) seg bit =
   let driven = driven_muxes net seg bit in
   driven <> []
   && List.for_all (fun m -> net.Netlist.muxes.(m).Netlist.mux_tmr) driven
+
+(* ---- alternative fault models ---- *)
+
+(* Adjacent scan-segment pairs for the bridging universe: two segments are
+   adjacent when one feeds the other in the dataflow graph (their scan
+   wires run between the same two elements) or when both drive data
+   inputs of the same multiplexer (their output wires converge on one
+   routing element).  Canonicalized [a < b], deduplicated, deterministic
+   order. *)
+let bridge_adjacencies (net : Netlist.t) =
+  let g, _ = Netlist.dataflow_graph net in
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let add a b =
+    if a <> b then begin
+      let key = if a < b then (a, b) else (b, a) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        order := key :: !order
+      end
+    end
+  in
+  List.iter
+    (fun (u, v) -> if u >= 2 && v >= 2 then add (u - 2) (v - 2))
+    (Digraph.edges g);
+  Array.iter
+    (fun (mx : Netlist.mux) ->
+      let segs =
+        Array.to_list mx.mux_inputs
+        |> List.filter_map (function Netlist.Seg i -> Some i | _ -> None)
+      in
+      let rec pairs = function
+        | [] -> ()
+        | x :: rest ->
+            List.iter (add x) rest;
+            pairs rest
+      in
+      pairs segs)
+    net.muxes;
+  List.rev !order
+
+(* Both dominance variants per adjacency: stuck=false is the wired-AND
+   bridge, stuck=true the wired-OR one. *)
+let bridge_universe (net : Netlist.t) =
+  List.concat_map
+    (fun (a, b) ->
+      let site = Bridge_segs (a, b) in
+      [ { site; stuck = false }; { site; stuck = true } ])
+    (bridge_adjacencies net)
+
+(* Selection-control universe: the stuck-at sites that corrupt mux
+   selection rather than scanned data — select/update enables, shadow
+   bits that actually drive addresses, address ports and their TMR
+   replicas — plus broken-voter sites (the voter forwards replica [r]
+   instead of the majority). *)
+let select_universe (net : Netlist.t) =
+  let sites = ref [] in
+  let push s = sites := s :: !sites in
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      push (Seg_select i);
+      if s.seg_shadow > 0 then begin
+        push (Seg_update_en i);
+        for b = 0 to s.seg_shadow - 1 do
+          if driven_muxes net i b <> [] then push (Seg_shadow_reg (i, b))
+        done
+      end)
+    net.segs;
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      Array.iteri
+        (fun b ctrl ->
+          match ctrl with
+          | Netlist.Ctrl_const _ -> ()
+          | Netlist.Ctrl_shadow _ | Netlist.Ctrl_primary _ ->
+              push (Mux_addr (m, b));
+              if mx.mux_tmr then
+                for r = 0 to 2 do
+                  push (Mux_addr_replica (m, b, r))
+                done)
+        mx.mux_addr)
+    net.muxes;
+  let stuck_pairs =
+    List.concat_map
+      (fun site -> [ { site; stuck = false }; { site; stuck = true } ])
+      (List.rev !sites)
+  in
+  (* Voter faults carry no polarity: the broken voter forwards replica
+     [r] verbatim, and with a single fault all three replicas hold the
+     correct value, so only one variant per replica is enumerated. *)
+  let voters = ref [] in
+  Array.iteri
+    (fun m (mx : Netlist.mux) ->
+      if mx.mux_tmr then
+        Array.iteri
+          (fun b ctrl ->
+            match ctrl with
+            | Netlist.Ctrl_const _ -> ()
+            | Netlist.Ctrl_shadow _ | Netlist.Ctrl_primary _ ->
+                for r = 0 to 2 do
+                  voters := { site = Mux_voter (m, b, r); stuck = false } :: !voters
+                done)
+          mx.mux_addr)
+    net.muxes;
+  stuck_pairs @ List.rev !voters
+
+(* Transient (SEU) universe: one glitch per shadow bit, flipping it away
+   from its reset value while the network is otherwise quiescent (the
+   upset-to-reset variant is indistinguishable from the fault-free
+   network).  [stuck] records the upset value. *)
+let transient_universe (net : Netlist.t) =
+  let faults = ref [] in
+  Array.iteri
+    (fun i (s : Netlist.segment) ->
+      for b = 0 to s.seg_shadow - 1 do
+        faults :=
+          { site = Glitch_shadow (i, b); stuck = not s.seg_reset.(b) }
+          :: !faults
+      done)
+    net.segs;
+  List.rev !faults
+
+let universe ?(model = Stuck) (net : Netlist.t) =
+  match model with
+  | Stuck -> stuck_universe net
+  | Bridge -> bridge_universe net
+  | Select -> select_universe net
+  | Transient -> transient_universe net
 
 (* Consumer dataflow vertex of each mux and the set of scan-in successor
    vertices, from the collapsed dataflow view.  Mirrors the engine's
@@ -148,6 +299,11 @@ let to_injection (net : Netlist.t) f =
       if net.Netlist.dual_ports then base else { base with stuck_pi = Some v }
   | Primary_out ->
       if net.Netlist.dual_ports then base else { base with stuck_po = Some v }
+  (* Bridges and transient upsets are not expressible as static simulator
+     overrides (a bridge couples two wires, a glitch is a state change,
+     not a forcing); callers needing their semantics go through the
+     accessibility engines, which derive them from the summary. *)
+  | Bridge_segs _ | Mux_voter _ | Glitch_shadow _ -> base
 
 let weight (_net : Netlist.t) (_f : t) = 1
 
@@ -164,6 +320,7 @@ type summary = {
   sm_mux_in : (int * int) list;
   sm_locked_addr : (int * int * bool) list;
   sm_stuck_shadow : (int * int * bool) list;
+  sm_glitch_shadow : (int * int * bool) list;
   sm_pi_dead : bool;
   sm_po_dead : bool;
 }
@@ -180,6 +337,7 @@ let empty_summary =
     sm_mux_in = [];
     sm_locked_addr = [];
     sm_stuck_shadow = [];
+    sm_glitch_shadow = [];
     sm_pi_dead = false;
     sm_po_dead = false;
   }
@@ -219,6 +377,7 @@ let summary_union a b =
     sm_mux_in = a.sm_mux_in @ b.sm_mux_in;
     sm_locked_addr = a.sm_locked_addr @ b.sm_locked_addr;
     sm_stuck_shadow = a.sm_stuck_shadow @ b.sm_stuck_shadow;
+    sm_glitch_shadow = a.sm_glitch_shadow @ b.sm_glitch_shadow;
     sm_pi_dead = a.sm_pi_dead || b.sm_pi_dead;
     sm_po_dead = a.sm_po_dead || b.sm_po_dead;
   }
@@ -263,7 +422,26 @@ let summarize ?port_masked (net : Netlist.t) f =
       | Primary_in ->
           if net.Netlist.dual_ports then e else { e with sm_pi_dead = true }
       | Primary_out ->
-          if net.Netlist.dual_ports then e else { e with sm_po_dead = true })
+          if net.Netlist.dual_ports then e else { e with sm_po_dead = true }
+      (* A bridge between adjacent segments corrupts the data leaving
+         both bridged segments whenever either toggles — under both
+         dominance variants (the polarity only selects WHICH pattern is
+         destroyed, not WHETHER data integrity can be relied on), so
+         wired-AND and wired-OR collapse into one class per adjacency.
+         The summary is exactly the union of the two segments'
+         scan-out-stuck summaries: corrupt output data plus the local
+         read kill, the same split both engines already implement. *)
+      | Bridge_segs (a, b) ->
+          { e with sm_corrupt_out = [ a; b ]; sm_kill_read = [ a; b ] }
+      | Mux_voter _ -> e (* unreachable: is_masked *)
+      (* A transient upset of a TMR-protected shadow bit is outvoted at
+         every address port it drives and overwritten by the next update,
+         so it is benign; otherwise the upset leaves the network in the
+         glitched state and the verdict is a recovery-reachability
+         question, delegated to the engines via [sm_glitch_shadow]. *)
+      | Glitch_shadow (i, b) ->
+          if tmr_protected_shadow net i b then e
+          else { e with sm_glitch_shadow = [ (i, b, stuck) ] })
 
 type clas = {
   cls_rep : t;
@@ -318,7 +496,16 @@ let pp net fmt f =
     | Mux_out m -> Printf.sprintf "%s.out" (mux m)
     | Primary_in -> "primary.scan-in"
     | Primary_out -> "primary.scan-out"
+    | Bridge_segs (a, b) -> Printf.sprintf "%s~%s.bridge" (seg a) (seg b)
+    | Mux_voter (m, b, r) -> Printf.sprintf "%s.addr[%d].voter%d" (mux m) b r
+    | Glitch_shadow (i, b) -> Printf.sprintf "%s.shadow[%d]" (seg i) b
   in
-  Format.fprintf fmt "%s/sa%d" s (if f.stuck then 1 else 0)
+  match f.site with
+  | Bridge_segs _ ->
+      Format.fprintf fmt "%s/%s" s (if f.stuck then "or" else "and")
+  | Mux_voter _ -> Format.fprintf fmt "%s/pass" s
+  | Glitch_shadow _ ->
+      Format.fprintf fmt "%s/seu%d" s (if f.stuck then 1 else 0)
+  | _ -> Format.fprintf fmt "%s/sa%d" s (if f.stuck then 1 else 0)
 
 let to_string net f = Format.asprintf "%a" (pp net) f

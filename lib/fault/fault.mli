@@ -1,13 +1,34 @@
-(** Stuck-at fault model for RSNs (paper §III-A).
+(** Fault models for RSNs.
 
-    Fault sites are the ports of scan segments, registers and multiplexers,
-    plus the primary scan ports — the universe over which the paper's
+    The core universe is the paper's single stuck-at model (§III-A): fault
+    sites are the ports of scan segments, registers and multiplexers, plus
+    the primary scan ports — the universe over which the paper's
     fault-tolerance metric aggregates.  Faults in global control (clock,
     reset) are excluded, as in the paper.
 
     For TMR-hardened multiplexer addresses the three replica sites are
     enumerated but masked (a single stuck-at is outvoted); the voter output
-    remains an unmasked site that locks the selection. *)
+    remains an unmasked site that locks the selection.
+
+    Three further {!model}s reuse the same machinery (summaries,
+    collapsing, both accessibility engines) over different site universes:
+    bridging faults between adjacent scan segments, selection-control
+    faults (select lines, address logic, broken TMR voters), and transient
+    single-event upsets of shadow bits, whose verdict is a
+    recovery-reachability question. *)
+
+type model = Stuck | Bridge | Select | Transient
+(** Which fault universe {!universe} enumerates.  [Stuck] (the default
+    everywhere) is the paper's single stuck-at universe; [Bridge] is
+    wired-AND/wired-OR bridges between adjacent scan segments; [Select]
+    restricts to the sites that corrupt mux selection (plus broken-voter
+    sites); [Transient] is one single-event upset per shadow bit, where
+    accessibility means a fault-free reconfiguration sequence recovers the
+    target after the glitch. *)
+
+val all_models : model list
+val model_to_string : model -> string
+val model_of_string : string -> model option
 
 type site =
   | Seg_scan_in of int        (** data corrupted entering the segment *)
@@ -24,11 +45,33 @@ type site =
   | Mux_out of int            (** output port *)
   | Primary_in                (** primary scan-in port *)
   | Primary_out               (** primary scan-out port *)
+  | Bridge_segs of int * int
+      (** bridge between the scan wires of two adjacent segments
+          (canonical [a < b]); [stuck = false] is the wired-AND variant,
+          [stuck = true] the wired-OR one *)
+  | Mux_voter of int * int * int
+      (** broken TMR voter of mux [m], address bit [b]: forwards replica
+          [r] instead of the majority; masked under single faults (all
+          replicas carry the correct value) *)
+  | Glitch_shadow of int * int
+      (** transient upset of shadow bit [(seg, bit)]; [stuck] is the
+          upset value the bit holds when the glitch lands *)
 
 type t = { site : site; stuck : bool }
 
-val universe : Ftrsn_rsn.Netlist.t -> t list
-(** All single stuck-at-0/1 faults of the netlist. *)
+val universe : ?model:model -> Ftrsn_rsn.Netlist.t -> t list
+(** The fault universe of the given {!model} (default [Stuck]: all single
+    stuck-at-0/1 faults of the netlist).  [Bridge] enumerates both
+    dominance variants per adjacency ({!bridge_adjacencies}); [Select]
+    the selection-control stuck-ats plus one broken-voter fault per TMR
+    replica; [Transient] one upset per shadow bit, flipping it away from
+    its reset value (the reset-valued upset is indistinguishable from
+    fault-free). *)
+
+val bridge_adjacencies : Ftrsn_rsn.Netlist.t -> (int * int) list
+(** Adjacent segment pairs (canonical [a < b], deduplicated, deterministic
+    order): segments connected by a dataflow edge, or driving data inputs
+    of the same multiplexer. *)
 
 val is_masked : Ftrsn_rsn.Netlist.t -> t -> bool
 (** Whether the fault is structurally masked by hardening: TMR address
@@ -83,6 +126,11 @@ type summary = {
   sm_mux_in : (int * int) list;     (** (mux, canonical input) data faults *)
   sm_locked_addr : (int * int * bool) list;  (** mux addr bits forced *)
   sm_stuck_shadow : (int * int * bool) list; (** shadow bits pinned *)
+  sm_glitch_shadow : (int * int * bool) list;
+      (** shadow bits transiently upset to the given value: the network
+          starts from reset-with-these-bits-flipped instead of reset, and
+          the bits remain rewritable afterwards (contrast
+          [sm_stuck_shadow], which pins forever) *)
   sm_pi_dead : bool;
   sm_po_dead : bool;
 }

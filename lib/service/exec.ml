@@ -85,7 +85,7 @@ let run_probe e (q : Query.probe_q) =
         match q.Query.pb_fault with
         | None -> Ok None
         | Some fs -> (
-            match Pool.fault_of_string e fs with
+            match Pool.fault_of_string ~model:q.Query.pb_model e fs with
             | Some f -> Ok (Some f)
             | None ->
                 Error
@@ -123,7 +123,7 @@ let run_exn pool = function
             Metric.evaluate ?sample:q.Query.mq_sample
               ~domains:q.Query.mq_domains ~engine:q.Query.mq_engine
               ~reduce:q.Query.mq_reduce ~inprocess:q.Query.mq_inprocess
-              ~warm:(Pool.warm e) (Pool.net e)
+              ~model:q.Query.mq_model ~warm:(Pool.warm e) (Pool.net e)
           in
           Response.Metric_r
             (Response.metric_r_of_result ~with_stats:q.Query.mq_with_stats r))
@@ -135,7 +135,7 @@ let run_exn pool = function
               ~domains:q.Query.pq_domains ~engine:q.Query.pq_engine
               ~exhaustive:(q.Query.pq_pair_sample = None)
               ~reduce:q.Query.pq_reduce ~inprocess:q.Query.pq_inprocess
-              ~warm:(Pool.warm e) (Pool.net e)
+              ~model:q.Query.pq_model ~warm:(Pool.warm e) (Pool.net e)
           in
           Response.Metric_r
             (Response.metric_r_of_result ~with_stats:q.Query.pq_with_stats r))
@@ -147,11 +147,13 @@ let run_exn pool = function
             if q.Query.cq_pairs then
               Metric.evaluate_pairs ?fault_sample:q.Query.cq_sample
                 ~domains:q.Query.cq_domains ~engine:`Bmc ~exhaustive:true
-                ~certify:true ~inprocess:q.Query.cq_inprocess ~warm net
+                ~certify:true ~inprocess:q.Query.cq_inprocess
+                ~model:q.Query.cq_model ~warm net
             else
               Metric.evaluate ?sample:q.Query.cq_sample
                 ~domains:q.Query.cq_domains ~engine:`Bmc ~certify:true
-                ~inprocess:q.Query.cq_inprocess ~warm net
+                ~inprocess:q.Query.cq_inprocess ~model:q.Query.cq_model ~warm
+                net
           with
           | r ->
               Response.Metric_r

@@ -12,7 +12,8 @@ type entry = {
   e_synth : Pipeline.result option;  (* Some iff the spec is fault-tolerant *)
   e_mx : Mutex.t;  (* guards the lazily-built lookup tables below *)
   mutable e_segs : (string, int) Hashtbl.t option;
-  mutable e_faults : (string, Fault.t) Hashtbl.t option;
+  mutable e_faults : (Fault.model * (string, Fault.t) Hashtbl.t) list;
+      (* one name table per fault model, built on first use *)
   (* LRU bookkeeping, guarded by the pool lock *)
   mutable e_pins : int;
   mutable e_last : int;
@@ -106,7 +107,7 @@ let build_entry key (spec : Query.net_spec) =
           e_synth = synth;
           e_mx = Mutex.create ();
           e_segs = None;
-          e_faults = None;
+          e_faults = [];
           e_pins = 0;
           e_last = 0;
           e_words = 0;
@@ -234,17 +235,17 @@ let seg_index e name =
       in
       Hashtbl.find_opt tbl name)
 
-let fault_of_string e name =
+let fault_of_string ?(model = Fault.Stuck) e name =
   entry_locked e (fun () ->
       let tbl =
-        match e.e_faults with
+        match List.assoc_opt model e.e_faults with
         | Some tbl -> tbl
         | None ->
             let tbl = Hashtbl.create 256 in
             List.iter
               (fun f -> Hashtbl.replace tbl (Fault.to_string e.e_net f) f)
-              (Fault.universe e.e_net);
-            e.e_faults <- Some tbl;
+              (Fault.universe ~model e.e_net);
+            e.e_faults <- (model, tbl) :: e.e_faults;
             tbl
       in
       Hashtbl.find_opt tbl name)

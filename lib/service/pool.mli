@@ -41,8 +41,13 @@ val synthesis : entry -> Ftrsn_core.Pipeline.result
 val seg_index : entry -> string -> int option
 (** Segment index by name (hash lookup, built on first use). *)
 
-val fault_of_string : entry -> string -> Ftrsn_fault.Fault.t option
-(** Fault by canonical name ({!Ftrsn_fault.Fault.to_string}); table
+val fault_of_string :
+  ?model:Ftrsn_fault.Fault.model ->
+  entry ->
+  string ->
+  Ftrsn_fault.Fault.t option
+(** Fault by canonical name ({!Ftrsn_fault.Fault.to_string}) in the
+    given model's universe (default [Stuck]); one table per model,
     built on first use. *)
 
 val stats : t -> Response.pool_r

@@ -1,3 +1,5 @@
+module Fault = Ftrsn_fault.Fault
+
 type net_spec = {
   ns_source : [ `Itc02 of string | `File of string | `Inline of string ];
   ns_ft : bool;
@@ -29,6 +31,7 @@ type metric_q = {
   mq_engine : engine;
   mq_reduce : bool;
   mq_inprocess : bool;
+  mq_model : Fault.model;
   mq_with_stats : bool;
 }
 
@@ -40,6 +43,7 @@ type pairs_q = {
   pq_engine : engine;
   pq_reduce : bool;
   pq_inprocess : bool;
+  pq_model : Fault.model;
   pq_with_stats : bool;
 }
 
@@ -49,6 +53,7 @@ type certify_q = {
   cq_domains : int;
   cq_pairs : bool;
   cq_inprocess : bool;
+  cq_model : Fault.model;
   cq_with_stats : bool;
 }
 
@@ -56,6 +61,7 @@ type probe_q = {
   pb_net : net_spec;
   pb_target : string;
   pb_fault : string option;
+  pb_model : Fault.model;
   pb_svf : bool;
 }
 
@@ -95,6 +101,8 @@ let opt_int k = function
 
 let engine_str = function `Structural -> "structural" | `Bmc -> "bmc"
 
+let model_field m = ("fault_model", Json.Str (Fault.model_to_string m))
+
 let encode = function
   | Metric q ->
       Json.Obj
@@ -105,6 +113,7 @@ let encode = function
             ("engine", Json.Str (engine_str q.mq_engine));
             ("reduce", Json.Bool q.mq_reduce);
             ("inprocess", Json.Bool q.mq_inprocess);
+            model_field q.mq_model;
             ("with_stats", Json.Bool q.mq_with_stats);
           ])
   | Pairs q ->
@@ -117,6 +126,7 @@ let encode = function
             ("engine", Json.Str (engine_str q.pq_engine));
             ("reduce", Json.Bool q.pq_reduce);
             ("inprocess", Json.Bool q.pq_inprocess);
+            model_field q.pq_model;
             ("with_stats", Json.Bool q.pq_with_stats);
           ])
   | Certify q ->
@@ -127,6 +137,7 @@ let encode = function
             ("domains", Json.Int q.cq_domains);
             ("pairs", Json.Bool q.cq_pairs);
             ("inprocess", Json.Bool q.cq_inprocess);
+            model_field q.cq_model;
             ("with_stats", Json.Bool q.cq_with_stats);
           ])
   | Probe q ->
@@ -139,7 +150,7 @@ let encode = function
         @ (match q.pb_fault with
           | None -> []
           | Some f -> [ ("fault", Json.Str f) ])
-        @ [ ("svf", Json.Bool q.pb_svf) ])
+        @ [ model_field q.pb_model; ("svf", Json.Bool q.pb_svf) ])
   | Diagnose q ->
       Json.Obj
         ([ ("op", Json.Str "diagnose"); ("net", encode_net q.dq_net) ]
@@ -193,6 +204,18 @@ let decode_engine v =
   | Some "bmc" -> `Bmc
   | Some e -> fail "unknown engine %S (expected \"structural\" or \"bmc\")" e
 
+let decode_model v =
+  match Json.get_str_opt "fault_model" v with
+  | None -> Fault.Stuck
+  | Some s -> (
+      match Fault.model_of_string s with
+      | Some m -> m
+      | None ->
+          fail
+            "unknown fault_model %S (expected \"stuck\", \"bridge\", \
+             \"select\" or \"transient\")"
+            s)
+
 let decode v =
   match Json.get_str_opt "op" v with
   | None -> fail "missing field \"op\""
@@ -205,6 +228,7 @@ let decode v =
           mq_engine = decode_engine v;
           mq_reduce = Json.get_bool_default "reduce" true v;
           mq_inprocess = Json.get_bool_default "inprocess" true v;
+          mq_model = decode_model v;
           mq_with_stats = Json.get_bool_default "with_stats" false v;
         }
   | Some "pairs" ->
@@ -217,6 +241,7 @@ let decode v =
           pq_engine = decode_engine v;
           pq_reduce = Json.get_bool_default "reduce" true v;
           pq_inprocess = Json.get_bool_default "inprocess" true v;
+          pq_model = decode_model v;
           pq_with_stats = Json.get_bool_default "with_stats" false v;
         }
   | Some "certify" ->
@@ -227,6 +252,7 @@ let decode v =
           cq_domains = Json.get_int_default "domains" 1 v;
           cq_pairs = Json.get_bool_default "pairs" false v;
           cq_inprocess = Json.get_bool_default "inprocess" true v;
+          cq_model = decode_model v;
           cq_with_stats = Json.get_bool_default "with_stats" false v;
         }
   | Some "probe" ->
@@ -235,6 +261,7 @@ let decode v =
           pb_net = decode_net v;
           pb_target = Json.get_str "target" v;
           pb_fault = Json.get_str_opt "fault" v;
+          pb_model = decode_model v;
           pb_svf = Json.get_bool_default "svf" false v;
         }
   | Some "diagnose" ->

@@ -34,6 +34,9 @@ type metric_q = {
   mq_reduce : bool;
   mq_inprocess : bool;
       (** SAT inprocessing on the sessions (BMC engine; default on) *)
+  mq_model : Ftrsn_fault.Fault.model;
+      (** fault universe to evaluate (wire field ["fault_model"]:
+          "stuck" | "bridge" | "select" | "transient"; default stuck) *)
   mq_with_stats : bool;
       (** include the volatile statistics (steals, solver counters) in
           the response; off by default so that warm responses are
@@ -50,6 +53,8 @@ type pairs_q = {
   pq_engine : engine;
   pq_reduce : bool;
   pq_inprocess : bool;
+  pq_model : Ftrsn_fault.Fault.model;
+      (** as [mq_model]; [Transient] is rejected (pairs undefined) *)
   pq_with_stats : bool;
 }
 
@@ -59,6 +64,7 @@ type certify_q = {
   cq_domains : int;
   cq_pairs : bool;  (** certify the exhaustive pair sweep instead *)
   cq_inprocess : bool;
+  cq_model : Ftrsn_fault.Fault.model;  (** as [mq_model] *)
   cq_with_stats : bool;
 }
 
@@ -66,6 +72,8 @@ type probe_q = {
   pb_net : net_spec;
   pb_target : string;          (** segment name *)
   pb_fault : string option;    (** canonical fault name, as [Fault.to_string] *)
+  pb_model : Ftrsn_fault.Fault.model;
+      (** universe [pb_fault] is resolved against (default stuck) *)
   pb_svf : bool;               (** return SVF vectors (fault-free only) *)
 }
 

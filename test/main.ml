@@ -13,6 +13,7 @@ let () =
       ("access", Test_access.suite);
       ("core", Test_core.suite);
       ("bmc", Test_bmc.suite);
+      ("fault-models", Test_fault_models.suite);
       ("itc02", Test_itc02.suite);
       ("service", Test_service.suite);
     ]

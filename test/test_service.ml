@@ -109,6 +109,7 @@ let sample_queries () =
         mq_sample = Some 7;
         mq_domains = 2;
         mq_engine = `Bmc;
+        mq_model = Fault.Bridge;
         mq_reduce = false;
         mq_inprocess = false;
         mq_with_stats = true;
@@ -119,6 +120,7 @@ let sample_queries () =
         mq_sample = None;
         mq_domains = 1;
         mq_engine = `Structural;
+        mq_model = Fault.Transient;
         mq_reduce = true;
         mq_inprocess = true;
         mq_with_stats = false;
@@ -130,6 +132,7 @@ let sample_queries () =
         pq_pair_sample = None;
         pq_domains = 4;
         pq_engine = `Structural;
+        pq_model = Fault.Select;
         pq_reduce = true;
         pq_inprocess = true;
         pq_with_stats = false;
@@ -141,6 +144,7 @@ let sample_queries () =
         pq_pair_sample = Some 37;
         pq_domains = 1;
         pq_engine = `Bmc;
+        pq_model = Fault.Stuck;
         pq_reduce = false;
         pq_inprocess = false;
         pq_with_stats = true;
@@ -151,6 +155,7 @@ let sample_queries () =
         cq_sample = Some 29;
         cq_domains = 2;
         cq_pairs = true;
+        cq_model = Fault.Select;
         cq_inprocess = false;
         cq_with_stats = false;
       };
@@ -159,10 +164,17 @@ let sample_queries () =
         Query.pb_net = net;
         pb_target = "core1.sib";
         pb_fault = Some "core1.sib.shadow[0]/sa0";
+        pb_model = Fault.Bridge;
         pb_svf = false;
       };
     Query.Probe
-      { Query.pb_net = neti; pb_target = "a"; pb_fault = None; pb_svf = true };
+      {
+        Query.pb_net = neti;
+        pb_target = "a";
+        pb_fault = None;
+        pb_model = Fault.Stuck;
+        pb_svf = true;
+      };
     Query.Diagnose
       {
         Query.dq_net = net;
@@ -366,16 +378,44 @@ let test_decode_line_errors () =
   | Ok (Query.Stats, Some (Json.Str "q1")) -> ()
   | _ -> Alcotest.fail "stats with id"
 
+(* Wire compatibility for the fault_model field: absent = stuck (so
+   pre-fault-model clients keep working), every model name decodes,
+   unknown names are rejected. *)
+let test_fault_model_wire () =
+  let base = "{\"op\":\"metric\",\"net\":{\"itc02\":\"d695\"}" in
+  (match Query.decode_line (base ^ "}") with
+  | Ok (Query.Metric { mq_model = m; _ }, _) ->
+      check bool_t "absent fault_model defaults to stuck" true (m = Fault.Stuck)
+  | _ -> Alcotest.fail "metric without fault_model rejected");
+  List.iter
+    (fun m ->
+      let line =
+        Printf.sprintf "%s,\"fault_model\":\"%s\"}" base
+          (Fault.model_to_string m)
+      in
+      match Query.decode_line line with
+      | Ok (Query.Metric { mq_model = m'; _ }, _) ->
+          check bool_t
+            (Printf.sprintf "fault_model %s decodes" (Fault.model_to_string m))
+            true (m = m')
+      | _ -> Alcotest.fail ("rejected " ^ line))
+    Fault.all_models;
+  match Query.decode_line (base ^ ",\"fault_model\":\"cosmic\"}") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown fault_model accepted"
+
 (* ------------------------------------------------------------------ *)
 (* Pool behaviour                                                      *)
 
-let metric_q ?(with_stats = false) ?(engine = `Structural) ?sample spec =
+let metric_q ?(with_stats = false) ?(engine = `Structural)
+    ?(model = Fault.Stuck) ?sample spec =
   Query.Metric
     {
       Query.mq_net = spec;
       mq_sample = sample;
       mq_domains = 1;
       mq_engine = engine;
+      mq_model = model;
       mq_reduce = true;
       mq_inprocess = true;
       mq_with_stats = with_stats;
@@ -449,6 +489,8 @@ let test_warm_equals_cold () =
       metric_q (Lazy.force tiny_spec);
       metric_q ~engine:`Bmc (Lazy.force tiny_spec);
       metric_q (Lazy.force small_spec);
+      metric_q ~model:Fault.Bridge (Lazy.force tiny_spec);
+      metric_q ~model:Fault.Transient (Lazy.force tiny_spec);
       Query.Pairs
         {
           Query.pq_net = Lazy.force tiny_spec;
@@ -456,6 +498,7 @@ let test_warm_equals_cold () =
           pq_pair_sample = None;
           pq_domains = 1;
           pq_engine = `Structural;
+          pq_model = Fault.Stuck;
           pq_reduce = true;
           pq_inprocess = true;
           pq_with_stats = false;
@@ -466,6 +509,7 @@ let test_warm_equals_cold () =
           cq_sample = None;
           cq_domains = 1;
           cq_pairs = false;
+          cq_model = Fault.Stuck;
           cq_inprocess = true;
           cq_with_stats = false;
         };
@@ -482,6 +526,62 @@ let test_warm_equals_cold () =
           cold warm
       done)
     qs
+
+(* One pooled entry serving several fault models: the per-model warm
+   state (class arrays, name tables) must never cross-contaminate, and
+   the warm answer for each model must match a cold run of just that
+   model.  The interleaving below deliberately alternates models on the
+   same entry before re-asking the first one. *)
+let test_warm_pool_model_isolation () =
+  let spec = Lazy.force small_spec in
+  let cold m =
+    Response.to_string (Exec.run (Pool.create ()) (metric_q ~model:m spec))
+  in
+  let colds = List.map (fun m -> (m, cold m)) Fault.all_models in
+  let pool = Pool.create () in
+  let ask m = Response.to_string (Exec.run pool (metric_q ~model:m spec)) in
+  (* two alternating sweeps, then a reversed one *)
+  for sweep = 1 to 2 do
+    List.iter
+      (fun m ->
+        check string_t
+          (Printf.sprintf "sweep %d: warm %s = cold" sweep
+             (Fault.model_to_string m))
+          (List.assoc m colds) (ask m))
+      Fault.all_models
+  done;
+  List.iter
+    (fun m ->
+      check string_t
+        (Printf.sprintf "reverse sweep: warm %s = cold" (Fault.model_to_string m))
+        (List.assoc m colds) (ask m))
+    (List.rev Fault.all_models);
+  (* distinct models really do see distinct universes on this entry *)
+  let universes =
+    List.map
+      (fun m -> List.length (Fault.universe ~model:m (small_net ())))
+      Fault.all_models
+  in
+  check bool_t "models have distinct universes" true
+    (List.length (List.sort_uniq compare universes) > 1);
+  (* fault name resolution is per model: a stuck name is not served from
+     (or into) another model's table *)
+  (match Pool.acquire pool spec with
+  | Error e -> Alcotest.fail e
+  | Ok entry ->
+      let net = Pool.net entry in
+      let stuck_name = Fault.to_string net (List.hd (Fault.universe net)) in
+      check bool_t "stuck name resolves in stuck table" true
+        (Pool.fault_of_string entry stuck_name <> None);
+      (match Fault.universe ~model:Fault.Transient net with
+      | [] -> ()
+      | tf :: _ ->
+          let tname = Fault.to_string net tf in
+          check bool_t "transient name resolves in transient table" true
+            (Pool.fault_of_string ~model:Fault.Transient entry tname <> None);
+          check bool_t "transient name absent from stuck table" true
+            (Pool.fault_of_string entry tname = None));
+      Pool.release pool entry)
 
 (* Interleaved concurrent queries over multiple netlists on one shared
    pool: every response must be bit-identical to a fresh one-shot run of
@@ -500,6 +600,8 @@ let prop_concurrent_interleaving =
          metric_q ~engine:`Bmc tiny;
          metric_q small;
          metric_q ~sample:2 small;
+         metric_q ~model:Fault.Bridge tiny;
+         metric_q ~model:Fault.Transient small;
          Query.Pairs
            {
              Query.pq_net = tiny;
@@ -507,6 +609,7 @@ let prop_concurrent_interleaving =
              pq_pair_sample = None;
              pq_domains = 1;
              pq_engine = `Structural;
+             pq_model = Fault.Stuck;
              pq_reduce = true;
              pq_inprocess = true;
              pq_with_stats = false;
@@ -516,6 +619,7 @@ let prop_concurrent_interleaving =
              Query.pb_net = tiny;
              pb_target = "a";
              pb_fault = Some probe_fault;
+             pb_model = Fault.Stuck;
              pb_svf = false;
            };
          Query.Diagnose
@@ -677,12 +781,16 @@ let suite =
     Alcotest.test_case "response: exit codes" `Quick test_exit_codes;
     Alcotest.test_case "query: decode_line errors" `Quick
       test_decode_line_errors;
+    Alcotest.test_case "query: fault_model wire compatibility" `Quick
+      test_fault_model_wire;
     Alcotest.test_case "pool: hits and counters" `Quick
       test_pool_hits_and_counters;
     Alcotest.test_case "pool: LRU eviction under byte budget" `Quick
       test_pool_lru_eviction;
     Alcotest.test_case "warm pooled runs = cold runs (all engines)" `Quick
       test_warm_equals_cold;
+    Alcotest.test_case "warm pool: fault models are isolated" `Quick
+      test_warm_pool_model_isolation;
     Testseed.to_alcotest prop_concurrent_interleaving;
     Alcotest.test_case "serve: serial mode is in-order and deterministic"
       `Quick test_serve_serial_order;
