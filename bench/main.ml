@@ -286,9 +286,82 @@ let double_fault =
              ignore
                (Metric.evaluate_pairs ~exhaustive:true ~fault_sample:16
                   u226_ft)));
+      Test.make ~name:"pairs_scalar_u226_s16"
+        (Staged.stage (fun () ->
+             ignore
+               (Metric.evaluate_pairs ~exhaustive:true ~lanes:false
+                  ~fault_sample:16 u226)));
       Test.make ~name:"pairs_reduced_u226_full"
         (Staged.stage (fun () ->
              ignore (Metric.evaluate_pairs ~exhaustive:true u226)));
+    ]
+
+(* Lane-parallel stacked baselines: the amortized per-pair cost of the
+   interacting-pair path.  Each stacked_lane_per_pair_* run consumes one
+   secondary verdict from a rotating queue over the network's lane
+   batches, all rooted at ONE prebuilt stacked baseline (the first
+   non-benign class plays the primary); a refill pays one shared
+   union-cone fixpoint for a whole batch, so the OLS slope is the honest
+   amortized cost of one (primary, secondary) verdict.  The
+   stacked_scalar_per_pair_* rows run [Engine.analyze_delta_on] over the
+   SAME batched secondaries one at a time — the pre-lane cost of exactly
+   the same verdicts, so lane/scalar is the per-pair speedup the
+   end-to-end pairs_scalar_u226_s16 ablation shows at sweep scale. *)
+let stacked_pair_inputs net ctx =
+  let base = Engine.baseline ctx in
+  let classes = Array.of_list (Fault.collapse net (Fault.universe net)) in
+  let sms = Array.map (fun c -> c.Fault.cls_summary) classes in
+  let primary =
+    match Array.find_opt (fun sm -> not (Fault.summary_benign sm)) sms with
+    | Some sm -> sm
+    | None -> sms.(0)
+  in
+  let stk = Engine.stack ctx base primary in
+  let _, batches = Engine.lane_plan base sms in
+  let batches =
+    Array.of_list (List.map (Array.map (fun i -> sms.(i))) batches)
+  in
+  (stk, batches)
+
+let stacked_lane_per_pair net ctx =
+  let stk, batches = stacked_pair_inputs net ctx in
+  if Array.length batches = 0 then fun () -> ()
+  else
+    let next = ref 0 and pending = ref 0 in
+    fun () ->
+      if !pending = 0 then begin
+        let b = batches.(!next) in
+        next := (!next + 1) mod Array.length batches;
+        ignore (Engine.analyze_lane_batch_on ctx stk b);
+        pending := Array.length b
+      end;
+      decr pending
+
+let stacked_scalar_per_pair net ctx =
+  let stk, batches = stacked_pair_inputs net ctx in
+  let sms = Array.concat (Array.to_list batches) in
+  if Array.length sms = 0 then fun () -> ()
+  else
+    let i = ref 0 in
+    fun () ->
+      ignore (Engine.analyze_delta_on ctx stk sms.(!i));
+      i := (!i + 1) mod Array.length sms
+
+let double_fault_lanes =
+  Test.make_grouped ~name:"double_fault_lanes"
+    [
+      Test.make ~name:"stacked_lane_per_pair_small"
+        (Staged.stage (stacked_lane_per_pair small small_ctx));
+      Test.make ~name:"stacked_scalar_per_pair_small"
+        (Staged.stage (stacked_scalar_per_pair small small_ctx));
+      Test.make ~name:"stacked_lane_per_pair_u226"
+        (Staged.stage (stacked_lane_per_pair u226 u226_ctx));
+      Test.make ~name:"stacked_scalar_per_pair_u226"
+        (Staged.stage (stacked_scalar_per_pair u226 u226_ctx));
+      Test.make ~name:"stacked_lane_per_pair_u226_ft"
+        (Staged.stage (stacked_lane_per_pair u226_ft u226_ft_ctx));
+      Test.make ~name:"stacked_scalar_per_pair_u226_ft"
+        (Staged.stage (stacked_scalar_per_pair u226_ft u226_ft_ctx));
     ]
 
 (* Non-stuck fault universes through the same reduction machinery: what
@@ -580,6 +653,7 @@ let all_tests =
       table1;
       ablation_solvers;
       ablation_engines;
+      double_fault_lanes;
       bmc_incremental;
       primitives;
       extensions;
@@ -828,6 +902,18 @@ let smoke () =
       ()
   | Some _ -> failwith "smoke: pair dispatch stats do not cover all pairs"
   | None -> failwith "smoke: exhaustive pair sweep reported no stats");
+  (* the lane-parallel stacked path and its scalar ablation agree with
+     each other (and, transitively, with the brute enumeration above) *)
+  let psc = Metric.evaluate_pairs ~exhaustive:true ~lanes:false small in
+  if
+    pr.Metric.worst_segments <> psc.Metric.worst_segments
+    || pr.Metric.avg_segments <> psc.Metric.avg_segments
+    || pr.Metric.worst_bits <> psc.Metric.worst_bits
+    || pr.Metric.avg_bits <> psc.Metric.avg_bits
+  then failwith "smoke: lane pair sweep disagrees with scalar stacked path";
+  (match Metric.evaluate_pairs ~model:Fault.Transient small with
+  | exception Metric.Unsupported _ -> ()
+  | _ -> failwith "smoke: transient pairs must raise Metric.Unsupported");
   ignore (Metric.evaluate ~sample:16 ~domains:2 u226);
   ignore (Engine.analyze small_ctx (Some small_fault));
   ignore (Bmc.check_access small_bmc ~fault:small_fault ~target:2 ());
@@ -985,8 +1071,20 @@ let () =
     (List.sort compare !rows);
   if Array.exists (( = ) "--json") Sys.argv then begin
     let root = repo_root () in
+    (* A dirty capture measures code no commit identifies; make that
+       impossible to miss (CI refuses committed dumps with dirty=true). *)
+    (match git_dirty root with
+    | Some true ->
+        prerr_endline
+          "\n\
+           ************************************************************\n\
+           *** WARNING: dirty working tree (_meta.dirty = true).    ***\n\
+           *** This dump measures code no commit identifies — do    ***\n\
+           *** NOT commit it; rerun from a clean checkout instead.  ***\n\
+           ************************************************************"
+    | _ -> ());
     write_json ~root
-      (Filename.concat root "BENCH_8.json")
+      (Filename.concat root "BENCH_9.json")
       (List.sort compare !rows)
   end;
   (* Clause-reuse profile of one incremental session sweeping the small

@@ -399,10 +399,8 @@ let ablation ?sample socs =
    networks of d695, t512505, p22081 and p93791 are over the line. *)
 let exhaustive_pair_limit = 13_000
 
-let double_faults ?sample socs =
-  Printf.printf "%-9s %9s %8s %12s %11s %12s %11s\n" "SoC" "network" "mode"
-    "segs-worst" "segs-avg" "bits-worst" "bits-avg";
-  List.iter
+let double_fault_sweep ?sample socs =
+  List.concat_map
     (fun soc ->
       let run name spec =
         let n = List.length (Ftrsn_fault.Fault.universe (net_of spec)) in
@@ -424,32 +422,48 @@ let double_faults ?sample socs =
                  pq_engine = `Structural;
                  pq_reduce = true;
                  pq_inprocess = true;
+                 pq_lanes = true;
                  pq_model = Fault.Stuck;
                  pq_with_stats = true;
                })
         in
-        Printf.printf "%-9s %9s %8s %12.3f %11.4f %12.3f %11.4f\n%!"
-          soc.Itc02.soc_name name
-          (if exact then "exact" else "sampled")
-          m.Metric.worst_segments m.Metric.avg_segments m.Metric.worst_bits
-          m.Metric.avg_bits;
-        match m.Metric.pairs with
-        | None -> ()
-        | Some p ->
-            Printf.printf
-              "%-9s %9s          %d classes -> %d class pairs: %d diagonal, \
-               %d disjoint (%.1f%%), %d stacked deltas\n%!"
-              "" ""
-              p.Metric.p_classes p.Metric.p_class_pairs p.Metric.p_diagonal
-              p.Metric.p_disjoint
-              (100.0
-              *. float_of_int p.Metric.p_disjoint
-              /. float_of_int (max 1 p.Metric.p_class_pairs))
-              p.Metric.p_stacked
+        (soc.Itc02.soc_name, name, exact, m)
       in
-      run "original" (soc_spec soc);
-      run "ft" (soc_spec ~ft:true soc))
+      [ run "original" (soc_spec soc); run "ft" (soc_spec ~ft:true soc) ])
     socs
+
+let double_faults ?sample socs =
+  Printf.printf "%-9s %9s %8s %12s %11s %12s %11s\n" "SoC" "network" "mode"
+    "segs-worst" "segs-avg" "bits-worst" "bits-avg";
+  List.iter
+    (fun (soc_name, name, exact, m) ->
+      Printf.printf "%-9s %9s %8s %12.3f %11.4f %12.3f %11.4f\n%!" soc_name
+        name
+        (if exact then "exact" else "sampled")
+        m.Metric.worst_segments m.Metric.avg_segments m.Metric.worst_bits
+        m.Metric.avg_bits;
+      (match m.Metric.pairs with
+      | None -> ()
+      | Some p ->
+          Printf.printf
+            "%-9s %9s          %d classes -> %d class pairs: %d diagonal, \
+             %d disjoint (%.1f%%), %d stacked deltas\n%!"
+            "" ""
+            p.Metric.p_classes p.Metric.p_class_pairs p.Metric.p_diagonal
+            p.Metric.p_disjoint
+            (100.0
+            *. float_of_int p.Metric.p_disjoint
+            /. float_of_int (max 1 p.Metric.p_class_pairs))
+            p.Metric.p_stacked);
+      match m.Metric.pair_lanes with
+      | None -> ()
+      | Some l ->
+          Printf.printf
+            "%-9s %9s          pair lanes: %d batches x %d lanes, %d fast, \
+             %d masked, %d rounds\n%!"
+            "" "" l.Engine.ls_batches l.Engine.ls_lanes l.Engine.ls_fast
+            l.Engine.ls_masked l.Engine.ls_rounds)
+    (double_fault_sweep ?sample socs)
 
 (* Accessibility under the non-stuck fault universes (extension beyond
    the paper): per SoC and network, one metric row per fault model with
@@ -523,30 +537,91 @@ let coverage socs =
         n)
     socs
 
-(* --json output: one object, one array of per-SoC rows per access part.
-   Only the accessibility sweeps have a machine-readable form — they are
-   what CI and EXPERIMENTS.md consume; the other parts stay human. *)
+(* One machine-readable row per (SoC, network) of the double-fault
+   sweep: the metric values plus the pair-dispatch and pair-lane
+   counters (the latter mirror [json_access_row]'s "lanes" object, but
+   count the lane batches rooted at stacked secondary baselines). *)
+let json_double_fault_row (soc, name, exact, m) =
+  let base =
+    [
+      ("soc", Json.Str soc);
+      ("network", Json.Str name);
+      ("mode", Json.Str (if exact then "exact" else "sampled"));
+      ("worst_bits", Json.Float m.Metric.worst_bits);
+      ("avg_bits", Json.Float m.Metric.avg_bits);
+      ("worst_segments", Json.Float m.Metric.worst_segments);
+      ("avg_segments", Json.Float m.Metric.avg_segments);
+      ("faults", Json.Int m.Metric.faults);
+      ("weight", Json.Int m.Metric.total_weight);
+    ]
+  in
+  let pairs =
+    match m.Metric.pairs with
+    | None -> []
+    | Some p ->
+        [
+          ( "pairs",
+            Json.Obj
+              [
+                ("classes", Json.Int p.Metric.p_classes);
+                ("class_pairs", Json.Int p.Metric.p_class_pairs);
+                ("diagonal", Json.Int p.Metric.p_diagonal);
+                ("disjoint", Json.Int p.Metric.p_disjoint);
+                ("stacked", Json.Int p.Metric.p_stacked);
+              ] );
+        ]
+  in
+  let pair_lanes =
+    match m.Metric.pair_lanes with
+    | None -> []
+    | Some l ->
+        [
+          ( "pair_lanes",
+            Json.Obj
+              [
+                ("batches", Json.Int l.Engine.ls_batches);
+                ("lanes", Json.Int l.Engine.ls_lanes);
+                ("masked", Json.Int l.Engine.ls_masked);
+                ("fast", Json.Int l.Engine.ls_fast);
+                ("rounds", Json.Int l.Engine.ls_rounds);
+              ] );
+        ]
+  in
+  Json.Obj (base @ pairs @ pair_lanes)
+
+(* --json output: one object, one array of per-SoC rows per access part
+   (or per double-fault sweep).  Only these parts have a
+   machine-readable form — they are what CI and EXPERIMENTS.md consume;
+   the other parts stay human. *)
 let run_json part socs sample certify inprocess =
-  let parts =
-    (match part with Sib_access | All -> [ ("sib_access", false) ] | _ -> [])
-    @ match part with Ft_access | All -> [ ("ft_access", true) ] | _ -> []
-  in
-  if parts = [] then begin
-    prerr_endline
-      "--json supports only --part sib-access, ft-access or all";
-    exit 1
-  end;
-  let doc =
-    List.map
-      (fun (key, ft) ->
-        ( key,
-          Json.List
-            (List.map json_access_row
-               (access_sweep ?sample ~certify ~inprocess ~ft socs))
-        ))
-      parts
-  in
-  print_endline (Json.to_string (Json.Obj doc))
+  if part = Double_faults then begin
+    let rows = List.map json_double_fault_row (double_fault_sweep ?sample socs) in
+    print_endline
+      (Json.to_string (Json.Obj [ ("double_faults", Json.List rows) ]))
+  end
+  else begin
+    let parts =
+      (match part with Sib_access | All -> [ ("sib_access", false) ] | _ -> [])
+      @ match part with Ft_access | All -> [ ("ft_access", true) ] | _ -> []
+    in
+    if parts = [] then begin
+      prerr_endline
+        "--json supports only --part sib-access, ft-access, double-faults or \
+         all";
+      exit 1
+    end;
+    let doc =
+      List.map
+        (fun (key, ft) ->
+          ( key,
+            Json.List
+              (List.map json_access_row
+                 (access_sweep ?sample ~certify ~inprocess ~ft socs))
+          ))
+        parts
+    in
+    print_endline (Json.to_string (Json.Obj doc))
+  end
 
 let run part socs sample certify inprocess =
   let socs = soc_list socs in
@@ -637,7 +712,7 @@ let () =
     Arg.(value & flag & info [ "no-inprocess" ] ~doc:"Disable SAT inprocessing (subsumption, vivification, bounded variable elimination) on the BMC sessions of certified sweeps; verdicts are identical, only slower.")
   in
   let json =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the accessibility sweeps (sib-access, ft-access) as one JSON object instead of tables; each per-SoC row carries the metric values plus the reduction and lane-batch counters of the structural sweep.  Only valid with --part sib-access, ft-access or all.")
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the accessibility sweeps (sib-access, ft-access) or the double-fault sweep as one JSON object instead of tables; each per-SoC row carries the metric values plus the reduction and lane-batch counters of the structural sweep (pair-dispatch and pair-lane counters for double-faults).  Only valid with --part sib-access, ft-access, double-faults or all.")
   in
   let cmd =
     Cmd.v

@@ -1308,10 +1308,31 @@ let lane_plan base (sms : Fault.summary array) =
   in
   (List.rev !fast, chunk !general @ chunk !port)
 
-let analyze_lane_batch ctx base (sms : Fault.summary array) =
+(* The batch generalized to an arbitrary stacked root (the double-fault
+   sweep: one secondary baseline, up to [lane_width] second faults per
+   fixpoint).  The stacked summary's effect masks are folded into every
+   lane at the occupancy mask [occ] — the word transposition of
+   [stacked_eff] (the scalar entry checks are order-independent, so OR
+   accumulation is exact even when the stacked and delta summaries pin
+   the same shadow bit) — and each lane's writability seed is the
+   STACKED writable set minus the cone of the UNION of the stacked and
+   delta summaries, exactly the cone [analyze_delta_on] restricts its
+   seeded fixpoint to.  [probe_coarse] is sound under any base state
+   (its tables are static over-approximations of dependency), so
+   outside the union cone the combined least fixpoint equals the
+   stacked one: each seed starts at or below its lane's combined least
+   fixpoint and the monotone word iteration converges to exactly it.
+   With a fault-free root ([of_baseline]) this is [analyze_lane_batch]
+   verbatim. *)
+let analyze_lane_batch_on ctx stk (sms : Fault.summary array) =
+  let base = stk.s_base in
   let k = Array.length sms in
   if k = 0 || k > lane_width then
     invalid_arg "Engine.analyze_lane_batch: batch size";
+  (match stk.s_sm with
+  | Some s0 when s0.Fault.sm_glitch_shadow <> [] ->
+      invalid_arg "Engine.analyze_lane_batch: glitch stacked base (scalar only)"
+  | _ -> ());
   Array.iter
     (fun (sm : Fault.summary) ->
       if sm.Fault.sm_glitch_shadow <> [] then
@@ -1344,10 +1365,8 @@ let analyze_lane_batch ctx base (sms : Fault.summary array) =
         req_masks.(ei) <- Some m;
         m
   in
-  Array.iteri
-    (fun l (sm : Fault.summary) ->
-      let bit = 1 lsl l in
-      let set_w a i = a.(i) <- a.(i) lor bit in
+  let fold_summary bit (sm : Fault.summary) =
+    let set_w a i = a.(i) <- a.(i) lor bit in
       List.iter (set_w hard_block_w) sm.Fault.sm_hard_block;
       List.iter (set_w corrupt_vertex_w) sm.Fault.sm_corrupt_vertex;
       List.iter (set_w kill_write_w) sm.Fault.sm_kill_write;
@@ -1410,22 +1429,30 @@ let analyze_lane_batch ctx base (sms : Fault.summary array) =
             base.b_host_edges_all.(cseg))
         sm.Fault.sm_stuck_shadow;
       if sm.Fault.sm_pi_dead then pi_dead_w := !pi_dead_w lor bit;
-      if sm.Fault.sm_po_dead then po_dead_w := !po_dead_w lor bit)
-    sms;
-  (* Writability seeds: baseline writable everywhere, each lane's cone
-     cleared.  [probe_coarse] is the same cone [analyze_delta]
-     restricts its fixpoint to, so each seed is at or below its lane's
-     least fixpoint. *)
+      if sm.Fault.sm_po_dead then po_dead_w := !po_dead_w lor bit
+  in
+  (* The stacked summary holds in EVERY lane; each delta in its own. *)
+  (match stk.s_sm with None -> () | Some s0 -> fold_summary occ s0);
+  Array.iteri (fun l sm -> fold_summary (1 lsl l) sm) sms;
+  (* Writability seeds: stacked writable everywhere, each lane's
+     union-cone cleared.  [probe_coarse] over the union summary is the
+     same cone [analyze_delta_on] restricts its fixpoint to, so each
+     seed is at or below its lane's combined least fixpoint. *)
   let writable_w = Array.make nsegs 0 in
-  let base_writable = base.b_verdict.writable in
+  let stk_writable = stk.s_verdict.writable in
   for i = 0 to nsegs - 1 do
-    if base_writable.(i) then writable_w.(i) <- occ
+    if stk_writable.(i) then writable_w.(i) <- occ
   done;
   let cone_lens = Array.make k 0 in
   Array.iteri
     (fun l sm ->
       let bit = 1 lsl l in
-      let cv, _, _ = probe_coarse ctx base sm in
+      let cone_sm =
+        match stk.s_sm with
+        | None -> sm
+        | Some s0 -> Fault.summary_union s0 sm
+      in
+      let cv, _, _ = probe_coarse ctx base cone_sm in
       let cl = cone_seg_list ctx cv in
       cone_lens.(l) <- List.length cl;
       List.iter (fun i -> writable_w.(i) <- writable_w.(i) land lnot bit) cl)
@@ -1637,6 +1664,43 @@ let analyze_lane_batch ctx base (sms : Fault.summary array) =
     }
   in
   (results, stats)
+
+let analyze_lane_batch ctx base sms =
+  analyze_lane_batch_on ctx (of_baseline base) sms
+
+(* Lane sweep of many summaries against one stacked root: fast-path
+   deltas scalar (they never occupy a lane), the rest shape-grouped and
+   batched by [lane_plan] exactly as the single-fault sweep.  A glitchy
+   stacked root falls back to the scalar delta per summary (the word
+   steering rule has no notion of upset initial values); the verdicts
+   stay bit-identical to [analyze_delta_on] either way. *)
+let analyze_lanes_on ctx stk (sms : Fault.summary array) =
+  let stacked_glitch =
+    match stk.s_sm with
+    | Some s0 -> s0.Fault.sm_glitch_shadow <> []
+    | None -> false
+  in
+  if stacked_glitch then
+    ( Array.map (analyze_delta_on ctx stk) sms,
+      { lane_stats_zero with ls_fast = Array.length sms } )
+  else begin
+    let fast, batches = lane_plan stk.s_base sms in
+    let out = Array.make (Array.length sms) (stk.s_verdict, 0) in
+    let stats = ref lane_stats_zero in
+    List.iter
+      (fun i ->
+        out.(i) <- analyze_delta_on ctx stk sms.(i);
+        stats := { !stats with ls_fast = !stats.ls_fast + 1 })
+      fast;
+    List.iter
+      (fun idxs ->
+        let batch = Array.map (fun i -> sms.(i)) idxs in
+        let vs, st = analyze_lane_batch_on ctx stk batch in
+        Array.iteri (fun j i -> out.(i) <- vs.(j)) idxs;
+        stats := lane_stats_add !stats st)
+      batches;
+    (out, !stats)
+  end
 
 let analyze_lanes_stats ctx ?base (classes : Fault.clas array) =
   let base = match base with Some b -> b | None -> baseline ctx in

@@ -250,6 +250,32 @@ val analyze_delta_on :
     faults, with the delta's cone size.  [analyze_delta] is the special
     case over the fault-free stacked state. *)
 
+val analyze_lane_batch_on :
+  ctx ->
+  stacked ->
+  Ftrsn_fault.Fault.summary array ->
+  (verdict * int) array * lane_stats
+(** {!analyze_lane_batch} rooted at a stacked (possibly faulty) base:
+    one batch of [1 .. lane_width] non-fast, non-glitch summaries swept
+    against the secondary baseline in one shared fixpoint.  The stacked
+    summary's effect masks are folded into every lane, and each lane's
+    writability seed is the stacked writable set minus the cone of the
+    UNION of the stacked and delta summaries — so per summary the
+    verdict and cone size are bit-identical to {!analyze_delta_on} on
+    the same summary.  Raises [Invalid_argument] on a glitchy (transient)
+    stacked base or delta: those stay scalar. *)
+
+val analyze_lanes_on :
+  ctx ->
+  stacked ->
+  Ftrsn_fault.Fault.summary array ->
+  (verdict * int) array * lane_stats
+(** Many summaries against one stacked root: fast classes through the
+    scalar {!analyze_delta_on} fast paths, the rest shape-grouped and
+    chunked by {!lane_plan} into {!analyze_lane_batch_on} sweeps.  Per
+    summary bit-identical to {!analyze_delta_on}; a glitchy stacked root
+    degrades to all-scalar (counted in [ls_fast]) instead of raising. *)
+
 type witness = {
   w_vertices : int list;
       (** dataflow vertices from scan-in to scan-out, through the target *)

@@ -58,7 +58,15 @@ type result = {
   reduction : reduction_stats option;
   lanes : Engine.lane_stats option;
   pairs : pair_stats option;
+  pair_lanes : Engine.lane_stats option;
 }
+
+(* Typed rejection for requests outside an evaluator's semantic scope
+   (transient double faults: two glitches are not a set-wise union of
+   summaries).  Distinct from [Invalid_argument] — which stays reserved
+   for caller bugs like empty fault lists — so the service layer can map
+   it to a stable error variant instead of an internal error. *)
+exception Unsupported of string
 
 let merge_solver a b =
   match (a, b) with
@@ -143,6 +151,7 @@ let merge a b =
     reduction = merge_reduction a.reduction b.reduction;
     lanes = merge_lanes a.lanes b.lanes;
     pairs = merge_pairs a.pairs b.pairs;
+    pair_lanes = merge_lanes a.pair_lanes b.pair_lanes;
   }
 
 (* Integer accumulation of per-fault accessible counts.  All fields are
@@ -186,8 +195,8 @@ let iacc_merge a b =
   a.a_weight <- a.a_weight + b.a_weight;
   a.a_count <- a.a_count + b.a_count
 
-let iacc_result ?(pairs = None) ?(lanes = None) ~what ~nsegs ~nbits ~steals
-    ~solver ~reduction acc =
+let iacc_result ?(pairs = None) ?(lanes = None) ?(pair_lanes = None) ~what
+    ~nsegs ~nbits ~steals ~solver ~reduction acc =
   if acc.a_count = 0 then invalid_arg (what ^ ": empty fault list");
   let fsegs = float_of_int nsegs and fbits = float_of_int nbits in
   let fweight = float_of_int acc.a_weight in
@@ -203,6 +212,7 @@ let iacc_result ?(pairs = None) ?(lanes = None) ~what ~nsegs ~nbits ~steals
     reduction;
     lanes;
     pairs;
+    pair_lanes;
   }
 
 (* ---- dynamic work-stealing scheduler ----
@@ -333,6 +343,90 @@ type pair_prep = {
    so concurrent evaluations of the same netlist share artifacts instead
    of racing to rebuild them.  Sessions are checked out exclusively and
    returned when the evaluation finishes. *)
+(* ---- memoized secondary-baseline (stack) cache ----
+
+   The lane-parallel pair sweep builds each interacting row's stacked
+   baseline ONCE and sweeps lane batches of second summaries against it.
+   Because the steal units are lane batches (not whole rows), several
+   items of the same row — and, across domains, of neighbouring rows —
+   need the same stack: a small LRU-bounded, single-flight cache keyed
+   by first-class index serves them.  The steal cursor claims items in
+   array order, so the working set at any instant is about one stack per
+   domain and [stack_cache_cap] is generous; a warm state keeps the
+   per-model cache across evaluations, so repeated exhaustive sweeps
+   skip the stack builds the way they already skip phase 1. *)
+
+type stack_slot = Stk_built of Engine.stacked | Stk_building
+
+type stack_cache = {
+  sc_lock : Mutex.t;
+  sc_cond : Condition.t;  (* signalled when a build completes or fails *)
+  sc_cap : int;
+  mutable sc_tick : int;  (* LRU clock *)
+  sc_tbl : (int, stack_slot * int ref) Hashtbl.t;
+}
+
+let stack_cache_cap = 64
+
+let stack_cache () =
+  {
+    sc_lock = Mutex.create ();
+    sc_cond = Condition.create ();
+    sc_cap = stack_cache_cap;
+    sc_tick = 0;
+    sc_tbl = Hashtbl.create 64;
+  }
+
+(* [stack_cached sc build i] returns class [i]'s secondary baseline and
+   whether this call actually built it (the caller's [ps_stacks]
+   attribution).  Single-flight: a concurrent request for a stack being
+   built waits on the condition variable instead of duplicating the
+   fixpoint; eviction only ever removes settled entries. *)
+let stack_cached sc build i =
+  Mutex.lock sc.sc_lock;
+  let rec get () =
+    match Hashtbl.find_opt sc.sc_tbl i with
+    | Some (Stk_built s, tick) ->
+        sc.sc_tick <- sc.sc_tick + 1;
+        tick := sc.sc_tick;
+        Mutex.unlock sc.sc_lock;
+        (s, false)
+    | Some (Stk_building, _) ->
+        Condition.wait sc.sc_cond sc.sc_lock;
+        get ()
+    | None ->
+        Hashtbl.replace sc.sc_tbl i (Stk_building, ref 0);
+        Mutex.unlock sc.sc_lock;
+        let s =
+          try build i
+          with e ->
+            Mutex.lock sc.sc_lock;
+            Hashtbl.remove sc.sc_tbl i;
+            Condition.broadcast sc.sc_cond;
+            Mutex.unlock sc.sc_lock;
+            raise e
+        in
+        Mutex.lock sc.sc_lock;
+        sc.sc_tick <- sc.sc_tick + 1;
+        Hashtbl.replace sc.sc_tbl i (Stk_built s, ref sc.sc_tick);
+        if Hashtbl.length sc.sc_tbl > sc.sc_cap then begin
+          let victim = ref (-1) and best = ref max_int in
+          Hashtbl.iter
+            (fun k (slot, tick) ->
+              match slot with
+              | Stk_built _ when k <> i && !tick < !best ->
+                  victim := k;
+                  best := !tick
+              | _ -> ())
+            sc.sc_tbl;
+          if !victim >= 0 then Hashtbl.remove sc.sc_tbl !victim
+        end;
+        Condition.broadcast sc.sc_cond;
+        Mutex.unlock sc.sc_lock;
+        (s, true)
+  in
+  get ()
+
 type warm = {
   w_net : Netlist.t;
   w_lock : Mutex.t;
@@ -343,6 +437,10 @@ type warm = {
       (* one collapsed full universe per fault model; models never share a
          slot, so a bridge evaluation can't serve select classes *)
   mutable w_pair_prep : (Fault.model * (Fault.clas array * pair_prep)) list;
+  mutable w_pair_stacks : (Fault.model * stack_cache) list;
+      (* per-model secondary-baseline caches for the full universe,
+         shared with [w_pair_prep]'s phase-1 tables: the cached class
+         indices refer to the cached class array *)
   mutable w_idle : (bool * Bmc.Session.t) list;  (* (certified, session) *)
 }
 
@@ -355,6 +453,7 @@ let warm net =
     w_model = None;
     w_classes = [];
     w_pair_prep = [];
+    w_pair_stacks = [];
     w_idle = [];
   }
 
@@ -919,6 +1018,7 @@ type pair_state = {
   mutable ps_disjoint : int;
   mutable ps_stacked : int;
   mutable ps_stacks : int;
+  mutable ps_lanes : Engine.lane_stats option;
 }
 
 let pair_state () =
@@ -928,16 +1028,28 @@ let pair_state () =
     ps_disjoint = 0;
     ps_stacked = 0;
     ps_stacks = 0;
+    ps_lanes = None;
   }
 
-(* The row [i]'s pair arithmetic shared by both engines: the diagonal and
-   the disjoint fast path are pure counting; [interact j] supplies the
-   accessible counts of an interacting pair (i, j). *)
-let pair_row pq ps i ~interact =
-  let nc = Array.length pq.pq_sms in
-  (* Diagonal: every unordered pair of distinct members of class i.  The
-     union of two equal summaries is engine-equivalent to the summary
-     itself, so the pair verdict is the class verdict. *)
+(* Can pair (i, j) be composed pointwise?  Disjoint interaction regions
+   and no mutual-support hazard (a fragile segment of one class
+   surviving in the other, a support edge of one killed by the other, a
+   steering host of one losing writability under the other). *)
+let pair_disjoint_gates pq i j =
+  Bitset.disjoint pq.pq_regions.(i) pq.pq_regions.(j)
+  && Bitset.disjoint pq.pq_supp_edges.(i) pq.pq_dead_edges.(j)
+  && Bitset.disjoint pq.pq_supp_edges.(j) pq.pq_dead_edges.(i)
+  && Bitset.disjoint pq.pq_supp.(i) pq.pq_dmg.(j)
+  && Bitset.disjoint pq.pq_supp.(j) pq.pq_dmg.(i)
+  && Bitset.disjoint pq.pq_rhosts.(i) pq.pq_fragile.(j)
+  && Bitset.disjoint pq.pq_rhosts.(j) pq.pq_fragile.(i)
+  && Bitset.disjoint pq.pq_rhosts.(i) pq.pq_wlost.(j)
+  && Bitset.disjoint pq.pq_rhosts.(j) pq.pq_wlost.(i)
+
+(* Diagonal: every unordered pair of distinct members of class i.  The
+   union of two equal summaries is engine-equivalent to the summary
+   itself, so the pair verdict is the class verdict. *)
+let pair_diagonal_add pq ps i =
   ps.ps_diagonal <- ps.ps_diagonal + 1;
   let m = pq.pq_members.(i) in
   let npairs = m * (m - 1) / 2 in
@@ -945,52 +1057,66 @@ let pair_row pq ps i ~interact =
     let w = (pq.pq_weight.(i) * pq.pq_weight.(i)) - pq.pq_sq.(i) in
     iacc_add ps.ps_acc ~w:(w / 2) ~n:npairs ~segs:pq.pq_segs.(i)
       ~bits:pq.pq_bits.(i)
-  end;
+  end
+
+(* Disjoint pair: the pair's accessible set is the intersection of the
+   two classes' — class [keep]'s count minus the partner's lost segments
+   that [keep] still had.  Exact because both accessible sets are
+   subsets of the baseline's (coarse classes have full regions and never
+   get here). *)
+let pair_disjoint_add pq ps i j =
+  ps.ps_disjoint <- ps.ps_disjoint + 1;
+  let keep, lost =
+    if Array.length pq.pq_lost.(j) <= Array.length pq.pq_lost.(i) then
+      (i, pq.pq_lost.(j))
+    else (j, pq.pq_lost.(i))
+  in
+  let acc = pq.pq_acc.(keep) in
+  let dsegs = ref 0 and dbits = ref 0 in
+  Array.iter
+    (fun s ->
+      if Bitset.mem acc s then begin
+        incr dsegs;
+        dbits := !dbits + pq.pq_len.(s)
+      end)
+    lost;
+  iacc_add ps.ps_acc ~w:(pq.pq_weight.(i) * pq.pq_weight.(j))
+    ~n:(pq.pq_members.(i) * pq.pq_members.(j))
+    ~segs:(pq.pq_segs.(keep) - !dsegs)
+    ~bits:(pq.pq_bits.(keep) - !dbits)
+
+(* Interacting pair (i, j) whose combined accessible counts are known. *)
+let pair_interact_add pq ps i j ~segs ~bits =
+  ps.ps_stacked <- ps.ps_stacked + 1;
+  iacc_add ps.ps_acc
+    ~w:(pq.pq_weight.(i) * pq.pq_weight.(j))
+    ~n:(pq.pq_members.(i) * pq.pq_members.(j))
+    ~segs ~bits
+
+(* The row [i]'s pair arithmetic shared by both engines: the diagonal and
+   the disjoint fast path are pure counting; [interact j] supplies the
+   accessible counts of an interacting pair (i, j). *)
+let pair_row pq ps i ~interact =
+  let nc = Array.length pq.pq_sms in
+  pair_diagonal_add pq ps i;
   for j = i + 1 to nc - 1 do
-    let npairs = pq.pq_members.(i) * pq.pq_members.(j) in
-    let w = pq.pq_weight.(i) * pq.pq_weight.(j) in
-    if
-      Bitset.disjoint pq.pq_regions.(i) pq.pq_regions.(j)
-      && Bitset.disjoint pq.pq_supp_edges.(i) pq.pq_dead_edges.(j)
-      && Bitset.disjoint pq.pq_supp_edges.(j) pq.pq_dead_edges.(i)
-      && Bitset.disjoint pq.pq_supp.(i) pq.pq_dmg.(j)
-      && Bitset.disjoint pq.pq_supp.(j) pq.pq_dmg.(i)
-      && Bitset.disjoint pq.pq_rhosts.(i) pq.pq_fragile.(j)
-      && Bitset.disjoint pq.pq_rhosts.(j) pq.pq_fragile.(i)
-      && Bitset.disjoint pq.pq_rhosts.(i) pq.pq_wlost.(j)
-      && Bitset.disjoint pq.pq_rhosts.(j) pq.pq_wlost.(i)
-    then begin
-      (* Disjoint interaction regions and no mutual-support hazard (a
-         fragile segment of one class surviving in the other): the pair's
-         accessible set is the intersection of the two classes' — class
-         [keep]'s count minus the partner's lost segments that [keep]
-         still had.  Exact because both accessible sets are subsets of
-         the baseline's (coarse classes have full regions and never get
-         here). *)
-      ps.ps_disjoint <- ps.ps_disjoint + 1;
-      let keep, lost =
-        if Array.length pq.pq_lost.(j) <= Array.length pq.pq_lost.(i) then
-          (i, pq.pq_lost.(j))
-        else (j, pq.pq_lost.(i))
-      in
-      let acc = pq.pq_acc.(keep) in
-      let dsegs = ref 0 and dbits = ref 0 in
-      Array.iter
-        (fun s ->
-          if Bitset.mem acc s then begin
-            incr dsegs;
-            dbits := !dbits + pq.pq_len.(s)
-          end)
-        lost;
-      iacc_add ps.ps_acc ~w ~n:npairs
-        ~segs:(pq.pq_segs.(keep) - !dsegs)
-        ~bits:(pq.pq_bits.(keep) - !dbits)
-    end
+    if pair_disjoint_gates pq i j then pair_disjoint_add pq ps i j
     else begin
-      ps.ps_stacked <- ps.ps_stacked + 1;
       let segs, bits = interact j in
-      iacc_add ps.ps_acc ~w ~n:npairs ~segs ~bits
+      pair_interact_add pq ps i j ~segs ~bits
     end
+  done
+
+(* [pair_row] with the interacting partners DEFERRED instead of
+   evaluated in place: the lane scheduler's discovery pass, which runs
+   the gates and the pure counting exactly once and hands the
+   interacting column indices (ascending) to the lane-batch planner. *)
+let pair_row_defer pq ps i ~defer =
+  let nc = Array.length pq.pq_sms in
+  pair_diagonal_add pq ps i;
+  for j = i + 1 to nc - 1 do
+    if pair_disjoint_gates pq i j then pair_disjoint_add pq ps i j
+    else defer j
   done
 
 let finish_pair_partials ~net ~nclasses partials =
@@ -1007,11 +1133,13 @@ let finish_pair_partials ~net ~nclasses partials =
         p_stacks = 0;
       }
   in
+  let pair_lanes = ref None in
   List.iter
     (fun ((ps, sv), st) ->
       iacc_merge acc ps.ps_acc;
       steals := !steals + st;
       solver := merge_solver !solver sv;
+      pair_lanes := merge_lanes !pair_lanes ps.ps_lanes;
       stats :=
         {
           !stats with
@@ -1021,11 +1149,37 @@ let finish_pair_partials ~net ~nclasses partials =
           p_stacks = !stats.p_stacks + ps.ps_stacks;
         })
     partials;
-  iacc_result ~pairs:(Some !stats) ~what:"Metric.evaluate_pairs"
-    ~nsegs:(Netlist.num_segments net) ~nbits:(Netlist.total_bits net)
-    ~steals:!steals ~solver:!solver ~reduction:None acc
+  iacc_result ~pairs:(Some !stats) ~pair_lanes:!pair_lanes
+    ~what:"Metric.evaluate_pairs" ~nsegs:(Netlist.num_segments net)
+    ~nbits:(Netlist.total_bits net) ~steals:!steals ~solver:!solver
+    ~reduction:None acc
 
-let evaluate_pairs_reduced_structural ~domains ?warm ~full ~model net faults =
+(* Steal units of the lane-parallel pair sweep: one fast-path chunk or
+   one lane batch of second summaries against one row's secondary
+   baseline.  Batch-granular (not row-granular) so work stealing never
+   shreds a batch: a domain claims whole fixpoints, and a heavy row's
+   batches spread across domains instead of serializing on one. *)
+type pair_item =
+  | Pi_scalar of int * int array  (* row, fast-path partner columns *)
+  | Pi_batch of int * int array   (* row, one lane batch of columns *)
+
+(* The per-model stack cache: served from the warm state for full
+   sweeps (the cached column indices refer to the warm class array,
+   exactly like [w_pair_prep]), private to the evaluation otherwise. *)
+let pair_stacks_of warm ~full ~model =
+  match warm with
+  | Some w when full ->
+      locked w (fun () ->
+          match List.assoc_opt model w.w_pair_stacks with
+          | Some sc -> sc
+          | None ->
+              let sc = stack_cache () in
+              w.w_pair_stacks <- (model, sc) :: w.w_pair_stacks;
+              sc)
+  | _ -> stack_cache ()
+
+let evaluate_pairs_reduced_structural ~domains ?warm ~full ~lanes ~model net
+    faults =
   let ctx = ctx_of warm net in
   let base = base_of warm ctx in
   (* The phase-1 probe tables are a deterministic function of the netlist
@@ -1090,30 +1244,117 @@ let evaluate_pairs_reduced_structural ~domains ?warm ~full ~model net faults =
         (classes, pq, prep_steals)
   in
   let nc = Array.length classes in
-  (* Phase 2: row-granular sweep over first classes; each row lazily
-     builds its secondary baseline the first time it meets an interacting
-     partner. *)
-  let partials =
-    steal_map ~domains (Array.init nc Fun.id)
-      ~init:(fun _ -> pair_state ())
-      ~step:(fun ps i ->
-        let stk = ref None in
-        pair_row pq ps i ~interact:(fun j ->
-            let s =
-              match !stk with
-              | Some s -> s
-              | None ->
-                  let s = Engine.stack ctx base pq.pq_sms.(i) in
-                  ps.ps_stacks <- ps.ps_stacks + 1;
-                  stk := Some s;
-                  s
+  if not lanes then begin
+    (* Scalar ablation path (--no-pair-lanes): the pre-lane scheduler —
+       row-granular sweep over first classes, each row lazily building
+       its secondary baseline the first time it meets an interacting
+       partner.  Kept verbatim as the oracle the lane path is
+       property-tested (and benched) against. *)
+    let partials =
+      steal_map ~domains (Array.init nc Fun.id)
+        ~init:(fun _ -> pair_state ())
+        ~step:(fun ps i ->
+          let stk = ref None in
+          pair_row pq ps i ~interact:(fun j ->
+              let s =
+                match !stk with
+                | Some s -> s
+                | None ->
+                    let s = Engine.stack ctx base pq.pq_sms.(i) in
+                    ps.ps_stacks <- ps.ps_stacks + 1;
+                    stk := Some s;
+                    s
+              in
+              let v, _ = Engine.analyze_delta_on ctx s pq.pq_sms.(j) in
+              count_verdict net v))
+        ~finish:(fun ps -> (ps, None))
+    in
+    let r = finish_pair_partials ~net ~nclasses:nc partials in
+    { r with steals = r.steals + prep_steals }
+  end
+  else begin
+    (* Phase 2a: discovery — run the disjointness gates and the pure
+       counting (diagonal + disjoint) once per row, deferring the
+       interacting columns.  Rows write disjoint slots of [inter], so
+       the domains share the array. *)
+    let inter = Array.make nc [||] in
+    let partials_a =
+      steal_map ~domains (Array.init nc Fun.id)
+        ~init:(fun _ -> pair_state ())
+        ~step:(fun ps i ->
+          let defer = ref [] in
+          pair_row_defer pq ps i ~defer:(fun j -> defer := j :: !defer);
+          if !defer <> [] then inter.(i) <- Array.of_list (List.rev !defer))
+        ~finish:(fun ps -> (ps, None))
+    in
+    (* Phase 2b: lane-batch-granular steal units.  Per interacting row,
+       [Engine.lane_plan] shape-groups the partner summaries (fast
+       classes aside, dead-port batches apart) and every batch becomes
+       one item; the row's secondary baseline is built once, on first
+       use, by whichever domain gets there first. *)
+    let items =
+      let acc = ref [] in
+      for i = 0 to nc - 1 do
+        let js = inter.(i) in
+        if Array.length js > 0 then begin
+          let sms = Array.map (fun j -> pq.pq_sms.(j)) js in
+          let fast, batches = Engine.lane_plan base sms in
+          if fast <> [] then
+            acc :=
+              Pi_scalar (i, Array.of_list (List.map (Array.get js) fast))
+              :: !acc;
+          List.iter
+            (fun idxs -> acc := Pi_batch (i, Array.map (Array.get js) idxs) :: !acc)
+            batches
+        end
+      done;
+      Array.of_list (List.rev !acc)
+    in
+    let sc = pair_stacks_of warm ~full ~model in
+    let partials_b =
+      steal_map ~domains items
+        ~init:(fun _ -> pair_state ())
+        ~step:(fun ps item ->
+          let stack_for i =
+            let s, built =
+              stack_cached sc
+                (fun i -> Engine.stack ctx base pq.pq_sms.(i))
+                i
             in
-            let v, _ = Engine.analyze_delta_on ctx s pq.pq_sms.(j) in
-            count_verdict net v))
-      ~finish:(fun ps -> (ps, None))
-  in
-  let r = finish_pair_partials ~net ~nclasses:nc partials in
-  { r with steals = r.steals + prep_steals }
+            if built then ps.ps_stacks <- ps.ps_stacks + 1;
+            s
+          in
+          match item with
+          | Pi_scalar (i, js) ->
+              let stk = stack_for i in
+              Array.iter
+                (fun j ->
+                  let v, _ = Engine.analyze_delta_on ctx stk pq.pq_sms.(j) in
+                  let segs, bits = count_verdict net v in
+                  pair_interact_add pq ps i j ~segs ~bits)
+                js;
+              ps.ps_lanes <-
+                merge_lanes ps.ps_lanes
+                  (Some
+                     {
+                       Engine.lane_stats_zero with
+                       Engine.ls_fast = Array.length js;
+                     })
+          | Pi_batch (i, js) ->
+              let stk = stack_for i in
+              let batch = Array.map (fun j -> pq.pq_sms.(j)) js in
+              let vs, st = Engine.analyze_lane_batch_on ctx stk batch in
+              ps.ps_lanes <- merge_lanes ps.ps_lanes (Some st);
+              Array.iteri
+                (fun l j ->
+                  let segs, bits = count_verdict net (fst vs.(l)) in
+                  pair_interact_add pq ps i j ~segs ~bits)
+                js)
+        ~finish:(fun ps -> (ps, None))
+    in
+    let r = finish_pair_partials ~net ~nclasses:nc (partials_a @ partials_b) in
+    { r with steals = r.steals + prep_steals }
+  end
 
 let evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full
     ~model net faults =
@@ -1226,21 +1467,23 @@ let evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full
 
 let evaluate_pairs ?(sample = 37) ?fault_sample ?(domains = 1)
     ?(engine = `Structural) ?(exhaustive = false) ?(reduce = true)
-    ?(certify = false) ?(inprocess = true) ?(model = Fault.Stuck) ?warm net =
+    ?(certify = false) ?(inprocess = true) ?(lanes = true)
+    ?(model = Fault.Stuck) ?warm net =
   if certify && engine <> `Bmc then
     invalid_arg "Metric.evaluate_pairs: ~certify:true requires ~engine:`Bmc";
   if model = Fault.Transient then
-    invalid_arg
-      "Metric.evaluate_pairs: transient pairs are unsupported (two glitches \
-       are not a set-wise union of summaries)";
+    raise
+      (Unsupported
+         "transient pairs are unsupported (two glitches are not a set-wise \
+          union of summaries)");
   check_warm warm net "Metric.evaluate_pairs";
   let full = match fault_sample with None -> true | Some k -> k <= 1 in
   let faults = sample_faults fault_sample (Fault.universe ~model net) in
   if exhaustive && reduce then
     match engine with
     | `Structural ->
-        evaluate_pairs_reduced_structural ~domains ?warm ~full ~model net
-          faults
+        evaluate_pairs_reduced_structural ~domains ?warm ~full ~lanes ~model
+          net faults
     | `Bmc ->
         evaluate_pairs_reduced_bmc ~domains ~certify ~inprocess ?warm ~full
           ~model net faults
@@ -1307,6 +1550,9 @@ let pp fmt r =
   (match r.pairs with
   | None -> ()
   | Some p -> Format.fprintf fmt "@,%a" pp_pair_stats p);
+  (match r.pair_lanes with
+  | None -> ()
+  | Some l -> Format.fprintf fmt "@,pair %a" pp_lane_stats l);
   if r.steals > 0 then Format.fprintf fmt "@,steals: %d" r.steals;
   match r.solver with
   | None -> ()

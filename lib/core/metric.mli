@@ -114,7 +114,22 @@ type result = {
           class universe, not of scheduling. *)
   pairs : pair_stats option;
       (** [Some] iff the exhaustive reduced pair sweep produced the result *)
+  pair_lanes : Ftrsn_access.Engine.lane_stats option;
+      (** [Some] iff the lane-parallel stacked pair path produced the
+          interacting-pair verdicts (structural exhaustive sweep with
+          [lanes = true]): one entry per secondary-baseline batch swept
+          by {!Ftrsn_access.Engine.analyze_lane_batch_on}, plus the
+          fast-path partner deltas in [ls_fast].  Deterministic — a
+          function of the class universe and the disjointness gates, not
+          of scheduling. *)
 }
+
+exception Unsupported of string
+(** A request outside an evaluator's semantic scope — today only
+    transient ([Fault.Transient]) double faults, whose glitch pairs are
+    not a set-wise union of summaries.  Typed (rather than
+    [Invalid_argument]) so the service layer can map it to a stable
+    error variant and exit code. *)
 
 (** {2 Warm per-netlist state}
 
@@ -227,13 +242,14 @@ val evaluate_pairs :
   ?reduce:bool ->
   ?certify:bool ->
   ?inprocess:bool ->
+  ?lanes:bool ->
   ?model:Ftrsn_fault.Fault.model ->
   ?warm:warm ->
   Ftrsn_rsn.Netlist.t ->
   result
 (** Double-fault study (beyond the paper's single-fault scope): evaluates
     accessibility under PAIRS of simultaneous faults of the given
-    [model] (default [Stuck]; [Transient] raises [Invalid_argument] —
+    [model] (default [Stuck]; [Transient] raises {!Unsupported} —
     two glitches are not the set-wise union of their summaries, which
     the pair factorization rests on), each pair
     weighted by the product of its faults' weights.
@@ -246,11 +262,21 @@ val evaluate_pairs :
     mutual-support hazard — see {!Ftrsn_access.Engine.probe}) are
     answered arithmetically from the two single-fault verdicts, whose
     pointwise AND the pair verdict provably equals; only the remaining
-    interacting pairs run an engine (a cone delta on a stacked
-    secondary baseline, or a cone-restricted SAT sweep of the merged
-    summary).  The result is bit-identical to the brute pair
-    enumeration ([reduce:false]) in every field, sequentially and for any
-    [domains]; [result.pairs] reports the dispatch statistics.
+    interacting pairs run an engine.  On the structural engine the
+    interacting pairs are lane-parallel by default ([lanes], default
+    [true]): pairs are grouped by first class, each group's secondary
+    baseline is built once (memoized in an LRU-bounded stack cache,
+    shared with the warm state's phase-1 pair tables on full sweeps)
+    and up to {!Ftrsn_access.Engine.lane_width} second classes sweep
+    against it per fixpoint
+    ({!Ftrsn_access.Engine.analyze_lane_batch_on}); [lanes:false] is the
+    scalar ablation (one {!Ftrsn_access.Engine.analyze_delta_on} per
+    pair).  The BMC engine runs a cone-restricted SAT sweep of each
+    merged summary.  The result is bit-identical to the brute pair
+    enumeration ([reduce:false]) — and across [lanes] — in every field,
+    sequentially and for any [domains]; [result.pairs] reports the
+    dispatch statistics and [result.pair_lanes] the stacked-batch lane
+    statistics.
 
     Without [exhaustive] the quadratic universe is subsampled: [sample]
     (default 37) keeps every k-th pair of a deterministic enumeration —
@@ -259,11 +285,15 @@ val evaluate_pairs :
     fault universe itself (as [evaluate ~sample]) before pairing, in
     either mode.
 
-    Work is distributed over [domains] at pair granularity (brute) or
-    first-class-row granularity (exhaustive) by the work-stealing queue —
-    pair costs are highly skewed (port and trunk faults force whole-graph
-    re-analysis), which used to leave the statically-chunked first domain
-    the straggler.
+    Work is distributed over [domains] at pair granularity (brute) or,
+    exhaustively, lane-batch granularity by the work-stealing queue:
+    the discovery pass (gates + pure counting) steals first-class rows,
+    then each secondary-baseline lane batch is one steal unit — so
+    stealing never shreds a batch, and a heavy row's batches spread
+    across domains instead of serializing on one ([lanes:false] falls
+    back to row granularity).  Pair costs are highly skewed (port and
+    trunk faults force whole-graph re-analysis), which used to leave
+    the statically-chunked first domain the straggler.
 
     [certify] behaves as in {!evaluate} (BMC engine only). *)
 

@@ -135,7 +135,8 @@ let run_exn pool = function
               ~domains:q.Query.pq_domains ~engine:q.Query.pq_engine
               ~exhaustive:(q.Query.pq_pair_sample = None)
               ~reduce:q.Query.pq_reduce ~inprocess:q.Query.pq_inprocess
-              ~model:q.Query.pq_model ~warm:(Pool.warm e) (Pool.net e)
+              ~lanes:q.Query.pq_lanes ~model:q.Query.pq_model
+              ~warm:(Pool.warm e) (Pool.net e)
           in
           Response.Metric_r
             (Response.metric_r_of_result ~with_stats:q.Query.pq_with_stats r))
@@ -223,4 +224,5 @@ let run pool q =
   try run_exn pool q with
   | Bmc.Session.Certification_failed msg ->
       Response.error Response.Cert_failed msg
+  | Metric.Unsupported msg -> Response.error Response.Unsupported msg
   | e -> Response.error Response.Internal (Printexc.to_string e)

@@ -1,6 +1,12 @@
 module Metric = Ftrsn_core.Metric
 
-type error_code = Bad_request | Inaccessible | Cert_failed | Admission | Internal
+type error_code =
+  | Bad_request
+  | Inaccessible
+  | Cert_failed
+  | Admission
+  | Internal
+  | Unsupported
 
 type solver_r = {
   so_conflicts : int;
@@ -53,6 +59,7 @@ type metric_stats_r = {
   ms_stacks : int option;
   ms_solver : solver_r option;
   ms_lanes : lanes_r option;
+  ms_pair_lanes : lanes_r option;
 }
 
 type metric_r = {
@@ -113,6 +120,24 @@ let stats_of_solver_r s =
     s_cert_time = s.so_cert_time;
   }
 
+let lanes_r_of_stats (l : Ftrsn_access.Engine.lane_stats) =
+  {
+    la_batches = l.Ftrsn_access.Engine.ls_batches;
+    la_lanes = l.Ftrsn_access.Engine.ls_lanes;
+    la_masked = l.Ftrsn_access.Engine.ls_masked;
+    la_fast = l.Ftrsn_access.Engine.ls_fast;
+    la_rounds = l.Ftrsn_access.Engine.ls_rounds;
+  }
+
+let stats_of_lanes_r l =
+  {
+    Ftrsn_access.Engine.ls_batches = l.la_batches;
+    ls_lanes = l.la_lanes;
+    ls_masked = l.la_masked;
+    ls_fast = l.la_fast;
+    ls_rounds = l.la_rounds;
+  }
+
 let metric_r_of_result ~with_stats (r : Metric.result) =
   {
     mr_worst_segments = r.Metric.worst_segments;
@@ -153,17 +178,8 @@ let metric_r_of_result ~with_stats (r : Metric.result) =
                Option.map (fun (p : Metric.pair_stats) -> p.Metric.p_stacks)
                  r.Metric.pairs;
              ms_solver = Option.map solver_r_of_stats r.Metric.solver;
-             ms_lanes =
-               Option.map
-                 (fun (l : Ftrsn_access.Engine.lane_stats) ->
-                   {
-                     la_batches = l.Ftrsn_access.Engine.ls_batches;
-                     la_lanes = l.Ftrsn_access.Engine.ls_lanes;
-                     la_masked = l.Ftrsn_access.Engine.ls_masked;
-                     la_fast = l.Ftrsn_access.Engine.ls_fast;
-                     la_rounds = l.Ftrsn_access.Engine.ls_rounds;
-                   })
-                 r.Metric.lanes;
+             ms_lanes = Option.map lanes_r_of_stats r.Metric.lanes;
+             ms_pair_lanes = Option.map lanes_r_of_stats r.Metric.pair_lanes;
            });
   }
 
@@ -182,15 +198,11 @@ let result_of_metric_r m =
       | _ -> None);
     lanes =
       (match m.mr_stats with
-      | Some { ms_lanes = Some l; _ } ->
-          Some
-            {
-              Ftrsn_access.Engine.ls_batches = l.la_batches;
-              ls_lanes = l.la_lanes;
-              ls_masked = l.la_masked;
-              ls_fast = l.la_fast;
-              ls_rounds = l.la_rounds;
-            }
+      | Some { ms_lanes = Some l; _ } -> Some (stats_of_lanes_r l)
+      | _ -> None);
+    pair_lanes =
+      (match m.mr_stats with
+      | Some { ms_pair_lanes = Some l; _ } -> Some (stats_of_lanes_r l)
       | _ -> None);
     reduction =
       Option.map
@@ -287,6 +299,7 @@ let exit_code = function
   | Error_r (Inaccessible, _) -> 2
   | Error_r (Cert_failed, _) -> 3
   | Error_r (Admission, _) -> 4
+  | Error_r (Unsupported, _) -> 5
   | _ -> 0
 
 (* ------------------------------------------------------------------ *)
@@ -297,6 +310,7 @@ let code_str = function
   | Inaccessible -> "inaccessible"
   | Cert_failed -> "certification_failed"
   | Admission -> "admission"
+  | Unsupported -> "unsupported"
   | Internal -> "internal"
 
 let code_of_str = function
@@ -304,6 +318,7 @@ let code_of_str = function
   | "inaccessible" -> Inaccessible
   | "certification_failed" -> Cert_failed
   | "admission" -> Admission
+  | "unsupported" -> Unsupported
   | "internal" -> Internal
   | s -> raise (Json.Parse_error (Printf.sprintf "unknown error code %S" s))
 
@@ -352,6 +367,25 @@ let dec_solver v =
     so_cert_lemmas = Json.get_int "cert_lemmas" v;
     so_cert_deletes = Json.get_int "cert_deletes" v;
     so_cert_time = Json.to_float (Json.get "cert_time" v);
+  }
+
+let enc_lanes l =
+  Json.Obj
+    [
+      ("batches", Json.Int l.la_batches);
+      ("lanes", Json.Int l.la_lanes);
+      ("masked", Json.Int l.la_masked);
+      ("fast", Json.Int l.la_fast);
+      ("rounds", Json.Int l.la_rounds);
+    ]
+
+let dec_lanes l =
+  {
+    la_batches = Json.get_int "batches" l;
+    la_lanes = Json.get_int "lanes" l;
+    la_masked = Json.get_int "masked" l;
+    la_fast = Json.get_int "fast" l;
+    la_rounds = Json.get_int "rounds" l;
   }
 
 let enc_metric m =
@@ -412,21 +446,13 @@ let enc_metric m =
               @ (match s.ms_solver with
                 | None -> []
                 | Some so -> [ ("solver", enc_solver so) ])
+              @ (match s.ms_lanes with
+                | None -> []
+                | Some l -> [ ("lanes", enc_lanes l) ])
               @
-              match s.ms_lanes with
+              match s.ms_pair_lanes with
               | None -> []
-              | Some l ->
-                  [
-                    ( "lanes",
-                      Json.Obj
-                        [
-                          ("batches", Json.Int l.la_batches);
-                          ("lanes", Json.Int l.la_lanes);
-                          ("masked", Json.Int l.la_masked);
-                          ("fast", Json.Int l.la_fast);
-                          ("rounds", Json.Int l.la_rounds);
-                        ] );
-                  ]) );
+              | Some l -> [ ("pair_lanes", enc_lanes l) ]) );
         ]
   in
   Json.Obj (base @ reduction @ pairs @ stats)
@@ -468,17 +494,9 @@ let dec_metric v =
             ms_steals = Json.get_int "steals" s;
             ms_stacks = Json.get_int_opt "stacks" s;
             ms_solver = Option.map dec_solver (Json.get_opt "solver" s);
-            ms_lanes =
-              Option.map
-                (fun l ->
-                  {
-                    la_batches = Json.get_int "batches" l;
-                    la_lanes = Json.get_int "lanes" l;
-                    la_masked = Json.get_int "masked" l;
-                    la_fast = Json.get_int "fast" l;
-                    la_rounds = Json.get_int "rounds" l;
-                  })
-                (Json.get_opt "lanes" s);
+            ms_lanes = Option.map dec_lanes (Json.get_opt "lanes" s);
+            ms_pair_lanes =
+              Option.map dec_lanes (Json.get_opt "pair_lanes" s);
           })
         (Json.get_opt "stats" v);
   }

@@ -21,6 +21,9 @@ type error_code =
   | Cert_failed     (** the RUP checker rejected a solver proof step *)
   | Admission       (** queue full or deadline expired before execution *)
   | Internal        (** unexpected exception; message carries details *)
+  | Unsupported     (** well-formed query the engine cannot serve
+                        (e.g. transient double faults, whose composition
+                        is not a set-wise union of summaries) *)
 
 type solver_r = {
   so_conflicts : int;
@@ -85,6 +88,9 @@ type metric_stats_r = {
   ms_stacks : int option;  (** secondary baselines built (pair sweeps) *)
   ms_solver : solver_r option;
   ms_lanes : lanes_r option;  (** lane batches (structural engine only) *)
+  ms_pair_lanes : lanes_r option;
+      (** lane batches rooted at stacked baselines (interacting-pair
+          sweep); deterministic like [ms_lanes] *)
 }
 
 type metric_r = {
@@ -173,7 +179,7 @@ val error : error_code -> string -> t
 val exit_code : t -> int
 (** The CLI exit code this response maps to: 0 for any success payload,
     1 bad request/internal, 2 inaccessible, 3 certification failed,
-    4 admission/deadline. *)
+    4 admission/deadline, 5 unsupported. *)
 
 val encode : ?id:Json.t -> t -> Json.t
 (** Wire form: [{"id":…, "ok":bool, "type":…, "data":{…}}]; ["id"] is

@@ -601,6 +601,48 @@ let prop_lanes_equal_scalar =
            (fun v c -> v = Engine.analyze ctx (Some c.Fault.cls_rep))
            vs classes)
 
+(* Property: the lane sweep rooted at a STACKED baseline returns, class
+   for class, exactly what the scalar stacked delta returns — verdict
+   and cone size both.  Every class in turn plays the primary (so the
+   stacked base runs through all shapes, including glitchy ones, where
+   [analyze_lanes_on] must degrade to the scalar path), and the whole
+   class universe plays the secondaries. *)
+let prop_lanes_on_equal_delta_on =
+  QCheck.Test.make
+    ~name:"stacked lane verdicts = Engine.analyze_delta_on (random nets)"
+    ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net =
+        Ftrsn_rsn.Random_net.generate ~seed ~segments:(4 + (seed mod 5)) ()
+      in
+      let ctx = Engine.make_ctx net in
+      let base = Engine.baseline ctx in
+      let classes =
+        Array.of_list (Fault.collapse net (Fault.universe net))
+      in
+      let sms =
+        Array.map (fun c -> Fault.summarize net c.Fault.cls_rep) classes
+      in
+      (* cap the primaries to keep the quadratic sweep quick, but use a
+         stride so all shapes along the universe are still visited *)
+      let n = Array.length sms in
+      let stride = max 1 (n / 12) in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < n do
+        let stk = Engine.stack ctx base sms.(!i) in
+        let vs, st = Engine.analyze_lanes_on ctx stk sms in
+        ok :=
+          Array.length vs = n
+          && st.Engine.ls_fast + st.Engine.ls_lanes = n
+          && Array.for_all2
+               (fun v sm -> v = Engine.analyze_delta_on ctx stk sm)
+               vs sms;
+        i := !i + stride
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "fault-free: all accessible" `Quick
@@ -663,4 +705,5 @@ let suite =
     Alcotest.test_case "vectors: deterministic" `Quick
       test_vectors_roundtrip_consistent;
     Testseed.to_alcotest prop_lanes_equal_scalar;
+    Testseed.to_alcotest prop_lanes_on_equal_delta_on;
   ]

@@ -376,23 +376,32 @@ let test_pairs_models () =
   let net = small_sib () in
   List.iter
     (fun model ->
+      let name leg =
+        Printf.sprintf "pairs %s: %s = brute" (Fault.model_to_string model) leg
+      in
       let brute =
         Metric.evaluate_pairs ~exhaustive:true ~reduce:false ~model net
       in
       let reduced = Metric.evaluate_pairs ~exhaustive:true ~model net in
-      check_same_result
-        (Printf.sprintf "pairs %s: reduced = brute"
-           (Fault.model_to_string model))
-        brute reduced)
+      check_same_result (name "lane-reduced") brute reduced;
+      (* the scalar stacked ablation and the parallel scheduler both
+         reproduce the same bits per model *)
+      let scalar =
+        Metric.evaluate_pairs ~exhaustive:true ~lanes:false ~model net
+      in
+      check_same_result (name "scalar-reduced") brute scalar;
+      let par = Metric.evaluate_pairs ~exhaustive:true ~domains:3 ~model net in
+      check_same_result (name "lane-reduced, 3 domains") brute par)
     [ Fault.Bridge; Fault.Select ]
 
 let test_pairs_transient_rejected () =
   (* Two glitches are not the set-wise union of their summaries, which
      the pair factorization rests on: the model is rejected up front
-     rather than silently mis-evaluated. *)
+     with the typed error (service maps it to the [unsupported]
+     response, exit 5) rather than silently mis-evaluated. *)
   match Metric.evaluate_pairs ~model:Fault.Transient (small_sib ()) with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "transient pairs must raise Invalid_argument"
+  | exception Metric.Unsupported _ -> ()
+  | _ -> Alcotest.fail "transient pairs must raise Metric.Unsupported"
 
 let suite =
   [

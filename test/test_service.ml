@@ -135,6 +135,7 @@ let sample_queries () =
         pq_model = Fault.Select;
         pq_reduce = true;
         pq_inprocess = true;
+        pq_lanes = true;
         pq_with_stats = false;
       };
     Query.Pairs
@@ -147,6 +148,7 @@ let sample_queries () =
         pq_model = Fault.Stuck;
         pq_reduce = false;
         pq_inprocess = false;
+        pq_lanes = false;
         pq_with_stats = true;
       };
     Query.Certify
@@ -263,6 +265,15 @@ let sample_responses () =
                     la_fast = 90;
                     la_rounds = 56;
                   };
+              ms_pair_lanes =
+                Some
+                  {
+                    Response.la_batches = 7;
+                    la_lanes = 301;
+                    la_masked = 2;
+                    la_fast = 44;
+                    la_rounds = 29;
+                  };
             };
       };
     Response.Metric_r
@@ -340,6 +351,10 @@ let sample_responses () =
     Response.Error_r (Response.Cert_failed, "lemma 7 not RUP");
     Response.Error_r (Response.Admission, "queue full");
     Response.Error_r (Response.Internal, "Stack_overflow");
+    Response.Error_r
+      ( Response.Unsupported,
+        "transient pairs are unsupported (two glitches are not a set-wise \
+         union of summaries)" );
   ]
 
 let test_response_roundtrip () =
@@ -365,7 +380,9 @@ let test_exit_codes () =
   check int_t "admission" 4
     (Response.exit_code (Response.error Response.Admission ""));
   check int_t "internal" 1
-    (Response.exit_code (Response.error Response.Internal ""))
+    (Response.exit_code (Response.error Response.Internal ""));
+  check int_t "unsupported" 5
+    (Response.exit_code (Response.error Response.Unsupported ""))
 
 let test_decode_line_errors () =
   (match Query.decode_line "{\"op\":\"metric\"}" with
@@ -501,6 +518,20 @@ let test_warm_equals_cold () =
           pq_model = Fault.Stuck;
           pq_reduce = true;
           pq_inprocess = true;
+          pq_lanes = true;
+          pq_with_stats = false;
+        };
+      Query.Pairs
+        {
+          Query.pq_net = Lazy.force tiny_spec;
+          pq_fault_sample = None;
+          pq_pair_sample = None;
+          pq_domains = 1;
+          pq_engine = `Structural;
+          pq_model = Fault.Stuck;
+          pq_reduce = true;
+          pq_inprocess = true;
+          pq_lanes = false;
           pq_with_stats = false;
         };
       Query.Certify
@@ -612,6 +643,7 @@ let prop_concurrent_interleaving =
              pq_model = Fault.Stuck;
              pq_reduce = true;
              pq_inprocess = true;
+             pq_lanes = true;
              pq_with_stats = false;
            };
          Query.Probe
@@ -729,6 +761,39 @@ let test_serve_serial_order () =
       | _ -> Alcotest.fail ("expected bad_request: " ^ line))
     (List.filteri (fun i _ -> i >= List.length qs) out)
 
+(* Transient double faults are rejected with the typed [unsupported]
+   error: same wire line through Exec.run and the serve loop, stable
+   exit code 5 — not an Internal catch-all. *)
+let test_serve_transient_pairs_unsupported () =
+  let q =
+    Query.Pairs
+      {
+        Query.pq_net = Lazy.force tiny_spec;
+        pq_fault_sample = None;
+        pq_pair_sample = None;
+        pq_domains = 1;
+        pq_engine = `Structural;
+        pq_model = Fault.Transient;
+        pq_reduce = true;
+        pq_inprocess = true;
+        pq_lanes = true;
+        pq_with_stats = false;
+      }
+  in
+  let r = Exec.run (Pool.create ()) q in
+  (match r with
+  | Response.Error_r (Response.Unsupported, _) -> ()
+  | _ ->
+      Alcotest.fail ("expected unsupported error: " ^ Response.to_string r));
+  check int_t "exit code 5" 5 (Response.exit_code r);
+  let out =
+    serve_batch
+      { Server.default_config with Server.workers = 1 }
+      [ Query.to_string q ]
+  in
+  check int_t "one response" 1 (List.length out);
+  check string_t "serve = exec" (Response.to_string r) (List.hd out)
+
 let test_serve_threaded_ids () =
   let qs =
     [
@@ -794,6 +859,8 @@ let suite =
     Testseed.to_alcotest prop_concurrent_interleaving;
     Alcotest.test_case "serve: serial mode is in-order and deterministic"
       `Quick test_serve_serial_order;
+    Alcotest.test_case "serve: transient pairs answer unsupported (exit 5)"
+      `Quick test_serve_transient_pairs_unsupported;
     Alcotest.test_case "serve: threaded mode answers every id" `Quick
       test_serve_threaded_ids;
   ]
